@@ -1,0 +1,192 @@
+"""Shared measurement harness for the paper-reproduction benchmarks.
+
+Each benchmark module regenerates one artifact of the paper (a
+proposition, Table 1, or one of Figures 1-3) by measuring I/O on the
+simulated device.  This module holds the common machinery: method
+construction at benchmark scale, per-operation I/O probes, and report
+output (printed and archived under ``benchmarks/reports/``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import AccessMethod
+from repro.core.registry import create_method
+from repro.core.rum import RUMProfile
+from repro.storage.device import SimulatedDevice
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+#: Benchmark block size: 256 bytes = 16 records, so multi-block effects
+#: appear at modest N and sweeps stay fast.
+BENCH_BLOCK = 256
+RECORDS_PER_BLOCK = 16
+
+#: Constructor overrides at benchmark scale.
+BENCH_KWARGS: Dict[str, dict] = {
+    "lsm": dict(memtable_records=128, size_ratio=4),
+    "masm": dict(buffer_records=128, max_runs=6),
+    "pdt": dict(checkpoint_records=512),
+    "pbt": dict(partition_records=512, max_partitions=6),
+    "zonemap": dict(partition_records=256),
+    "approximate-index": dict(partition_records=256),
+    "adaptive-merging": dict(run_records=512),
+    "cracking": dict(pending_limit=256),
+    "sorted-column": dict(sort_memory_blocks=8),
+    "btree": dict(sort_memory_blocks=8),
+    "indexed-log": dict(segment_records=256, compact_segments=12),
+    "morphing": dict(window=300),
+    "silt": dict(log_records=256, merge_stores=4),
+}
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def build_method(name: str, **overrides) -> AccessMethod:
+    kwargs = dict(BENCH_KWARGS.get(name, {}))
+    kwargs.update(overrides)
+    return create_method(name, device=SimulatedDevice(block_bytes=BENCH_BLOCK), **kwargs)
+
+
+def loaded_method(
+    name: str,
+    n_records: int,
+    shuffled: bool = True,
+    churn: bool = True,
+    **overrides,
+) -> AccessMethod:
+    """A method bulk-loaded with ``n_records`` and brought to steady state.
+
+    ``shuffled`` makes the load path sort; ``churn`` applies a burst of
+    updates afterwards so differential structures (LSM, MaSM, ...) reach
+    their realistic multi-run shape instead of the unrepresentative
+    single-sorted-run state right after a bulk load.
+    """
+    method = build_method(name, **overrides)
+    records = [(2 * i, 20 * i + 1) for i in range(n_records)]
+    if shuffled:
+        random.Random(17).shuffle(records)
+    method.bulk_load(records)
+    if churn:
+        rng = random.Random(19)
+        for _ in range(max(1, n_records // 5)):
+            key = 2 * rng.randrange(n_records)
+            method.update(key, key + 7)
+    method.flush()
+    return method
+
+
+def io_per_op(
+    method: AccessMethod, operations: Sequence[Callable[[], object]]
+) -> float:
+    """Average block I/Os (reads + writes) per operation."""
+    device = method.device
+    before = device.snapshot()
+    for operation in operations:
+        operation()
+    method.flush()
+    stats = device.stats_since(before)
+    return (stats.reads + stats.writes) / max(1, len(operations))
+
+
+def reads_per_op(method: AccessMethod, operations: Sequence[Callable[[], object]]) -> float:
+    device = method.device
+    before = device.snapshot()
+    for operation in operations:
+        operation()
+    stats = device.stats_since(before)
+    return stats.reads / max(1, len(operations))
+
+
+def point_query_cost(method: AccessMethod, n_records: int, probes: int = 40) -> float:
+    """Average block reads per present-key point query."""
+    rng = random.Random(23)
+    keys = [2 * rng.randrange(n_records) for _ in range(probes)]
+    return reads_per_op(method, [lambda k=k: method.get(k) for k in keys])
+
+
+def range_query_cost(
+    method: AccessMethod, n_records: int, result_size: int, probes: int = 15
+) -> float:
+    """Average block reads per range query returning ~result_size rows."""
+    rng = random.Random(29)
+    ops = []
+    for _ in range(probes):
+        start = rng.randrange(max(1, n_records - result_size))
+        lo = 2 * start
+        hi = 2 * (start + result_size - 1)
+        ops.append(lambda lo=lo, hi=hi: method.range_query(lo, hi))
+    return reads_per_op(method, ops)
+
+
+def insert_cost(method: AccessMethod, n_records: int, inserts: int = 40) -> float:
+    """Average block I/Os per insert of fresh keys (amortized).
+
+    Fresh keys are *odd* keys inside the occupied range (the loaded keys
+    are even), so inserts land mid-structure and shifting/splitting
+    organizations pay their real cost — appending at the tail would
+    flatter them.
+    """
+    rng = random.Random(31)
+    offsets = rng.sample(range(n_records), inserts)
+    ops = [
+        lambda k=(2 * offset + 1): method.insert(k, k) for offset in offsets
+    ]
+    return io_per_op(method, ops)
+
+
+def update_cost(method: AccessMethod, n_records: int, updates: int = 40) -> float:
+    """Average block I/Os per value update of existing keys."""
+    rng = random.Random(37)
+    ops = []
+    for _ in range(updates):
+        key = 2 * rng.randrange(n_records)
+        ops.append(lambda k=key: method.update(k, 0))
+    return io_per_op(method, ops)
+
+
+def auxiliary_bytes(method: AccessMethod) -> int:
+    """Space beyond the base data — the paper's 'index size'."""
+    return max(0, method.space_bytes() - method.base_bytes())
+
+
+def bulk_creation_cost(name: str, n_records: int, **overrides) -> float:
+    """Total block I/Os to bulk load n shuffled records."""
+    method = build_method(name, **overrides)
+    records = [(2 * i, 20 * i + 1) for i in range(n_records)]
+    random.Random(17).shuffle(records)
+    before = method.device.snapshot()
+    method.bulk_load(records)
+    method.flush()
+    stats = method.device.stats_since(before)
+    return stats.reads + stats.writes
+
+
+def measure_profile(name: str, spec: WorkloadSpec, **overrides) -> RUMProfile:
+    """Measured RUM profile of a method under a workload spec."""
+    method = build_method(name, **overrides)
+    return run_workload(method, spec).profile
+
+
+def mark(benchmark) -> None:
+    """Register a trivial timing on the pytest-benchmark fixture.
+
+    Assertion-bearing benchmark tests call this so they still execute
+    (rather than being skipped) under ``pytest --benchmark-only``; the
+    heavy measurement lives in shared module-scoped fixtures.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a benchmark report and archive it under reports/."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,239 @@
+"""E9-E11: ablations of the design choices DESIGN.md calls out.
+
+E9   Bloom filters on LSM runs — pay memory overhead, buy read overhead
+     (Section 4: filters are the canonical M-for-R trade); plus the
+     levelled-vs-tiered compaction ablation (R-for-U).
+E10  WAH compression on bitmap indexes — "the use of compression in
+     bitmap indexes" (Section 1): computation for space.
+E11  B+-Tree node-size / split-condition knobs — the paper's first
+     tunable-parameter example (Section 5).
+E11b ZoneMap partition size P — slides the sparse index along the M-R
+     edge (Table 1's P parameter).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.methods.bitmap import BitmapIndex
+from repro.methods.lsm import LSMTree
+from repro.storage.device import SimulatedDevice
+
+from benchmarks.harness import (
+    BENCH_BLOCK,
+    emit_report,
+    loaded_method,
+    mark,
+    point_query_cost,
+)
+
+N = 8192
+
+
+# ----------------------------------------------------------------------
+# E9: Bloom filters on the LSM
+# ----------------------------------------------------------------------
+def _lsm_bloom_sweep() -> list:
+    rows = []
+    for bits in (0, 2, 5, 10, 16):
+        method = loaded_method("lsm", N, bloom_bits_per_key=bits)
+        # Negative lookups *inside* the key range (odd keys are absent),
+        # so min/max fences cannot prune them: filters must earn their keep.
+        rng = random.Random(53)
+        misses = [2 * rng.randrange(N) + 1 for _ in range(60)]
+        before = method.device.snapshot()
+        for key in misses:
+            method.get(key)
+        miss_reads = method.device.stats_since(before).reads / len(misses)
+        hit_reads = point_query_cost(method, N)
+        space = method.space_bytes() / method.base_bytes()
+        rows.append((bits, miss_reads, hit_reads, space))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def bloom_sweep():
+    return _lsm_bloom_sweep()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_lsm_bloom_ablation(benchmark, bloom_sweep):
+    mark(benchmark)
+    report = format_table(
+        ["bloom bits/key", "miss reads/op", "hit reads/op", "MO"],
+        [list(row) for row in bloom_sweep],
+        title="E9: Bloom filters on LSM runs - memory buys read performance",
+    )
+    emit_report("ablation_lsm_bloom", report)
+    by_bits = {row[0]: row for row in bloom_sweep}
+    # Filters cut negative-lookup cost substantially (a bloom probe per
+    # run replaces the fence+data probe of every overlapping run) ...
+    assert by_bits[10][1] < by_bits[0][1] * 0.6
+    # ... monotonically in filter precision ...
+    misses = [row[1] for row in bloom_sweep]
+    assert all(b <= a * 1.1 for a, b in zip(misses, misses[1:]))
+    # ... and cost memory overhead, monotonically in bits per key.
+    spaces = [row[3] for row in bloom_sweep]
+    assert spaces[-1] > spaces[0]
+    assert all(b >= a - 1e-9 for a, b in zip(spaces, spaces[1:]))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_lsm_compaction_ablation(benchmark):
+    mark(benchmark)
+    rows = []
+    for compaction in ("leveled", "tiered"):
+        method = LSMTree(
+            SimulatedDevice(block_bytes=BENCH_BLOCK),
+            memtable_records=64,
+            size_ratio=4,
+            compaction=compaction,
+            bloom_bits_per_key=0,
+        )
+        # Shuffled inserts: runs overlap in key range, so tiered's extra
+        # runs genuinely cost probes (sequential keys would give every
+        # run a disjoint range the fences prune for free).
+        keys = [2 * i for i in range(3000)]
+        random.Random(59).shuffle(keys)
+        for key in keys:
+            method.insert(key, key)
+        writes = method.device.counters.write_bytes / (3000 * 16)
+        reads = point_query_cost(method, 3000)
+        rows.append((compaction, writes, reads))
+    report = format_table(
+        ["compaction", "write amplification", "point reads/op"],
+        [list(row) for row in rows],
+        title="E9b: levelled vs tiered compaction - the R-U slider",
+    )
+    emit_report("ablation_lsm_compaction", report)
+    leveled, tiered = rows
+    assert tiered[1] < leveled[1]  # tiered writes less
+    assert tiered[2] > leveled[2]  # ... and reads more
+
+
+# ----------------------------------------------------------------------
+# E10: bitmap compression
+# ----------------------------------------------------------------------
+def _bitmap_rows(n=2048, cardinality=8):
+    # Clustered values: long runs, the regime WAH is built for.
+    return [(i, (i * cardinality) // n) for i in range(n)]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bitmap_compression_ablation(benchmark):
+    mark(benchmark)
+    rows = []
+    for compressed in (False, True):
+        index = BitmapIndex(
+            SimulatedDevice(block_bytes=BENCH_BLOCK), compressed=compressed
+        )
+        index.bulk_load(_bitmap_rows())
+        bitmap_bytes = index.bitmap_bytes()
+        before = index.device.snapshot()
+        for value in index.distinct_values():
+            index.lookup_value(value)
+        lookup_reads = index.device.stats_since(before).reads
+        # Update cost: moving rows between bitmaps rewrites them.
+        before = index.device.snapshot()
+        for key in range(0, 64):
+            index.update(key, 7 - (key % 8))
+        update_io = index.device.stats_since(before).writes
+        rows.append((compressed, bitmap_bytes, lookup_reads, update_io))
+    report = format_table(
+        ["WAH compression", "bitmap bytes", "lookup reads", "update writes"],
+        [list(row) for row in rows],
+        title="E10: compression in bitmap indexes - computation for space",
+    )
+    emit_report("ablation_bitmap", report)
+    plain, wah = rows
+    assert wah[1] < plain[1] / 4  # compression shrinks bitmaps a lot
+    assert wah[2] <= plain[2]  # fewer bitmap blocks to read
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bitmap_update_friendly_ablation(benchmark):
+    mark(benchmark)
+    rows = []
+    for update_friendly in (False, True):
+        index = BitmapIndex(
+            SimulatedDevice(block_bytes=BENCH_BLOCK),
+            compressed=True,
+            update_friendly=update_friendly,
+            delta_merge_bits=256,
+        )
+        index.bulk_load(_bitmap_rows())
+        before = index.device.snapshot()
+        for key in range(128):
+            index.update(key, 7 - (key % 8))
+        update_writes = index.device.stats_since(before).writes
+        rows.append((update_friendly, update_writes))
+    report = format_table(
+        ["update-friendly deltas", "update writes"],
+        [list(row) for row in rows],
+        title="E10b: update-friendly bitmaps absorb updates in delta vectors",
+    )
+    emit_report("ablation_bitmap_updates", report)
+    plain, friendly = rows
+    assert friendly[1] <= plain[1]
+
+
+# ----------------------------------------------------------------------
+# E11: B+-Tree knobs
+# ----------------------------------------------------------------------
+def _btree_knob_sweep() -> list:
+    rows = []
+    for leaf_capacity, fanout in ((4, 4), (8, 8), (15, 16), (None, None)):
+        overrides = {}
+        if leaf_capacity:
+            overrides = dict(leaf_capacity=leaf_capacity, fanout=fanout)
+        method = loaded_method("btree", N, **overrides)
+        reads = point_query_cost(method, N)
+        space = method.space_bytes() / method.base_bytes()
+        height = method.height
+        rows.append((leaf_capacity or "block", fanout or "block", height, reads, space))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_btree_knob_sweep(benchmark):
+    mark(benchmark)
+    rows = _btree_knob_sweep()
+    report = format_table(
+        ["leaf capacity", "fanout", "height", "point reads/op", "MO"],
+        [list(row) for row in rows],
+        title="E11: B+-Tree node-size knobs - tree height vs space",
+    )
+    emit_report("ablation_btree_knobs", report)
+    # Bigger nodes => shorter tree => fewer reads per probe.
+    heights = [row[2] for row in rows]
+    reads = [row[3] for row in rows]
+    assert heights[0] > heights[-1]
+    assert reads[0] > reads[-1]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_zonemap_partition_sweep(benchmark):
+    mark(benchmark)
+    rows = []
+    for partition in (64, 256, 1024, 4096):
+        method = loaded_method("zonemap", N, partition_records=partition)
+        reads = point_query_cost(method, N)
+        aux = max(0, method.space_bytes() - method.base_bytes())
+        rows.append((partition, reads, aux))
+    report = format_table(
+        ["partition P (records)", "point reads/op", "aux bytes"],
+        [list(row) for row in rows],
+        title="E11b: ZoneMap partition size - the M-R slider of Table 1",
+    )
+    emit_report("ablation_zonemap", report)
+    # Small partitions: more synopsis (space) but finer pruning is
+    # balanced against synopsis scan cost; the aux size must fall
+    # monotonically with P.
+    auxes = [row[2] for row in rows]
+    assert all(b <= a for a, b in zip(auxes, auxes[1:]))
+    # Huge partitions degrade reads versus the sweet spot.
+    reads = [row[1] for row in rows]
+    assert reads[-1] > min(reads)

@@ -1,0 +1,112 @@
+"""E12: adaptive indexing trajectories (Section 4's adaptive middle).
+
+"The index creation overhead is amortized over a period of time, and it
+gradually reduces the read overhead, while increasing the update
+overhead, and slowly increasing the memory overhead."
+
+We replay a query sequence against database cracking and adaptive
+merging and record the per-query read cost: the series must fall
+steeply and converge far below the initial full-scan cost, while the
+cumulative reorganization writes (the amortized index-creation cost)
+flatten out.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+from benchmarks.harness import emit_report, loaded_method, mark
+
+N = 8192
+QUERIES = 120
+
+
+def _trajectory(name: str) -> list:
+    method = loaded_method(name, N, churn=False)
+    rng = random.Random(61)
+    rows = []
+    cumulative_writes = 0
+    # Queries concentrate on a hot quarter of the key space — the
+    # adaptive-indexing regime ("the incoming queries dictate which part
+    # of the index should be fully populated", Section 4).
+    hot_span = N // 4
+    for query in range(QUERIES):
+        start = rng.randrange(hot_span - 64)
+        lo, hi = 2 * start, 2 * (start + 63)
+        before = method.device.snapshot()
+        method.range_query(lo, hi)
+        io = method.device.stats_since(before)
+        cumulative_writes += io.writes
+        rows.append((query, io.reads, cumulative_writes, method.space_bytes()))
+    return rows
+
+
+@pytest.fixture(scope="module", params=["cracking", "adaptive-merging"])
+def trajectory(request):
+    return request.param, _trajectory(request.param)
+
+
+@pytest.mark.benchmark(group="adaptive")
+def test_adaptive_trajectory_report(benchmark, trajectory):
+    mark(benchmark)
+    name, rows = trajectory
+    sampled = rows[:5] + rows[5:20:5] + rows[20::20]
+    report = format_table(
+        ["query #", "reads", "cumulative reorg writes", "space bytes"],
+        [list(row) for row in sampled],
+        title=f"E12: {name} - read cost falls as queries crack/merge the data",
+    )
+    emit_report(f"adaptive_{name}", report)
+
+
+class TestAdaptiveConvergence:
+    def test_read_cost_converges(self, benchmark, trajectory):
+        mark(benchmark)
+        name, rows = trajectory
+        early = sum(row[1] for row in rows[:5]) / 5
+        late = sum(row[1] for row in rows[-20:]) / 20
+        assert late < early / 5, (name, early, late)
+
+    def test_reorganization_flattens(self, benchmark, trajectory):
+        mark(benchmark)
+        name, rows = trajectory
+        first_half_writes = rows[QUERIES // 2][2]
+        total_writes = rows[-1][2]
+        # Most reorganization happens early: the second half adds less
+        # than the first half did.
+        assert total_writes - first_half_writes < first_half_writes, name
+
+    def test_space_grows_slowly(self, benchmark, trajectory):
+        mark(benchmark)
+        name, rows = trajectory
+        initial_space = rows[0][3]
+        final_space = rows[-1][3]
+        # "slowly increasing the memory overhead": bounded growth.
+        assert final_space < initial_space * 2.2, name
+
+
+class TestAdaptiveVsStatic:
+    def test_cracking_beats_full_scans_after_warmup(self, benchmark):
+        mark(benchmark)
+        cracked = loaded_method("cracking", N, churn=False)
+        heap = loaded_method("unsorted-column", N, churn=False)
+        rng = random.Random(67)
+        queries = []
+        for _ in range(60):
+            start = rng.randrange(N - 64)
+            queries.append((2 * start, 2 * (start + 63)))
+        # Warm-up cracks the column.
+        for lo, hi in queries[:40]:
+            cracked.range_query(lo, hi)
+        for method in (cracked, heap):
+            method.device.reset_counters()
+        for lo, hi in queries[40:]:
+            cracked.range_query(lo, hi)
+            heap.range_query(lo, hi)
+        assert (
+            cracked.device.counters.reads < heap.device.counters.reads / 10
+        )

@@ -1,0 +1,114 @@
+"""E15: cache-oblivious access methods (paper Section 4).
+
+"Cache-oblivious access methods, however, achieve that by having a
+larger constant factor in read performance.  In addition, cache-
+oblivious access methods have a larger memory overhead because they
+require more pointers ...  Finally, cache-oblivious designs are less
+tunable."
+
+We sweep the block size and measure point-probe block reads for three
+layouts of the same sorted data:
+
+* the **van Emde Boas tree** (cache-oblivious — never told the block
+  size),
+* the **sorted column** (binary search: O(log2 N/B) block touches),
+* the **block-aware B+-Tree** (tuned to the block size by construction).
+
+The paper's three claims are asserted: the vEB layout adapts to every
+block size and beats the naive binary search *everywhere without
+tuning*; the cache-aware B+-Tree keeps a constant-factor edge over it;
+and the vEB layout pays more space (explicit child pointers).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.registry import create_method
+from repro.storage.device import SimulatedDevice
+
+from benchmarks.harness import emit_report, mark
+
+N = 8192
+BLOCK_SIZES = [64, 256, 1024, 4096]
+LAYOUTS = ["cache-oblivious", "sorted-column", "btree"]
+
+
+def _measure() -> dict:
+    results = {}
+    for block_bytes in BLOCK_SIZES:
+        for name in LAYOUTS:
+            method = create_method(
+                name, device=SimulatedDevice(block_bytes=block_bytes)
+            )
+            method.bulk_load([(2 * i, i) for i in range(N)])
+            rng = random.Random(3)
+            before = method.device.snapshot()
+            for _ in range(60):
+                method.get(2 * rng.randrange(N))
+            reads = method.device.stats_since(before).reads / 60
+            space = method.space_bytes() / method.base_bytes()
+            results[(block_bytes, name)] = (reads, space)
+    return results
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return _measure()
+
+
+@pytest.mark.benchmark(group="cache-oblivious")
+def test_cache_oblivious_report(benchmark, sweep):
+    mark(benchmark)
+    rows = []
+    for block_bytes in BLOCK_SIZES:
+        row = [block_bytes]
+        for name in LAYOUTS:
+            reads, _ = sweep[(block_bytes, name)]
+            row.append(reads)
+        rows.append(row)
+    report = format_table(
+        ["block bytes"] + [f"{name} (reads/probe)" for name in LAYOUTS],
+        rows,
+        title="E15: point-probe cost across block sizes - the vEB layout "
+              "adapts without being told B",
+    )
+    emit_report("cache_oblivious", report)
+
+
+class TestSection4Claims:
+    def test_veb_beats_binary_search_at_every_block_size(self, benchmark, sweep):
+        mark(benchmark)
+        # Cache-oblivious optimality: better than the naive layout for
+        # all B, with no tuning knob ever set.
+        for block_bytes in BLOCK_SIZES:
+            veb, _ = sweep[(block_bytes, "cache-oblivious")]
+            binary, _ = sweep[(block_bytes, "sorted-column")]
+            assert veb < binary, block_bytes
+
+    def test_cache_aware_btree_keeps_constant_factor_edge(self, benchmark, sweep):
+        mark(benchmark)
+        # "larger constant factor in read performance": the tuned
+        # structure wins at every granularity.
+        for block_bytes in BLOCK_SIZES:
+            veb, _ = sweep[(block_bytes, "cache-oblivious")]
+            btree, _ = sweep[(block_bytes, "btree")]
+            assert btree <= veb, block_bytes
+
+    def test_veb_adapts_to_growing_blocks(self, benchmark, sweep):
+        mark(benchmark)
+        reads = [sweep[(block_bytes, "cache-oblivious")][0] for block_bytes in BLOCK_SIZES]
+        # Strictly improving as B grows — despite never knowing B.
+        assert all(b < a for a, b in zip(reads, reads[1:]))
+        assert reads[-1] < reads[0] / 3
+
+    def test_veb_pays_more_space_than_the_plain_column(self, benchmark, sweep):
+        mark(benchmark)
+        # "larger memory overhead because they require more pointers".
+        for block_bytes in (256, 1024, 4096):
+            _, veb_space = sweep[(block_bytes, "cache-oblivious")]
+            _, column_space = sweep[(block_bytes, "sorted-column")]
+            assert veb_space > column_space, block_bytes

@@ -1,0 +1,114 @@
+"""E16: where the B+-Tree/LSM crossover falls.
+
+The RUM trade between the read-optimized tree and the write-optimized
+LSM implies a *crossover*: as the workload's write fraction grows, the
+total simulated cost of the LSM must fall below the B+-Tree's at some
+mix.  This bench sweeps the write fraction and locates that crossover —
+the "who wins, and where the crossover falls" evidence the library's
+wizard relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.registry import create_method
+from repro.storage.device import CostModel, SimulatedDevice
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+from benchmarks.harness import BENCH_BLOCK, BENCH_KWARGS, emit_report, mark
+
+WRITE_FRACTIONS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def _spec(write_fraction: float) -> WorkloadSpec:
+    reads = 1.0 - write_fraction
+    return WorkloadSpec(
+        point_queries=reads,
+        inserts=write_fraction * 0.6,
+        updates=write_fraction * 0.4,
+        operations=1200,
+        initial_records=3000,
+    )
+
+
+def _measure() -> dict:
+    import random
+
+    from repro.core.rum import measure_workload
+    from repro.workloads.generator import WorkloadGenerator
+
+    times = {}
+    for write_fraction in WRITE_FRACTIONS:
+        for name in ("btree", "lsm"):
+            device = SimulatedDevice(
+                block_bytes=BENCH_BLOCK, cost_model=CostModel.flash()
+            )
+            method = create_method(name, device=device, **BENCH_KWARGS.get(name, {}))
+            spec = _spec(write_fraction)
+            generator = WorkloadGenerator(spec)
+            data = generator.initial_data()
+            method.bulk_load(data)
+            # Churn to steady state: a freshly bulk-loaded LSM is one
+            # sorted run (unrealistically read-cheap); real LSMs carry
+            # several levels of history.
+            rng = random.Random(19)
+            for _ in range(spec.initial_records // 4):
+                method.update(2 * rng.randrange(spec.initial_records), 7)
+            method.flush()
+            device.reset_counters()
+            profile = measure_workload(method, generator.operations())
+            times[(write_fraction, name)] = profile.simulated_time
+    return times
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return _measure()
+
+
+@pytest.mark.benchmark(group="crossover")
+def test_crossover_report(benchmark, sweep):
+    mark(benchmark)
+    rows = []
+    for write_fraction in WRITE_FRACTIONS:
+        btree = sweep[(write_fraction, "btree")]
+        lsm = sweep[(write_fraction, "lsm")]
+        winner = "lsm" if lsm < btree else "btree"
+        rows.append([f"{write_fraction:.0%}", btree, lsm, winner])
+    report = format_table(
+        ["write fraction", "btree time", "lsm time", "winner"],
+        rows,
+        title="E16: B+-Tree vs LSM on flash - the crossover as writes grow",
+    )
+    emit_report("crossover", report)
+
+
+class TestCrossover:
+    def test_lsm_wins_when_writes_dominate(self, benchmark, sweep):
+        mark(benchmark)
+        assert sweep[(1.0, "lsm")] < sweep[(1.0, "btree")]
+
+    def test_crossover_exists_and_is_unique_direction(self, benchmark, sweep):
+        mark(benchmark)
+        # The LSM/btree time ratio must fall monotonically-ish with the
+        # write fraction: once the LSM wins, more writes keep it winning.
+        ratios = [
+            sweep[(w, "lsm")] / sweep[(w, "btree")] for w in WRITE_FRACTIONS
+        ]
+        assert ratios[-1] < ratios[0]
+        crossed = False
+        for ratio in ratios:
+            if ratio < 1.0:
+                crossed = True
+            elif crossed:
+                pytest.fail(f"winner flipped back: ratios={ratios}")
+        assert crossed, f"no crossover in sweep: ratios={ratios}"
+
+    def test_lsm_advantage_grows_with_write_fraction(self, benchmark, sweep):
+        mark(benchmark)
+        early = sweep[(0.2, "btree")] / sweep[(0.2, "lsm")]
+        late = sweep[(0.8, "btree")] / sweep[(0.8, "lsm")]
+        assert late > early

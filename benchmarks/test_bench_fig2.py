@@ -1,0 +1,182 @@
+"""E6: Figure 2 — RUM overheads in memory hierarchies.
+
+The paper's Figure 2: "the RO_n read and the UO_n update overheads at
+memory level n can be reduced by storing more data, updates, or
+meta-data, at the previous level n-1, which results, at least, in a
+higher MO_{n-1}".
+
+We drive a B+-Tree workload through a two-level hierarchy (a cache
+level over the backing device) and sweep the cache capacity.  The
+measured series must show RO_n (traffic reaching the backing level)
+falling monotonically as MO_{n-1} (bytes replicated at the cache level)
+rises — the exact interaction of the figure.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.storage.device import SimulatedDevice
+from repro.storage.hierarchy import LevelSpec, MemoryHierarchy
+
+from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+
+N_BLOCKS = 256
+ACCESSES = 3000
+CAPACITIES = [0, 16, 32, 64, 128, 256]
+
+
+def _measure() -> list:
+    """Sweep cache capacity; return (capacity, RO_n, UO_n, MO_{n-1}) rows.
+
+    The workload is a skewed block-access pattern (hot head), the shape
+    under which caching actually pays — all levels see the same stream.
+    """
+    rows = []
+    rng = random.Random(71)
+    pattern = []
+    for _ in range(ACCESSES):
+        block = min(int(rng.expovariate(1.0 / 24)), N_BLOCKS - 1)
+        write = rng.random() < 0.25
+        pattern.append((block, write))
+    for capacity in CAPACITIES:
+        backing = SimulatedDevice(block_bytes=BENCH_BLOCK, name="flash")
+        blocks = []
+        for i in range(N_BLOCKS):
+            block = backing.allocate()
+            backing.write(block, f"payload-{i}")
+            blocks.append(block)
+        backing.reset_counters()
+        hierarchy = MemoryHierarchy(backing, [LevelSpec("dram", capacity)])
+        for index, write in pattern:
+            if write:
+                hierarchy.write(blocks[index], f"updated-{index}")
+            else:
+                hierarchy.read(blocks[index])
+        hierarchy.flush()
+        reads_reaching_backing = backing.counters.reads
+        writes_reaching_backing = backing.counters.writes
+        cache_bytes = hierarchy.levels[0].space_bytes
+        rows.append(
+            (
+                capacity,
+                reads_reaching_backing,
+                writes_reaching_backing,
+                cache_bytes,
+                hierarchy.levels[0].hit_rate(),
+            )
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return _measure()
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_report(benchmark, sweep):
+    mark(benchmark)
+    report = format_table(
+        ["cache capacity (blocks)", "RO_n: reads at level n",
+         "UO_n: writes at level n", "MO_(n-1): bytes at level n-1",
+         "hit rate"],
+        [list(row) for row in sweep],
+        title="Figure 2 (measured): growing level n-1 lowers level-n traffic",
+    )
+    emit_report("fig2", report)
+
+
+def _btree_over_cache() -> list:
+    """The same sweep with a *real access method* over the cache.
+
+    A B+-Tree runs unchanged on a CachedDevice; its hot root/internal
+    blocks stick in the fast level, so the traffic reaching the backing
+    device falls as the cache grows — Figure 2 with an actual structure
+    rather than raw block traffic.
+    """
+    import random
+
+    from repro.methods.btree import BPlusTree
+    from repro.storage.cached import CachedDevice
+
+    rows = []
+    rng = random.Random(79)
+    keys = [2 * min(int(rng.expovariate(1.0 / 300)), 3999) for _ in range(2000)]
+    for capacity in (0, 8, 32, 128):
+        backing = SimulatedDevice(block_bytes=BENCH_BLOCK, name="flash")
+        cached = CachedDevice(backing, capacity_blocks=capacity)
+        tree = BPlusTree(device=cached)
+        tree.bulk_load([(2 * i, i) for i in range(4000)])
+        cached.flush()
+        backing.reset_counters()
+        for key in keys:
+            tree.get(key)
+        rows.append((capacity, backing.counters.reads, cached.cache_bytes()))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def btree_sweep():
+    return _btree_over_cache()
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_btree_report(benchmark, btree_sweep):
+    mark(benchmark)
+    report = format_table(
+        ["cache capacity (blocks)", "backing reads (RO_n)",
+         "cache bytes (MO_n-1)"],
+        [list(row) for row in btree_sweep],
+        title="Figure 2 with a real structure: B+-Tree over a cached device",
+    )
+    emit_report("fig2_btree", report)
+
+
+class TestStructureOverHierarchy:
+    def test_backing_reads_fall_with_cache(self, benchmark, btree_sweep):
+        mark(benchmark)
+        reads = [row[1] for row in btree_sweep]
+        assert all(b <= a for a, b in zip(reads, reads[1:]))
+        assert reads[-1] < reads[0] / 2
+
+    def test_cache_space_is_the_price(self, benchmark, btree_sweep):
+        mark(benchmark)
+        space = [row[2] for row in btree_sweep]
+        assert space[0] == 0
+        assert all(b >= a for a, b in zip(space, space[1:]))
+
+
+class TestVerticalTradeoff:
+    def test_reads_reaching_backing_fall_monotonically(self, benchmark, sweep):
+        mark(benchmark)
+        reads = [row[1] for row in sweep]
+        assert all(b <= a for a, b in zip(reads, reads[1:]))
+        assert reads[-1] < reads[0] / 5  # big caches help a lot
+
+    def test_writes_reaching_backing_fall(self, benchmark, sweep):
+        mark(benchmark)
+        writes = [row[2] for row in sweep]
+        assert writes[-1] < writes[0]
+
+    def test_cache_space_rises_monotonically(self, benchmark, sweep):
+        mark(benchmark)
+        space = [row[3] for row in sweep]
+        assert all(b >= a for a, b in zip(space, space[1:]))
+        assert space[0] == 0 and space[-1] > 0
+
+    def test_tradeoff_is_real(self, benchmark, sweep):
+        mark(benchmark)
+        # Every step that lowered backing reads raised cache space:
+        # there is no free lunch between adjacent sweep points.
+        for (c0, r0, _, s0, _), (c1, r1, _, s1, _) in zip(sweep, sweep[1:]):
+            if r1 < r0:
+                assert s1 > s0, (c0, c1)
+
+    def test_hit_rate_grows_with_capacity(self, benchmark, sweep):
+        mark(benchmark)
+        rates = [row[4] for row in sweep]
+        assert rates[-1] > rates[1] > rates[0]

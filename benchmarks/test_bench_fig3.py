@@ -1,0 +1,172 @@
+"""E7: Figure 3 — tunable behaviour in the RUM space.
+
+The paper's Figure 3 sketches the envisioned access method that can
+"seamlessly transition between the three extremes".  We sweep the
+knobs of :class:`TunableAccessMethod` over a grid, measure the RUM
+profile at every setting, and render the swept *area* in the triangle.
+Assertions verify the method genuinely moves:
+
+* the read knob trades MO for RO,
+* the write knob trades RO for UO,
+* the swept placements cover a nontrivial area (not a single point),
+* the dynamic tuner walks the structure toward the workload's corner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.analysis.triangle import render_triangle
+from repro.core.rum import measure_workload
+from repro.core.space import project_field
+from repro.core.tuner import DynamicTuner, TunableAccessMethod, TunerPolicy
+from repro.storage.device import SimulatedDevice
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import OpKind, WorkloadSpec
+
+from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+
+SPEC = WorkloadSpec(
+    point_queries=0.4,
+    inserts=0.3,
+    updates=0.2,
+    deletes=0.1,
+    operations=1500,
+    initial_records=4000,
+)
+
+GRID = [0.0, 0.5, 1.0]
+
+
+def _measure_grid() -> dict:
+    profiles = {}
+    for r in GRID:
+        for w in GRID:
+            method = TunableAccessMethod(
+                SimulatedDevice(block_bytes=BENCH_BLOCK),
+                read_optimization=r,
+                write_optimization=w,
+            )
+            generator = WorkloadGenerator(SPEC)
+            method.bulk_load(generator.initial_data())
+            profile = measure_workload(method, generator.operations())
+            profiles[f"r={r:.1f},w={w:.1f}"] = profile
+    return profiles
+
+
+@pytest.fixture(scope="module")
+def grid_profiles():
+    return _measure_grid()
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_report(benchmark, grid_profiles):
+    mark(benchmark)
+    points = project_field(grid_profiles)
+    art = render_triangle([points[name] for name in sorted(points)])
+    rows = [
+        [name, p.read_overhead, p.update_overhead, p.memory_overhead]
+        for name, p in sorted(grid_profiles.items())
+    ]
+    table = format_table(
+        ["knobs", "RO", "UO", "MO"],
+        rows,
+        title="Figure 3 (measured): the tunable method swept over its knob grid",
+    )
+    emit_report("fig3", table + "\n\n" + art)
+
+
+class TestKnobMovement:
+    def test_read_knob_trades_memory_for_reads(self, benchmark, grid_profiles):
+        mark(benchmark)
+        low = grid_profiles["r=0.0,w=0.5"]
+        high = grid_profiles["r=1.0,w=0.5"]
+        assert high.read_overhead < low.read_overhead
+        assert high.memory_overhead > low.memory_overhead
+
+    def test_write_knob_trades_reads_for_writes(self, benchmark, grid_profiles):
+        mark(benchmark)
+        low = grid_profiles["r=0.5,w=0.0"]
+        high = grid_profiles["r=0.5,w=1.0"]
+        assert high.update_overhead < low.update_overhead
+        assert high.read_overhead > low.read_overhead
+
+    def test_grid_covers_an_area(self, benchmark, grid_profiles):
+        mark(benchmark)
+        points = project_field(grid_profiles)
+        xs = [p.x for p in points.values()]
+        ys = [p.y for p in points.values()]
+        assert max(xs) - min(xs) > 0.08
+        assert max(ys) - min(ys) > 0.08
+
+    def test_extremes_order_correctly(self, benchmark, grid_profiles):
+        mark(benchmark)
+        read_corner = grid_profiles["r=1.0,w=0.0"]
+        write_corner = grid_profiles["r=0.0,w=1.0"]
+        space_corner = grid_profiles["r=0.0,w=0.0"]
+        assert read_corner.read_overhead < write_corner.read_overhead
+        assert write_corner.update_overhead < read_corner.update_overhead
+        assert space_corner.memory_overhead <= min(
+            read_corner.memory_overhead, write_corner.memory_overhead
+        ) + 1e-9
+
+
+class TestDynamicBalance:
+    """Section 5's "Dynamic RUM Balance": the knobs adapt online."""
+
+    def test_tuner_chases_a_workload_shift(self, benchmark):
+        mark(benchmark)
+        method = TunableAccessMethod(
+            SimulatedDevice(block_bytes=BENCH_BLOCK),
+            read_optimization=0.5,
+            write_optimization=0.5,
+        )
+        spec = WorkloadSpec(
+            point_queries=1.0, operations=0, initial_records=3000
+        )
+        generator = WorkloadGenerator(spec)
+        method.bulk_load(generator.initial_data())
+        tuner = DynamicTuner(method, TunerPolicy(window=100, step=0.15))
+
+        # Phase 1: read-only traffic — the read knob must rise.
+        for i in range(400):
+            method.get(2 * (i % 3000))
+            tuner.observe_read()
+        read_phase_r = method.read_optimization
+        assert read_phase_r > 0.5
+
+        # Phase 2: write-heavy traffic — the write knob must recover.
+        for i in range(400):
+            method.update(2 * (i % 3000), i)
+            tuner.observe_write()
+        assert method.write_optimization > 0.5
+        assert method.read_optimization < read_phase_r
+
+    def test_adaptation_improves_cost_on_stable_workload(self, benchmark):
+        mark(benchmark)
+
+        def run(adaptive: bool) -> float:
+            method = TunableAccessMethod(
+                SimulatedDevice(block_bytes=BENCH_BLOCK),
+                read_optimization=0.1,
+                write_optimization=0.9,
+            )
+            spec = WorkloadSpec(
+                point_queries=1.0, operations=0, initial_records=3000
+            )
+            generator = WorkloadGenerator(spec)
+            method.bulk_load(generator.initial_data())
+            tuner = DynamicTuner(method, TunerPolicy(window=100, step=0.2))
+            # Warm-up phase during which the tuner may adapt.
+            for i in range(600):
+                method.get(2 * ((7 * i) % 3000))
+                if adaptive:
+                    tuner.observe_read()
+            # Measurement phase: pure reads.
+            before = method.device.snapshot()
+            for i in range(300):
+                method.get(2 * ((11 * i) % 3000))
+            return method.device.stats_since(before).read_bytes
+
+        assert run(adaptive=True) < run(adaptive=False)

@@ -1,0 +1,99 @@
+"""E0: the paper's introductory example, measured.
+
+"When data is stored in a heap file without an index, we have to
+perform costly scans to locate any data we are interested in.
+Conversely, a tree index on top of the heap file, uses additional space
+in order to substitute the scan with a more lightweight index probe."
+
+We measure the bare heap against the same heap with a secondary B+-Tree
+index and with a secondary hash index: the indexes must cut point reads
+by an order of magnitude, *pay for it in space* (the auxiliary blocks),
+and charge index maintenance on every insert/delete — the RUM overheads
+of the composition, decomposed exactly as Section 2 defines them.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.registry import create_method
+from repro.storage.device import SimulatedDevice
+
+from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+
+N = 8192
+
+
+def _measure() -> dict:
+    configurations = [
+        ("bare heap", "unsorted-column", {}),
+        ("heap + tree index", "indexed-heap", dict(index_kind="tree")),
+        ("heap + hash index", "indexed-heap", dict(index_kind="hash")),
+    ]
+    results = {}
+    for label, name, kwargs in configurations:
+        method = create_method(
+            name, device=SimulatedDevice(block_bytes=BENCH_BLOCK), **kwargs
+        )
+        method.bulk_load([(2 * i, i) for i in range(N)])
+        rng = random.Random(41)
+        device = method.device
+        before = device.snapshot()
+        for _ in range(50):
+            method.get(2 * rng.randrange(N))
+        point_reads = device.stats_since(before).reads / 50
+        before = device.snapshot()
+        for offset in rng.sample(range(N), 50):
+            method.insert(2 * offset + 1, offset)
+        insert_io = device.stats_since(before)
+        insert_cost = (insert_io.reads + insert_io.writes) / 50
+        space = method.space_bytes() / method.base_bytes()
+        results[label] = (point_reads, insert_cost, space)
+    return results
+
+
+@pytest.fixture(scope="module")
+def intro():
+    return _measure()
+
+
+@pytest.mark.benchmark(group="intro")
+def test_intro_report(benchmark, intro):
+    mark(benchmark)
+    rows = [
+        [label, reads, inserts, space]
+        for label, (reads, inserts, space) in intro.items()
+    ]
+    report = format_table(
+        ["organization", "point reads/op", "insert I/Os/op", "MO"],
+        rows,
+        title="E0: the paper's introduction - a heap, with and without an index",
+    )
+    emit_report("intro", report)
+
+
+class TestIntroExample:
+    def test_indexes_replace_the_scan(self, benchmark, intro):
+        mark(benchmark)
+        heap_reads = intro["bare heap"][0]
+        for label in ("heap + tree index", "heap + hash index"):
+            assert intro[label][0] < heap_reads / 10, label
+
+    def test_indexes_cost_space(self, benchmark, intro):
+        mark(benchmark)
+        heap_space = intro["bare heap"][2]
+        for label in ("heap + tree index", "heap + hash index"):
+            assert intro[label][2] > heap_space, label
+
+    def test_indexes_cost_update_maintenance(self, benchmark, intro):
+        mark(benchmark)
+        heap_inserts = intro["bare heap"][1]
+        for label in ("heap + tree index", "heap + hash index"):
+            assert intro[label][1] > heap_inserts, label
+
+    def test_hash_point_probe_beats_tree(self, benchmark, intro):
+        mark(benchmark)
+        assert intro["heap + hash index"][0] <= intro["heap + tree index"][0]

@@ -1,0 +1,100 @@
+"""E18: fractured mirrors — buying reads with updates and space.
+
+Section 1's multi-layout example, measured: the mirrored store must
+(a) match the hash index on point reads AND the B+-Tree on range reads
+— better than either single layout across a mixed read workload —
+while (b) paying roughly double on updates and (c) roughly double on
+space.  The purest "optimize one, pay the other two" in the library.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.registry import create_method
+from repro.storage.device import SimulatedDevice
+
+from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+
+N = 6000
+
+
+def _measure() -> dict:
+    results = {}
+    for name in ("hash-index", "btree", "fractured-mirrors"):
+        method = create_method(name, device=SimulatedDevice(block_bytes=BENCH_BLOCK))
+        method.bulk_load([(2 * i, i) for i in range(N)])
+        rng = random.Random(43)
+        device = method.device
+
+        before = device.snapshot()
+        for _ in range(60):
+            method.get(2 * rng.randrange(N))
+        point_reads = device.stats_since(before).reads / 60
+
+        before = device.snapshot()
+        for _ in range(15):
+            start = rng.randrange(N - 128)
+            method.range_query(2 * start, 2 * (start + 127))
+        range_reads = device.stats_since(before).reads / 15
+
+        before = device.snapshot()
+        for offset in rng.sample(range(N), 60):
+            method.insert(2 * offset + 1, offset)
+        io = device.stats_since(before)
+        insert_cost = (io.reads + io.writes) / 60
+
+        space = method.space_bytes() / method.base_bytes()
+        results[name] = dict(
+            point=point_reads, range=range_reads, insert=insert_cost, space=space
+        )
+    return results
+
+
+@pytest.fixture(scope="module")
+def mirrors():
+    return _measure()
+
+
+@pytest.mark.benchmark(group="mirrors")
+def test_mirrors_report(benchmark, mirrors):
+    mark(benchmark)
+    rows = [
+        [name, m["point"], m["range"], m["insert"], m["space"]]
+        for name, m in mirrors.items()
+    ]
+    report = format_table(
+        ["layout", "point reads/op", "range reads/op", "insert I/Os/op", "MO"],
+        rows,
+        title="E18: fractured mirrors - reads of the best layout, costs of both",
+    )
+    emit_report("mirrors", report)
+
+
+class TestMultiLayoutTrade:
+    def test_reads_match_the_best_single_layout(self, benchmark, mirrors):
+        mark(benchmark)
+        assert mirrors["fractured-mirrors"]["point"] <= mirrors["hash-index"]["point"] * 1.05
+        assert mirrors["fractured-mirrors"]["range"] <= mirrors["btree"]["range"] * 1.05
+        # ... and beats each mirror on the *other* mirror's weakness.
+        assert mirrors["fractured-mirrors"]["point"] < mirrors["btree"]["point"]
+        assert mirrors["fractured-mirrors"]["range"] < mirrors["hash-index"]["range"] / 10
+
+    def test_updates_cost_roughly_both(self, benchmark, mirrors):
+        mark(benchmark)
+        combined = mirrors["hash-index"]["insert"] + mirrors["btree"]["insert"]
+        mirrored = mirrors["fractured-mirrors"]["insert"]
+        assert mirrored > max(
+            mirrors["hash-index"]["insert"], mirrors["btree"]["insert"]
+        )
+        assert 0.7 * combined <= mirrored <= 1.3 * combined
+
+    def test_space_costs_roughly_both(self, benchmark, mirrors):
+        mark(benchmark)
+        combined = mirrors["hash-index"]["space"] + mirrors["btree"]["space"]
+        mirrored = mirrors["fractured-mirrors"]["space"]
+        assert 0.8 * combined <= mirrored <= 1.2 * combined
+        assert mirrored >= 2.0  # at least two full copies of the base data

@@ -1,0 +1,87 @@
+"""E17: update skew and write coalescing.
+
+Differential structures buffer updates before writing; when the update
+stream is skewed, repeated updates to hot keys *coalesce* in the buffer
+and never reach the device individually.  In-place structures gain
+nothing: every update writes its block regardless.  This bench measures
+write amplification for zipfian vs uniform update streams — the
+coalescing dividend is a RUM effect the workload distribution controls,
+orthogonal to any tuning knob.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.registry import create_method
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import RECORD_BYTES
+from repro.workloads.distributions import UniformKeys, ZipfianKeys
+
+from benchmarks.harness import BENCH_BLOCK, BENCH_KWARGS, emit_report, mark
+
+N = 4000
+UPDATES = 3000
+
+
+def _write_amplification(name: str, zipfian: bool) -> float:
+    method = create_method(
+        name, device=SimulatedDevice(block_bytes=BENCH_BLOCK), **BENCH_KWARGS.get(name, {})
+    )
+    method.bulk_load([(2 * i, i) for i in range(N)])
+    method.flush()
+    rng = random.Random(73)
+    distribution = ZipfianKeys(rng, theta=0.99) if zipfian else UniformKeys(rng)
+    before = method.device.snapshot()
+    for i in range(UPDATES):
+        key = 2 * distribution.pick_index(N)
+        method.update(key, i)
+    method.flush()
+    io = method.device.stats_since(before)
+    return io.write_bytes / (UPDATES * RECORD_BYTES)
+
+
+def _measure() -> dict:
+    results = {}
+    for name in ("lsm", "masm", "btree", "hash-index"):
+        for zipfian in (False, True):
+            results[(name, zipfian)] = _write_amplification(name, zipfian)
+    return results
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return _measure()
+
+
+@pytest.mark.benchmark(group="skew-updates")
+def test_update_skew_report(benchmark, sweep):
+    mark(benchmark)
+    rows = []
+    for name in ("lsm", "masm", "btree", "hash-index"):
+        uniform = sweep[(name, False)]
+        zipf = sweep[(name, True)]
+        rows.append([name, uniform, zipf, uniform / max(zipf, 1e-9)])
+    report = format_table(
+        ["method", "UO uniform", "UO zipfian", "coalescing gain"],
+        rows,
+        title="E17: zipfian updates coalesce in differential buffers",
+    )
+    emit_report("skew_updates", report)
+
+
+class TestCoalescing:
+    @pytest.mark.parametrize("name", ["lsm", "masm"])
+    def test_differential_structures_coalesce_hot_updates(self, benchmark, sweep, name):
+        mark(benchmark)
+        assert sweep[(name, True)] < sweep[(name, False)] * 0.75, name
+
+    @pytest.mark.parametrize("name", ["btree", "hash-index"])
+    def test_in_place_structures_gain_little(self, benchmark, sweep, name):
+        mark(benchmark)
+        uniform = sweep[(name, False)]
+        zipf = sweep[(name, True)]
+        assert 0.6 <= zipf / uniform <= 1.4, (name, uniform, zipf)

@@ -1,0 +1,95 @@
+"""Bitmap analytics: compression and update-friendliness on a fact table.
+
+Run with::
+
+    python examples/bitmap_analytics.py
+
+A miniature warehouse scenario: a fact table of orders with a
+low-cardinality ``status`` attribute (8 values), indexed by bitmaps.
+We compare plain vs WAH-compressed bitmaps (the paper's Section-1
+computation-for-space example) and plain vs update-friendly maintenance
+(the Section-5 "updates absorbed in additional, highly compressible
+bitvectors" design) on the same query/update mix.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.methods.bitmap import BitmapIndex
+from repro.storage.device import SimulatedDevice
+
+ORDERS = 4000
+STATUSES = 8  # placed, paid, packed, shipped, ... : low cardinality
+
+
+def build(compressed: bool, update_friendly: bool) -> BitmapIndex:
+    index = BitmapIndex(
+        SimulatedDevice(),
+        compressed=compressed,
+        update_friendly=update_friendly,
+        delta_merge_bits=128,
+    )
+    # Orders arrive roughly in status order (old orders shipped, recent
+    # ones placed): clustered bitmaps, the WAH-friendly layout.
+    rows = [(order_id, (order_id * STATUSES) // ORDERS) for order_id in range(ORDERS)]
+    index.bulk_load(rows)
+    return index
+
+
+def exercise(index: BitmapIndex) -> dict:
+    rng = random.Random(3)
+    device = index.device
+
+    before = device.snapshot()
+    for status in range(STATUSES):
+        index.lookup_value(status)
+    lookup_reads = device.stats_since(before).reads
+
+    before = device.snapshot()
+    for _ in range(200):
+        order_id = rng.randrange(ORDERS)
+        if index.get(order_id) is not None:
+            index.update(order_id, rng.randrange(STATUSES))
+    update_writes = device.stats_since(before).writes
+
+    return {
+        "bitmap_bytes": index.bitmap_bytes(),
+        "lookup_reads": lookup_reads,
+        "update_writes": update_writes,
+    }
+
+
+def main() -> None:
+    configurations = [
+        ("plain bitmaps", False, False),
+        ("WAH compressed", True, False),
+        ("WAH + update-friendly deltas", True, True),
+    ]
+    rows = []
+    for label, compressed, update_friendly in configurations:
+        index = build(compressed, update_friendly)
+        result = exercise(index)
+        rows.append(
+            [
+                label,
+                result["bitmap_bytes"],
+                result["lookup_reads"],
+                result["update_writes"],
+            ]
+        )
+    print(format_table(
+        ["configuration", "bitmap bytes", "status-scan reads", "update writes"],
+        rows,
+        title=f"Bitmap index over {ORDERS} orders x {STATUSES} statuses",
+    ))
+    print()
+    print("WAH shrinks clustered bitmaps by orders of magnitude (space for")
+    print("computation); delta bitvectors absorb updates that would")
+    print("otherwise rewrite compressed bitmaps (the paper's Section-5")
+    print("update-friendly design).")
+
+
+if __name__ == "__main__":
+    main()

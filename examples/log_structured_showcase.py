@@ -1,0 +1,121 @@
+"""Section-5 designs live: the indexed log and the morphing method.
+
+Run with::
+
+    python examples/log_structured_showcase.py
+
+Two of the paper's envisioned RUM-aware designs side by side:
+
+1. **Indexed log** — "iterative logs enhanced by probabilistic data
+   structures": compare the plain Prop-2 append log, the indexed log
+   without filters, and the indexed log with Bloom filters on the same
+   update-then-read workload.  Watch reads collapse while the update
+   cost stays at the append floor.
+2. **Morphing method** — "combining multiple shapes at once": feed a
+   three-phase workload (ingest, analyze, ingest) and watch the
+   structure change shape, printing its morph history.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.tables import format_table
+from repro.methods.extremes import AppendOnlyLog
+from repro.methods.indexed_log import IndexedLog
+from repro.methods.morphing import MorphingMethod
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import RECORD_BYTES
+
+N = 2000
+
+
+def indexed_log_comparison() -> None:
+    print("=" * 72)
+    print("1. Iterative logs + probabilistic structures (Section 5)")
+    print("=" * 72)
+    # 256-byte blocks: segments of 256 records span 16 blocks, so a
+    # filter probe (1 block) genuinely replaces a binary search.
+    variants = [
+        ("no filters, no compaction",
+         dict(bloom_bits_per_key=0, compact_segments=None)),
+        ("+ Bloom filters",
+         dict(bloom_bits_per_key=10, compact_segments=None)),
+        ("+ filters + iterative compaction",
+         dict(bloom_bits_per_key=10, compact_segments=6)),
+    ]
+    rows = []
+    for label, options in variants:
+        rng = random.Random(21)
+        log = IndexedLog(
+            SimulatedDevice(block_bytes=256), segment_records=256, **options
+        )
+        log.bulk_load([(2 * i, i) for i in range(N)])
+        # Update churn (random keys: segments overlap), then reads.
+        before = log.device.snapshot()
+        for i in range(2000):
+            log.update(2 * rng.randrange(N), i)
+        log.flush()
+        update_io = log.device.stats_since(before)
+        before = log.device.snapshot()
+        for _ in range(200):
+            log.get(2 * rng.randrange(N))
+        read_io = log.device.stats_since(before)
+        rows.append(
+            [
+                label,
+                update_io.write_bytes / (2000 * RECORD_BYTES),
+                read_io.reads / 200,
+                log.space_bytes() / log.base_bytes(),
+                log.segments,
+            ]
+        )
+    print(format_table(
+        ["variant", "UO (write amp)", "reads per get", "MO (space amp)",
+         "segments"],
+        rows,
+    ))
+    print()
+    print("Filters skip segments for one block read apiece; compaction")
+    print("bounds the segment count - reads improve at each step while")
+    print("updates stay within a small factor of the append floor.\n")
+
+
+def morphing_showcase() -> None:
+    print("=" * 72)
+    print("2. A morphing access method (Section 5)")
+    print("=" * 72)
+    method = MorphingMethod(SimulatedDevice(), initial_shape="log", window=150)
+    method.bulk_load([(2 * i, i) for i in range(N)])
+    rng = random.Random(31)
+    next_key = 2 * N + 1
+
+    phases = [("ingest", 0.9), ("analyze", 0.05), ("ingest again", 0.9)]
+    rows = []
+    for label, write_fraction in phases:
+        before = method.device.snapshot()
+        for _ in range(450):
+            if rng.random() < write_fraction:
+                method.insert(next_key, next_key)
+                next_key += 2
+            else:
+                method.get(2 * rng.randrange(N))
+        io = method.device.stats_since(before)
+        rows.append([label, method.shape, io.reads, io.writes])
+    print(format_table(
+        ["phase", "shape afterwards", "block reads", "block writes"], rows
+    ))
+    print()
+    print(f"Morph history: {' -> '.join(method.morph_history)}")
+    print("The structure adds organization when reads demand it and sheds")
+    print("it again when ingest resumes - 'adding structure to data")
+    print("gradually', as the paper envisions.")
+
+
+def main() -> None:
+    indexed_log_comparison()
+    morphing_showcase()
+
+
+if __name__ == "__main__":
+    main()

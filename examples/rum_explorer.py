@@ -1,0 +1,56 @@
+"""RUM explorer: place every access method in the paper's triangle.
+
+Run with::
+
+    python examples/rum_explorer.py [workload]
+
+where ``workload`` is one of the named mixes (balanced, read-only,
+read-mostly, write-heavy, insert-only, scan-heavy; default balanced).
+Every registered structure is measured under the chosen mix and drawn
+in the RUM triangle — a live regeneration of the paper's Figure 1 for
+*your* workload, showing how the placement shifts with the mix.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import MIXES, available_methods, create_method, run_workload
+from repro.analysis.tables import format_table
+from repro.analysis.triangle import render_triangle
+from repro.core.space import project_field
+
+#: Excluded from the generic sweep: MagicArray has a set API; the bitmap
+#: index answers value-predicate queries (see bitmap_analytics.py).
+EXCLUDED = {"bitmap"}
+
+
+def main() -> None:
+    mix_name = sys.argv[1] if len(sys.argv) > 1 else "balanced"
+    if mix_name not in MIXES:
+        raise SystemExit(f"unknown workload {mix_name!r}; pick one of {sorted(MIXES)}")
+    spec = MIXES[mix_name].scaled(initial_records=4000, operations=1500)
+
+    print(f"Measuring every access method under the {mix_name!r} mix ...")
+    profiles = {}
+    for name in available_methods():
+        if name in EXCLUDED:
+            continue
+        result = run_workload(create_method(name), spec)
+        profiles[name] = result.profile
+        print(f"  {name:20s} done")
+    print()
+
+    rows = [
+        [name, p.read_overhead, p.update_overhead, p.memory_overhead]
+        for name, p in sorted(profiles.items())
+    ]
+    print(format_table(["method", "RO", "UO", "MO"], rows,
+                       title=f"RUM profiles under {mix_name!r}"))
+    print()
+    points = project_field(profiles)
+    print(render_triangle([points[name] for name in sorted(points)]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""The access-method wizard: pick a structure for a workload + hardware.
+
+Run with::
+
+    python examples/wizard_demo.py
+
+Section 5 of the paper envisions "a powerful access method wizard" that
+chooses structures from application requirements and hardware
+characteristics.  This demo asks the wizard for recommendations on
+three scenarios and shows how both the workload mix *and* the hardware
+priorities (flash endurance, scarce memory) change the answer.
+"""
+
+from __future__ import annotations
+
+from repro import WorkloadSpec
+from repro.analysis.tables import format_table
+from repro.core.wizard import HardwarePriorities, recommend
+
+SCENARIOS = [
+    (
+        "Analytics dashboard (read-mostly, range-heavy) on disk",
+        WorkloadSpec(
+            point_queries=0.4,
+            range_queries=0.4,
+            inserts=0.1,
+            updates=0.1,
+            operations=800,
+            initial_records=4000,
+        ),
+        HardwarePriorities.disk(),
+    ),
+    (
+        "Ingest pipeline (write-heavy) on flash",
+        WorkloadSpec(
+            point_queries=0.1,
+            inserts=0.6,
+            updates=0.25,
+            deletes=0.05,
+            operations=800,
+            initial_records=4000,
+        ),
+        HardwarePriorities.flash(),
+    ),
+    (
+        "Edge device (balanced) with scarce memory",
+        WorkloadSpec(
+            point_queries=0.4,
+            range_queries=0.1,
+            inserts=0.25,
+            updates=0.15,
+            deletes=0.1,
+            operations=800,
+            initial_records=4000,
+        ),
+        HardwarePriorities.memory_constrained(),
+    ),
+]
+
+
+def main() -> None:
+    for title, spec, priorities in SCENARIOS:
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        recommendations = recommend(spec, priorities)
+        rows = [
+            [
+                index + 1,
+                rec.method,
+                rec.score,
+                rec.profile.read_overhead,
+                rec.profile.update_overhead,
+                rec.profile.memory_overhead,
+            ]
+            for index, rec in enumerate(recommendations[:5])
+        ]
+        print(format_table(["rank", "method", "score", "RO", "UO", "MO"], rows))
+        best = recommendations[0]
+        print(f"\n  -> wizard picks {best.method!r}: {best.rationale}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""rum-access-methods: a reproduction of "Designing Access Methods: The
+RUM Conjecture" (Athanassoulis et al., EDBT 2016).
+
+The library implements the paper's access-method inventory from scratch
+over an instrumented simulated block device, so the three RUM overheads
+— read amplification (RO), write amplification (UO) and space
+amplification (MO) — can be *measured* for every structure, every
+workload and every tuning knob.
+
+Quick start::
+
+    from repro import create_method, run_workload, WorkloadSpec
+
+    spec = WorkloadSpec(point_queries=0.5, inserts=0.3, updates=0.2,
+                        operations=2000, initial_records=10_000)
+    result = run_workload(create_method("btree"), spec)
+    print(result.profile)   # RUM(btree: RO=..., UO=..., MO=...)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core.interfaces import AccessMethod, Capabilities, MethodStats
+from repro.core.registry import available_methods, create_method
+from repro.core.rum import RUMAccumulator, RUMProfile, measure_workload
+from repro.core.space import RUMPoint, nearest_corner, project
+from repro.storage.device import CostModel, SimulatedDevice
+from repro.workloads.generator import WorkloadGenerator, generate_operations
+from repro.workloads.runner import WorkloadResult, run_workload
+from repro.workloads.trace import load_trace, save_trace
+from repro.workloads.spec import MIXES, Operation, OpKind, WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMethod",
+    "Capabilities",
+    "CostModel",
+    "MIXES",
+    "MethodStats",
+    "OpKind",
+    "Operation",
+    "RUMAccumulator",
+    "RUMPoint",
+    "RUMProfile",
+    "SimulatedDevice",
+    "WorkloadGenerator",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "available_methods",
+    "create_method",
+    "generate_operations",
+    "load_trace",
+    "measure_workload",
+    "nearest_corner",
+    "project",
+    "run_workload",
+    "save_trace",
+]

@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every registered access method.
+``profile``
+    Measure one method's RUM profile under a named workload mix.
+``triangle``
+    Measure every method and render the RUM triangle (live Figure 1).
+``wizard``
+    Rank access methods for a workload and hardware target.
+``reproduce``
+    Run the compact paper reproduction and print the report.
+``record`` / ``replay``
+    Save a workload trace to a file / replay it against any method.
+
+Examples::
+
+    python -m repro list
+    python -m repro profile btree --workload balanced --records 8000
+    python -m repro triangle --workload write-heavy
+    python -m repro wizard --workload read-mostly --hardware flash --analytic
+    python -m repro reproduce --output report.txt
+    python -m repro record --workload write-heavy --output w.trace
+    python -m repro replay w.trace --method lsm
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.analysis.triangle import render_triangle
+from repro.core.registry import available_methods, create_method
+from repro.core.space import project_field
+from repro.core.wizard import HardwarePriorities, recommend, recommend_analytic
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import MIXES
+
+_HARDWARE = {
+    "neutral": HardwarePriorities,
+    "flash": HardwarePriorities.flash,
+    "disk": HardwarePriorities.disk,
+    "memory": HardwarePriorities.memory_constrained,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RUM Conjecture access-method toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered access methods")
+
+    profile = sub.add_parser("profile", help="measure one method's RUM profile")
+    profile.add_argument("method", help="registered method name")
+    _workload_arguments(profile)
+
+    triangle = sub.add_parser("triangle", help="render the RUM triangle")
+    _workload_arguments(triangle)
+
+    wizard = sub.add_parser("wizard", help="rank methods for a workload")
+    _workload_arguments(wizard)
+    wizard.add_argument(
+        "--hardware",
+        choices=sorted(_HARDWARE),
+        default="neutral",
+        help="hardware priority preset",
+    )
+    wizard.add_argument(
+        "--analytic",
+        action="store_true",
+        help="use the classification study instead of measuring",
+    )
+    wizard.add_argument("--top", type=int, default=5, help="entries to show")
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the compact paper reproduction and print the report",
+    )
+    reproduce.add_argument(
+        "--output", default=None, help="also write the report to this file"
+    )
+
+    record = sub.add_parser("record", help="save a workload trace to a file")
+    _workload_arguments(record)
+    record.add_argument("--output", required=True, help="trace file to write")
+
+    replay = sub.add_parser(
+        "replay", help="replay a recorded trace against an access method"
+    )
+    replay.add_argument("trace", help="trace file written by `record`")
+    replay.add_argument("--method", default="btree", help="method to replay against")
+    return parser
+
+
+def _workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        choices=sorted(MIXES),
+        default="balanced",
+        help="named operation mix",
+    )
+    parser.add_argument(
+        "--records", type=int, default=4000, help="initial dataset size"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=1200, help="operations to run"
+    )
+
+
+def _spec(args):
+    return MIXES[args.workload].scaled(
+        initial_records=args.records, operations=args.ops
+    )
+
+
+def _command_list() -> int:
+    for name in available_methods():
+        print(name)
+    return 0
+
+
+def _command_profile(args) -> int:
+    result = run_workload(create_method(args.method), _spec(args))
+    profile = result.profile
+    print(format_table(
+        ["method", "workload", "RO", "UO", "MO", "simulated time"],
+        [[
+            args.method,
+            args.workload,
+            profile.read_overhead,
+            profile.update_overhead,
+            profile.memory_overhead,
+            profile.simulated_time,
+        ]],
+    ))
+    return 0
+
+
+def _command_triangle(args) -> int:
+    profiles = {}
+    for name in available_methods():
+        if name == "bitmap":
+            continue  # value-predicate query model
+        profiles[name] = run_workload(create_method(name), _spec(args)).profile
+    rows = [
+        [name, p.read_overhead, p.update_overhead, p.memory_overhead]
+        for name, p in sorted(profiles.items())
+    ]
+    print(format_table(["method", "RO", "UO", "MO"], rows,
+                       title=f"RUM profiles under {args.workload!r}"))
+    print()
+    points = project_field(profiles)
+    print(render_triangle([points[name] for name in sorted(points)]))
+    return 0
+
+
+def _command_wizard(args) -> int:
+    priorities = _HARDWARE[args.hardware]()
+    spec = _spec(args)
+    if args.analytic:
+        recommendations = recommend_analytic(spec, priorities)
+    else:
+        recommendations = recommend(spec, priorities)
+    rows = [
+        [index + 1, rec.method, rec.score, rec.rationale]
+        for index, rec in enumerate(recommendations[: args.top])
+    ]
+    print(format_table(
+        ["rank", "method", "score", "rationale"],
+        rows,
+        title=(
+            f"{'analytic' if args.analytic else 'measured'} recommendations "
+            f"for {args.workload!r} on {args.hardware}"
+        ),
+    ))
+    return 0
+
+
+def _command_record(args) -> int:
+    from repro.workloads.generator import generate_operations
+    from repro.workloads.trace import save_trace
+
+    data, operations = generate_operations(_spec(args))
+    save_trace(args.output, data, operations)
+    print(
+        f"recorded {len(data)} records and {len(operations)} operations "
+        f"({args.workload!r}) to {args.output}"
+    )
+    return 0
+
+
+def _command_replay(args) -> int:
+    from repro.core.rum import measure_workload
+    from repro.workloads.trace import load_trace
+
+    data, operations = load_trace(args.trace)
+    method = create_method(args.method)
+    method.bulk_load(data)
+    profile = measure_workload(method, operations)
+    print(format_table(
+        ["method", "trace", "operations", "RO", "UO", "MO"],
+        [[
+            args.method,
+            args.trace,
+            len(operations),
+            profile.read_overhead,
+            profile.update_overhead,
+            profile.memory_overhead,
+        ]],
+    ))
+    return 0
+
+
+def _command_reproduce(args) -> int:
+    from repro.analysis.reproduce import reproduce
+
+    report = reproduce()
+    # Persist before printing, so a closed stdout pipe cannot lose it.
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+    print(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "profile":
+            return _command_profile(args)
+        if args.command == "triangle":
+            return _command_triangle(args)
+        if args.command == "wizard":
+            return _command_wizard(args)
+        if args.command == "reproduce":
+            return _command_reproduce(args)
+        if args.command == "record":
+            return _command_record(args)
+        if args.command == "replay":
+            return _command_replay(args)
+    except BrokenPipeError:  # output piped into head & friends
+        import os
+
+        # Detach stdout so the interpreter's exit flush cannot raise again.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""The access-method interface.
+
+The paper defines an access method as "algorithms and data structures for
+organizing and accessing data" and analyzes them over a workload of point
+queries, range queries, inserts, updates and deletes on fixed-size records
+(Section 2).  :class:`AccessMethod` is that contract: every structure in
+:mod:`repro.methods` implements it on top of an instrumented
+:class:`~repro.storage.device.SimulatedDevice`, so the three RUM
+overheads can be measured uniformly for all of them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import DEFAULT_BLOCK_BYTES, RECORD_BYTES
+
+Record = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a structure supports; the wizard and test harness consult this.
+
+    ``ordered``           — supports efficient range queries.
+    ``updatable``         — supports inserts/updates/deletes after load.
+    ``duplicates``        — tolerates duplicate keys (we require unique).
+    ``adaptive``          — reorganizes itself in response to queries.
+    ``checks_duplicates`` — ``insert`` detects an existing key and raises
+        :class:`ValueError`.  Structures whose layout makes the check
+        free (trees, logs with membership state) do it; heap-like
+        structures do not — detecting would cost a full scan per insert,
+        which is precisely why real heap files leave uniqueness to an
+        index.  Inserting a duplicate into a non-checking structure is
+        undefined behaviour, as in those real systems.
+    """
+
+    ordered: bool = True
+    updatable: bool = True
+    duplicates: bool = False
+    adaptive: bool = False
+    checks_duplicates: bool = True
+
+
+@dataclass
+class MethodStats:
+    """Summary snapshot of a method's size and space usage."""
+
+    name: str
+    records: int
+    base_bytes: int
+    space_bytes: int
+    allocated_blocks: int
+
+    @property
+    def space_amplification(self) -> float:
+        """MO: total space over base-data space (paper Section 2)."""
+        if self.base_bytes == 0:
+            return float("inf") if self.space_bytes else 1.0
+        return self.space_bytes / self.base_bytes
+
+
+class AccessMethod(ABC):
+    """Abstract base class of every access method in the library.
+
+    Subclasses must implement the five workload operations plus
+    :meth:`space_bytes`.  Keys are unique integers; values are integers.
+    All persistent state must live in blocks of ``self.device`` so that
+    I/O and space accounting are accurate.
+
+    Parameters
+    ----------
+    device:
+        The block device this structure lives on.  If omitted, a private
+        flash-like device with the default block size is created; using a
+        private device per method keeps RUM measurements independent.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Static capability flags; subclasses override as needed.
+    capabilities: Capabilities = Capabilities()
+
+    def __init__(self, device: Optional[SimulatedDevice] = None) -> None:
+        self.device = device if device is not None else SimulatedDevice(
+            block_bytes=DEFAULT_BLOCK_BYTES
+        )
+        self._record_count = 0
+
+    # ------------------------------------------------------------------
+    # Workload operations
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        """Load a fresh structure from ``items``.
+
+        ``items`` may arrive in any order; implementations that need
+        sorted input must sort internally (and are charged for it via
+        their device writes).  Must only be called on an empty structure.
+        """
+
+    @abstractmethod
+    def get(self, key: int) -> Optional[int]:
+        """Return the value stored under ``key``, or ``None`` if absent."""
+
+    @abstractmethod
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        """Return all records with ``lo <= key <= hi``, sorted by key."""
+
+    @abstractmethod
+    def insert(self, key: int, value: int) -> None:
+        """Insert a new record.  ``key`` must not already be present."""
+
+    @abstractmethod
+    def update(self, key: int, value: int) -> None:
+        """Change the value of an existing record.
+
+        Raises :class:`KeyError` if ``key`` is absent.
+        """
+
+    @abstractmethod
+    def delete(self, key: int) -> None:
+        """Remove a record.  Raises :class:`KeyError` if ``key`` is absent."""
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    def space_bytes(self) -> int:
+        """Total space the structure occupies (base + auxiliary data).
+
+        Defaults to everything allocated on the method's device, which is
+        correct when the method owns its device exclusively.
+        """
+        return self.device.allocated_bytes
+
+    def base_bytes(self) -> int:
+        """Logical size of the base data: records x record size."""
+        return self._record_count * RECORD_BYTES
+
+    def __len__(self) -> int:
+        """Number of live records."""
+        return self._record_count
+
+    def stats(self) -> MethodStats:
+        """Snapshot of size and space usage."""
+        return MethodStats(
+            name=self.name,
+            records=self._record_count,
+            base_bytes=self.base_bytes(),
+            space_bytes=self.space_bytes(),
+            allocated_blocks=self.device.allocated_blocks,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance hooks (optional)
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Force any buffered state down to the device (no-op by default)."""
+
+    def maintenance(self) -> None:
+        """Run background reorganization (compaction, merging; no-op)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r}: {self._record_count} records, "
+            f"{self.device.allocated_blocks} blocks>"
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _require_empty(self) -> None:
+        if self._record_count:
+            raise RuntimeError(f"{self.name}: bulk_load on a non-empty structure")
+
+    @staticmethod
+    def _sorted_unique(items: Iterable[Record]) -> List[Record]:
+        """Sort records by key and reject duplicates.
+
+        Most structures bulk-load from sorted input; duplicate keys are a
+        caller error under the unique-key contract.
+        """
+        records = sorted(items, key=lambda record: record[0])
+        for i in range(1, len(records)):
+            if records[i][0] == records[i - 1][0]:
+                raise ValueError(f"duplicate key in bulk load: {records[i][0]}")
+        return records

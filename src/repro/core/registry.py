@@ -1,0 +1,46 @@
+"""Registry of access-method implementations.
+
+Every structure registers itself under a short name, so the workload
+runner, the wizard and the benchmark harness can enumerate and construct
+methods uniformly.  Constructors receive keyword arguments (tuning knobs
+plus an optional ``device``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.interfaces import AccessMethod
+
+MethodFactory = Callable[..., "AccessMethod"]
+
+_REGISTRY: Dict[str, MethodFactory] = {}
+
+
+def register_method(name: str, factory: MethodFactory) -> None:
+    """Register ``factory`` under ``name``.  Re-registration is an error."""
+    if name in _REGISTRY:
+        raise ValueError(f"access method {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def create_method(name: str, **kwargs) -> "AccessMethod":
+    """Instantiate the access method registered under ``name``."""
+    _ensure_methods_loaded()
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown access method {name!r}; known: {known}")
+    return factory(**kwargs)
+
+
+def available_methods() -> List[str]:
+    """Names of every registered access method, sorted."""
+    _ensure_methods_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_methods_loaded() -> None:
+    """Import the methods package so its modules self-register."""
+    import repro.methods  # noqa: F401  (import side effect: registration)

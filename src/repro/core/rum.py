@@ -1,0 +1,198 @@
+"""RUM overhead accounting — the paper's Section 2, executable.
+
+The paper defines the three overheads as amplification ratios:
+
+* **Read Overhead (RO)** — read amplification: total data read (auxiliary
+  plus base) divided by the data the operation set out to retrieve.
+* **Update Overhead (UO)** — write amplification: size of the physical
+  updates performed for one logical update, divided by the size of the
+  logical update.
+* **Memory Overhead (MO)** — space amplification: space used for
+  auxiliary plus base data, divided by the space of the base data alone.
+
+The theoretical minimum of each ratio is 1.0.  This module measures the
+ratios by snapshotting device counters around operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.storage.device import IOStats
+from repro.storage.layout import RECORD_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.interfaces import AccessMethod
+    from repro.workloads.spec import Operation
+
+
+@dataclass(frozen=True)
+class RUMProfile:
+    """A measured (RO, UO, MO) point for one access method + workload."""
+
+    read_overhead: float
+    update_overhead: float
+    memory_overhead: float
+    simulated_time: float = 0.0
+    name: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"RUM({self.name or 'method'}: RO={self.read_overhead:.2f}, "
+            f"UO={self.update_overhead:.2f}, MO={self.memory_overhead:.2f})"
+        )
+
+    def dominates(self, other: "RUMProfile") -> bool:
+        """True if this profile is at least as good on all three overheads
+        and strictly better on at least one (Pareto dominance)."""
+        at_least = (
+            self.read_overhead <= other.read_overhead
+            and self.update_overhead <= other.update_overhead
+            and self.memory_overhead <= other.memory_overhead
+        )
+        strictly = (
+            self.read_overhead < other.read_overhead
+            or self.update_overhead < other.update_overhead
+            or self.memory_overhead < other.memory_overhead
+        )
+        return at_least and strictly
+
+
+@dataclass
+class RUMAccumulator:
+    """Accumulates per-operation byte counts into a final profile.
+
+    Read operations contribute ``bytes_read / logical_bytes_retrieved``;
+    update operations contribute ``bytes_written / logical_bytes_updated``.
+    A miss (point query with no result) still "intended to read" one
+    record, so its denominator is one record — otherwise misses would
+    make RO undefined.
+    """
+
+    read_bytes: int = 0
+    retrieved_bytes: int = 0
+    write_bytes: int = 0
+    updated_bytes: int = 0
+    read_ops: int = 0
+    update_ops: int = 0
+    simulated_time: float = 0.0
+    peak_memory_overhead: float = 1.0
+
+    def sample_space(self, method: "AccessMethod") -> None:
+        """Record the current space amplification if it is a new peak.
+
+        Differential structures hold pending updates in buffers and
+        deltas; measuring MO only after a final flush would hide that
+        space.  The paper's MO is the space the structure *occupies*,
+        so the profile reports the peak observed during the workload.
+        """
+        stats = method.stats()
+        if stats.base_bytes > 0:
+            self.peak_memory_overhead = max(
+                self.peak_memory_overhead, stats.space_amplification
+            )
+
+    def record_read(self, io: IOStats, records_retrieved: int) -> None:
+        """Account one read operation (point or range query)."""
+        self.read_ops += 1
+        self.read_bytes += io.read_bytes
+        self.retrieved_bytes += max(records_retrieved, 1) * RECORD_BYTES
+        self.simulated_time += io.simulated_time
+
+    def record_update(self, io: IOStats, records_updated: int = 1) -> None:
+        """Account one write operation (insert, update or delete)."""
+        self.update_ops += 1
+        self.write_bytes += io.write_bytes
+        self.updated_bytes += max(records_updated, 1) * RECORD_BYTES
+        self.simulated_time += io.simulated_time
+
+    @property
+    def read_overhead(self) -> float:
+        """Aggregate read amplification over all read operations."""
+        if self.retrieved_bytes == 0:
+            return 1.0
+        return self.read_bytes / self.retrieved_bytes
+
+    @property
+    def update_overhead(self) -> float:
+        """Aggregate write amplification over all update operations."""
+        if self.updated_bytes == 0:
+            return 1.0
+        return self.write_bytes / self.updated_bytes
+
+    def finish(self, method: "AccessMethod") -> RUMProfile:
+        """Combine accumulated read/write ratios with the method's MO.
+
+        MO is the larger of the final space amplification and the peak
+        sampled during the workload (see :meth:`sample_space`).
+        """
+        stats = method.stats()
+        return RUMProfile(
+            read_overhead=self.read_overhead,
+            update_overhead=self.update_overhead,
+            memory_overhead=max(
+                stats.space_amplification, self.peak_memory_overhead
+            ),
+            simulated_time=self.simulated_time,
+            name=method.name,
+        )
+
+
+def measure_workload(method: "AccessMethod", operations: Iterable["Operation"]) -> RUMProfile:
+    """Run ``operations`` against ``method`` and measure its RUM profile.
+
+    Each operation is bracketed by device-counter snapshots; reads feed the
+    RO ratio, writes feed the UO ratio, and MO is taken from the final
+    space footprint.  Unknown keys on update/delete are skipped (the
+    generators only emit valid operations, but adaptive workloads can
+    race with deletions).
+    """
+    from repro.workloads.spec import OpKind  # local import to avoid a cycle
+
+    accumulator = RUMAccumulator()
+    device = method.device
+    operation_index = 0
+    for operation in operations:
+        operation_index += 1
+        if operation_index % 16 == 0:
+            accumulator.sample_space(method)
+        before = device.snapshot()
+        if operation.kind is OpKind.POINT_QUERY:
+            result = method.get(operation.key)
+            io = device.stats_since(before)
+            accumulator.record_read(io, 1 if result is not None else 0)
+        elif operation.kind is OpKind.RANGE_QUERY:
+            rows = method.range_query(operation.key, operation.high_key)
+            io = device.stats_since(before)
+            accumulator.record_read(io, len(rows))
+        elif operation.kind is OpKind.INSERT:
+            method.insert(operation.key, operation.value)
+            io = device.stats_since(before)
+            accumulator.record_update(io)
+        elif operation.kind is OpKind.UPDATE:
+            try:
+                method.update(operation.key, operation.value)
+            except KeyError:
+                continue
+            io = device.stats_since(before)
+            accumulator.record_update(io)
+        elif operation.kind is OpKind.DELETE:
+            try:
+                method.delete(operation.key)
+            except KeyError:
+                continue
+            io = device.stats_since(before)
+            accumulator.record_update(io)
+        else:  # pragma: no cover - the enum is closed
+            raise ValueError(f"unknown operation kind {operation.kind}")
+    # Differential structures buffer writes; flush so the deferred I/O is
+    # charged (amortized) to the updates that caused it.  Without this,
+    # a workload shorter than the buffer would report UO = 0.
+    if accumulator.update_ops:
+        before = device.snapshot()
+        method.flush()
+        flush_io = device.stats_since(before)
+        accumulator.write_bytes += flush_io.write_bytes
+        accumulator.simulated_time += flush_io.simulated_time
+    return accumulator.finish(method)

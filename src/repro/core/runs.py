@@ -1,0 +1,67 @@
+"""Shared machinery for fence-keyed sorted runs.
+
+Several structures (MaSM, PDT, SILT, the tunable method, the indexed
+log) store immutable sorted runs as a list of data blocks with an
+in-memory *fence array* (the first key of each block).  Probing and
+scanning such a run is identical everywhere; these helpers are that
+single implementation.
+
+All functions charge their block reads to the given device.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from repro.storage.device import SimulatedDevice
+
+
+def probe_run(
+    device: SimulatedDevice,
+    block_ids: Sequence[int],
+    fence_keys: Sequence[int],
+    key: int,
+) -> Tuple[bool, object]:
+    """Look ``key`` up in one sorted run: at most one block read.
+
+    Returns ``(found, value)``; ``found`` is False for empty runs, keys
+    below the run's minimum, or genuine misses.
+    """
+    if not block_ids or key < fence_keys[0]:
+        return False, None
+    position = max(0, bisect.bisect_right(fence_keys, key) - 1)
+    records = device.read(block_ids[position])
+    keys = [record_key for record_key, _ in records]
+    index = bisect.bisect_left(keys, key)
+    if index < len(keys) and keys[index] == key:
+        return True, records[index][1]
+    return False, None
+
+
+def scan_run(
+    device: SimulatedDevice,
+    block_ids: Sequence[int],
+    fence_keys: Sequence[int],
+    lo: int,
+    hi: int,
+) -> List[Tuple[int, object]]:
+    """Collect the run's records with ``lo <= key <= hi``, in key order.
+
+    Reads only the blocks the fences admit: the start block is located
+    by fence search and the scan stops at the first block past ``hi``.
+    """
+    if not block_ids:
+        return []
+    start = max(0, bisect.bisect_right(fence_keys, lo) - 1)
+    matches: List[Tuple[int, object]] = []
+    for position in range(start, len(block_ids)):
+        records = device.read(block_ids[position])
+        if records and records[0][0] > hi:
+            break
+        matches.extend(
+            (key, value) for key, value in records if lo <= key <= hi
+        )
+        if records and records[-1][0] > hi:
+            break
+    return matches

@@ -1,0 +1,31 @@
+"""Pickle-stable sentinels shared by the differential structures.
+
+Tombstones are compared by identity (``value is TOMBSTONE``), so the
+sentinel must survive pickling as the *same* object — a bare
+``object()`` would come back as a fresh instance and silently leak
+through every identity check after a save/restore.  The singleton's
+``__reduce__`` pins deserialization to the module-level instance.
+"""
+
+from __future__ import annotations
+
+
+class _TombstoneType:
+    """Singleton marker for deleted keys inside logs, runs and buffers."""
+
+    _instance: "_TombstoneType" = None
+
+    def __new__(cls) -> "_TombstoneType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_TombstoneType, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<tombstone>"
+
+
+#: The canonical deletion marker.
+TOMBSTONE = _TombstoneType()

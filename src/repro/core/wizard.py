@@ -1,0 +1,234 @@
+"""The access-method wizard (Section 5, "Tunable RUM Balance").
+
+"Using the above classification and analysis we can make educated
+decisions about which access method should be used based on the
+application requirements and the hardware characteristics, effectively
+creating a powerful access method wizard."
+
+The wizard ranks candidate access methods for a workload in two modes:
+
+* **empirical** — actually run a scaled-down copy of the workload
+  against every candidate and score the measured RUM profiles;
+* **analytic** — score the structures' known RUM affinities (from the
+  classification study, i.e. the measured Figure-1 placement) against
+  the workload's read/write mix, without running anything.
+
+Scores combine the three overheads with weights derived from the
+workload (read-heavy workloads weigh RO higher, and so on) and from
+explicit hardware priorities (e.g. flash endurance raises the weight of
+UO, scarce memory raises MO — the priority shifts discussed in
+Section 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.registry import available_methods, create_method
+from repro.core.rum import RUMProfile
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class HardwarePriorities:
+    """Relative importance of each overhead for the target hardware.
+
+    All 1.0 is neutral.  Presets encode the paper's Section-2 examples:
+    flash "favors minimizing the update overhead", scarce cache/memory
+    "justifies reducing the space overhead".
+    """
+
+    read: float = 1.0
+    update: float = 1.0
+    memory: float = 1.0
+
+    @classmethod
+    def flash(cls) -> "HardwarePriorities":
+        return cls(read=1.0, update=3.0, memory=1.0)
+
+    @classmethod
+    def disk(cls) -> "HardwarePriorities":
+        return cls(read=3.0, update=1.0, memory=1.0)
+
+    @classmethod
+    def memory_constrained(cls) -> "HardwarePriorities":
+        return cls(read=1.0, update=1.0, memory=3.0)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked wizard entry."""
+
+    method: str
+    score: float
+    profile: Optional[RUMProfile] = None
+    rationale: str = ""
+
+
+#: Methods the wizard skips by default: the degenerate Prop structures
+#: and the secondary bitmap index (its query model is value-predicate).
+_EXCLUDED = {"append-log", "dense-array", "bitmap"}
+
+
+def workload_weights(spec: WorkloadSpec) -> Tuple[float, float, float]:
+    """(read, update, memory) weights implied by a workload's mix.
+
+    Reads weigh RO, writes weigh UO; MO gets a constant floor since
+    space is paid regardless of the mix.
+    """
+    reads = spec.point_queries + spec.range_queries
+    writes = spec.inserts + spec.updates + spec.deletes
+    return (max(reads, 0.05), max(writes, 0.05), 0.25)
+
+
+def score_profile(
+    profile: RUMProfile,
+    spec: WorkloadSpec,
+    priorities: HardwarePriorities,
+) -> float:
+    """Lower is better: weighted log-overheads.
+
+    Logs keep one catastrophic overhead from being traded away linearly
+    against tiny gains elsewhere, and make the score unit-free.
+    """
+    w_read, w_update, w_memory = workload_weights(spec)
+    terms = (
+        (profile.read_overhead, w_read * priorities.read),
+        (profile.update_overhead, w_update * priorities.update),
+        (profile.memory_overhead, w_memory * priorities.memory),
+    )
+    score = 0.0
+    for overhead, weight in terms:
+        if math.isinf(overhead) or math.isnan(overhead):
+            return float("inf")
+        score += weight * math.log(max(overhead, 1.0))
+    return score
+
+
+def recommend(
+    spec: WorkloadSpec,
+    priorities: Optional[HardwarePriorities] = None,
+    candidates: Optional[Sequence[str]] = None,
+    sample_records: int = 2000,
+    sample_operations: int = 400,
+) -> List[Recommendation]:
+    """Empirical mode: measure every candidate on a scaled-down workload.
+
+    Returns recommendations sorted best-first.
+    """
+    priorities = priorities or HardwarePriorities()
+    names = list(candidates) if candidates is not None else [
+        name for name in available_methods() if name not in _EXCLUDED
+    ]
+    sample = spec.scaled(
+        initial_records=min(spec.initial_records, sample_records),
+        operations=min(spec.operations, sample_operations),
+    )
+    recommendations: List[Recommendation] = []
+    for name in names:
+        method = create_method(name)
+        result = run_workload(method, sample)
+        score = score_profile(result.profile, spec, priorities)
+        recommendations.append(
+            Recommendation(
+                method=name,
+                score=score,
+                profile=result.profile,
+                rationale=_rationale(result.profile),
+            )
+        )
+    recommendations.sort(key=lambda rec: rec.score)
+    return recommendations
+
+
+#: The classification study's outcome (Section 5: "a detailed
+#: classification of access methods based on their RUM balance"): each
+#: structure's qualitative overhead on a 1 (optimal) .. 5 (worst) scale,
+#: distilled from the measured Figure-1/Table-1 results (see
+#: benchmarks/test_bench_fig1.py, test_bench_table1.py).  Order:
+#: (point read, range read, update, memory) — point and range are
+#: separated because they disagree violently for hashing and mirrors.
+CLASSIFICATION: Dict[str, Tuple[float, float, float, float]] = {
+    "btree": (2.0, 1.0, 3.0, 2.5),
+    "trie": (2.0, 2.0, 3.0, 4.0),
+    "skiplist": (4.0, 3.0, 3.5, 3.5),
+    "hash-index": (1.0, 5.0, 2.5, 3.0),
+    "cache-oblivious": (2.0, 2.0, 3.5, 3.0),
+    "fractured-mirrors": (1.0, 1.0, 4.0, 4.0),
+    "lsm": (2.5, 2.0, 1.2, 2.5),
+    "indexed-log": (2.5, 3.0, 1.1, 2.5),
+    "pbt": (3.0, 2.5, 2.5, 2.5),
+    "masm": (2.5, 2.0, 1.5, 2.0),
+    "pdt": (1.5, 2.0, 2.0, 2.5),
+    "silt": (2.0, 2.5, 1.5, 2.0),
+    "zonemap": (3.5, 3.0, 3.5, 1.2),
+    "sparse-index": (2.5, 2.0, 2.5, 1.5),
+    "approximate-index": (3.0, 2.5, 4.0, 1.5),
+    "cracking": (3.5, 2.5, 2.5, 1.2),
+    "adaptive-merging": (3.0, 2.5, 3.0, 2.0),
+    "morphing": (2.5, 2.5, 2.5, 1.8),
+    "sorted-column": (2.5, 1.5, 5.0, 1.0),
+    "unsorted-column": (5.0, 4.5, 2.5, 1.0),
+    "tunable": (2.5, 2.5, 2.0, 2.0),
+    "indexed-heap": (1.5, 2.0, 2.5, 2.5),
+}
+
+
+def recommend_analytic(
+    spec: WorkloadSpec,
+    priorities: Optional[HardwarePriorities] = None,
+    candidates: Optional[Sequence[str]] = None,
+) -> List[Recommendation]:
+    """Analytic mode: rank by the classification study, running nothing.
+
+    Instant (no measurement), coarse (qualitative scores).  Use this to
+    shortlist candidates, then :func:`recommend` to measure the
+    shortlist on the actual workload.
+    """
+    priorities = priorities or HardwarePriorities()
+    names = list(candidates) if candidates is not None else sorted(CLASSIFICATION)
+    writes = spec.inserts + spec.updates + spec.deletes
+    w_point = max(spec.point_queries, 0.05)
+    w_range = max(spec.range_queries, 0.05)
+    w_update = max(writes, 0.05)
+    w_memory = 0.25
+    recommendations: List[Recommendation] = []
+    for name in names:
+        if name not in CLASSIFICATION:
+            raise KeyError(f"no classification entry for {name!r}")
+        c_point, c_range, c_update, c_memory = CLASSIFICATION[name]
+        score = (
+            w_point * priorities.read * c_point
+            + w_range * priorities.read * c_range
+            + w_update * priorities.update * c_update
+            + w_memory * priorities.memory * c_memory
+        )
+        recommendations.append(
+            Recommendation(
+                method=name,
+                score=score,
+                rationale=(
+                    f"classified (point={c_point}, range={c_range}, "
+                    f"U={c_update}, M={c_memory}) on the 1..5 study scale"
+                ),
+            )
+        )
+    recommendations.sort(key=lambda rec: rec.score)
+    return recommendations
+
+
+def _rationale(profile: RUMProfile) -> str:
+    parts = []
+    overheads = {
+        "read": profile.read_overhead,
+        "update": profile.update_overhead,
+        "memory": profile.memory_overhead,
+    }
+    best = min(overheads, key=overheads.get)
+    worst = max(overheads, key=overheads.get)
+    parts.append(f"strongest on {best} overhead ({overheads[best]:.1f}x)")
+    parts.append(f"weakest on {worst} overhead ({overheads[worst]:.1f}x)")
+    return "; ".join(parts)

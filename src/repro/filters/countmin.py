@@ -1,0 +1,54 @@
+"""Count-min sketch (Cormode & Muthukrishnan, 2005).
+
+The paper lists count-min sketches among the "lossy hash-based indexes"
+in the space-optimized corner: frequency estimation with one-sided error
+in sublinear space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.filters.bloom import _mix
+
+
+class CountMinSketch:
+    """Approximate frequency counting over integer keys.
+
+    Guarantees ``estimate(k) >= true_count(k)`` always, and
+    ``estimate(k) <= true_count(k) + epsilon * total`` with probability
+    at least ``1 - delta``.
+    """
+
+    def __init__(self, epsilon: float = 0.001, delta: float = 0.01) -> None:
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.width = max(1, int(math.ceil(math.e / epsilon)))
+        self.depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+        self._rows: List[List[int]] = [[0] * self.width for _ in range(self.depth)]
+        self.total = 0
+
+    def add(self, key: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        for row_index, row in enumerate(self._rows):
+            row[_mix(key, row_index) % self.width] += count
+        self.total += count
+
+    def estimate(self, key: int) -> int:
+        """Upper-biased frequency estimate (never undercounts)."""
+        return min(
+            row[_mix(key, row_index) % self.width]
+            for row_index, row in enumerate(self._rows)
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Space footprint assuming 4-byte counters."""
+        return self.width * self.depth * 4

@@ -1,0 +1,121 @@
+"""Quotient filter — an updatable approximate-membership structure.
+
+Section 5 of the paper proposes "approximate (tree) indexing that
+supports updates ... by absorbing them in updatable probabilistic data
+structures (like quotient filters)".  Unlike a Bloom filter, a quotient
+filter supports deletion because it stores fingerprint *remainders*
+explicitly rather than OR-ing hash bits together.
+
+Semantics implemented here match the Bender et al. design exactly: a key
+is fingerprinted to ``q + r`` bits; the high ``q`` bits (the quotient)
+select a bucket and the low ``r`` bits (the remainder) are stored in it.
+Membership answers True iff the queried key's remainder is present in its
+quotient's bucket, so the false-positive rate is ~``2**-r`` at moderate
+load and false negatives are impossible.  We keep each bucket as a small
+sorted multiset instead of simulating the open-addressed slot shifting;
+the probabilistic behaviour and the space formula (``(r + 3)`` bits per
+slot, the published layout) are identical, and that is what the RUM
+accounting consumes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List
+
+from repro.filters.bloom import _mix
+
+
+class QuotientFilter:
+    """Approximate membership with insert *and* delete over integer keys.
+
+    Parameters
+    ----------
+    quotient_bits:
+        log2 of the table size; the filter is sized for up to
+        ``2**quotient_bits`` fingerprints.
+    remainder_bits:
+        Fingerprint bits stored per entry; false-positive rate is about
+        ``2**-remainder_bits``.
+    """
+
+    def __init__(self, quotient_bits: int = 16, remainder_bits: int = 8) -> None:
+        if not 1 <= quotient_bits <= 30:
+            raise ValueError("quotient_bits must be in [1, 30]")
+        if not 1 <= remainder_bits <= 32:
+            raise ValueError("remainder_bits must be in [1, 32]")
+        self.quotient_bits = quotient_bits
+        self.remainder_bits = remainder_bits
+        self.capacity = 1 << quotient_bits
+        self._buckets: Dict[int, List[int]] = {}
+        self._items = 0
+
+    # ------------------------------------------------------------------
+    def _split(self, key: int) -> tuple:
+        total_bits = self.quotient_bits + self.remainder_bits
+        fingerprint = _mix(key, 0xF117) & ((1 << total_bits) - 1)
+        return fingerprint >> self.remainder_bits, fingerprint & (
+            (1 << self.remainder_bits) - 1
+        )
+
+    # ------------------------------------------------------------------
+    def add(self, key: int) -> None:
+        """Insert a key's fingerprint.
+
+        Raises :class:`OverflowError` at full capacity, as a real
+        quotient filter would need a resize at that point.
+        """
+        if self._items >= self.capacity:
+            raise OverflowError("quotient filter is full; rebuild with more bits")
+        quotient, remainder = self._split(key)
+        bucket = self._buckets.setdefault(quotient, [])
+        bisect.insort(bucket, remainder)
+        self._items += 1
+
+    def may_contain(self, key: int) -> bool:
+        """False means definitely absent; True means probably present."""
+        quotient, remainder = self._split(key)
+        bucket = self._buckets.get(quotient)
+        if not bucket:
+            return False
+        index = bisect.bisect_left(bucket, remainder)
+        return index < len(bucket) and bucket[index] == remainder
+
+    def remove(self, key: int) -> bool:
+        """Remove one fingerprint occurrence; True if one was found.
+
+        As with any quotient filter, removing a key that was never added
+        can (with fingerprint-collision probability) remove another key's
+        fingerprint — callers must only remove keys they inserted.
+        """
+        quotient, remainder = self._split(key)
+        bucket = self._buckets.get(quotient)
+        if not bucket:
+            return False
+        index = bisect.bisect_left(bucket, remainder)
+        if index >= len(bucket) or bucket[index] != remainder:
+            return False
+        bucket.pop(index)
+        if not bucket:
+            del self._buckets[quotient]
+        self._items -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> int:
+        return self._items
+
+    @property
+    def load_factor(self) -> float:
+        return self._items / self.capacity
+
+    @property
+    def size_bytes(self) -> int:
+        """Published layout cost: (remainder + 3 metadata) bits per slot."""
+        bits = self.capacity * (self.remainder_bits + 3)
+        return (bits + 7) // 8
+
+    def false_positive_rate(self) -> float:
+        """Approximate FPR at the current load: load / 2**r."""
+        return self.load_factor / float(1 << self.remainder_bits)

@@ -1,0 +1,96 @@
+"""Access-method implementations — one module per paper-named family.
+
+Importing this package registers every structure in the central registry
+(:mod:`repro.core.registry`), so ``create_method(name)`` works for all of
+them.  See DESIGN.md Section 3.3 for the inventory and each structure's
+place in the paper's Figure 1.
+"""
+
+from repro.core.registry import register_method
+from repro.core.tuner import TunableAccessMethod
+from repro.methods.adaptive_merging import AdaptiveMergingColumn
+from repro.methods.approximate_index import ApproximateTreeIndex
+from repro.methods.bitmap import BitmapIndex, BitVector, WAHBitVector
+from repro.methods.btree import BPlusTree
+from repro.methods.cache_oblivious import CacheObliviousTree
+from repro.methods.cracking import CrackedColumn
+from repro.methods.extremes import AppendOnlyLog, DenseArray, MagicArray
+from repro.methods.hashindex import HashIndex
+from repro.methods.indexed_log import IndexedLog
+from repro.methods.lsm import LSMTree
+from repro.methods.masm import MaSMColumn
+from repro.methods.mirrors import FracturedMirrors
+from repro.methods.morphing import MorphingMethod
+from repro.methods.pbt import PartitionedBTree
+from repro.methods.pdt import PositionalDeltaColumn
+from repro.methods.secondary import IndexedHeap
+from repro.methods.silt import SILTStore
+from repro.methods.skiplist import SkipList
+from repro.methods.sorted_column import SortedColumn
+from repro.methods.sparse_index import SparseIndexColumn
+from repro.methods.trie import RadixTrie
+from repro.methods.unsorted_column import UnsortedColumn
+from repro.methods.zonemap import ZoneMapColumn
+
+#: Every registrable structure (MagicArray is set-valued and excluded —
+#: it is driven directly by the Prop-1 benchmark).
+_REGISTERED = (
+    AdaptiveMergingColumn,
+    AppendOnlyLog,
+    ApproximateTreeIndex,
+    BitmapIndex,
+    BPlusTree,
+    CacheObliviousTree,
+    CrackedColumn,
+    DenseArray,
+    FracturedMirrors,
+    HashIndex,
+    IndexedHeap,
+    IndexedLog,
+    LSMTree,
+    MorphingMethod,
+    MaSMColumn,
+    PartitionedBTree,
+    PositionalDeltaColumn,
+    RadixTrie,
+    SILTStore,
+    SkipList,
+    SortedColumn,
+    SparseIndexColumn,
+    TunableAccessMethod,
+    UnsortedColumn,
+    ZoneMapColumn,
+)
+
+for _cls in _REGISTERED:
+    register_method(_cls.name, _cls)
+
+__all__ = [
+    "AdaptiveMergingColumn",
+    "AppendOnlyLog",
+    "ApproximateTreeIndex",
+    "BPlusTree",
+    "BitVector",
+    "CacheObliviousTree",
+    "BitmapIndex",
+    "CrackedColumn",
+    "DenseArray",
+    "FracturedMirrors",
+    "HashIndex",
+    "IndexedHeap",
+    "IndexedLog",
+    "LSMTree",
+    "MorphingMethod",
+    "MaSMColumn",
+    "MagicArray",
+    "PartitionedBTree",
+    "PositionalDeltaColumn",
+    "RadixTrie",
+    "SILTStore",
+    "SkipList",
+    "SortedColumn",
+    "SparseIndexColumn",
+    "UnsortedColumn",
+    "WAHBitVector",
+    "ZoneMapColumn",
+]

@@ -1,0 +1,319 @@
+"""Cache-oblivious static search tree (van Emde Boas layout).
+
+Section 4 of the paper discusses cache-oblivious access methods: they
+remove the memory hierarchy from the design space (performance is
+asymptotically optimal for *every* block size without knowing it) but
+"achieve that by having a larger constant factor in read performance",
+"have a larger memory overhead because they require more pointers", and
+"are less tunable".  This module makes those three claims measurable.
+
+The structure is a binary search tree stored in the recursive
+**van Emde Boas layout**: the tree of height ``h`` is split into a top
+subtree of height ``ceil(h/2)`` and its bottom subtrees, each laid out
+contiguously and recursively.  A root-to-leaf path then touches
+``O(log_B N)`` blocks for *any* block size B — without the structure
+ever being told B.  Each node stores explicit child pointers (the extra
+memory overhead the paper notes), and there is no node-size knob to tune
+(the reduced tunability).
+
+Updates: values change in place; inserts and deletes go to a small
+sorted overflow that merges into a rebuilt tree when it grows past
+``rebuild_fraction`` of the data — static layouts pay for mutability
+with rebuilds, another facet of their low tunability.
+
+The E15 benchmark compares this layout against a plain sorted array
+(binary search: ``O(log2 N/B)`` block touches) and the block-*aware*
+B+-Tree across several block sizes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import POINTER_BYTES, RECORD_BYTES
+
+#: Node footprint: record + two child pointers.
+NODE_BYTES = RECORD_BYTES + 2 * POINTER_BYTES
+
+
+class CacheObliviousTree(AccessMethod):
+    """Static BST in van Emde Boas order over the device.
+
+    Parameters
+    ----------
+    rebuild_fraction:
+        Overflow size (relative to the tree) that triggers a rebuild.
+    """
+
+    name = "cache-oblivious"
+    capabilities = Capabilities(ordered=True, updatable=True)
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        rebuild_fraction: float = 0.25,
+    ) -> None:
+        super().__init__(device)
+        if rebuild_fraction <= 0:
+            raise ValueError("rebuild_fraction must be positive")
+        self.rebuild_fraction = rebuild_fraction
+        self._nodes_per_block = max(1, self.device.block_bytes // NODE_BYTES)
+        # The node array, vEB-ordered, sliced across device blocks.
+        # nodes[i] = [key, value, left_index, right_index] (-1 = none).
+        self._blocks: List[int] = []
+        self._node_count = 0
+        self._root_index = -1
+        # Sorted overflow absorbing inserts; deletions mark tree nodes.
+        self._overflow: List[Record] = []
+        self._deleted: set = set()
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        records = self._sorted_unique(items)
+        self._build(records)
+        self._record_count = len(records)
+
+    def get(self, key: int) -> Optional[int]:
+        overflow_index = self._overflow_find(key)
+        if overflow_index is not None:
+            return self._overflow[overflow_index][1]
+        if key in self._deleted:
+            return None
+        node = self._descend(key)
+        if node is not None and node[0] == key:
+            return node[1]
+        return None
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        matches: List[Record] = []
+        if self._root_index >= 0:
+            self._collect(self._root_index, lo, hi, matches)
+        for key, value in self._overflow:
+            if lo <= key <= hi:
+                bisect.insort(matches, (key, value))
+        return matches
+
+    def insert(self, key: int, value: int) -> None:
+        if self.get(key) is not None:
+            raise ValueError(f"duplicate key {key}")
+        if key in self._deleted:
+            # The key still occupies a tree node under a tombstone;
+            # revive that node in place rather than duplicating the key
+            # in the overflow.
+            position = self._descend_position(key)
+            self._deleted.discard(key)
+            node_index, node = position
+            node[1] = value
+            self._write_node(node_index)
+        else:
+            index = bisect.bisect_left(self._overflow, (key, value))
+            self._overflow.insert(index, (key, value))
+        self._record_count += 1
+        self._maybe_rebuild()
+
+    def update(self, key: int, value: int) -> None:
+        overflow_index = self._overflow_find(key)
+        if overflow_index is not None:
+            self._overflow[overflow_index] = (key, value)
+            return
+        if key in self._deleted:
+            raise KeyError(key)
+        position = self._descend_position(key)
+        if position is None:
+            raise KeyError(key)
+        node_index, node = position
+        node[1] = value
+        self._write_node(node_index)
+
+    def delete(self, key: int) -> None:
+        overflow_index = self._overflow_find(key)
+        if overflow_index is not None:
+            self._overflow.pop(overflow_index)
+            self._record_count -= 1
+            return
+        if key in self._deleted:
+            raise KeyError(key)
+        node = self._descend(key)
+        if node is None or node[0] != key:
+            raise KeyError(key)
+        self._deleted.add(key)
+        self._record_count -= 1
+        self._maybe_rebuild()
+
+    # ------------------------------------------------------------------
+    def space_bytes(self) -> int:
+        aux = len(self._overflow) * RECORD_BYTES + len(self._deleted) * 8
+        return self.device.allocated_bytes + aux
+
+    def maintenance(self) -> None:
+        """Rebuild when any overflow or tombstones are pending."""
+        if self._overflow or self._deleted:
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Fold overflow and deletions into a freshly laid-out tree."""
+        records = self._all_records()
+        for block_id in self._blocks:
+            self.device.free(block_id)
+        self._blocks = []
+        self._overflow = []
+        self._deleted = set()
+        self._build(records)
+
+    # ------------------------------------------------------------------
+    # Construction: vEB numbering
+    # ------------------------------------------------------------------
+    def _build(self, records: List[Record]) -> None:
+        self._node_count = len(records)
+        if not records:
+            self._root_index = -1
+            return
+        # Build the balanced BST shape over the sorted records, then
+        # assign vEB positions by recursive height splitting.
+        nodes: List[List[int]] = [None] * len(records)  # type: ignore[list-item]
+        order: List[int] = []  # BST nodes in vEB visit order (record idx)
+        placement: Dict[int, int] = {}  # record index -> vEB position
+
+        def height_of(count: int) -> int:
+            height = 0
+            while (1 << height) - 1 < count:
+                height += 1
+            return height
+
+        def bst_root(lo: int, hi: int) -> Optional[int]:
+            if lo > hi:
+                return None
+            return (lo + hi) // 2
+
+        # Recursive vEB placement over index ranges of the sorted array:
+        # lay out the top subtree (of half the height) recursively, then
+        # each bottom subtree recursively, appending record indexes to
+        # ``order``.  Each call returns the ranges hanging below the
+        # subtree's leaf level, which become the caller's bottom roots.
+        def place(lo: int, hi: int, height: int) -> List[Tuple[int, int]]:
+            if lo > hi or height <= 0:
+                return []
+            if height == 1:
+                mid = (lo + hi) // 2
+                order.append(mid)
+                return [(lo, mid - 1), (mid + 1, hi)]
+            top_height = (height + 1) // 2
+            bottom_height = height - top_height
+            hanging_below = []
+            for range_lo, range_hi in place(lo, hi, top_height):
+                hanging_below.extend(place(range_lo, range_hi, bottom_height))
+            return hanging_below
+
+        place(0, len(records) - 1, height_of(len(records)))
+        for position, record_index in enumerate(order):
+            placement[record_index] = position
+
+        def link(lo: int, hi: int) -> int:
+            if lo > hi:
+                return -1
+            mid = (lo + hi) // 2
+            position = placement[mid]
+            key, value = records[mid]
+            nodes[position] = [key, value, link(lo, mid - 1), link(mid + 1, hi)]
+            return position
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, len(records) * 2 + 100))
+        try:
+            self._root_index = link(0, len(records) - 1)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        # Slice the node array across device blocks.
+        for start in range(0, len(nodes), self._nodes_per_block):
+            chunk = nodes[start : start + self._nodes_per_block]
+            block_id = self.device.allocate(kind="veb")
+            self.device.write(block_id, chunk, used_bytes=len(chunk) * NODE_BYTES)
+            self._blocks.append(block_id)
+
+    # ------------------------------------------------------------------
+    # Search: each node access reads its containing block.
+    # ------------------------------------------------------------------
+    def _read_node(self, index: int) -> List[int]:
+        block = self.device.read(self._blocks[index // self._nodes_per_block])
+        return block[index % self._nodes_per_block]
+
+    def _write_node(self, index: int) -> None:
+        block_index = index // self._nodes_per_block
+        payload = self.device.peek(self._blocks[block_index])
+        self.device.write(
+            self._blocks[block_index],
+            payload,
+            used_bytes=len(payload) * NODE_BYTES,
+        )
+
+    def _descend(self, key: int) -> Optional[List[int]]:
+        position = self._descend_position(key)
+        return position[1] if position is not None else None
+
+    def _descend_position(self, key: int) -> Optional[Tuple[int, List[int]]]:
+        # Consecutive path nodes falling in the block already in hand are
+        # free — that single-block working set is exactly the locality
+        # the vEB layout exists to exploit.
+        index = self._root_index
+        held_block = -1
+        payload = None
+        while index >= 0:
+            block_index = index // self._nodes_per_block
+            if block_index != held_block:
+                payload = self.device.read(self._blocks[block_index])
+                held_block = block_index
+            node = payload[index % self._nodes_per_block]
+            if key == node[0]:
+                return index, node
+            index = node[2] if key < node[0] else node[3]
+        return None
+
+    def _collect(
+        self,
+        index: int,
+        lo: int,
+        hi: int,
+        matches: List[Record],
+        held: Optional[List[int]] = None,
+    ) -> None:
+        if held is None:
+            held = [-1, None]  # [block index in hand, its payload]
+        block_index = index // self._nodes_per_block
+        if block_index != held[0]:
+            held[1] = self.device.read(self._blocks[block_index])
+            held[0] = block_index
+        node = held[1][index % self._nodes_per_block]
+        key, value, left, right = node
+        if left >= 0 and key > lo:
+            self._collect(left, lo, hi, matches, held)
+        if lo <= key <= hi and key not in self._deleted:
+            matches.append((key, value))
+        if right >= 0 and key < hi:
+            self._collect(right, lo, hi, matches, held)
+
+    # ------------------------------------------------------------------
+    def _overflow_find(self, key: int) -> Optional[int]:
+        index = bisect.bisect_left(self._overflow, (key, -(1 << 62)))
+        if index < len(self._overflow) and self._overflow[index][0] == key:
+            return index
+        return None
+
+    def _all_records(self) -> List[Record]:
+        records: List[Record] = []
+        if self._root_index >= 0:
+            self._collect(self._root_index, -(1 << 62), 1 << 62, records)
+        for key, value in self._overflow:
+            bisect.insort(records, (key, value))
+        return records
+
+    def _maybe_rebuild(self) -> None:
+        churn = len(self._overflow) + len(self._deleted)
+        if churn > max(8, self.rebuild_fraction * max(1, self._node_count)):
+            self.rebuild()

@@ -1,0 +1,253 @@
+"""Database cracking (Idreos et al., CIDR 2007) — the adaptive middle.
+
+Cracking physically reorganizes the column *as a side effect of queries*:
+each range query partitions ("cracks") the pieces its bounds fall into,
+so frequently queried regions become ever more finely sorted.  The read
+overhead starts at full-scan level and converges toward binary search,
+while the reorganization writes show up as update overhead and the
+growing cracker index as memory overhead — the gradual RUM migration the
+paper describes for adaptive access methods (middle of Figure 1; the E12
+benchmark plots the trajectory).
+
+Layout: one unsorted array of records across device blocks, an in-memory
+cracker index of piece boundaries (charged to the space footprint), and
+a pending-updates pool merged on a size threshold (the simple
+"ripple-free" update strategy).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import KEY_BYTES, POINTER_BYTES, RECORD_BYTES, records_per_block
+
+#: Budgeted bytes per cracker-index entry (boundary key + position).
+CRACK_ENTRY_BYTES = KEY_BYTES + POINTER_BYTES
+
+
+class CrackedColumn(AccessMethod):
+    """A query-adaptive cracked column."""
+
+    name = "cracking"
+    capabilities = Capabilities(
+        ordered=True, updatable=True, adaptive=True, checks_duplicates=False
+    )
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        pending_limit: int = 1024,
+    ) -> None:
+        super().__init__(device)
+        if pending_limit < 1:
+            raise ValueError("pending_limit must be positive")
+        self.pending_limit = pending_limit
+        self._per_block = records_per_block(self.device.block_bytes)
+        self._blocks: List[int] = []
+        self._size = 0  # records in the cracked array
+        # Cracker index: boundary keys and the array position where the
+        # half-open piece [boundary, next boundary) starts.  Invariant:
+        # every record in [positions[i], positions[i+1]) has
+        # boundaries[i] <= key < boundaries[i+1].
+        self._boundaries: List[int] = []
+        self._positions: List[int] = []
+        # Pending updates not yet merged into the array.
+        self._pending: Dict[int, Optional[int]] = {}  # key -> value | None=deleted
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        records = list(items)
+        self._write_array(records)
+        self._record_count = len(records)
+
+    def get(self, key: int) -> Optional[int]:
+        if key in self._pending:
+            return self._pending[key]
+        lo_pos, hi_pos = self._crack(key, key + 1)
+        for record_key, value in self._read_span(lo_pos, hi_pos):
+            if record_key == key:
+                return value
+        return None
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        lo_pos, hi_pos = self._crack(lo, hi + 1)
+        matches = [
+            (key, value)
+            for key, value in self._read_span(lo_pos, hi_pos)
+            if lo <= key <= hi and key not in self._pending
+        ]
+        for key, value in self._pending.items():
+            if lo <= key <= hi and value is not None:
+                matches.append((key, value))
+        matches.sort(key=lambda record: record[0])
+        return matches
+
+    def insert(self, key: int, value: int) -> None:
+        self._pending[key] = value
+        self._record_count += 1
+        self._maybe_merge_pending()
+
+    def update(self, key: int, value: int) -> None:
+        if not self._exists(key):
+            raise KeyError(key)
+        self._pending[key] = value
+        self._maybe_merge_pending()
+
+    def delete(self, key: int) -> None:
+        if not self._exists(key):
+            raise KeyError(key)
+        self._pending[key] = None
+        self._record_count -= 1
+        self._maybe_merge_pending()
+
+    # ------------------------------------------------------------------
+    def space_bytes(self) -> int:
+        cracker = len(self._boundaries) * CRACK_ENTRY_BYTES
+        pending = len(self._pending) * RECORD_BYTES
+        return self.device.allocated_bytes + cracker + pending
+
+    @property
+    def pieces(self) -> int:
+        """Number of cracked pieces (1 means still fully unsorted)."""
+        return len(self._boundaries) + 1
+
+    # ------------------------------------------------------------------
+    # Cracking machinery
+    # ------------------------------------------------------------------
+    def _crack(self, lo: int, hi_exclusive: int) -> Tuple[int, int]:
+        """Ensure piece boundaries exist at ``lo`` and ``hi_exclusive``;
+        return the array span [lo_pos, hi_pos) that holds keys in range."""
+        if self._size == 0:
+            return 0, 0
+        lo_pos = self._crack_at(lo)
+        hi_pos = self._crack_at(hi_exclusive)
+        return lo_pos, hi_pos
+
+    def _crack_at(self, key: int) -> int:
+        """Partition the piece containing ``key`` so that a boundary at
+        ``key`` exists; return that boundary's array position."""
+        index = bisect.bisect_right(self._boundaries, key) - 1
+        if index >= 0 and self._boundaries[index] == key:
+            return self._positions[index]
+        piece_lo = self._positions[index] if index >= 0 else 0
+        piece_hi = (
+            self._positions[index + 1]
+            if index + 1 < len(self._positions)
+            else self._size
+        )
+        if piece_lo >= piece_hi:
+            cut = piece_lo
+        else:
+            records = self._read_span(piece_lo, piece_hi)
+            left = [record for record in records if record[0] < key]
+            right = [record for record in records if record[0] >= key]
+            self._write_span(piece_lo, left + right)
+            cut = piece_lo + len(left)
+        insert_at = index + 1
+        self._boundaries.insert(insert_at, key)
+        self._positions.insert(insert_at, cut)
+        return cut
+
+    # ------------------------------------------------------------------
+    # Array storage
+    # ------------------------------------------------------------------
+    def _write_array(self, records: List[Record]) -> None:
+        for block_id in self._blocks:
+            self.device.free(block_id)
+        self._blocks = []
+        for start in range(0, len(records), self._per_block):
+            chunk = records[start : start + self._per_block]
+            block_id = self.device.allocate(kind="cracked")
+            self.device.write(block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES)
+            self._blocks.append(block_id)
+        self._size = len(records)
+
+    def _read_span(self, lo_pos: int, hi_pos: int) -> List[Record]:
+        """Read records in array positions [lo_pos, hi_pos)."""
+        if lo_pos >= hi_pos:
+            return []
+        first_block = lo_pos // self._per_block
+        last_block = (hi_pos - 1) // self._per_block
+        records: List[Record] = []
+        for block_index in range(first_block, last_block + 1):
+            records.extend(self.device.read(self._blocks[block_index]))
+        offset = lo_pos - first_block * self._per_block
+        return records[offset : offset + (hi_pos - lo_pos)]
+
+    def _write_span(self, lo_pos: int, records: List[Record]) -> None:
+        """Write ``records`` back to array positions starting at lo_pos."""
+        if not records:
+            return
+        hi_pos = lo_pos + len(records)
+        first_block = lo_pos // self._per_block
+        last_block = (hi_pos - 1) // self._per_block
+        for block_index in range(first_block, last_block + 1):
+            block_lo = block_index * self._per_block
+            existing = list(self.device.read(self._blocks[block_index]))
+            for slot in range(len(existing)):
+                position = block_lo + slot
+                if lo_pos <= position < hi_pos:
+                    existing[slot] = records[position - lo_pos]
+            self.device.write(
+                self._blocks[block_index],
+                existing,
+                used_bytes=len(existing) * RECORD_BYTES,
+            )
+
+    # ------------------------------------------------------------------
+    # Pending updates
+    # ------------------------------------------------------------------
+    def _exists(self, key: int) -> bool:
+        if key in self._pending:
+            return self._pending[key] is not None
+        # Probe without cracking (membership checks should not reorganize).
+        lo_pos, hi_pos = self._span_for(key)
+        return any(record_key == key for record_key, _ in self._read_span(lo_pos, hi_pos))
+
+    def _span_for(self, key: int) -> Tuple[int, int]:
+        index = bisect.bisect_right(self._boundaries, key) - 1
+        piece_lo = self._positions[index] if index >= 0 else 0
+        piece_hi = (
+            self._positions[index + 1]
+            if index + 1 < len(self._positions)
+            else self._size
+        )
+        return piece_lo, piece_hi
+
+    def flush(self) -> None:
+        """Fold any pending updates into the array (durability point)."""
+        self.merge_pending()
+
+    def _maybe_merge_pending(self) -> None:
+        if len(self._pending) < self.pending_limit:
+            return
+        self.merge_pending()
+
+    def maintenance(self) -> None:
+        """Fold pending updates into the cracked array."""
+        self.merge_pending()
+
+    def merge_pending(self) -> None:
+        """Fold pending inserts/updates/deletes into the array.
+
+        The array is rebuilt and the cracker index reset — the simple
+        (non-ripple) strategy from the cracking-updates literature.
+        """
+        if not self._pending:
+            return
+        records = []
+        for key, value in self._read_span(0, self._size):
+            if key in self._pending:
+                continue
+            records.append((key, value))
+        for key, value in self._pending.items():
+            if value is not None:
+                records.append((key, value))
+        self._pending = {}
+        self._boundaries = []
+        self._positions = []
+        self._write_array(records)

@@ -1,0 +1,286 @@
+"""The three extreme access methods of the paper's Propositions 1-3.
+
+Section 2 grounds the RUM Conjecture with three deliberately impractical
+designs, each achieving the theoretical minimum (ratio 1.0) for exactly
+one overhead.  All three operate on devices whose block size equals one
+record — the paper's model of "blocks, each one holding a value" — so the
+measured ratios are exact, not inflated by block granularity:
+
+* :class:`MagicArray` (Prop 1): value-addressed storage, min RO = 1.0,
+  at the price of UO = 2.0 for value changes and unbounded MO.
+* :class:`AppendOnlyLog` (Prop 2): every change is an append, min
+  UO = 1.0, while RO and MO grow without bound as updates accumulate.
+* :class:`DenseArray` (Prop 3): no auxiliary data at all, min MO = 1.0,
+  with RO = O(N) scans and optimal in-place UO = 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import RECORD_BYTES
+
+
+def record_grain_device(name: str) -> SimulatedDevice:
+    """A device whose access granularity is exactly one record.
+
+    This is the paper's Section-2 cost model: reading a value reads
+    exactly that value, so amplification ratios come out as the clean
+    constants of Props 1-3.
+    """
+    return SimulatedDevice(block_bytes=RECORD_BYTES, name=name)
+
+
+class MagicArray:
+    """Prop 1: the read-optimal access method (``blkid = value``).
+
+    Stores a *set of integers*; each value occupies the block whose id
+    equals the value, so a point lookup reads exactly the data it wants:
+    RO = 1.0.  Consequences measured by the Prop-1 benchmark:
+
+    * changing a value writes two blocks (empty the old, fill the new):
+      UO = 2.0,
+    * the array is as large as the largest value ever stored, regardless
+      of how few values are live: MO is unbounded.
+
+    The domain grows lazily: blocks are allocated up to the maximum value
+    seen, empty blocks holding a ``None`` sentinel.
+    """
+
+    name = "magic-array"
+
+    def __init__(self, device: Optional[SimulatedDevice] = None) -> None:
+        self.device = device if device is not None else record_grain_device("magic")
+        if self.device.block_bytes != RECORD_BYTES:
+            raise ValueError("MagicArray requires a record-granularity device")
+        self._allocated_through = -1  # highest block id allocated
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def contains(self, value: int) -> bool:
+        """Point query: one block read, always."""
+        if value < 0:
+            raise ValueError("MagicArray stores non-negative integers")
+        if value > self._allocated_through:
+            return False
+        return self.device.read(value) is not None
+
+    def insert(self, value: int) -> None:
+        """Insert: one block write (after growing the domain if needed)."""
+        if value < 0:
+            raise ValueError("MagicArray stores non-negative integers")
+        self._grow_to(value)
+        self.device.write(value, value, used_bytes=RECORD_BYTES)
+        self._count += 1
+
+    def delete(self, value: int) -> None:
+        """Delete: one block write (emptying the slot)."""
+        if not self.contains_quiet(value):
+            raise KeyError(value)
+        self.device.write(value, None, used_bytes=0)
+        self._count -= 1
+
+    def change(self, old_value: int, new_value: int) -> None:
+        """Logical update = move a value: exactly two block writes.
+
+        This is the operation Prop 1 charges at UO = 2.0.
+        """
+        if not self.contains_quiet(old_value):
+            raise KeyError(old_value)
+        self._grow_to(new_value)
+        self.device.write(old_value, None, used_bytes=0)
+        self.device.write(new_value, new_value, used_bytes=RECORD_BYTES)
+
+    # ------------------------------------------------------------------
+    def contains_quiet(self, value: int) -> bool:
+        """Presence check without charging I/O (for precondition checks)."""
+        if value < 0 or value > self._allocated_through:
+            return False
+        return self.device.peek(value) is not None
+
+    def _grow_to(self, value: int) -> None:
+        while self._allocated_through < value:
+            block_id = self.device.allocate(kind="magic")
+            self._allocated_through = block_id
+
+    @property
+    def live_values(self) -> int:
+        return self._count
+
+    def base_bytes(self) -> int:
+        """Logical size of the live values."""
+        return self._count * RECORD_BYTES
+
+    def space_bytes(self) -> int:
+        """Total allocated domain, live or not."""
+        return self.device.allocated_bytes
+
+    def memory_overhead(self) -> float:
+        """MO: allocated domain over live data (unbounded as values grow)."""
+        base = self.base_bytes()
+        if base == 0:
+            return float("inf") if self.space_bytes() else 1.0
+        return self.space_bytes() / base
+
+
+class AppendOnlyLog(AccessMethod):
+    """Prop 2: the update-optimal access method (an ever-growing log).
+
+    Every insert, update and delete appends exactly one record — UO is
+    the theoretical minimum, 1.0.  Reads scan the log backwards so the
+    newest version of a key wins; as updates accumulate, both the scan
+    cost (RO) and the log size (MO) grow without bound, exactly as
+    Prop 2 states.  A tombstone value marks deletion.
+    """
+
+    name = "append-log"
+    capabilities = Capabilities(ordered=True, updatable=True)
+
+    from repro.core.sentinels import TOMBSTONE as _TOMBSTONE
+
+    def __init__(self, device: Optional[SimulatedDevice] = None) -> None:
+        super().__init__(device if device is not None else record_grain_device("log"))
+        self._log: List[int] = []  # block ids, oldest first
+        self._live_keys: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        for key, value in items:
+            self._append(key, value)
+            self._live_keys.add(key)
+        self._record_count = len(self._live_keys)
+
+    def get(self, key: int) -> Optional[int]:
+        for block_id in reversed(self._log):
+            entry = self.device.read(block_id)
+            entry_key, entry_value = entry
+            if entry_key == key:
+                return None if entry_value is self._TOMBSTONE else entry_value
+        return None
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        # Scan the whole log newest-first, keeping the first (newest)
+        # version of each key in range.
+        newest = {}
+        for block_id in reversed(self._log):
+            entry_key, entry_value = self.device.read(block_id)
+            if lo <= entry_key <= hi and entry_key not in newest:
+                newest[entry_key] = entry_value
+        return sorted(
+            (key, value)
+            for key, value in newest.items()
+            if value is not self._TOMBSTONE
+        )
+
+    def insert(self, key: int, value: int) -> None:
+        if key in self._live_keys:
+            raise ValueError(f"duplicate key {key}")
+        self._append(key, value)
+        self._live_keys.add(key)
+        self._record_count += 1
+
+    def update(self, key: int, value: int) -> None:
+        if key not in self._live_keys:
+            raise KeyError(key)
+        self._append(key, value)
+
+    def delete(self, key: int) -> None:
+        if key not in self._live_keys:
+            raise KeyError(key)
+        self._append(key, self._TOMBSTONE)
+        self._live_keys.remove(key)
+        self._record_count -= 1
+
+    # ------------------------------------------------------------------
+    def _append(self, key: int, value) -> None:
+        block_id = self.device.allocate(kind="log")
+        self._log.append(block_id)
+        self.device.write(block_id, (key, value), used_bytes=RECORD_BYTES)
+
+    @property
+    def log_entries(self) -> int:
+        return len(self._log)
+
+
+class DenseArray(AccessMethod):
+    """Prop 3: the memory-optimal access method (base data only).
+
+    Records packed densely in arrival order, nothing else stored:
+    MO = 1.0 exactly.  Every query scans (worst case the whole dataset:
+    RO = O(N)); updates are in place and write exactly the changed
+    record: UO = 1.0.  Deletes compact by moving the last record into
+    the hole, preserving density.
+    """
+
+    name = "dense-array"
+    capabilities = Capabilities(ordered=False, updatable=True, checks_duplicates=False)
+
+    def __init__(self, device: Optional[SimulatedDevice] = None) -> None:
+        super().__init__(
+            device if device is not None else record_grain_device("dense")
+        )
+        self._slots: List[int] = []  # block ids in array order
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        for key, value in items:
+            self._append(key, value)
+        self._record_count = len(self._slots)
+
+    def get(self, key: int) -> Optional[int]:
+        for block_id in self._slots:
+            entry_key, entry_value = self.device.read(block_id)
+            if entry_key == key:
+                return entry_value
+        return None
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        matches = []
+        for block_id in self._slots:
+            entry_key, entry_value = self.device.read(block_id)
+            if lo <= entry_key <= hi:
+                matches.append((entry_key, entry_value))
+        matches.sort()
+        return matches
+
+    def insert(self, key: int, value: int) -> None:
+        self._append(key, value)
+        self._record_count += 1
+
+    def update(self, key: int, value: int) -> None:
+        position = self._scan_for(key)
+        if position is None:
+            raise KeyError(key)
+        # In-place: exactly one record-sized write.  (The search cost is
+        # read overhead, not update overhead — the paper's UO counts
+        # physical *updates* per logical update.)
+        self.device.write(self._slots[position], (key, value), used_bytes=RECORD_BYTES)
+
+    def delete(self, key: int) -> None:
+        position = self._scan_for(key)
+        if position is None:
+            raise KeyError(key)
+        last_id = self._slots[-1]
+        if self._slots[position] != last_id:
+            last_entry = self.device.read(last_id)
+            self.device.write(self._slots[position], last_entry, used_bytes=RECORD_BYTES)
+        self._slots.pop()
+        self.device.free(last_id)
+        self._record_count -= 1
+
+    # ------------------------------------------------------------------
+    def _append(self, key: int, value: int) -> None:
+        block_id = self.device.allocate(kind="dense")
+        self.device.write(block_id, (key, value), used_bytes=RECORD_BYTES)
+        self._slots.append(block_id)
+
+    def _scan_for(self, key: int) -> Optional[int]:
+        for position, block_id in enumerate(self._slots):
+            entry_key, _ = self.device.read(block_id)
+            if entry_key == key:
+                return position
+        return None

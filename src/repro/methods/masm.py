@@ -1,0 +1,223 @@
+"""MaSM — Materialized Sort-Merge (Athanassoulis et al., SIGMOD 2011).
+
+MaSM targets online updates in data warehouses: the main data stays
+read-optimized (sorted, scan-friendly) while updates land in a bounded
+update buffer and are spilled as *materialized sorted runs* on fast
+storage; queries merge the runs with the main data on the fly, and a
+periodic long merge folds the runs back into the main.  The paper lists
+it among write-optimized differential structures (left corner of
+Figure 1).
+
+Here the main is a sorted extent of blocks, update runs are sorted block
+sequences with in-memory fence keys, and ``merge_updates`` performs the
+long merge.  The run-count knob ("the number of sorted runs in MaSM")
+slides the structure along the R-U edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.core.runs import probe_run, scan_run
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import RECORD_BYTES, records_per_block
+
+#: Deletion marker inside runs and the buffer.
+from repro.core.sentinels import TOMBSTONE as _TOMBSTONE
+
+
+@dataclass
+class _UpdateRun:
+    """One materialized sorted run of updates."""
+
+    block_ids: List[int]
+    fence_keys: List[int]  # first key per block (in memory, tiny)
+    records: int
+
+
+class MaSMColumn(AccessMethod):
+    """Sorted main data plus materialized sorted update runs."""
+
+    name = "masm"
+    capabilities = Capabilities(ordered=True, updatable=True)
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        buffer_records: int = 256,
+        max_runs: int = 8,
+    ) -> None:
+        super().__init__(device)
+        if buffer_records < 1:
+            raise ValueError("buffer_records must be positive")
+        if max_runs < 1:
+            raise ValueError("max_runs must be positive")
+        self.buffer_records = buffer_records
+        self.max_runs = max_runs
+        self._per_block = records_per_block(self.device.block_bytes)
+        self._main_blocks: List[int] = []
+        self._main_fences: List[int] = []
+        self._buffer: Dict[int, object] = {}
+        self._runs: List[_UpdateRun] = []  # oldest first
+        self._live_keys: set = set()
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        records = self._sorted_unique(items)
+        self._write_main(records)
+        self._live_keys = {key for key, _ in records}
+        self._record_count = len(records)
+
+    def get(self, key: int) -> Optional[int]:
+        if key in self._buffer:
+            value = self._buffer[key]
+            return None if value is _TOMBSTONE else value
+        for run in reversed(self._runs):
+            found, value = self._probe_run(run, key)
+            if found:
+                return None if value is _TOMBSTONE else value
+        return self._probe_main(key)
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        newest: Dict[int, object] = {}
+        for key, value in self._buffer.items():
+            if lo <= key <= hi:
+                newest[key] = value
+        for run in reversed(self._runs):
+            for key, value in self._scan_run(run, lo, hi):
+                if key not in newest:
+                    newest[key] = value
+        for key, value in self._scan_main(lo, hi):
+            if key not in newest:
+                newest[key] = value
+        return sorted(
+            (key, value) for key, value in newest.items() if value is not _TOMBSTONE
+        )
+
+    def insert(self, key: int, value: int) -> None:
+        if key in self._live_keys:
+            raise ValueError(f"duplicate key {key}")
+        self._put(key, value)
+        self._live_keys.add(key)
+        self._record_count += 1
+
+    def update(self, key: int, value: int) -> None:
+        if key not in self._live_keys:
+            raise KeyError(key)
+        self._put(key, value)
+
+    def delete(self, key: int) -> None:
+        if key not in self._live_keys:
+            raise KeyError(key)
+        self._put(key, _TOMBSTONE)
+        self._live_keys.discard(key)
+        self._record_count -= 1
+
+    # ------------------------------------------------------------------
+    def space_bytes(self) -> int:
+        fence_bytes = 8 * (
+            len(self._main_fences) + sum(len(run.fence_keys) for run in self._runs)
+        )
+        return (
+            self.device.allocated_bytes
+            + len(self._buffer) * RECORD_BYTES
+            + fence_bytes
+        )
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._spill_buffer()
+
+    def maintenance(self) -> None:
+        """Run the long merge if any differential state is pending."""
+        if self._buffer or self._runs:
+            self.merge_updates()
+
+    @property
+    def run_count(self) -> int:
+        return len(self._runs)
+
+    # ------------------------------------------------------------------
+    def merge_updates(self) -> None:
+        """The long merge: fold buffer + runs back into the main data."""
+        newest: Dict[int, object] = dict(self._buffer)
+        self._buffer = {}
+        for run in reversed(self._runs):
+            for block_id in run.block_ids:
+                for key, value in self.device.read(block_id):
+                    if key not in newest:
+                        newest[key] = value
+        for run in self._runs:
+            for block_id in run.block_ids:
+                self.device.free(block_id)
+        self._runs = []
+        merged: List[Record] = []
+        for key, value in self._iter_main():
+            if key in newest:
+                replacement = newest.pop(key)
+                if replacement is not _TOMBSTONE:
+                    merged.append((key, replacement))
+            else:
+                merged.append((key, value))
+        for key, value in newest.items():
+            if value is not _TOMBSTONE:
+                merged.append((key, value))
+        merged.sort(key=lambda record: record[0])
+        for block_id in self._main_blocks:
+            self.device.free(block_id)
+        self._main_blocks = []
+        self._main_fences = []
+        self._write_main(merged)
+
+    # ------------------------------------------------------------------
+    def _put(self, key: int, value: object) -> None:
+        self._buffer[key] = value
+        if len(self._buffer) >= self.buffer_records:
+            self._spill_buffer()
+
+    def _spill_buffer(self) -> None:
+        records = sorted(self._buffer.items())
+        self._buffer = {}
+        block_ids: List[int] = []
+        fences: List[int] = []
+        for start in range(0, len(records), self._per_block):
+            chunk = records[start : start + self._per_block]
+            block_id = self.device.allocate(kind="masm-run")
+            self.device.write(block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES)
+            block_ids.append(block_id)
+            fences.append(chunk[0][0])
+        self._runs.append(
+            _UpdateRun(block_ids=block_ids, fence_keys=fences, records=len(records))
+        )
+        if len(self._runs) > self.max_runs:
+            self.merge_updates()
+
+    def _write_main(self, records: List[Record]) -> None:
+        for start in range(0, len(records), self._per_block):
+            chunk = records[start : start + self._per_block]
+            block_id = self.device.allocate(kind="masm-main")
+            self.device.write(block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES)
+            self._main_blocks.append(block_id)
+            self._main_fences.append(chunk[0][0])
+
+    def _iter_main(self) -> List[Record]:
+        records: List[Record] = []
+        for block_id in self._main_blocks:
+            records.extend(self.device.read(block_id))
+        return records
+
+    def _probe_main(self, key: int) -> Optional[int]:
+        found, value = probe_run(self.device, self._main_blocks, self._main_fences, key)
+        return value if found else None
+
+    def _scan_main(self, lo: int, hi: int) -> List[Record]:
+        return scan_run(self.device, self._main_blocks, self._main_fences, lo, hi)
+
+    def _probe_run(self, run: _UpdateRun, key: int) -> Tuple[bool, object]:
+        return probe_run(self.device, run.block_ids, run.fence_keys, key)
+
+    def _scan_run(self, run: _UpdateRun, lo: int, hi: int) -> List[Tuple[int, object]]:
+        return scan_run(self.device, run.block_ids, run.fence_keys, lo, hi)

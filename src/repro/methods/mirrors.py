@@ -1,0 +1,79 @@
+"""Fractured mirrors — multiple physical layouts of the same data.
+
+Section 1 of the paper: "the read cost can be minimized by storing data
+in multiple different physical layouts [4, 17, 46], each layout being
+appropriate for minimizing the read cost for a particular workload.
+Update and space costs, however, increase because now there are
+multiple data copies."  (Reference 46 is Ramamurthy et al.'s *fractured
+mirrors*.)
+
+:class:`FracturedMirrors` keeps two complete replicas on one device:
+
+* a **hash mirror** — O(1) point probes;
+* a **tree mirror** (B+-Tree) — ordered, range-fast.
+
+Every read routes to the mirror built for it (point -> hash, range ->
+tree); every write applies to *both* mirrors, doubling the update
+overhead; both copies occupy space, roughly doubling the memory
+overhead.  The E18 benchmark verifies all three effects — the purest
+possible demonstration of buying R with U and M.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.methods.btree import BPlusTree
+from repro.methods.hashindex import HashIndex
+from repro.storage.device import SimulatedDevice
+
+
+class FracturedMirrors(AccessMethod):
+    """One logical relation, two physical layouts, reads pick their mirror."""
+
+    name = "fractured-mirrors"
+    capabilities = Capabilities(ordered=True, updatable=True)
+
+    def __init__(self, device: Optional[SimulatedDevice] = None) -> None:
+        super().__init__(device)
+        self._hash_mirror = HashIndex(device=self.device)
+        self._tree_mirror = BPlusTree(device=self.device)
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        records = list(items)
+        self._hash_mirror.bulk_load(records)
+        self._tree_mirror.bulk_load(list(records))
+        self._record_count = len(self._tree_mirror)
+
+    def get(self, key: int) -> Optional[int]:
+        # Point reads route to the hash mirror: one bucket read.
+        return self._hash_mirror.get(key)
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        # Range reads route to the ordered mirror.
+        return self._tree_mirror.range_query(lo, hi)
+
+    def insert(self, key: int, value: int) -> None:
+        # Both copies pay: the defining cost of mirroring.
+        self._tree_mirror.insert(key, value)  # raises on duplicates
+        self._hash_mirror.insert(key, value)
+        self._record_count += 1
+
+    def update(self, key: int, value: int) -> None:
+        self._tree_mirror.update(key, value)
+        self._hash_mirror.update(key, value)
+
+    def delete(self, key: int) -> None:
+        self._tree_mirror.delete(key)
+        self._hash_mirror.delete(key)
+        self._record_count -= 1
+
+    # ------------------------------------------------------------------
+    def space_bytes(self) -> int:
+        # Both mirrors live on the shared device; add the hash
+        # directory's in-memory bytes the hash mirror accounts for.
+        directory_bytes = self._hash_mirror.space_bytes() - self.device.allocated_bytes
+        return self.device.allocated_bytes + max(0, directory_bytes)

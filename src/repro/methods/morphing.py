@@ -1,0 +1,180 @@
+"""Morphing access method — Section 5's "combining multiple shapes".
+
+The paper's roadmap proposes "morphing access methods, combining
+multiple shapes at once" and "adding structure to data gradually with
+incoming queries, and building supporting index structures when further
+data reorganization becomes infeasible".
+
+:class:`MorphingMethod` holds its data in one of three *shapes* and
+migrates between them based on the operation mix it observes:
+
+* ``"log"`` — an unsorted heap: optimal ingest, scan reads;
+* ``"sorted"`` — a sorted column: log-time reads, linear updates, no
+  auxiliary space;
+* ``"indexed"`` — a B+-Tree: fastest reads, paying space and per-update
+  block writes.
+
+Writes pull the structure toward ``log``; reads push it toward
+``sorted`` and then ``indexed``.  A morph is a full reorganization whose
+I/O is charged to the operation that triggered it — amortized over the
+window that justified it, exactly like adaptive indexing's
+queries-pay-for-structure discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.methods.btree import BPlusTree
+from repro.methods.sorted_column import SortedColumn
+from repro.methods.unsorted_column import UnsortedColumn
+from repro.storage.device import SimulatedDevice
+
+#: Shape escalation order, write-friendly to read-friendly.
+SHAPES = ("log", "sorted", "indexed")
+
+
+class MorphingMethod(AccessMethod):
+    """A structure that changes shape with the workload.
+
+    Parameters
+    ----------
+    initial_shape:
+        One of ``"log"``, ``"sorted"``, ``"indexed"``.
+    window:
+        Operations between morph decisions.
+    read_threshold:
+        Read fraction above which the shape escalates toward
+        read-optimized; below ``1 - read_threshold`` it de-escalates.
+    """
+
+    name = "morphing"
+    capabilities = Capabilities(
+        ordered=True, updatable=True, adaptive=True, checks_duplicates=False
+    )
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        initial_shape: str = "log",
+        window: int = 200,
+        read_threshold: float = 0.6,
+    ) -> None:
+        super().__init__(device)
+        if initial_shape not in SHAPES:
+            raise ValueError(f"initial_shape must be one of {SHAPES}")
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 0.5 <= read_threshold <= 1.0:
+            raise ValueError("read_threshold must be in [0.5, 1.0]")
+        self.window = window
+        self.read_threshold = read_threshold
+        self._shape = initial_shape
+        self._inner = self._make_inner(initial_shape)
+        self._reads = 0
+        self._writes = 0
+        self._since_decision = 0
+        self.morph_history: List[str] = [initial_shape]
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> str:
+        return self._shape
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        self._inner.bulk_load(items)
+        self._record_count = len(self._inner)
+
+    def get(self, key: int) -> Optional[int]:
+        self._observe(read=True)
+        return self._inner.get(key)
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        self._observe(read=True)
+        return self._inner.range_query(lo, hi)
+
+    def insert(self, key: int, value: int) -> None:
+        self._observe(read=False)
+        self._inner.insert(key, value)
+        self._record_count += 1
+
+    def update(self, key: int, value: int) -> None:
+        self._observe(read=False)
+        self._inner.update(key, value)
+
+    def delete(self, key: int) -> None:
+        self._observe(read=False)
+        self._inner.delete(key)
+        self._record_count -= 1
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def space_bytes(self) -> int:
+        return self._inner.space_bytes()
+
+    # ------------------------------------------------------------------
+    def morph_to(self, shape: str) -> None:
+        """Reorganize into ``shape`` now (also callable explicitly)."""
+        if shape not in SHAPES:
+            raise ValueError(f"unknown shape {shape!r}")
+        if shape == self._shape:
+            return
+        records = self._inner.range_query(-(1 << 62), 1 << 62)
+        self._free_inner()
+        self._shape = shape
+        self._inner = self._make_inner(shape)
+        self._inner.bulk_load(records)
+        self.morph_history.append(shape)
+
+    # ------------------------------------------------------------------
+    def _observe(self, read: bool) -> None:
+        if read:
+            self._reads += 1
+        else:
+            self._writes += 1
+        self._since_decision += 1
+        if self._since_decision >= self.window:
+            self._decide()
+            self._reads = 0
+            self._writes = 0
+            self._since_decision = 0
+
+    def _decide(self) -> None:
+        total = self._reads + self._writes
+        if total == 0:
+            return
+        read_fraction = self._reads / total
+        index = SHAPES.index(self._shape)
+        if read_fraction >= self.read_threshold and index < len(SHAPES) - 1:
+            self.morph_to(SHAPES[index + 1])
+        elif read_fraction <= 1.0 - self.read_threshold and index > 0:
+            self.morph_to(SHAPES[index - 1])
+
+    def _make_inner(self, shape: str) -> AccessMethod:
+        if shape == "log":
+            return UnsortedColumn(self.device)
+        if shape == "sorted":
+            return SortedColumn(self.device)
+        return BPlusTree(self.device)
+
+    def _free_inner(self) -> None:
+        """Release every block the inner structure holds."""
+        inner = self._inner
+        if isinstance(inner, BPlusTree):
+            root = inner._root
+            if root is not None:
+                stack = [root]
+                while stack:
+                    block_id = stack.pop()
+                    node = self.device.peek(block_id)
+                    children = getattr(node, "children", None)
+                    if children:
+                        stack.extend(children)
+                    self.device.free(block_id)
+        elif isinstance(inner, (UnsortedColumn, SortedColumn)):
+            for block_id in list(inner._extent):
+                self.device.free(block_id)

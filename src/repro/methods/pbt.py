@@ -1,0 +1,157 @@
+"""Partitioned B-tree (Graefe, CIDR 2003) — write-optimized via partitions.
+
+A PBT keeps multiple partitions inside one logical B-tree (modelled here
+as a list of B+-Trees on a shared device, newest partition last).
+Inserts always go to the small *current* partition, so they enjoy the
+shallow height and cheap splits of a tree a fraction of the dataset's
+size; queries must probe every partition (newest first), paying read
+amplification proportional to the partition count.  Merging partitions
+("the number of partitions in PBT" — one of the paper's Section-5 knob
+examples) moves the structure back toward the read-optimized corner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.methods.btree import BPlusTree
+from repro.storage.device import SimulatedDevice
+
+
+class PartitionedBTree(AccessMethod):
+    """A stack of B+-Tree partitions over one device.
+
+    Parameters
+    ----------
+    partition_records:
+        Inserts accumulate in the current partition until it reaches this
+        size, then a fresh partition starts.
+    max_partitions:
+        When exceeded, all partitions merge into one (read-optimizing
+        maintenance).  ``None`` disables auto-merging.
+    """
+
+    name = "pbt"
+    capabilities = Capabilities(ordered=True, updatable=True, checks_duplicates=False)
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        partition_records: int = 2048,
+        max_partitions: Optional[int] = 8,
+    ) -> None:
+        super().__init__(device)
+        if partition_records < 1:
+            raise ValueError("partition_records must be positive")
+        if max_partitions is not None and max_partitions < 1:
+            raise ValueError("max_partitions must be positive or None")
+        self.partition_records = partition_records
+        self.max_partitions = max_partitions
+        self._partitions: List[BPlusTree] = []
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        records = self._sorted_unique(items)
+        if not records:
+            return
+        partition = self._new_partition()
+        partition.bulk_load(records)
+        self._record_count = len(records)
+
+    def get(self, key: int) -> Optional[int]:
+        for partition in reversed(self._partitions):
+            value = partition.get(key)
+            if value is not None:
+                return value
+        return None
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        merged = {}
+        for partition in reversed(self._partitions):
+            for key, value in partition.range_query(lo, hi):
+                if key not in merged:
+                    merged[key] = value
+        return sorted(merged.items())
+
+    def insert(self, key: int, value: int) -> None:
+        current = self._current_partition()
+        current.insert(key, value)
+        self._record_count += 1
+        if (
+            self.max_partitions is not None
+            and len(self._partitions) > self.max_partitions
+        ):
+            self.merge_partitions()
+
+    def update(self, key: int, value: int) -> None:
+        for partition in reversed(self._partitions):
+            try:
+                partition.update(key, value)
+                return
+            except KeyError:
+                continue
+        raise KeyError(key)
+
+    def delete(self, key: int) -> None:
+        for partition in reversed(self._partitions):
+            try:
+                partition.delete(key)
+                self._record_count -= 1
+                return
+            except KeyError:
+                continue
+        raise KeyError(key)
+
+    # ------------------------------------------------------------------
+    def maintenance(self) -> None:
+        """Merge every partition into one read-optimized tree."""
+        self.merge_partitions()
+
+    def merge_partitions(self) -> None:
+        """Merge every partition into a single read-optimized tree."""
+        if len(self._partitions) <= 1:
+            return
+        merged = {}
+        for partition in reversed(self._partitions):
+            for key, value in partition.range_query(
+                -(1 << 62), (1 << 62)
+            ):
+                if key not in merged:
+                    merged[key] = value
+        # Free every old partition's blocks by rebuilding on a clean slate.
+        for partition in self._partitions:
+            self._free_tree(partition)
+        self._partitions = []
+        fresh = self._new_partition()
+        fresh.bulk_load(sorted(merged.items()))
+
+    @property
+    def partitions(self) -> int:
+        return len(self._partitions)
+
+    # ------------------------------------------------------------------
+    def _current_partition(self) -> BPlusTree:
+        if not self._partitions or len(self._partitions[-1]) >= self.partition_records:
+            return self._new_partition()
+        return self._partitions[-1]
+
+    def _new_partition(self) -> BPlusTree:
+        partition = BPlusTree(device=self.device)
+        self._partitions.append(partition)
+        return partition
+
+    def _free_tree(self, tree: BPlusTree) -> None:
+        """Release all blocks a partition allocated (walk from its root)."""
+        root = tree._root
+        if root is None:
+            return
+        stack = [root]
+        while stack:
+            block_id = stack.pop()
+            node = self.device.peek(block_id)
+            children = getattr(node, "children", None)
+            if children:
+                stack.extend(children)
+            self.device.free(block_id)

@@ -1,0 +1,182 @@
+"""Positional Differential updates (Héman et al., SIGMOD 2010).
+
+The Positional Delta Tree keeps a *read-optimized, immutable* main copy
+of the data and absorbs all modifications in a small memory-resident
+differential structure ordered by position; scans merge the two on the
+fly and a periodic *checkpoint* rewrites the main with the deltas
+applied.  The paper places PDT among the write-optimized differential
+structures of Figure 1.
+
+The main here is a sorted extent of blocks; the delta is an ordered map
+from key to pending change, held in memory and charged to the structure's
+space footprint (that memory *is* the PDT's memory overhead).  Reads
+merge for free CPU-wise but the delta's space grows until
+``checkpoint()`` — the exact MO-for-UO trade the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.core.runs import probe_run, scan_run
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import RECORD_BYTES, records_per_block
+
+#: Delta entry tags.
+_INS = "insert"
+_UPD = "update"
+_DEL = "delete"
+
+#: Budgeted bytes per delta entry (record + tag + tree pointers).
+DELTA_ENTRY_BYTES = RECORD_BYTES + 1 + 16
+
+
+class PositionalDeltaColumn(AccessMethod):
+    """Immutable sorted main + in-memory delta tree + checkpointing."""
+
+    name = "pdt"
+    capabilities = Capabilities(ordered=True, updatable=True)
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        checkpoint_records: int = 4096,
+    ) -> None:
+        super().__init__(device)
+        if checkpoint_records < 1:
+            raise ValueError("checkpoint_records must be positive")
+        self.checkpoint_records = checkpoint_records
+        self._per_block = records_per_block(self.device.block_bytes)
+        self._main_blocks: List[int] = []
+        self._main_fences: List[int] = []
+        self._delta: Dict[int, Tuple[str, Optional[int]]] = {}
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        records = self._sorted_unique(items)
+        self._write_main(records)
+        self._record_count = len(records)
+
+    def get(self, key: int) -> Optional[int]:
+        entry = self._delta.get(key)
+        if entry is not None:
+            tag, value = entry
+            return None if tag == _DEL else value
+        return self._probe_main(key)
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        merged: Dict[int, Optional[int]] = {}
+        for key, value in self._scan_main(lo, hi):
+            merged[key] = value
+        for key, (tag, value) in self._delta.items():
+            if lo <= key <= hi:
+                if tag == _DEL:
+                    merged.pop(key, None)
+                else:
+                    merged[key] = value
+        return sorted((key, value) for key, value in merged.items())
+
+    def insert(self, key: int, value: int) -> None:
+        if self.get_quiet(key) is not None:
+            raise ValueError(f"duplicate key {key}")
+        self._delta[key] = (_INS, value)
+        self._record_count += 1
+        self._maybe_checkpoint()
+
+    def update(self, key: int, value: int) -> None:
+        if self.get_quiet(key) is None:
+            raise KeyError(key)
+        tag = _INS if self._delta.get(key, ("", None))[0] == _INS else _UPD
+        self._delta[key] = (tag, value)
+        self._maybe_checkpoint()
+
+    def delete(self, key: int) -> None:
+        if self.get_quiet(key) is None:
+            raise KeyError(key)
+        if self._delta.get(key, ("", None))[0] == _INS and not self._in_main(key):
+            # Insert never reached the main copy; cancel it outright.
+            del self._delta[key]
+        else:
+            self._delta[key] = (_DEL, None)
+        self._record_count -= 1
+        self._maybe_checkpoint()
+
+    # ------------------------------------------------------------------
+    def space_bytes(self) -> int:
+        return (
+            self.device.allocated_bytes
+            + len(self._delta) * DELTA_ENTRY_BYTES
+            + len(self._main_fences) * 8
+        )
+
+    @property
+    def pending_deltas(self) -> int:
+        return len(self._delta)
+
+    def flush(self) -> None:
+        """Checkpoint pending deltas (the PDT's durability point)."""
+        if self._delta:
+            self.checkpoint()
+
+    def maintenance(self) -> None:
+        """Checkpoint pending deltas into the main copy."""
+        if self._delta:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Rewrite the main with all deltas applied (the long merge)."""
+        merged: Dict[int, int] = {}
+        for key, value in self._drain_main():
+            merged[key] = value
+        for key, (tag, value) in self._delta.items():
+            if tag == _DEL:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        self._delta = {}
+        self._write_main(sorted(merged.items()))
+
+    # ------------------------------------------------------------------
+    def get_quiet(self, key: int) -> Optional[int]:
+        """Presence check without charging I/O for the delta probe.
+
+        The main probe still costs I/O if the delta cannot answer.
+        """
+        entry = self._delta.get(key)
+        if entry is not None:
+            tag, value = entry
+            return None if tag == _DEL else value
+        return self._probe_main(key)
+
+    def _in_main(self, key: int) -> bool:
+        return self._probe_main(key) is not None
+
+    def _maybe_checkpoint(self) -> None:
+        if len(self._delta) >= self.checkpoint_records:
+            self.checkpoint()
+
+    def _write_main(self, records: List[Record]) -> None:
+        for start in range(0, len(records), self._per_block):
+            chunk = records[start : start + self._per_block]
+            block_id = self.device.allocate(kind="pdt-main")
+            self.device.write(block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES)
+            self._main_blocks.append(block_id)
+            self._main_fences.append(chunk[0][0])
+
+    def _drain_main(self) -> List[Record]:
+        records: List[Record] = []
+        for block_id in self._main_blocks:
+            records.extend(self.device.read(block_id))
+            self.device.free(block_id)
+        self._main_blocks = []
+        self._main_fences = []
+        return records
+
+    def _probe_main(self, key: int) -> Optional[int]:
+        found, value = probe_run(self.device, self._main_blocks, self._main_fences, key)
+        return value if found else None
+
+    def _scan_main(self, lo: int, hi: int) -> List[Record]:
+        return scan_run(self.device, self._main_blocks, self._main_fences, lo, hi)

@@ -1,0 +1,301 @@
+"""Skip list (Pugh, CACM 1990) — a read-optimized Figure-1 structure.
+
+A probabilistic multi-level linked list with expected O(log N) search.
+Nodes live in arena blocks on the device (several nodes per block, as a
+slab allocator would lay them out); every pointer chase reads the block
+containing the target node, so the measured read cost reflects the
+pointer-heavy access pattern that distinguishes skip lists from B-Trees
+(more random block touches per search, cheap local inserts).
+
+Randomness is seeded: structures are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import POINTER_BYTES, RECORD_BYTES
+
+#: A node reference: (arena block id, slot inside the block).
+NodeRef = Tuple[int, int]
+
+#: Budgeted node footprint: record + expected tower of pointers.
+NODE_BYTES = RECORD_BYTES + 4 * POINTER_BYTES
+
+
+class _Node:
+    __slots__ = ("key", "value", "forwards")
+
+    def __init__(self, key: int, value: int, height: int):
+        self.key = key
+        self.value = value
+        self.forwards: List[Optional[NodeRef]] = [None] * height
+
+
+class SkipList(AccessMethod):
+    """Block-arena skip list.
+
+    Parameters
+    ----------
+    probability:
+        Level-promotion probability (0.5 is Pugh's classic choice).
+    max_height:
+        Tower-height cap.
+    seed:
+        Seed for the level generator, for deterministic structure.
+    """
+
+    name = "skiplist"
+    capabilities = Capabilities(ordered=True, updatable=True)
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        probability: float = 0.5,
+        max_height: int = 24,
+        seed: int = 1234,
+    ) -> None:
+        super().__init__(device)
+        if not 0.0 < probability < 1.0:
+            raise ValueError("probability must be in (0, 1)")
+        if max_height < 1:
+            raise ValueError("max_height must be positive")
+        self.probability = probability
+        self.max_height = max_height
+        self._rng = random.Random(seed)
+        self._nodes_per_block = max(1, self.device.block_bytes // NODE_BYTES)
+        # Head tower lives in memory (it is a fixed sentinel); its bytes
+        # are charged in space_bytes().
+        self._head: List[Optional[NodeRef]] = [None] * max_height
+        self._height = 1
+        self._arena_blocks: List[int] = []
+        self._free_slots: List[NodeRef] = []
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        # Loading in sorted order keeps the expected structure and lets
+        # us link levels in one pass.
+        for key, value in self._sorted_unique(items):
+            self.insert(key, value)
+        # insert() bumped the count; nothing else to do.
+
+    def get(self, key: int) -> Optional[int]:
+        node = self._find_node(key)
+        return node.value if node is not None else None
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        matches: List[Record] = []
+        ref = self._find_at_least(lo)
+        while ref is not None:
+            node = self._load(ref)
+            if node.key > hi:
+                break
+            matches.append((node.key, node.value))
+            ref = node.forwards[0]
+        return matches
+
+    def insert(self, key: int, value: int) -> None:
+        update = self._search_path(key)
+        successor = update[0][1] if update[0] is not None else self._head[0]
+        succ_ref = successor
+        if succ_ref is not None:
+            succ_node = self._load(succ_ref)
+            if succ_node.key == key:
+                raise ValueError(f"duplicate key {key}")
+        height = self._random_height()
+        if height > self._height:
+            self._height = height
+        node = _Node(key, value, height)
+        ref = self._allocate_node(node)
+        touched: Dict[int, None] = {}
+        for level in range(height):
+            predecessor = update[level] if level < len(update) else None
+            if predecessor is None:
+                node.forwards[level] = self._head[level]
+                self._head[level] = ref
+            else:
+                pred_ref, _ = predecessor
+                pred_node = self._load_quiet(pred_ref)
+                node.forwards[level] = pred_node.forwards[level]
+                pred_node.forwards[level] = ref
+                touched[pred_ref[0]] = None
+        touched[ref[0]] = None
+        self._write_arena_blocks(touched.keys())
+        self._record_count += 1
+
+    def update(self, key: int, value: int) -> None:
+        node, ref = self._find_node_ref(key)
+        if node is None:
+            raise KeyError(key)
+        node.value = value
+        self._write_arena_blocks([ref[0]])
+
+    def delete(self, key: int) -> None:
+        update = self._search_path(key)
+        target = update[0][1] if update[0] is not None else self._head[0]
+        if target is None:
+            raise KeyError(key)
+        node = self._load(target)
+        if node.key != key:
+            raise KeyError(key)
+        touched: Dict[int, None] = {}
+        for level in range(len(node.forwards)):
+            predecessor = update[level] if level < len(update) else None
+            if predecessor is None:
+                if self._head[level] == target:
+                    self._head[level] = node.forwards[level]
+            else:
+                pred_ref, _ = predecessor
+                pred_node = self._load_quiet(pred_ref)
+                if pred_node.forwards[level] == target:
+                    pred_node.forwards[level] = node.forwards[level]
+                    touched[pred_ref[0]] = None
+        self._free_node(target)
+        touched[target[0]] = None
+        self._write_arena_blocks(touched.keys())
+        self._record_count -= 1
+
+    # ------------------------------------------------------------------
+    def space_bytes(self) -> int:
+        head_bytes = self.max_height * POINTER_BYTES
+        return self.device.allocated_bytes + head_bytes
+
+    # ------------------------------------------------------------------
+    # Search machinery
+    # ------------------------------------------------------------------
+    def _search_path(self, key: int) -> List[Optional[Tuple[NodeRef, Optional[NodeRef]]]]:
+        """Per level: (predecessor ref, its successor ref), or None when
+        the head is the predecessor at that level.
+
+        ``update[level] is None`` => the first node at that level is
+        >= key (or the level is empty); otherwise update[level][0] is the
+        last node with key < ``key`` at that level.
+        """
+        update: List[Optional[Tuple[NodeRef, Optional[NodeRef]]]] = [None] * self._height
+        predecessor: Optional[NodeRef] = None
+        for level in range(self._height - 1, -1, -1):
+            current = (
+                self._load_quiet(predecessor).forwards[level]
+                if predecessor is not None
+                else self._head[level]
+            )
+            while current is not None:
+                node = self._load(current)
+                if node.key < key:
+                    predecessor = current
+                    current = node.forwards[level]
+                else:
+                    break
+            if predecessor is not None:
+                succ = self._load_quiet(predecessor).forwards[level]
+                update[level] = (predecessor, succ)
+        # Normalize: update[0] describes the insertion point at level 0.
+        result: List[Optional[Tuple[NodeRef, Optional[NodeRef]]]] = []
+        for level in range(self._height):
+            entry = update[level]
+            if entry is None:
+                result.append(None)
+            else:
+                result.append(entry)
+        return result
+
+    def _find_node(self, key: int) -> Optional[_Node]:
+        node, _ = self._find_node_ref(key)
+        return node
+
+    def _find_node_ref(self, key: int):
+        ref = self._find_at_least(key)
+        if ref is None:
+            return None, None
+        node = self._load(ref)
+        if node.key == key:
+            return node, ref
+        return None, None
+
+    def _find_at_least(self, key: int) -> Optional[NodeRef]:
+        """Ref of the first node with key >= ``key``."""
+        predecessor: Optional[NodeRef] = None
+        for level in range(self._height - 1, -1, -1):
+            current = (
+                self._load_quiet(predecessor).forwards[level]
+                if predecessor is not None
+                else self._head[level]
+            )
+            while current is not None:
+                node = self._load(current)
+                if node.key < key:
+                    predecessor = current
+                    current = node.forwards[level]
+                else:
+                    break
+        if predecessor is None:
+            return self._head[0]
+        return self._load_quiet(predecessor).forwards[0]
+
+    # ------------------------------------------------------------------
+    # Arena allocation
+    # ------------------------------------------------------------------
+    def _allocate_node(self, node: _Node) -> NodeRef:
+        if self._free_slots:
+            block_id, slot = self._free_slots.pop()
+            payload = self.device.peek(block_id)
+            payload[slot] = node
+            return (block_id, slot)
+        if self._arena_blocks:
+            last = self._arena_blocks[-1]
+            payload = self.device.peek(last)
+            if len(payload) < self._nodes_per_block:
+                slot = self._next_slot(payload)
+                payload[slot] = node
+                return (last, slot)
+        block_id = self.device.allocate(kind="skiplist-arena")
+        self.device.write(block_id, {}, used_bytes=0)
+        self._arena_blocks.append(block_id)
+        payload = self.device.peek(block_id)
+        payload[0] = node
+        return (block_id, 0)
+
+    @staticmethod
+    def _next_slot(payload: Dict[int, _Node]) -> int:
+        slot = 0
+        while slot in payload:
+            slot += 1
+        return slot
+
+    def _free_node(self, ref: NodeRef) -> None:
+        block_id, slot = ref
+        payload = self.device.peek(block_id)
+        payload.pop(slot, None)
+        self._free_slots.append(ref)
+
+    def _load(self, ref: NodeRef) -> _Node:
+        """Read the arena block holding ``ref`` and return the node."""
+        block_id, slot = ref
+        payload = self.device.read(block_id)
+        return payload[slot]
+
+    def _load_quiet(self, ref: NodeRef) -> _Node:
+        """Fetch a node already read on this path (no extra I/O charged).
+
+        Used only for nodes the current operation has just traversed —
+        they would sit in the operation's working set on a real system.
+        """
+        block_id, slot = ref
+        return self.device.peek(block_id)[slot]
+
+    def _write_arena_blocks(self, block_ids) -> None:
+        for block_id in block_ids:
+            payload = self.device.peek(block_id)
+            self.device.write(
+                block_id, payload, used_bytes=len(payload) * NODE_BYTES
+            )
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < self.max_height and self._rng.random() < self.probability:
+            height += 1
+        return height

@@ -1,0 +1,291 @@
+"""Sparse index — the "Sparse Index" point of Figure 1.
+
+A sorted column plus a light-weight secondary index holding one (key,
+block) entry per data block (the classic ISAM / clustered-sparse-index
+design the paper groups with ZoneMaps and Small Materialized Aggregates).
+Compared with a dense B+-Tree it stores a factor-B fewer entries (low
+MO); compared with ZoneMaps it keeps the entries sorted, so consultation
+is a binary search over index blocks rather than a full synopsis scan.
+
+Inserts spill into per-block overflow chains (ISAM-style), which keeps
+update cost low but gradually degrades read cost until ``rebuild()``
+reorganizes — a miniature of the adaptive tension Section 5 discusses.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import (
+    KEY_BYTES,
+    POINTER_BYTES,
+    RECORD_BYTES,
+    records_per_block,
+)
+
+#: Bytes per sparse-index entry: separator key + block pointer.
+ENTRY_BYTES = KEY_BYTES + POINTER_BYTES
+
+
+class SparseIndexColumn(AccessMethod):
+    """Sorted data blocks + sparse index + ISAM-style overflow chains."""
+
+    name = "sparse-index"
+    capabilities = Capabilities(ordered=True, updatable=True, checks_duplicates=False)
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        rebuild_overflow_ratio: float = 0.5,
+    ) -> None:
+        super().__init__(device)
+        if rebuild_overflow_ratio <= 0:
+            raise ValueError("rebuild_overflow_ratio must be positive")
+        self._per_block = records_per_block(self.device.block_bytes)
+        self._entries_per_block = max(1, self.device.block_bytes // ENTRY_BYTES)
+        self.rebuild_overflow_ratio = rebuild_overflow_ratio
+        self._data_blocks: List[int] = []
+        self._overflow: List[List[int]] = []  # overflow chain per data block
+        self._index_keys: List[int] = []  # first key per data block (memory)
+        self._index_blocks: List[int] = []  # the same entries, on device
+        self._overflow_records = 0
+
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[Record]) -> None:
+        self._require_empty()
+        records = self._sorted_unique(items)
+        self._install(records)
+        self._record_count = len(records)
+
+    def get(self, key: int) -> Optional[int]:
+        position = self._locate_block(key)
+        if position is None:
+            return None
+        records = self.device.read(self._data_blocks[position])
+        index = self._find(records, key)
+        if index is not None:
+            return records[index][1]
+        for overflow_id in self._overflow[position]:
+            for record_key, value in self.device.read(overflow_id):
+                if record_key == key:
+                    return value
+        return None
+
+    def range_query(self, lo: int, hi: int) -> List[Record]:
+        if not self._data_blocks:
+            return []
+        start = self._locate_block(lo)
+        if start is None:
+            start = 0
+        matches: List[Record] = []
+        for position in range(start, len(self._data_blocks)):
+            records = self.device.read(self._data_blocks[position])
+            if records and records[0][0] > hi and position > start:
+                break
+            matches.extend(
+                (key, value) for key, value in records if lo <= key <= hi
+            )
+            for overflow_id in self._overflow[position]:
+                matches.extend(
+                    (key, value)
+                    for key, value in self.device.read(overflow_id)
+                    if lo <= key <= hi
+                )
+        matches.sort(key=lambda record: record[0])
+        return matches
+
+    def insert(self, key: int, value: int) -> None:
+        if not self._data_blocks:
+            self._install([(key, value)])
+            self._record_count = 1
+            return
+        position = self._locate_block(key)
+        if position is None:
+            position = 0
+        records = list(self.device.read(self._data_blocks[position]))
+        if len(records) < self._per_block:
+            keys = [record_key for record_key, _ in records]
+            slot = bisect.bisect_left(keys, key)
+            if slot < len(keys) and keys[slot] == key:
+                raise ValueError(f"duplicate key {key}")
+            records.insert(slot, (key, value))
+            self._write_data(position, records)
+            if slot == 0:
+                self._index_keys[position] = key
+                self._rewrite_index()
+        else:
+            self._append_overflow(position, (key, value))
+        self._record_count += 1
+        if self._overflow_records > self.rebuild_overflow_ratio * max(
+            1, self._record_count
+        ):
+            self.rebuild()
+
+    def update(self, key: int, value: int) -> None:
+        position = self._locate_block(key)
+        if position is None:
+            raise KeyError(key)
+        records = list(self.device.read(self._data_blocks[position]))
+        index = self._find(records, key)
+        if index is not None:
+            records[index] = (key, value)
+            self._write_data(position, records)
+            return
+        for overflow_id in self._overflow[position]:
+            chain_records = list(self.device.read(overflow_id))
+            for chain_index, (record_key, _) in enumerate(chain_records):
+                if record_key == key:
+                    chain_records[chain_index] = (key, value)
+                    self.device.write(
+                        overflow_id,
+                        chain_records,
+                        used_bytes=len(chain_records) * RECORD_BYTES,
+                    )
+                    return
+        raise KeyError(key)
+
+    def delete(self, key: int) -> None:
+        position = self._locate_block(key)
+        if position is None:
+            raise KeyError(key)
+        records = list(self.device.read(self._data_blocks[position]))
+        index = self._find(records, key)
+        if index is not None:
+            records.pop(index)
+            self._write_data(position, records)
+            self._record_count -= 1
+            return
+        for overflow_id in self._overflow[position]:
+            chain_records = list(self.device.read(overflow_id))
+            for chain_index, (record_key, _) in enumerate(chain_records):
+                if record_key == key:
+                    chain_records.pop(chain_index)
+                    self.device.write(
+                        overflow_id,
+                        chain_records,
+                        used_bytes=len(chain_records) * RECORD_BYTES,
+                    )
+                    self._overflow_records -= 1
+                    self._record_count -= 1
+                    return
+        raise KeyError(key)
+
+    def maintenance(self) -> None:
+        """Fold overflow chains back into the primary layout."""
+        if self._overflow_records:
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Merge overflow chains back into a clean sorted layout."""
+        records: List[Record] = []
+        for position, block_id in enumerate(self._data_blocks):
+            records.extend(self.device.read(block_id))
+            for overflow_id in self._overflow[position]:
+                records.extend(self.device.read(overflow_id))
+        records.sort(key=lambda record: record[0])
+        self._teardown()
+        self._install(records)
+
+    # ------------------------------------------------------------------
+    @property
+    def overflow_records(self) -> int:
+        return self._overflow_records
+
+    def index_bytes(self) -> int:
+        """Device space occupied by the sparse index blocks."""
+        return len(self._index_blocks) * self.device.block_bytes
+
+    # ------------------------------------------------------------------
+    def _install(self, records: List[Record]) -> None:
+        self._data_blocks = []
+        self._overflow = []
+        self._index_keys = []
+        self._overflow_records = 0
+        for start in range(0, len(records), self._per_block):
+            chunk = records[start : start + self._per_block]
+            block_id = self.device.allocate(kind="sparse-data")
+            self.device.write(block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES)
+            self._data_blocks.append(block_id)
+            self._overflow.append([])
+            self._index_keys.append(chunk[0][0])
+        self._rewrite_index()
+
+    def _teardown(self) -> None:
+        for block_id in self._data_blocks:
+            self.device.free(block_id)
+        for chain in self._overflow:
+            for block_id in chain:
+                self.device.free(block_id)
+        for block_id in self._index_blocks:
+            self.device.free(block_id)
+        self._index_blocks = []
+
+    def _rewrite_index(self) -> None:
+        """Materialize the sparse entries into device blocks."""
+        entries = list(zip(self._index_keys, self._data_blocks))
+        needed = max(1, -(-len(entries) // self._entries_per_block)) if entries else 0
+        while len(self._index_blocks) < needed:
+            self._index_blocks.append(self.device.allocate(kind="sparse-index"))
+        while len(self._index_blocks) > needed:
+            self.device.free(self._index_blocks.pop())
+        for block_index, block_id in enumerate(self._index_blocks):
+            chunk = entries[
+                block_index
+                * self._entries_per_block : (block_index + 1)
+                * self._entries_per_block
+            ]
+            self.device.write(block_id, chunk, used_bytes=len(chunk) * ENTRY_BYTES)
+
+    def _locate_block(self, key: int) -> Optional[int]:
+        """Binary search the on-device index for the covering data block."""
+        if not self._index_blocks:
+            return None
+        # Read index blocks along a binary search over their span.
+        lo_block, hi_block = 0, len(self._index_blocks) - 1
+        while lo_block < hi_block:
+            mid = (lo_block + hi_block + 1) // 2
+            entries = self.device.read(self._index_blocks[mid])
+            if entries and entries[0][0] <= key:
+                lo_block = mid
+            else:
+                hi_block = mid - 1
+        entries = self.device.read(self._index_blocks[lo_block])
+        keys = [entry_key for entry_key, _ in entries]
+        offset = bisect.bisect_right(keys, key) - 1
+        position = lo_block * self._entries_per_block + max(0, offset)
+        return min(position, len(self._data_blocks) - 1)
+
+    def _write_data(self, position: int, records: List[Record]) -> None:
+        self.device.write(
+            self._data_blocks[position],
+            records,
+            used_bytes=len(records) * RECORD_BYTES,
+        )
+
+    def _append_overflow(self, position: int, record: Record) -> None:
+        chain = self._overflow[position]
+        if chain:
+            last = chain[-1]
+            records = list(self.device.read(last))
+            if len(records) < self._per_block:
+                records.append(record)
+                self.device.write(
+                    last, records, used_bytes=len(records) * RECORD_BYTES
+                )
+                self._overflow_records += 1
+                return
+        block_id = self.device.allocate(kind="sparse-overflow")
+        self.device.write(block_id, [record], used_bytes=RECORD_BYTES)
+        chain.append(block_id)
+        self._overflow_records += 1
+
+    @staticmethod
+    def _find(records: List[Record], key: int) -> Optional[int]:
+        keys = [record_key for record_key, _ in records]
+        index = bisect.bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            return index
+        return None

@@ -1,0 +1,58 @@
+"""Simulated storage substrate.
+
+Every access method in :mod:`repro.methods` is built on top of a
+:class:`~repro.storage.device.SimulatedDevice`: an in-memory block store
+that counts every block read, write and allocation.  The RUM overheads of
+the paper (read/write/space amplification) are *measured* as ratios of
+these counters, exactly following the definitions in Section 2 of the
+paper.
+
+Modules
+-------
+``block``
+    Block objects and block-size arithmetic.
+``device``
+    The instrumented block device and its I/O counters / cost model.
+``layout``
+    Record sizing shared by every access method (fixed-size integer
+    key/value records, as in the paper's base-data model).
+``pager``
+    A buffer pool (LRU / Clock eviction) layered over a device.
+``hierarchy``
+    A multi-level memory-hierarchy simulator (Figure 2 substrate).
+"""
+
+from repro.storage.block import Block, BlockId
+from repro.storage.cached import CachedDevice
+from repro.storage.device import CostModel, DeviceCounters, IOStats, SimulatedDevice
+from repro.storage.hierarchy import HierarchyLevel, LevelSpec, MemoryHierarchy
+from repro.storage.layout import (
+    KEY_BYTES,
+    POINTER_BYTES,
+    RECORD_BYTES,
+    VALUE_BYTES,
+    records_per_block,
+)
+from repro.storage.pager import BufferPool, ClockPolicy, EvictionPolicy, LRUPolicy
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "BufferPool",
+    "CachedDevice",
+    "ClockPolicy",
+    "CostModel",
+    "DeviceCounters",
+    "EvictionPolicy",
+    "HierarchyLevel",
+    "IOStats",
+    "KEY_BYTES",
+    "LRUPolicy",
+    "LRUPolicy",
+    "MemoryHierarchy",
+    "POINTER_BYTES",
+    "RECORD_BYTES",
+    "SimulatedDevice",
+    "VALUE_BYTES",
+    "records_per_block",
+]

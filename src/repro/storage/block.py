@@ -1,0 +1,51 @@
+"""Block objects for the simulated device.
+
+A block is the unit of I/O and of space allocation.  Its ``payload`` is an
+arbitrary Python object chosen by the owning access method (a list of
+records, a node struct, a bitmap chunk, ...); what matters for RUM
+accounting is that *reading or writing a block always costs one block of
+I/O* and that *an allocated block always occupies one block of space*,
+exactly as on a real device with a minimum access granularity (the paper's
+"fundamental assumption that data has a minimum access granularity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Block identifiers are plain integers handed out by the device.
+BlockId = int
+
+
+@dataclass
+class Block:
+    """One allocated block on a :class:`~repro.storage.device.SimulatedDevice`.
+
+    Attributes
+    ----------
+    block_id:
+        Device-assigned identifier.
+    payload:
+        The structure-specific contents.  ``None`` until first written.
+    used_bytes:
+        Logical bytes in use inside the block, declared by the owner on
+        each write.  Used for fill-factor statistics; space accounting
+        always charges the full block.
+    kind:
+        Free-form tag ("leaf", "run", "bucket", ...) used by statistics
+        and debugging output.
+    """
+
+    block_id: BlockId
+    payload: Any = None
+    used_bytes: int = 0
+    kind: str = "data"
+    writes: int = field(default=0, repr=False)
+    reads: int = field(default=0, repr=False)
+
+    def fill_factor(self, block_bytes: int) -> float:
+        """Fraction of the block's capacity that is logically in use."""
+        if block_bytes <= 0:
+            return 0.0
+        return min(1.0, self.used_bytes / block_bytes)

@@ -1,0 +1,126 @@
+"""A device wrapper that interposes a buffer pool.
+
+:class:`CachedDevice` presents the :class:`SimulatedDevice` interface
+while serving reads and writes through a
+:class:`~repro.storage.pager.BufferPool` over a backing device.  Any
+access method can be constructed on top of it unchanged, which is how
+the Figure-2 benchmark runs a *real structure* (not raw block traffic)
+against a memory hierarchy: the method sees cheap cached accesses, the
+backing device's counters show the traffic that actually reached the
+slow level, and the pool's footprint is the memory overhead paid for
+the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage.block import BlockId
+from repro.storage.device import CostModel, DeviceCounters, IOStats, SimulatedDevice
+from repro.storage.pager import BufferPool, EvictionPolicy
+
+
+class CachedDevice(SimulatedDevice):
+    """A buffer pool masquerading as a device.
+
+    Parameters
+    ----------
+    backing:
+        The slow device that owns the blocks.
+    capacity_blocks:
+        Pool capacity at the fast level; 0 degenerates to pass-through.
+    policy:
+        Eviction policy (default LRU).
+
+    Notes
+    -----
+    * ``counters`` on *this* object record the traffic the access method
+      issued (the logical I/O); ``backing.counters`` record what reached
+      the slow level (the physical I/O).
+    * Space accounting (``allocated_bytes`` etc.) delegates to the
+      backing device; :meth:`cache_bytes` reports the fast level's
+      footprint.
+    """
+
+    def __init__(
+        self,
+        backing: SimulatedDevice,
+        capacity_blocks: int,
+        policy: Optional[EvictionPolicy] = None,
+    ) -> None:
+        super().__init__(
+            block_bytes=backing.block_bytes,
+            cost_model=CostModel.dram(),
+            name=f"cached({backing.name})",
+        )
+        self.backing = backing
+        self.pool = BufferPool(backing, capacity_blocks, policy)
+
+    # ------------------------------------------------------------------
+    # Allocation delegates to the backing device.
+    # ------------------------------------------------------------------
+    def allocate(self, kind: str = "data") -> BlockId:
+        self.counters.allocations += 1
+        return self.backing.allocate(kind)
+
+    def free(self, block_id: BlockId) -> None:
+        self.counters.frees += 1
+        self.pool.invalidate(block_id)
+        self.backing.free(block_id)
+
+    def is_allocated(self, block_id: BlockId) -> bool:
+        """Whether ``block_id`` is live on the backing device."""
+        return self.backing.is_allocated(block_id)
+
+    # ------------------------------------------------------------------
+    # I/O goes through the pool.
+    # ------------------------------------------------------------------
+    def read(self, block_id: BlockId) -> object:
+        self.counters.reads += 1
+        self.counters.read_bytes += self.block_bytes
+        self.counters.simulated_time += self.cost_model.random_read
+        return self.pool.read(block_id)
+
+    def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
+        self.counters.writes += 1
+        self.counters.write_bytes += self.block_bytes
+        self.counters.simulated_time += self.cost_model.random_write
+        self.pool.write(block_id, payload, used_bytes)
+
+    def peek(self, block_id: BlockId) -> object:
+        frame = self.pool._frames.get(block_id)
+        if frame is not None:
+            return frame.payload
+        return self.backing.peek(block_id)
+
+    def flush(self) -> None:
+        """Write every dirty cached frame down to the backing device."""
+        self.pool.flush()
+
+    # ------------------------------------------------------------------
+    # Space accounting delegates to the backing store.
+    # ------------------------------------------------------------------
+    @property
+    def allocated_blocks(self) -> int:
+        return self.backing.allocated_blocks
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.backing.allocated_bytes
+
+    def used_bytes(self) -> int:
+        return self.backing.used_bytes()
+
+    def blocks_by_kind(self):
+        return self.backing.blocks_by_kind()
+
+    def iter_block_ids(self):
+        return self.backing.iter_block_ids()
+
+    def cache_bytes(self) -> int:
+        """Fast-level footprint: the MO_{n-1} of Figure 2."""
+        return self.pool.cached_bytes
+
+    def hit_rate(self) -> float:
+        """Fraction of pool accesses served without backing I/O."""
+        return self.pool.stats.hit_rate

@@ -1,0 +1,193 @@
+"""Memory-hierarchy simulator (substrate of the paper's Figure 2).
+
+The paper argues the RUM tradeoffs hold *per level* of the memory
+hierarchy and also *vertically*: the read overhead RO_n and update
+overhead UO_n at level ``n`` can be reduced by caching more data at the
+faster level ``n-1``, which raises the memory overhead MO_{n-1} there.
+
+:class:`MemoryHierarchy` models a stack of levels, each a
+:class:`~repro.storage.pager.BufferPool` over the level below; the bottom
+level is the backing :class:`~repro.storage.device.SimulatedDevice`.
+Every level tracks the accesses that *reach it* (its misses are the
+accesses that reach the next level down), so RO_n / UO_n / MO_{n-1} can be
+read off directly, reproducing Figure 2's interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.storage.block import BlockId
+from repro.storage.device import CostModel, SimulatedDevice
+from repro.storage.pager import BufferPool, EvictionPolicy, LRUPolicy
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Configuration of one hierarchy level.
+
+    ``capacity_blocks`` is the level's cache capacity; the bottom level's
+    capacity is ignored (it holds everything).  ``access_cost`` is the
+    abstract cost of one block access served *at* this level.
+    """
+
+    name: str
+    capacity_blocks: int
+    access_cost: float = 1.0
+
+
+@dataclass
+class LevelCounters:
+    """Traffic observed at one level of the hierarchy."""
+
+    reads_served: int = 0
+    writes_served: int = 0
+    reads_passed_down: int = 0
+    writes_passed_down: int = 0
+
+    @property
+    def reads_reaching(self) -> int:
+        """Read requests that reached this level at all."""
+        return self.reads_served + self.reads_passed_down
+
+    @property
+    def writes_reaching(self) -> int:
+        return self.writes_served + self.writes_passed_down
+
+
+class HierarchyLevel:
+    """One cache level: a buffer pool plus traffic counters."""
+
+    def __init__(
+        self,
+        spec: LevelSpec,
+        device: SimulatedDevice,
+        policy: Optional[EvictionPolicy] = None,
+    ) -> None:
+        self.spec = spec
+        self.pool = BufferPool(device, spec.capacity_blocks, policy or LRUPolicy())
+        self.counters = LevelCounters()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def space_bytes(self) -> int:
+        """Bytes of data replicated at this level (drives MO here)."""
+        return self.pool.cached_bytes
+
+    def hit_rate(self) -> float:
+        """Fraction of accesses this level served itself."""
+        return self.pool.stats.hit_rate
+
+
+class MemoryHierarchy:
+    """A stack of cache levels over one backing device.
+
+    ``levels`` are ordered fast-to-slow (e.g. ``[cache, dram]`` over a
+    flash backing device).  Reads and writes enter at the top; each level
+    serves hits and passes misses down.  The backing device's own counters
+    record the traffic that reached the bottom.
+
+    Notes
+    -----
+    Caching is *inclusive*: a block cached at level ``n-1`` is typically
+    also present at ``n``, as in most real hierarchies.  Eviction is
+    per-level and independent.
+    """
+
+    def __init__(
+        self,
+        backing: SimulatedDevice,
+        levels: Sequence[LevelSpec],
+        policy_factory=LRUPolicy,
+    ) -> None:
+        self.backing = backing
+        self.levels: List[HierarchyLevel] = []
+        # Build bottom-up: each level's pool reads through to the composite
+        # below it.  We implement the chain by letting each level's pool
+        # target the backing device, but routing traffic level by level in
+        # read()/write() so per-level counters stay exact.
+        for spec in levels:
+            self.levels.append(HierarchyLevel(spec, backing, policy_factory()))
+
+    # ------------------------------------------------------------------
+    def read(self, block_id: BlockId) -> object:
+        """Read a block through the hierarchy, top level first."""
+        missed: List[HierarchyLevel] = []
+        for level in self.levels:
+            frame = level.pool._frames.get(block_id)
+            if frame is not None:
+                level.counters.reads_served += 1
+                level.pool.stats.hits += 1
+                level.pool.policy.on_access(block_id)
+                payload = frame.payload
+                self._fill_upwards(missed, block_id, payload)
+                return payload
+            level.counters.reads_passed_down += 1
+            level.pool.stats.misses += 1
+            missed.append(level)
+        payload = self.backing.read(block_id)
+        self._fill_upwards(missed, block_id, payload)
+        return payload
+
+    def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
+        """Write a block at the top level (write-back down the stack).
+
+        The write is absorbed by the first level with capacity; lower
+        levels see it only on eviction or flush.  A hierarchy with no
+        levels writes straight to the backing device.
+        """
+        for level in self.levels:
+            if level.spec.capacity_blocks > 0:
+                level.counters.writes_served += 1
+                self._pool_write(level, block_id, payload, used_bytes)
+                return
+            level.counters.writes_passed_down += 1
+        self.backing.write(block_id, payload, used_bytes)
+
+    def flush(self) -> None:
+        """Flush every level's dirty frames down to the backing device."""
+        for level in self.levels:
+            level.pool.flush()
+
+    # ------------------------------------------------------------------
+    def level(self, name: str) -> HierarchyLevel:
+        """Look a level up by its configured name."""
+        for level in self.levels:
+            if level.name == name:
+                return level
+        raise KeyError(f"no hierarchy level named {name!r}")
+
+    def space_by_level(self) -> List[tuple]:
+        """(name, bytes cached) per level, top to bottom, plus backing."""
+        rows = [(level.name, level.space_bytes) for level in self.levels]
+        rows.append((self.backing.name, self.backing.allocated_bytes))
+        return rows
+
+    # ------------------------------------------------------------------
+    def _fill_upwards(
+        self, missed: List[HierarchyLevel], block_id: BlockId, payload: object
+    ) -> None:
+        """Install a block into every level that missed on the way down."""
+        for level in missed:
+            if level.spec.capacity_blocks > 0:
+                level.pool._admit(block_id, payload, used_bytes=0, dirty=False)
+
+    @staticmethod
+    def _pool_write(
+        level: HierarchyLevel, block_id: BlockId, payload: object, used_bytes: int
+    ) -> None:
+        pool = level.pool
+        frame = pool._frames.get(block_id)
+        if frame is not None:
+            pool.stats.hits += 1
+            frame.payload = payload
+            frame.used_bytes = used_bytes
+            frame.dirty = True
+            pool.policy.on_access(block_id)
+        else:
+            pool.stats.misses += 1
+            pool._admit(block_id, payload, used_bytes=used_bytes, dirty=True)

@@ -1,0 +1,215 @@
+"""Buffer pool over a simulated device.
+
+The buffer pool is the mechanism through which the *vertical* view of the
+RUM tradeoffs (paper, Figure 2) materializes: caching blocks at a faster
+level reduces the read/update traffic that reaches the level below, at the
+price of memory overhead at the caching level.
+
+Two classic eviction policies are provided (LRU and Clock); both are
+deterministic so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.storage.block import BlockId
+from repro.storage.device import SimulatedDevice
+
+
+class EvictionPolicy(ABC):
+    """Strategy deciding which cached block to evict when the pool is full."""
+
+    @abstractmethod
+    def on_access(self, block_id: BlockId) -> None:
+        """Record that ``block_id`` was read or written through the pool."""
+
+    @abstractmethod
+    def on_insert(self, block_id: BlockId) -> None:
+        """Record that ``block_id`` entered the pool."""
+
+    @abstractmethod
+    def on_remove(self, block_id: BlockId) -> None:
+        """Record that ``block_id`` left the pool."""
+
+    @abstractmethod
+    def choose_victim(self) -> BlockId:
+        """Pick the block to evict.  Pool guarantees it is non-empty."""
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least-recently-used block."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[BlockId, None]" = OrderedDict()
+
+    def on_access(self, block_id: BlockId) -> None:
+        if block_id in self._order:
+            self._order.move_to_end(block_id)
+
+    def on_insert(self, block_id: BlockId) -> None:
+        self._order[block_id] = None
+        self._order.move_to_end(block_id)
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._order.pop(block_id, None)
+
+    def choose_victim(self) -> BlockId:
+        return next(iter(self._order))
+
+
+class ClockPolicy(EvictionPolicy):
+    """Second-chance (clock) eviction: cheap approximation of LRU."""
+
+    def __init__(self) -> None:
+        self._referenced: "OrderedDict[BlockId, bool]" = OrderedDict()
+
+    def on_access(self, block_id: BlockId) -> None:
+        if block_id in self._referenced:
+            self._referenced[block_id] = True
+
+    def on_insert(self, block_id: BlockId) -> None:
+        self._referenced[block_id] = True
+
+    def on_remove(self, block_id: BlockId) -> None:
+        self._referenced.pop(block_id, None)
+
+    def choose_victim(self) -> BlockId:
+        while True:
+            block_id, referenced = next(iter(self._referenced.items()))
+            if referenced:
+                # Second chance: clear the bit and move to the back.
+                self._referenced[block_id] = False
+                self._referenced.move_to_end(block_id)
+            else:
+                return block_id
+
+
+@dataclass
+class PoolStats:
+    """Hit/miss statistics of a buffer pool."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    write_backs: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _Frame:
+    payload: object
+    used_bytes: int
+    dirty: bool
+
+
+class BufferPool:
+    """Write-back block cache of fixed capacity over a device.
+
+    Reads and writes of cached blocks are served from the pool without
+    touching the underlying device; misses read through, and evictions of
+    dirty frames write back.  ``capacity_blocks == 0`` degenerates to a
+    pass-through (every access reaches the device), which is the "no
+    memory overhead at level n-1" end of Figure 2.
+    """
+
+    def __init__(
+        self,
+        device: SimulatedDevice,
+        capacity_blocks: int,
+        policy: Optional[EvictionPolicy] = None,
+    ) -> None:
+        if capacity_blocks < 0:
+            raise ValueError("capacity_blocks must be non-negative")
+        self.device = device
+        self.capacity_blocks = capacity_blocks
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.stats = PoolStats()
+        self._frames: Dict[BlockId, _Frame] = {}
+
+    # ------------------------------------------------------------------
+    def read(self, block_id: BlockId) -> object:
+        """Read through the cache."""
+        frame = self._frames.get(block_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self.policy.on_access(block_id)
+            return frame.payload
+        self.stats.misses += 1
+        payload = self.device.read(block_id)
+        self._admit(block_id, payload, used_bytes=0, dirty=False)
+        return payload
+
+    def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
+        """Write into the cache (write-back).
+
+        The device only sees the write when the frame is evicted or the
+        pool is flushed.
+        """
+        frame = self._frames.get(block_id)
+        if frame is not None:
+            self.stats.hits += 1
+            frame.payload = payload
+            frame.used_bytes = used_bytes
+            frame.dirty = True
+            self.policy.on_access(block_id)
+            return
+        self.stats.misses += 1
+        if self.capacity_blocks == 0:
+            self.device.write(block_id, payload, used_bytes)
+            return
+        self._admit(block_id, payload, used_bytes=used_bytes, dirty=True)
+
+    def flush(self) -> None:
+        """Write back every dirty frame (frames stay cached, now clean)."""
+        for block_id in sorted(self._frames):
+            frame = self._frames[block_id]
+            if frame.dirty:
+                self.device.write(block_id, frame.payload, frame.used_bytes)
+                self.stats.write_backs += 1
+                frame.dirty = False
+
+    def invalidate(self, block_id: BlockId) -> None:
+        """Drop a block from the cache without writing it back.
+
+        Used when the owner frees the block on the device.
+        """
+        if block_id in self._frames:
+            del self._frames[block_id]
+            self.policy.on_remove(block_id)
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._frames)
+
+    @property
+    def cached_bytes(self) -> int:
+        """Space consumed by the cache, for MO accounting at this level."""
+        return len(self._frames) * self.device.block_bytes
+
+    # ------------------------------------------------------------------
+    def _admit(
+        self, block_id: BlockId, payload: object, used_bytes: int, dirty: bool
+    ) -> None:
+        if self.capacity_blocks == 0:
+            return
+        while len(self._frames) >= self.capacity_blocks:
+            victim = self.policy.choose_victim()
+            victim_frame = self._frames.pop(victim)
+            self.policy.on_remove(victim)
+            self.stats.evictions += 1
+            if victim_frame.dirty:
+                self.device.write(victim, victim_frame.payload, victim_frame.used_bytes)
+                self.stats.write_backs += 1
+        self._frames[block_id] = _Frame(payload=payload, used_bytes=used_bytes, dirty=dirty)
+        self.policy.on_insert(block_id)

@@ -1,0 +1,41 @@
+"""Workload specification and generation.
+
+The paper's analysis (Section 2) runs over "point queries, updates,
+inserts, and deletes" on fixed-size records; Table 1 adds range queries of
+result size ``m``.  This package generates deterministic, seeded streams
+of exactly those operations with configurable operation mixes and key
+distributions, and drives them against access methods to produce measured
+RUM profiles.
+"""
+
+from repro.workloads.distributions import (
+    ClusteredKeys,
+    KeyDistribution,
+    LatestKeys,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+)
+from repro.workloads.generator import WorkloadGenerator, generate_operations
+from repro.workloads.spec import MIXES, Operation, OpKind, WorkloadSpec
+from repro.workloads.runner import WorkloadResult, run_workload
+from repro.workloads.trace import load_trace, save_trace
+
+__all__ = [
+    "ClusteredKeys",
+    "KeyDistribution",
+    "LatestKeys",
+    "MIXES",
+    "OpKind",
+    "Operation",
+    "SequentialKeys",
+    "UniformKeys",
+    "WorkloadGenerator",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "ZipfianKeys",
+    "generate_operations",
+    "load_trace",
+    "run_workload",
+    "save_trace",
+]

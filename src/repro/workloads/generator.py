@@ -1,0 +1,110 @@
+"""Deterministic workload generation.
+
+:class:`WorkloadGenerator` maintains the set of live keys as the stream it
+generates mutates the (virtual) dataset, so updates and deletes always
+target existing keys and inserts always use fresh keys — the streams are
+valid against any access method that starts from the same bulk load.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.workloads.distributions import KeyDistribution, make_distribution
+from repro.workloads.spec import Operation, OpKind, WorkloadSpec
+
+
+class WorkloadGenerator:
+    """Generates the initial dataset and the operation stream of a spec."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.distribution: KeyDistribution = make_distribution(
+            spec.distribution, self.rng
+        )
+        # Live keys, kept sorted so range queries can be anchored at a
+        # chosen selectivity and deletes can maintain order in O(log n).
+        self._keys: List[int] = []
+        self._next_key = 0
+
+    # ------------------------------------------------------------------
+    def initial_data(self) -> List[Tuple[int, int]]:
+        """The bulk-load dataset: ``initial_records`` sequential keys.
+
+        Keys are dense integers ``0, 2, 4, ...`` (stride 2) so that the
+        generator can also produce guaranteed-miss point queries on odd
+        keys when a benchmark asks for negative lookups.
+        """
+        if self._keys:
+            raise RuntimeError("initial_data may only be generated once")
+        count = self.spec.initial_records
+        self._keys = [2 * i for i in range(count)]
+        self._next_key = 2 * count
+        return [(key, self._value_for(key)) for key in self._keys]
+
+    def operations(self) -> Iterator[Operation]:
+        """Yield the operation stream described by the spec."""
+        if not self._keys and self.spec.initial_records:
+            raise RuntimeError("call initial_data() before operations()")
+        kinds, weights = zip(*self.spec.mix.items())
+        for _ in range(self.spec.operations):
+            kind = self._choose_kind(kinds, weights)
+            operation = self._emit(kind)
+            if operation is not None:
+                yield operation
+
+    # ------------------------------------------------------------------
+    def _choose_kind(self, kinds, weights) -> OpKind:
+        kind = self.rng.choices(kinds, weights=weights)[0]
+        # Degenerate fallbacks: reads/updates/deletes need live keys.
+        if not self._keys and kind is not OpKind.INSERT:
+            return OpKind.INSERT if self.spec.inserts > 0 else kind
+        return kind
+
+    def _emit(self, kind: OpKind):
+        if kind is OpKind.INSERT:
+            key = self._next_key
+            self._next_key += 2
+            self._insert_sorted(key)
+            return Operation(OpKind.INSERT, key, self._value_for(key))
+        if not self._keys:
+            return None
+        if kind is OpKind.POINT_QUERY:
+            return Operation(OpKind.POINT_QUERY, self.distribution.pick(self._keys))
+        if kind is OpKind.RANGE_QUERY:
+            return self._range_operation()
+        if kind is OpKind.UPDATE:
+            key = self.distribution.pick(self._keys)
+            return Operation(OpKind.UPDATE, key, self._value_for(key) + 1)
+        if kind is OpKind.DELETE:
+            index = self.distribution.pick_index(len(self._keys))
+            key = self._keys.pop(index)
+            return Operation(OpKind.DELETE, key)
+        raise ValueError(f"unhandled operation kind {kind}")  # pragma: no cover
+
+    def _range_operation(self) -> Operation:
+        span = max(1, int(len(self._keys) * self.spec.range_fraction))
+        start = self.distribution.pick_index(len(self._keys))
+        start = min(start, len(self._keys) - 1)
+        end = min(start + span - 1, len(self._keys) - 1)
+        return Operation(
+            OpKind.RANGE_QUERY, self._keys[start], high_key=self._keys[end]
+        )
+
+    def _insert_sorted(self, key: int) -> None:
+        # Keys are handed out monotonically, so appending keeps order.
+        self._keys.append(key)
+
+    @staticmethod
+    def _value_for(key: int) -> int:
+        """Deterministic value derivation, so oracles can recompute it."""
+        return key * 1000 + 1
+
+
+def generate_operations(spec: WorkloadSpec) -> Tuple[List[Tuple[int, int]], List[Operation]]:
+    """Convenience: materialize both the dataset and the full stream."""
+    generator = WorkloadGenerator(spec)
+    data = generator.initial_data()
+    return data, list(generator.operations())

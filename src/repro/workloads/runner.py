@@ -1,0 +1,67 @@
+"""Drive a workload against an access method and collect results.
+
+This is the measurement harness used by the Figure-1 / Figure-3 /
+conjecture benchmarks: bulk-load the initial dataset, stream the
+operations, and report the measured RUM profile together with bulk-load
+cost and raw I/O totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.interfaces import AccessMethod
+from repro.core.rum import RUMProfile, measure_workload
+from repro.storage.device import IOStats
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Everything measured from one (method, spec) pairing."""
+
+    method_name: str
+    spec: WorkloadSpec
+    profile: RUMProfile
+    bulk_load_io: IOStats
+    final_records: int
+    final_space_bytes: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method_name}: {self.profile} over {self.spec.operations} ops "
+            f"({self.final_records} records, {self.final_space_bytes} bytes)"
+        )
+
+
+def run_workload(
+    method: AccessMethod,
+    spec: WorkloadSpec,
+    generator: Optional[WorkloadGenerator] = None,
+) -> WorkloadResult:
+    """Bulk-load ``method`` and run the spec's operation stream against it.
+
+    A pre-built ``generator`` can be supplied to replay an identical
+    stream against several methods (as the Figure-1 bench does); it must
+    not have been consumed yet.
+    """
+    generator = generator or WorkloadGenerator(spec)
+    data = generator.initial_data()
+
+    before_load = method.device.snapshot()
+    method.bulk_load(data)
+    method.flush()
+    bulk_load_io = method.device.stats_since(before_load)
+
+    profile = measure_workload(method, generator.operations())
+    stats = method.stats()
+    return WorkloadResult(
+        method_name=method.name,
+        spec=spec,
+        profile=profile,
+        bulk_load_io=bulk_load_io,
+        final_records=stats.records,
+        final_space_bytes=stats.space_bytes,
+    )

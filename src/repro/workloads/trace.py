@@ -1,0 +1,88 @@
+"""Workload traces: save and replay operation streams.
+
+A trace is the materialized form of a workload — the bulk-load dataset
+plus the exact operation sequence — written as JSON lines.  Traces make
+experiments portable and diff-able: capture a generated stream once,
+commit it, and replay it against any access method (or any future
+version of one) for bit-identical comparisons.
+
+Format: the first line is a header object; subsequent lines are either
+``{"r": [key, value]}`` (one bulk-load record) or operation objects
+``{"op": kind, "k": key, "v": value, "h": high_key}`` with the unused
+fields omitted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Tuple, Union
+
+from repro.workloads.spec import Operation, OpKind
+
+_VERSION = 1
+
+Record = Tuple[int, int]
+
+
+def save_trace(
+    path: str,
+    initial_data: Iterable[Record],
+    operations: Iterable[Operation],
+) -> None:
+    """Write a trace file containing the dataset and the stream."""
+    with open(path, "w") as handle:
+        handle.write(json.dumps({"trace": _VERSION}) + "\n")
+        for key, value in initial_data:
+            handle.write(json.dumps({"r": [key, value]}) + "\n")
+        for operation in operations:
+            handle.write(json.dumps(_encode(operation)) + "\n")
+
+
+def load_trace(path: str) -> Tuple[List[Record], List[Operation]]:
+    """Read a trace file back into (initial_data, operations)."""
+    initial: List[Record] = []
+    operations: List[Operation] = []
+    with open(path) as handle:
+        header = json.loads(_required_line(handle, "header"))
+        if header.get("trace") != _VERSION:
+            raise ValueError(f"unsupported trace header: {header}")
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if "r" in entry:
+                key, value = entry["r"]
+                initial.append((key, value))
+            else:
+                operations.append(_decode(entry))
+    return initial, operations
+
+
+def _required_line(handle: IO[str], what: str) -> str:
+    line = handle.readline()
+    if not line:
+        raise ValueError(f"trace file is missing its {what}")
+    return line
+
+
+def _encode(operation: Operation) -> dict:
+    entry = {"op": operation.kind.value, "k": operation.key}
+    if operation.kind in (OpKind.INSERT, OpKind.UPDATE):
+        entry["v"] = operation.value
+    if operation.kind is OpKind.RANGE_QUERY:
+        entry["h"] = operation.high_key
+    return entry
+
+
+def _decode(entry: dict) -> Operation:
+    try:
+        kind = OpKind(entry["op"])
+    except (KeyError, ValueError) as error:
+        raise ValueError(f"malformed trace entry: {entry}") from error
+    return Operation(
+        kind=kind,
+        key=entry["k"],
+        value=entry.get("v", 0),
+        high_key=entry.get("h", entry["k"] if kind is OpKind.RANGE_QUERY else 0),
+    )

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite.
+
+Small block sizes (256 bytes = 16 records) are used throughout so that
+multi-block code paths (splits, chains, spills, compactions) are hit
+with small datasets, keeping the suite fast while exercising more edge
+cases than production-sized blocks would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.device import SimulatedDevice
+
+SMALL_BLOCK = 256  # 16 records per block
+
+
+@pytest.fixture
+def device() -> SimulatedDevice:
+    """A small-block device for structure tests."""
+    return SimulatedDevice(block_bytes=SMALL_BLOCK)
+
+
+def make_device() -> SimulatedDevice:
+    """Non-fixture constructor for parameterized/property tests."""
+    return SimulatedDevice(block_bytes=SMALL_BLOCK)
+
+
+def sample_records(n: int, stride: int = 2, start: int = 0):
+    """n records with keys start, start+stride, ... and derived values."""
+    return [(start + stride * i, (start + stride * i) * 10 + 1) for i in range(n)]

@@ -1,0 +1,22 @@
+"""The committed API reference must match the code it documents."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+API_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "docs", "API.md")
+TOOLS_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+
+
+def test_api_reference_is_current():
+    sys.path.insert(0, TOOLS_PATH)
+    try:
+        import gen_api_docs
+    finally:
+        sys.path.remove(TOOLS_PATH)
+    with open(API_PATH) as handle:
+        committed = handle.read()
+    assert committed == gen_api_docs.render(), (
+        "docs/API.md is stale; regenerate with `python tools/gen_api_docs.py`"
+    )

@@ -1,0 +1,130 @@
+"""Integration test of the RUM Conjecture itself (paper Section 3).
+
+"An access method that can set an upper bound for two out of the read,
+update, and memory overheads, also sets a lower bound for the third
+overhead."
+
+Empirically: across every implemented structure and a grid of tunings,
+no configuration achieves *near-optimal values on all three overheads
+simultaneously*.  We verify (a) no structure Pareto-dominates with all
+three overheads close to their floors, and (b) for each structure that
+excels on two dimensions, its third is far from optimal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import available_methods, create_method
+from repro.storage.device import SimulatedDevice
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+from tests.conftest import SMALL_BLOCK
+from tests.unit.test_method_contract import TUNED_KWARGS
+
+SPEC = WorkloadSpec(
+    point_queries=0.35,
+    range_queries=0.05,
+    inserts=0.3,
+    updates=0.2,
+    deletes=0.1,
+    operations=400,
+    initial_records=2000,
+)
+
+#: "Close to optimal" thresholds.  RO's floor under block granularity is
+#: block/record = 16 for point queries; we call a structure read-near-
+#: optimal within 4x of that floor.  UO's floor is 1.0 (log-style
+#: appends); MO's floor is 1.0.
+RO_FLOOR = 16.0  # SMALL_BLOCK / RECORD_BYTES
+NEAR = {
+    "read": lambda ro: ro <= 4 * RO_FLOOR,
+    "update": lambda uo: uo <= 4.0,
+    "memory": lambda mo: mo <= 1.10,
+}
+
+
+def measure_all():
+    profiles = {}
+    for name in sorted(available_methods()):
+        method = create_method(
+            name,
+            device=SimulatedDevice(block_bytes=SMALL_BLOCK),
+            **TUNED_KWARGS.get(name, {}),
+        )
+        profiles[name] = run_workload(method, SPEC).profile
+    return profiles
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return measure_all()
+
+
+class TestConjecture:
+    def test_no_structure_is_near_optimal_on_all_three(self, profiles):
+        violators = []
+        for name, profile in profiles.items():
+            if (
+                NEAR["read"](profile.read_overhead)
+                and NEAR["update"](profile.update_overhead)
+                and NEAR["memory"](profile.memory_overhead)
+            ):
+                violators.append((name, profile))
+        assert not violators, f"RUM Conjecture violated by: {violators}"
+
+    def test_each_corner_is_reachable(self, profiles):
+        """The frontier is populated: for each single overhead, some
+        structure gets near its floor (so the conjecture's content is
+        about the *combination*, not any single axis being hard)."""
+        assert any(NEAR["read"](p.read_overhead) for p in profiles.values())
+        assert any(NEAR["update"](p.update_overhead) for p in profiles.values())
+        assert any(NEAR["memory"](p.memory_overhead) for p in profiles.values())
+
+    def test_two_of_three_forces_the_third_up(self, profiles):
+        """Every structure near-optimal on two axes is clearly away from
+        the floor on the third."""
+        for name, profile in profiles.items():
+            flags = {
+                "read": NEAR["read"](profile.read_overhead),
+                "update": NEAR["update"](profile.update_overhead),
+                "memory": NEAR["memory"](profile.memory_overhead),
+            }
+            if sum(flags.values()) == 2:
+                if not flags["read"]:
+                    assert profile.read_overhead > 4 * RO_FLOOR, name
+                elif not flags["update"]:
+                    assert profile.update_overhead > 4.0, name
+                else:
+                    assert profile.memory_overhead > 1.10, name
+
+    def test_no_profile_dominates_every_other(self, profiles):
+        """No universally best access method (the paper's core claim)."""
+        names = sorted(profiles)
+        for name in names:
+            dominated_all = all(
+                other == name or profiles[name].dominates(profiles[other])
+                for other in names
+            )
+            assert not dominated_all, f"{name} dominates everything"
+
+
+class TestTunableSweepsStayOnFrontier:
+    def test_tunable_knob_grid_respects_conjecture(self):
+        """No knob setting of the tunable method beats the conjecture."""
+        for r in (0.0, 0.5, 1.0):
+            for w in (0.0, 0.5, 1.0):
+                method = create_method(
+                    "tunable",
+                    device=SimulatedDevice(block_bytes=SMALL_BLOCK),
+                    read_optimization=r,
+                    write_optimization=w,
+                )
+                profile = run_workload(method, SPEC).profile
+                near_all = (
+                    NEAR["read"](profile.read_overhead)
+                    and NEAR["update"](profile.update_overhead)
+                    and NEAR["memory"](profile.memory_overhead)
+                )
+                assert not near_all, f"knobs ({r}, {w}) violate the conjecture"

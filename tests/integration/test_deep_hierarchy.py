@@ -1,0 +1,98 @@
+"""Three-level hierarchy: the Figure-2 interaction per level pair.
+
+A cache over a DRAM layer over a flash backing device: traffic that
+misses level n is served at n+1; the paper's vertical tradeoff must
+hold between *each* adjacent pair, not just the top two.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.device import SimulatedDevice
+from repro.storage.hierarchy import LevelSpec, MemoryHierarchy
+
+
+def _seed(device, n):
+    blocks = []
+    for i in range(n):
+        block = device.allocate()
+        device.write(block, f"page-{i}")
+        blocks.append(block)
+    return blocks
+
+
+def _skewed_pattern(n_blocks, accesses, seed=5):
+    rng = random.Random(seed)
+    return [
+        min(int(rng.expovariate(1.0 / (n_blocks / 8))), n_blocks - 1)
+        for _ in range(accesses)
+    ]
+
+
+class TestThreeLevels:
+    def test_traffic_decays_down_the_stack(self):
+        backing = SimulatedDevice(block_bytes=64, name="flash")
+        blocks = _seed(backing, 128)
+        hierarchy = MemoryHierarchy(
+            backing,
+            [LevelSpec("cache", 8), LevelSpec("dram", 32)],
+        )
+        backing.reset_counters()
+        for index in _skewed_pattern(128, 4000):
+            hierarchy.read(blocks[index])
+        cache = hierarchy.level("cache").counters
+        dram = hierarchy.level("dram").counters
+        # Each level absorbs traffic; what reaches the next is smaller.
+        assert dram.reads_reaching == cache.reads_passed_down
+        assert backing.counters.reads == dram.reads_passed_down
+        assert cache.reads_served > 0
+        assert dram.reads_served > 0
+        assert backing.counters.reads < dram.reads_reaching < cache.reads_reaching
+
+    def test_growing_the_middle_level_relieves_the_bottom(self):
+        results = {}
+        for dram_capacity in (8, 64):
+            backing = SimulatedDevice(block_bytes=64, name="flash")
+            blocks = _seed(backing, 128)
+            hierarchy = MemoryHierarchy(
+                backing,
+                [LevelSpec("cache", 4), LevelSpec("dram", dram_capacity)],
+            )
+            backing.reset_counters()
+            for index in _skewed_pattern(128, 4000):
+                hierarchy.read(blocks[index])
+            results[dram_capacity] = (
+                backing.counters.reads,
+                hierarchy.level("dram").space_bytes,
+            )
+        small, large = results[8], results[64]
+        assert large[0] < small[0]  # fewer reads reach flash
+        assert large[1] > small[1]  # more bytes replicated at DRAM
+
+    def test_space_by_level_reports_all_levels(self):
+        backing = SimulatedDevice(block_bytes=64, name="flash")
+        blocks = _seed(backing, 16)
+        hierarchy = MemoryHierarchy(
+            backing, [LevelSpec("cache", 2), LevelSpec("dram", 8)]
+        )
+        for block in blocks:
+            hierarchy.read(block)
+        rows = hierarchy.space_by_level()
+        assert [name for name, _ in rows] == ["cache", "dram", "flash"]
+        cache_bytes, dram_bytes, flash_bytes = (space for _, space in rows)
+        assert cache_bytes <= dram_bytes <= flash_bytes
+
+    def test_writes_flush_through_all_levels(self):
+        backing = SimulatedDevice(block_bytes=64, name="flash")
+        blocks = _seed(backing, 8)
+        hierarchy = MemoryHierarchy(
+            backing, [LevelSpec("cache", 4), LevelSpec("dram", 8)]
+        )
+        for index, block in enumerate(blocks):
+            hierarchy.write(block, f"updated-{index}")
+        hierarchy.flush()
+        for index, block in enumerate(blocks):
+            assert backing.peek(block) == f"updated-{index}"

@@ -1,0 +1,57 @@
+"""Integration tests: every example script runs and says what it should."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+#: (script, substrings its output must contain)
+EXAMPLES = [
+    ("quickstart.py", ["RO=", "UO=", "MO=", "RUM Conjecture"]),
+    ("rum_explorer.py", ["read-optimized", "btree", "lsm"]),
+    ("wizard_demo.py", ["wizard picks", "rank"]),
+    ("adaptive_shift.py", ["read knob", "write knob", "Knob trajectory"]),
+    ("hierarchy_tour.py", ["hit rate", "flash reads"]),
+    ("bitmap_analytics.py", ["bitmap bytes", "WAH"]),
+    ("log_structured_showcase.py", ["Bloom filters", "Morph history"]),
+    ("heap_vs_index.py", ["bare heap", "MO"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    for needle in expected:
+        assert needle in result.stdout, f"{script}: missing {needle!r}"
+
+
+def test_rum_explorer_accepts_workload_argument():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "rum_explorer.py"), "write-heavy"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "write-heavy" in result.stdout
+
+
+def test_rum_explorer_rejects_unknown_workload():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "rum_explorer.py"), "bogus"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode != 0

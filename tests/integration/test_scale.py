@@ -1,0 +1,68 @@
+"""Non-toy scale sanity: the core structures at tens of thousands of keys.
+
+Not a micro-benchmark — a smoke check that nothing degenerates (no
+quadratic blowups, no recursion limits, no counter overflow weirdness)
+when the dataset is 25x the sizes the rest of the suite uses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.registry import create_method
+from repro.storage.device import SimulatedDevice
+
+N = 50_000
+
+#: Structures whose operations are all sub-linear — the ones that must
+#: stay fast at scale (linear-cost structures would time the suite out
+#: by design, not by bug).
+SCALABLE = ["btree", "lsm", "hash-index", "silt", "cache-oblivious", "pdt"]
+
+
+@pytest.mark.parametrize("name", SCALABLE)
+def test_fifty_thousand_keys(name):
+    method = create_method(name, device=SimulatedDevice(block_bytes=4096))
+    records = [(2 * i, i) for i in range(N)]
+    method.bulk_load(records)
+    assert len(method) == N
+
+    rng = random.Random(13)
+    for _ in range(200):
+        key = 2 * rng.randrange(N)
+        assert method.get(key) == key // 2
+    for probe in range(200):
+        assert method.get(2 * N + 2 * probe + 100_001) is None
+
+    # A band of mutations in the middle of the key space.
+    for i in range(200):
+        method.update(2 * (N // 2 + i), 0)
+        method.insert(2 * N + 2 * i + 1, i)
+    for i in range(0, 200, 2):
+        method.delete(2 * (N // 2 + i))
+    method.flush()
+
+    assert method.get(2 * (N // 2 + 1)) == 0
+    assert method.get(2 * (N // 2)) is None
+    assert method.get(2 * N + 1) == 0
+
+    result = method.range_query(2 * (N // 2 - 2), 2 * (N // 2 + 3))
+    keys = [key for key, _ in result]
+    assert 2 * (N // 2) not in keys
+    assert 2 * (N // 2 + 1) in keys
+
+
+def test_point_cost_stays_logarithmic_at_scale():
+    costs = {}
+    for n in (5_000, 50_000):
+        tree = create_method("btree", device=SimulatedDevice(block_bytes=4096))
+        tree.bulk_load([(2 * i, i) for i in range(n)])
+        rng = random.Random(17)
+        before = tree.device.snapshot()
+        for _ in range(100):
+            tree.get(2 * rng.randrange(n))
+        costs[n] = tree.device.stats_since(before).reads
+    # 10x data, far less than 2x the probe cost.
+    assert costs[50_000] <= costs[5_000] * 2

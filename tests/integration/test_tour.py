@@ -1,0 +1,31 @@
+"""Execute every code block in docs/TOUR.md — docs that cannot rot."""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+TOUR_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "docs", "TOUR.md"
+)
+
+
+def _code_blocks():
+    with open(TOUR_PATH) as handle:
+        text = handle.read()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tour_has_blocks():
+    assert len(_code_blocks()) >= 6
+
+
+def test_tour_blocks_execute_in_order():
+    namespace: dict = {}
+    for index, block in enumerate(_code_blocks()):
+        try:
+            exec(compile(block, f"TOUR.md block {index + 1}", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - failure reporting
+            pytest.fail(f"TOUR.md block {index + 1} failed: {error!r}\n{block}")

@@ -1,0 +1,144 @@
+"""Property-based tests of the probabilistic filters and WAH coding."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.filters.bloom import BloomFilter, CountingBloomFilter
+from repro.filters.countmin import CountMinSketch
+from repro.filters.quotient import QuotientFilter
+from repro.methods.bitmap import WAHBitVector
+
+_keys = st.lists(st.integers(min_value=0, max_value=2**60), max_size=200)
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=_keys)
+def test_bloom_never_false_negative(keys):
+    bloom = BloomFilter(max(1, len(keys)), 0.01)
+    for key in keys:
+        bloom.add(key)
+    assert all(bloom.may_contain(key) for key in keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=2**60), max_size=100, unique=True))
+def test_counting_bloom_removal_consistency(keys):
+    bloom = CountingBloomFilter(max(1, len(keys)), 0.01)
+    for key in keys:
+        bloom.add(key)
+    removed = keys[: len(keys) // 2]
+    kept = keys[len(keys) // 2 :]
+    for key in removed:
+        bloom.remove(key)
+    # Kept keys must still test positive (no false negatives on live keys).
+    assert all(bloom.may_contain(key) for key in kept)
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=2**60), max_size=300, unique=True))
+def test_quotient_filter_no_false_negatives(keys):
+    qf = QuotientFilter(quotient_bits=10, remainder_bits=10)
+    usable = keys[: qf.capacity - 1]
+    for key in usable:
+        qf.add(key)
+    assert all(qf.may_contain(key) for key in usable)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=2**60), max_size=200, unique=True)
+)
+def test_quotient_filter_remove_keeps_others(keys):
+    qf = QuotientFilter(quotient_bits=10, remainder_bits=12)
+    usable = keys[: qf.capacity - 1]
+    for key in usable:
+        qf.add(key)
+    removed = usable[: len(usable) // 2]
+    kept = usable[len(usable) // 2 :]
+    for key in removed:
+        qf.remove(key)
+    assert all(qf.may_contain(key) for key in kept)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    counts=st.dictionaries(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=50),
+        max_size=100,
+    )
+)
+def test_countmin_never_undercounts(counts):
+    sketch = CountMinSketch(epsilon=0.01, delta=0.05)
+    for key, count in counts.items():
+        sketch.add(key, count)
+    for key, count in counts.items():
+        assert sketch.estimate(key) >= count
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    positions=st.lists(
+        st.integers(min_value=0, max_value=20_000), max_size=300, unique=True
+    )
+)
+def test_wah_roundtrip(positions):
+    vector = WAHBitVector()
+    for position in positions:
+        vector.set(position)
+    decoded = WAHBitVector.decode(vector.encode(), vector.length)
+    assert decoded.positions() == sorted(positions)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    set_positions=st.lists(
+        st.integers(min_value=0, max_value=5000), max_size=100, unique=True
+    ),
+    clear_positions=st.lists(
+        st.integers(min_value=0, max_value=5000), max_size=100, unique=True
+    ),
+)
+def test_wah_set_clear_consistency(set_positions, clear_positions):
+    vector = WAHBitVector()
+    for position in set_positions:
+        vector.set(position)
+    for position in clear_positions:
+        vector.set(position, False)
+    expected = sorted(set(set_positions) - set(clear_positions))
+    assert vector.positions() == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(st.integers(0, 10**6), st.integers(0, 10**6)),
+        max_size=60,
+        unique_by=lambda record: record[0],
+    ),
+    keys=st.lists(st.integers(0, 10**6), max_size=40),
+)
+def test_trace_roundtrip_property(records, keys):
+    """Any dataset + operation stream survives a trace round-trip."""
+    import os
+    import tempfile
+
+    from repro.workloads.spec import Operation, OpKind
+    from repro.workloads.trace import load_trace, save_trace
+
+    operations = []
+    for index, key in enumerate(keys):
+        kind = [OpKind.POINT_QUERY, OpKind.INSERT, OpKind.UPDATE,
+                OpKind.DELETE, OpKind.RANGE_QUERY][index % 5]
+        if kind is OpKind.RANGE_QUERY:
+            operations.append(Operation(kind, key, high_key=key + 10))
+        elif kind in (OpKind.INSERT, OpKind.UPDATE):
+            operations.append(Operation(kind, key, value=index))
+        else:
+            operations.append(Operation(kind, key))
+    path = os.path.join(tempfile.mkdtemp(), "prop.trace")
+    save_trace(path, records, operations)
+    loaded_records, loaded_operations = load_trace(path)
+    assert loaded_records == records
+    assert loaded_operations == operations

@@ -1,0 +1,115 @@
+"""Property-based model checking of every access method.
+
+Hypothesis drives random operation sequences against each structure and
+a dict oracle simultaneously; any divergence in results, lengths or
+exceptions is a bug.  This is the strongest correctness net in the
+suite — it has no idea how the structures work, only what they promise.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.registry import available_methods, create_method
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK
+from tests.unit.test_method_contract import TUNED_KWARGS
+
+ALL_METHODS = sorted(available_methods())
+
+#: Operation atoms: (kind, key or offset, value)
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "range", "insert", "update", "delete"]),
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=40,
+)
+
+_initial = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=30,
+    unique_by=lambda record: record[0],
+)
+
+
+def _build(name: str):
+    device = SimulatedDevice(block_bytes=SMALL_BLOCK)
+    return create_method(name, device=device, **TUNED_KWARGS.get(name, {}))
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+@settings(max_examples=25, deadline=None)
+@given(initial=_initial, operations=_ops)
+def test_method_matches_dict_oracle(name, initial, operations):
+    method = _build(name)
+    method.bulk_load(initial)
+    oracle = dict(initial)
+    fresh_key = 1000
+    for kind, key, value in operations:
+        if kind == "get":
+            assert method.get(key) == oracle.get(key)
+        elif kind == "range":
+            hi = key + (value % 64)
+            expected = sorted((k, v) for k, v in oracle.items() if key <= k <= hi)
+            assert method.range_query(key, hi) == expected
+        elif kind == "insert":
+            if key in oracle:
+                continue  # unique-key contract
+            method.insert(key, value)
+            oracle[key] = value
+        elif kind == "update":
+            if key in oracle:
+                method.update(key, value)
+                oracle[key] = value
+            else:
+                with pytest.raises(KeyError):
+                    method.update(key, value)
+        elif kind == "delete":
+            if key in oracle:
+                method.delete(key)
+                del oracle[key]
+            else:
+                with pytest.raises(KeyError):
+                    method.delete(key)
+    assert len(method) == len(oracle)
+    assert method.range_query(-1, 10**9) == sorted(oracle.items())
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+@settings(max_examples=15, deadline=None)
+@given(initial=_initial)
+def test_bulk_load_preserves_everything(name, initial):
+    method = _build(name)
+    method.bulk_load(initial)
+    for key, value in initial:
+        assert method.get(key) == value
+    assert len(method) == len(initial)
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+@settings(max_examples=15, deadline=None)
+@given(
+    initial=_initial,
+    lo=st.integers(min_value=-10, max_value=200),
+    span=st.integers(min_value=0, max_value=200),
+)
+def test_range_query_properties(name, initial, lo, span):
+    """Range results are sorted, in-bounds, duplicate-free and agree
+    with point queries."""
+    method = _build(name)
+    method.bulk_load(initial)
+    hi = lo + span
+    result = method.range_query(lo, hi)
+    keys = [key for key, _ in result]
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)
+    assert all(lo <= key <= hi for key in keys)
+    for key, value in result:
+        assert method.get(key) == value

@@ -1,0 +1,79 @@
+"""Persistence properties: structures survive pickling intact.
+
+The device and every access method must round-trip through pickle —
+state fully captured by their objects, no hidden process-local handles.
+This is the library's "restart" story: a simulated system image can be
+saved and resumed with identical behaviour and identical accounting.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.registry import available_methods
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+from tests.unit.test_method_contract import build
+
+ALL_METHODS = sorted(available_methods())
+
+
+class TestDevicePersistence:
+    def test_device_roundtrip(self):
+        device = SimulatedDevice(block_bytes=SMALL_BLOCK)
+        block = device.allocate(kind="x")
+        device.write(block, [1, 2, 3], used_bytes=48)
+        clone = pickle.loads(pickle.dumps(device))
+        assert clone.read(block) == [1, 2, 3]
+        assert clone.allocated_blocks == device.allocated_blocks
+        assert clone.counters.writes == device.counters.writes
+
+    def test_clone_is_independent(self):
+        device = SimulatedDevice(block_bytes=SMALL_BLOCK)
+        block = device.allocate()
+        device.write(block, "original")
+        clone = pickle.loads(pickle.dumps(device))
+        clone.write(block, "changed")
+        assert device.peek(block) == "original"
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_method_roundtrip(name):
+    method = build(name)
+    records = sample_records(80)
+    method.bulk_load(records)
+    method.insert(999, 1)
+    method.update(10, 111)
+    method.delete(12)
+
+    clone = pickle.loads(pickle.dumps(method))
+
+    oracle = dict(records)
+    oracle[999] = 1
+    oracle[10] = 111
+    del oracle[12]
+    assert len(clone) == len(oracle)
+    for key in list(oracle)[:20] + [999, 10]:
+        assert clone.get(key) == oracle[key]
+    assert clone.get(12) is None
+    assert clone.range_query(-1, 10**9) == sorted(oracle.items())
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+def test_clone_remains_mutable(name):
+    method = build(name)
+    method.bulk_load(sample_records(40))
+    clone = pickle.loads(pickle.dumps(method))
+    clone.insert(5001, 7)
+    clone.update(10, 888)
+    clone.delete(14)
+    assert clone.get(5001) == 7
+    assert clone.get(10) == 888
+    assert clone.get(14) is None
+    # The original is untouched.
+    assert method.get(5001) is None
+    assert method.get(10) == 101
+    assert method.get(14) == 141

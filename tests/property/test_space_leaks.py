@@ -1,0 +1,64 @@
+"""Space-leak detection: churn must not grow footprints unboundedly.
+
+Repeated insert/delete cycles over a stable live set should leave every
+structure's device footprint bounded — forgotten ``free`` calls or
+never-reclaimed auxiliary blocks show up here as monotone growth.
+
+The plain ``append-log`` is excluded by design: Prop 2's whole point is
+that its footprint grows without bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import available_methods
+from tests.unit.test_method_contract import build
+
+#: Structures whose footprint growth under churn is *by design*
+#: unbounded without maintenance (the Prop-2 log) are exempt.
+UNBOUNDED_BY_DESIGN = {"append-log"}
+
+CHURN_METHODS = sorted(set(available_methods()) - UNBOUNDED_BY_DESIGN)
+
+
+@pytest.mark.parametrize("name", CHURN_METHODS)
+def test_insert_delete_cycles_do_not_leak_blocks(name):
+    method = build(name)
+    method.bulk_load([(2 * i, i) for i in range(64)])
+    method.flush()
+    footprints = []
+    key = 10_001
+    for cycle in range(6):
+        inserted = []
+        for _ in range(48):
+            method.insert(key, key)
+            inserted.append(key)
+            key += 2
+        for k in inserted:
+            method.delete(k)
+        method.flush()
+        method.maintenance()
+        footprints.append(method.device.allocated_blocks)
+    # The footprint must stabilize: the last cycle may not exceed the
+    # maximum of the first two by more than 50%.
+    ceiling = 1.5 * max(footprints[:2])
+    assert footprints[-1] <= ceiling, footprints
+
+
+@pytest.mark.parametrize("name", CHURN_METHODS)
+def test_update_churn_footprint_bounded(name):
+    method = build(name)
+    method.bulk_load([(2 * i, i) for i in range(64)])
+    method.flush()
+    baseline = method.device.allocated_blocks
+    for i in range(300):
+        method.update(2 * (i % 64), i)
+    method.flush()
+    method.maintenance()
+    # Live data never changed; tolerate transient run/segment slack of a
+    # few multiples of the base footprint, but not unbounded growth.
+    assert method.device.allocated_blocks <= max(6 * baseline, baseline + 24), (
+        baseline,
+        method.device.allocated_blocks,
+    )

@@ -1,0 +1,155 @@
+"""Adaptive structures: cracking and adaptive merging.
+
+The defining property (paper Section 4, "Adaptive access methods"): the
+read overhead *decreases as queries arrive*, paid for by reorganization
+writes — the E12 trajectory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.adaptive_merging import AdaptiveMergingColumn
+from repro.methods.cracking import CrackedColumn
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def cracked(**kwargs):
+    return CrackedColumn(SimulatedDevice(block_bytes=SMALL_BLOCK), **kwargs)
+
+
+def merging(**kwargs):
+    defaults = dict(run_records=64)
+    defaults.update(kwargs)
+    return AdaptiveMergingColumn(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+class TestCrackingAdaptivity:
+    def test_repeated_query_gets_cheaper(self):
+        column = cracked()
+        column.bulk_load(sample_records(2000))
+
+        def cost(lo, hi):
+            before = column.device.snapshot()
+            column.range_query(lo, hi)
+            return column.device.stats_since(before).read_bytes
+
+        first = cost(100, 200)
+        second = cost(100, 200)
+        assert second < first
+
+    def test_pieces_accumulate_with_distinct_queries(self):
+        column = cracked()
+        column.bulk_load(sample_records(2000))
+        assert column.pieces == 1
+        column.range_query(10, 50)
+        column.range_query(500, 600)
+        assert column.pieces >= 4  # two boundaries per range
+
+    def test_cracks_write_data(self):
+        column = cracked()
+        column.bulk_load(sample_records(2000))
+        before = column.device.snapshot()
+        column.range_query(100, 200)
+        io = column.device.stats_since(before)
+        assert io.write_bytes > 0  # reorganization is charged
+
+    def test_query_results_unaffected_by_cracking(self):
+        column = cracked()
+        records = sample_records(500)
+        column.bulk_load(records)
+        expected = [(k, v) for k, v in sorted(records) if 100 <= k <= 300]
+        for _ in range(3):
+            assert column.range_query(100, 300) == expected
+
+    def test_point_query_cracks_too(self):
+        column = cracked()
+        column.bulk_load(sample_records(1000))
+
+        def cost(key):
+            before = column.device.snapshot()
+            column.get(key)
+            return column.device.stats_since(before).read_bytes
+
+        first = cost(500)
+        second = cost(500)
+        assert second < first
+
+    def test_pending_merge_resets_cracker(self):
+        column = cracked(pending_limit=4)
+        column.bulk_load(sample_records(100))
+        column.range_query(10, 20)
+        assert column.pieces > 1
+        for i in range(4):  # trips the pending merge
+            column.insert(10_000 + i, i)
+        assert column.pieces == 1
+        assert column.get(10_001) == 1
+
+    def test_space_includes_cracker_index(self):
+        column = cracked()
+        column.bulk_load(sample_records(1000))
+        before = column.space_bytes()
+        column.range_query(100, 200)
+        assert column.space_bytes() > before
+
+
+class TestAdaptiveMerging:
+    def test_queried_ranges_migrate_to_final(self):
+        column = merging()
+        column.bulk_load(sample_records(500))
+        assert column.merged_fraction == 0.0
+        column.range_query(0, 200)
+        assert column.merged_fraction > 0.0
+        assert column.remaining_run_records < 500
+
+    def test_repeated_query_gets_cheaper(self):
+        column = merging()
+        column.bulk_load(sample_records(1000))
+
+        def cost():
+            before = column.device.snapshot()
+            column.range_query(200, 400)
+            return column.device.stats_since(before).read_bytes
+
+        first = cost()
+        second = cost()
+        assert second < first
+
+    def test_full_scan_merges_everything(self):
+        column = merging()
+        records = sample_records(300)
+        column.bulk_load(records)
+        result = column.range_query(-1, 10**9)
+        assert result == sorted(records)
+        assert column.merged_fraction == 1.0
+        assert column.remaining_run_records == 0
+
+    def test_results_correct_during_migration(self):
+        column = merging()
+        records = sample_records(400)
+        column.bulk_load(records)
+        oracle = dict(records)
+        for lo, hi in ((0, 100), (50, 150), (600, 700), (0, 800)):
+            expected = sorted((k, v) for k, v in oracle.items() if lo <= k <= hi)
+            assert column.range_query(lo, hi) == expected
+
+    def test_merge_work_charged_to_queries(self):
+        column = merging()
+        column.bulk_load(sample_records(500))
+        before = column.device.snapshot()
+        column.range_query(0, 300)
+        io = column.device.stats_since(before)
+        assert io.write_bytes > 0  # the merge happens inside the read
+
+    def test_mutations_after_partial_merge(self):
+        column = merging()
+        column.bulk_load(sample_records(200))
+        column.range_query(0, 100)
+        column.insert(9999, 1)
+        column.update(10, 111)
+        column.delete(12)
+        assert column.get(9999) == 1
+        assert column.get(10) == 111
+        assert column.get(12) is None

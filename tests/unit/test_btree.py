@@ -1,0 +1,165 @@
+"""Structure-specific tests for the B+-Tree (beyond the shared contract)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.methods.btree import BPlusTree
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def small_tree(**kwargs):
+    defaults = dict(leaf_capacity=4, fanout=4, sort_memory_blocks=4)
+    defaults.update(kwargs)
+    return BPlusTree(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+class TestShape:
+    def test_height_grows_logarithmically(self):
+        tree = small_tree()
+        tree.bulk_load(sample_records(500))
+        # leaf capacity 4, fanout 4: height ~ log_3.6(140 leaves) + 1.
+        assert 3 <= tree.height <= 8
+
+    def test_empty_tree_height_zero(self):
+        tree = small_tree()
+        assert tree.height == 0
+
+    def test_single_record_tree(self):
+        tree = small_tree()
+        tree.insert(1, 10)
+        assert tree.height == 1
+        assert tree.get(1) == 10
+
+    def test_height_increases_on_splits(self):
+        tree = small_tree()
+        heights = []
+        for i in range(100):
+            tree.insert(i, i)
+            heights.append(tree.height)
+        assert heights[-1] > heights[0]
+        # Heights never decrease during pure inserts.
+        assert all(b >= a for a, b in zip(heights, heights[1:]))
+
+    def test_point_query_reads_height_blocks(self):
+        tree = small_tree()
+        tree.bulk_load(sample_records(500))
+        before = tree.device.snapshot()
+        tree.get(500)
+        io = tree.device.stats_since(before)
+        assert io.reads == tree.height
+
+
+class TestSplitFill:
+    def test_invalid_split_fill(self):
+        with pytest.raises(ValueError):
+            small_tree(split_fill=0.01)
+
+    def test_sequential_inserts_pack_better_with_high_fill(self):
+        dense_tree = small_tree(split_fill=0.9)
+        even_tree = small_tree(split_fill=0.5)
+        for i in range(300):
+            dense_tree.insert(i, i)
+            even_tree.insert(i, i)
+        # Right-leaning splits leave fewer, fuller leaves for sequential keys.
+        assert dense_tree.device.allocated_blocks < even_tree.device.allocated_blocks
+
+    def test_correctness_across_fills(self):
+        for fill in (0.3, 0.5, 0.8):
+            tree = small_tree(split_fill=fill)
+            records = sample_records(200)
+            tree.bulk_load(records)
+            for key, value in records:
+                assert tree.get(key) == value
+
+
+class TestDeletionRebalancing:
+    def test_delete_everything(self):
+        tree = small_tree()
+        records = sample_records(100)
+        tree.bulk_load(records)
+        rng = random.Random(5)
+        keys = [key for key, _ in records]
+        rng.shuffle(keys)
+        for key in keys:
+            tree.delete(key)
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.get(0) is None
+
+    def test_delete_releases_blocks(self):
+        tree = small_tree()
+        tree.bulk_load(sample_records(200))
+        blocks_full = tree.device.allocated_blocks
+        for key, _ in sample_records(200):
+            tree.delete(key)
+        assert tree.device.allocated_blocks < blocks_full
+
+    def test_interleaved_delete_insert(self):
+        tree = small_tree()
+        tree.bulk_load(sample_records(50))
+        rng = random.Random(9)
+        oracle = dict(sample_records(50))
+        for i in range(200):
+            if rng.random() < 0.5 and oracle:
+                key = rng.choice(sorted(oracle))
+                tree.delete(key)
+                del oracle[key]
+            else:
+                key = 1000 + i
+                tree.insert(key, key)
+                oracle[key] = key
+        for key, value in oracle.items():
+            assert tree.get(key) == value
+
+    def test_range_after_heavy_deletes(self):
+        tree = small_tree()
+        records = sample_records(100)
+        tree.bulk_load(records)
+        for key, _ in records[::2]:
+            tree.delete(key)
+        expected = sorted(records[1::2])
+        assert tree.range_query(-1, 10**9) == expected
+
+
+class TestKnobValidation:
+    def test_leaf_capacity_minimum(self):
+        with pytest.raises(ValueError):
+            small_tree(leaf_capacity=1)
+
+    def test_fanout_minimum(self):
+        with pytest.raises(ValueError):
+            small_tree(fanout=2)
+
+    def test_duplicate_insert_rejected(self):
+        tree = small_tree()
+        tree.insert(1, 10)
+        with pytest.raises(ValueError):
+            tree.insert(1, 20)
+
+    def test_bulk_load_rejects_duplicates(self):
+        tree = small_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([(1, 1), (1, 2)])
+
+
+class TestBulkLoadCost:
+    def test_bulk_load_charges_sort_io(self):
+        tree = small_tree()
+        records = sample_records(1000)
+        # Shuffle so the external sort actually has work to do.
+        rng = random.Random(3)
+        rng.shuffle(records)
+        tree.bulk_load(records)
+        # The sort + build must have written more than the final size.
+        assert tree.device.counters.writes > tree.device.allocated_blocks
+
+    def test_loaded_leaves_are_chained(self):
+        tree = small_tree()
+        records = sample_records(300)
+        tree.bulk_load(records)
+        assert tree.range_query(-1, 10**9) == sorted(records)

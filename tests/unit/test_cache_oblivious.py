@@ -1,0 +1,109 @@
+"""Structure-specific tests for the cache-oblivious vEB tree (§4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.methods.cache_oblivious import CacheObliviousTree
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def make(**kwargs):
+    return CacheObliviousTree(SimulatedDevice(block_bytes=SMALL_BLOCK), **kwargs)
+
+
+class TestLayout:
+    def test_path_locality(self):
+        """A root-to-leaf walk touches far fewer blocks than nodes."""
+        tree = make()
+        n = 4096
+        tree.bulk_load([(2 * i, i) for i in range(n)])
+        rng = random.Random(7)
+        before = tree.device.snapshot()
+        probes = 40
+        for _ in range(probes):
+            tree.get(2 * rng.randrange(n))
+        reads = tree.device.stats_since(before).reads / probes
+        # 12 levels deep; vEB packs runs of levels per block.
+        assert reads < 8
+
+    def test_adapts_across_block_sizes_without_knobs(self):
+        costs = {}
+        for block_bytes in (64, 1024):
+            tree = CacheObliviousTree(SimulatedDevice(block_bytes=block_bytes))
+            tree.bulk_load([(2 * i, i) for i in range(4096)])
+            rng = random.Random(7)
+            before = tree.device.snapshot()
+            for _ in range(40):
+                tree.get(2 * rng.randrange(4096))
+            costs[block_bytes] = tree.device.stats_since(before).reads
+        assert costs[1024] < costs[64] / 2
+
+    def test_veb_order_is_a_permutation(self):
+        tree = make()
+        records = sample_records(500)
+        tree.bulk_load(records)
+        # Every record reachable => placement covered all nodes exactly once.
+        for key, value in records:
+            assert tree.get(key) == value
+
+    def test_single_and_empty(self):
+        tree = make()
+        tree.bulk_load([])
+        assert tree.get(1) is None
+        tree.insert(1, 10)
+        assert tree.get(1) == 10
+
+
+class TestStaticMutability:
+    def test_overflow_absorbs_inserts(self):
+        tree = make(rebuild_fraction=100.0)  # never rebuild
+        tree.bulk_load(sample_records(100))
+        for i in range(20):
+            tree.insert(1001 + 2 * i, i)
+        assert tree.get(1003) == 1
+        assert len(tree) == 120
+
+    def test_rebuild_folds_overflow_and_tombstones(self):
+        tree = make(rebuild_fraction=100.0)
+        tree.bulk_load(sample_records(100))
+        tree.insert(1001, 7)
+        tree.delete(10)
+        blocks_before = tree.device.allocated_blocks
+        tree.rebuild()
+        assert tree.get(1001) == 7
+        assert tree.get(10) is None
+        assert len(tree._overflow) == 0
+        # Rebuild reconstructs a fresh compact layout.
+        assert tree.device.allocated_blocks <= blocks_before + 1
+
+    def test_auto_rebuild_threshold(self):
+        tree = make(rebuild_fraction=0.1)
+        tree.bulk_load(sample_records(100))
+        for i in range(30):
+            tree.insert(1001 + 2 * i, i)
+        assert len(tree._overflow) < 30  # a rebuild happened
+
+    def test_update_in_place_writes_one_block(self):
+        tree = make()
+        tree.bulk_load(sample_records(256))
+        before = tree.device.snapshot()
+        tree.update(100, 9)
+        io = tree.device.stats_since(before)
+        assert io.writes == 1
+
+    def test_delete_then_reinsert(self):
+        tree = make()
+        tree.bulk_load(sample_records(50))
+        tree.delete(20)
+        assert tree.get(20) is None
+        tree.insert(20, 777)
+        assert tree.get(20) == 777
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(rebuild_fraction=0)

@@ -1,0 +1,113 @@
+"""Unit tests for the cached device wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.btree import BPlusTree
+from repro.storage.cached import CachedDevice
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+@pytest.fixture
+def backing():
+    return SimulatedDevice(block_bytes=SMALL_BLOCK, name="flash")
+
+
+class TestPassThroughSemantics:
+    def test_roundtrip(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        cached.write(block, "payload", used_bytes=10)
+        assert cached.read(block) == "payload"
+        cached.flush()
+        assert backing.peek(block) == "payload"
+
+    def test_free_invalidates(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        cached.write(block, "x")
+        cached.free(block)
+        assert not cached.is_allocated(block)
+        with pytest.raises(KeyError):
+            backing.read(block)
+
+    def test_space_delegates_to_backing(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        cached.allocate()
+        cached.allocate(kind="leaf")
+        assert cached.allocated_blocks == 2
+        assert cached.allocated_bytes == backing.allocated_bytes
+        assert cached.blocks_by_kind() == backing.blocks_by_kind()
+
+    def test_peek_sees_dirty_cache(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        cached.write(block, "dirty")
+        # Not yet on the backing device, but visible through peek.
+        assert cached.peek(block) == "dirty"
+        assert backing.peek(block) is None
+
+
+class TestTrafficSeparation:
+    def test_hot_reads_never_reach_backing(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        cached.write(block, "hot")
+        backing.reset_counters()
+        for _ in range(50):
+            cached.read(block)
+        assert cached.counters.reads == 50  # logical traffic
+        assert backing.counters.reads == 0  # physical traffic
+
+    def test_cold_reads_reach_backing_once(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=8)
+        blocks = []
+        for i in range(4):
+            block = cached.allocate()
+            cached.write(block, i)
+            blocks.append(block)
+        cached.flush()
+        fresh = CachedDevice(backing, capacity_blocks=8)
+        backing.reset_counters()
+        for block in blocks:
+            fresh.read(block)
+            fresh.read(block)
+        assert backing.counters.reads == 4
+
+
+class TestMethodOverCache:
+    def test_btree_runs_unchanged_over_cache(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=64)
+        tree = BPlusTree(device=cached, leaf_capacity=8, fanout=5)
+        records = sample_records(200)
+        tree.bulk_load(records)
+        for key, value in records:
+            assert tree.get(key) == value
+        tree.insert(999, 1)
+        tree.delete(0)
+        assert tree.get(999) == 1
+        assert tree.get(0) is None
+
+    def test_cache_cuts_backing_reads_for_hot_keys(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=16)
+        tree = BPlusTree(device=cached, leaf_capacity=8, fanout=5)
+        tree.bulk_load(sample_records(500))
+        cached.flush()
+        backing.reset_counters()
+        for _ in range(30):
+            tree.get(100)  # same root-to-leaf path every time
+        reads_for_30_gets = backing.counters.reads
+        assert reads_for_30_gets <= tree.height  # first walk misses only
+
+    def test_zero_capacity_is_honest_passthrough(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=0)
+        tree = BPlusTree(device=cached, leaf_capacity=8, fanout=5)
+        tree.bulk_load(sample_records(100))
+        backing.reset_counters()
+        tree.get(50)
+        assert backing.counters.reads == cached.stats_since(
+            cached.snapshot()
+        ).reads or backing.counters.reads > 0

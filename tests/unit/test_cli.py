@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_methods(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "btree" in out and "lsm" in out and "zonemap" in out
+
+
+class TestProfile:
+    def test_profiles_a_method(self, capsys):
+        code = main(["profile", "btree", "--records", "500", "--ops", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "btree" in out
+        assert "RO" in out and "UO" in out and "MO" in out
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            main(["profile", "nonexistent", "--records", "100", "--ops", "10"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "btree", "--workload", "nope"])
+
+
+class TestTriangle:
+    def test_renders_triangle(self, capsys):
+        code = main(["triangle", "--records", "400", "--ops", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "read-optimized" in out
+        assert "R" in out and "U" in out and "M" in out
+
+
+class TestWizard:
+    def test_analytic_mode(self, capsys):
+        code = main(["wizard", "--analytic", "--workload", "write-heavy"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert "classified" in out
+
+    def test_measured_mode(self, capsys):
+        code = main([
+            "wizard", "--records", "300", "--ops", "60", "--top", "3",
+            "--hardware", "flash",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flash" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestRecordReplay:
+    def test_record_then_replay(self, capsys, tmp_path):
+        trace = tmp_path / "w.trace"
+        assert main([
+            "record", "--workload", "balanced", "--records", "300",
+            "--ops", "80", "--output", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 300 records and 80 operations" in out
+        assert trace.exists()
+
+        assert main(["replay", str(trace), "--method", "btree"]) == 0
+        out = capsys.readouterr().out
+        assert "btree" in out and "RO" in out
+
+    def test_replay_is_deterministic(self, capsys, tmp_path):
+        trace = tmp_path / "w.trace"
+        main(["record", "--records", "200", "--ops", "50", "--output", str(trace)])
+        capsys.readouterr()
+        main(["replay", str(trace), "--method", "lsm"])
+        first = capsys.readouterr().out
+        main(["replay", str(trace), "--method", "lsm"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_replay_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["replay", str(tmp_path / "missing.trace")])
+
+
+class TestReproduce:
+    def test_report_sections_present(self, capsys, tmp_path):
+        output = tmp_path / "report.txt"
+        assert main(["reproduce", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        for needle in (
+            "Propositions 1-3",
+            "Table 1",
+            "Figure 1",
+            "RUM Conjecture",
+            "conjecture holds",
+        ):
+            assert needle in out, needle
+        assert output.read_text() == out.rstrip("\n") + "\n" or output.exists()
+
+    def test_report_confirms_prop_constants(self, capsys):
+        main(["reproduce"])
+        out = capsys.readouterr().out
+        assert "RO = 1.0 exactly      1.00" in out
+        assert "UO = 2.0 exactly      2.00" in out

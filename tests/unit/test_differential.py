@@ -1,0 +1,200 @@
+"""Structure-specific tests for the differential family: MaSM, PDT, PBT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.masm import MaSMColumn
+from repro.methods.pbt import PartitionedBTree
+from repro.methods.pdt import PositionalDeltaColumn
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def masm(**kwargs):
+    defaults = dict(buffer_records=16, max_runs=4)
+    defaults.update(kwargs)
+    return MaSMColumn(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+def pdt(**kwargs):
+    defaults = dict(checkpoint_records=64)
+    defaults.update(kwargs)
+    return PositionalDeltaColumn(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+def pbt(**kwargs):
+    defaults = dict(partition_records=64, max_partitions=4)
+    defaults.update(kwargs)
+    return PartitionedBTree(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+class TestMaSM:
+    def test_updates_buffer_then_spill_as_runs(self):
+        column = masm(buffer_records=8)
+        column.bulk_load(sample_records(128))
+        before = column.device.snapshot()
+        for i in range(7):
+            column.update(2 * i, i)
+        assert column.device.stats_since(before).writes == 0  # buffered
+        column.update(14, 99)  # 8th entry: spill
+        assert column.run_count == 1
+        assert column.device.counters.writes > 0
+
+    def test_long_merge_folds_runs_into_main(self):
+        column = masm(buffer_records=8, max_runs=3)
+        column.bulk_load(sample_records(128))
+        for i in range(64):
+            column.update(2 * (i % 128), i)
+        column.flush()
+        runs_before_merge = column.run_count
+        column.merge_updates()
+        assert column.run_count == 0
+        assert runs_before_merge <= 3  # auto-merge kept it bounded
+        # Contents correct after the merge.
+        assert column.get(0) is not None
+
+    def test_auto_merge_at_max_runs(self):
+        column = masm(buffer_records=4, max_runs=2)
+        column.bulk_load(sample_records(64))
+        for i in range(64):
+            column.update(2 * (i % 64), i)
+        assert column.run_count <= 2
+
+    def test_newest_version_wins_across_runs(self):
+        column = masm(buffer_records=4, max_runs=10)
+        column.bulk_load(sample_records(32))
+        for version in range(5):
+            column.update(10, version)
+            # Pad so each version lands in its own run.
+            for pad in range(3):
+                column.update(2 * pad, version)
+        assert column.get(10) == 4
+
+    def test_delete_then_merge(self):
+        column = masm(buffer_records=4)
+        column.bulk_load(sample_records(32))
+        column.delete(10)
+        column.flush()
+        column.merge_updates()
+        assert column.get(10) is None
+        assert len(column) == 31
+
+    def test_range_merges_all_sources(self):
+        column = masm(buffer_records=4, max_runs=10)
+        column.bulk_load(sample_records(64))
+        column.update(10, 900)   # run or buffer
+        column.insert(11, 901)   # buffer
+        column.delete(12)
+        result = dict(column.range_query(8, 14))
+        assert result == {8: 81, 10: 900, 11: 901, 14: 141}
+
+
+class TestPDT:
+    def test_reads_merge_delta_without_io(self):
+        column = pdt()
+        column.bulk_load(sample_records(64))
+        column.update(10, 999)
+        before = column.device.snapshot()
+        assert column.get(10) == 999
+        assert column.device.stats_since(before).reads == 0  # delta hit
+
+    def test_checkpoint_rewrites_main_and_clears_delta(self):
+        column = pdt(checkpoint_records=8)
+        column.bulk_load(sample_records(64))
+        for i in range(7):
+            column.update(2 * i, i)
+        assert column.pending_deltas == 7
+        column.update(14, 99)  # 8th delta: checkpoint
+        assert column.pending_deltas == 0
+        assert column.get(0) == 0
+        assert column.get(14) == 99
+
+    def test_insert_then_delete_cancels(self):
+        column = pdt()
+        column.bulk_load(sample_records(16))
+        column.insert(101, 1)
+        column.delete(101)
+        assert column.pending_deltas == 0
+        assert column.get(101) is None
+        assert len(column) == 16
+
+    def test_delta_space_charged(self):
+        column = pdt(checkpoint_records=1000)
+        column.bulk_load(sample_records(64))
+        before = column.space_bytes()
+        for i in range(32):
+            column.insert(1001 + 2 * i, i)
+        assert column.space_bytes() > before
+
+    def test_checkpoint_is_sequential_rewrite(self):
+        column = pdt(checkpoint_records=1000)
+        column.bulk_load(sample_records(256))
+        for i in range(64):
+            column.update(2 * i, i)
+        before = column.device.snapshot()
+        column.checkpoint()
+        io = column.device.stats_since(before)
+        # One read pass + one write pass over the main, roughly.
+        blocks = 256 // 16
+        assert io.reads <= 2 * blocks
+        assert blocks <= io.writes <= 2 * blocks
+
+
+class TestPBT:
+    def test_inserts_fill_partitions(self):
+        tree = pbt(partition_records=32, max_partitions=100)
+        tree.bulk_load(sample_records(64))
+        for i in range(100):
+            tree.insert(1001 + 2 * i, i)
+        assert tree.partitions >= 3
+
+    def test_queries_probe_partitions_newest_first(self):
+        tree = pbt(partition_records=8, max_partitions=100)
+        tree.bulk_load(sample_records(16))
+        tree.delete(10)
+        tree.insert(10, 777)  # lands in the current partition
+        assert tree.get(10) == 777
+
+    def test_merge_collapses_partitions(self):
+        tree = pbt(partition_records=16, max_partitions=100)
+        tree.bulk_load(sample_records(32))
+        for i in range(64):
+            tree.insert(1001 + 2 * i, i)
+        assert tree.partitions > 1
+        tree.merge_partitions()
+        assert tree.partitions == 1
+        assert tree.get(1001) == 0
+        assert tree.get(0) == 1
+
+    def test_merge_improves_reads(self):
+        tree = pbt(partition_records=16, max_partitions=100)
+        tree.bulk_load(sample_records(32))
+        for i in range(64):
+            tree.insert(1001 + 2 * i, i)
+
+        def probe_cost():
+            before = tree.device.snapshot()
+            for key in (0, 20, 1001, 1041, 9999):
+                tree.get(key)
+            return tree.device.stats_since(before).reads
+
+        cost_partitioned = probe_cost()
+        tree.merge_partitions()
+        assert probe_cost() < cost_partitioned
+
+    def test_auto_merge_bounds_partitions(self):
+        tree = pbt(partition_records=8, max_partitions=3)
+        for i in range(200):
+            tree.insert(2 * i, i)
+        assert tree.partitions <= 4
+
+    def test_merge_frees_old_blocks(self):
+        tree = pbt(partition_records=16, max_partitions=100)
+        tree.bulk_load(sample_records(64))
+        for i in range(64):
+            tree.insert(1001 + 2 * i, i)
+        blocks_before = tree.device.allocated_blocks
+        tree.merge_partitions()
+        assert tree.device.allocated_blocks <= blocks_before

@@ -1,0 +1,208 @@
+"""Unit tests for the Prop 1-3 extreme access methods.
+
+These tests verify the *exact* overhead constants the paper derives:
+min RO = 1.0 forces UO = 2.0 and unbounded MO (Prop 1); min UO = 1.0
+forces growing RO and MO (Prop 2); min MO = 1.0 forces RO = O(N) while
+keeping UO = 1.0 (Prop 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.extremes import (
+    AppendOnlyLog,
+    DenseArray,
+    MagicArray,
+    record_grain_device,
+)
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import RECORD_BYTES
+
+
+class TestMagicArrayProp1:
+    def test_point_read_is_exactly_one_record(self):
+        magic = MagicArray()
+        magic.insert(17)
+        before = magic.device.snapshot()
+        assert magic.contains(17)
+        io = magic.device.stats_since(before)
+        # RO = bytes read / bytes wanted = 1.0 exactly.
+        assert io.read_bytes == RECORD_BYTES
+
+    def test_miss_within_domain_is_one_read(self):
+        magic = MagicArray()
+        magic.insert(17)
+        before = magic.device.snapshot()
+        assert not magic.contains(5)
+        io = magic.device.stats_since(before)
+        assert io.read_bytes == RECORD_BYTES
+
+    def test_miss_beyond_domain_is_free(self):
+        magic = MagicArray()
+        magic.insert(3)
+        before = magic.device.snapshot()
+        assert not magic.contains(1000)
+        assert magic.device.stats_since(before).read_bytes == 0
+
+    def test_change_writes_exactly_two_records(self):
+        magic = MagicArray()
+        magic.insert(5)
+        before = magic.device.snapshot()
+        magic.change(5, 9)
+        io = magic.device.stats_since(before)
+        # UO = 2.0: empty the old block, fill the new one.
+        assert io.write_bytes == 2 * RECORD_BYTES
+
+    def test_memory_overhead_is_domain_size(self):
+        magic = MagicArray()
+        magic.insert(1)
+        magic.insert(17)
+        # Space = 18 slots (0..17) for 2 live values.
+        assert magic.space_bytes() == 18 * RECORD_BYTES
+        assert magic.memory_overhead() == pytest.approx(9.0)
+
+    def test_memory_overhead_unbounded_in_max_value(self):
+        small, large = MagicArray(), MagicArray()
+        small.insert(10)
+        large.insert(10_000)
+        assert large.memory_overhead() > 100 * small.memory_overhead()
+
+    def test_delete(self):
+        magic = MagicArray()
+        magic.insert(7)
+        magic.delete(7)
+        assert not magic.contains(7)
+        with pytest.raises(KeyError):
+            magic.delete(7)
+
+    def test_change_missing_raises(self):
+        magic = MagicArray()
+        with pytest.raises(KeyError):
+            magic.change(1, 2)
+
+    def test_negative_values_rejected(self):
+        magic = MagicArray()
+        with pytest.raises(ValueError):
+            magic.insert(-1)
+        with pytest.raises(ValueError):
+            magic.contains(-1)
+
+    def test_requires_record_grain_device(self):
+        with pytest.raises(ValueError):
+            MagicArray(SimulatedDevice(block_bytes=4096))
+
+    def test_live_count(self):
+        magic = MagicArray()
+        magic.insert(3)
+        magic.insert(5)
+        magic.delete(3)
+        assert magic.live_values == 1
+
+
+class TestAppendLogProp2:
+    def test_every_write_is_exactly_one_record(self):
+        log = AppendOnlyLog()
+        log.bulk_load([(1, 10), (2, 20)])
+        for mutate in (
+            lambda: log.insert(3, 30),
+            lambda: log.update(1, 11),
+            lambda: log.delete(2),
+        ):
+            before = log.device.snapshot()
+            mutate()
+            io = log.device.stats_since(before)
+            assert io.write_bytes == RECORD_BYTES  # UO = 1.0
+
+    def test_read_cost_grows_with_updates(self):
+        log = AppendOnlyLog()
+        log.bulk_load([(1, 10)])
+
+        def read_cost():
+            before = log.device.snapshot()
+            log.get(1)
+            return log.device.stats_since(before).read_bytes
+
+        cost_before = read_cost()
+        for i in range(50):
+            log.insert(100 + i, i)
+        assert read_cost() > cost_before  # RO grows without bound
+
+    def test_space_grows_with_updates(self):
+        log = AppendOnlyLog()
+        log.bulk_load([(1, 10)])
+        space_before = log.space_bytes()
+        for _ in range(20):
+            log.update(1, 99)
+        # 20 updates to the same key still cost 20 appended records.
+        assert log.space_bytes() == space_before + 20 * RECORD_BYTES
+        assert len(log) == 1  # logical size unchanged
+
+    def test_newest_version_wins(self):
+        log = AppendOnlyLog()
+        log.bulk_load([(1, 10)])
+        log.update(1, 11)
+        log.update(1, 12)
+        assert log.get(1) == 12
+
+    def test_tombstone_hides_key(self):
+        log = AppendOnlyLog()
+        log.bulk_load([(1, 10), (2, 20)])
+        log.delete(1)
+        assert log.get(1) is None
+        assert log.range_query(0, 10) == [(2, 20)]
+
+    def test_log_entries_monotone(self):
+        log = AppendOnlyLog()
+        log.bulk_load([(1, 10)])
+        entries = log.log_entries
+        log.update(1, 11)
+        log.delete(1)
+        assert log.log_entries == entries + 2
+
+
+class TestDenseArrayProp3:
+    def test_memory_overhead_exactly_one(self):
+        dense = DenseArray()
+        dense.bulk_load([(i, i) for i in range(50)])
+        assert dense.space_bytes() == dense.base_bytes()
+        assert dense.stats().space_amplification == 1.0
+
+    def test_density_survives_deletes(self):
+        dense = DenseArray()
+        dense.bulk_load([(i, i) for i in range(50)])
+        for key in (0, 10, 20, 30):
+            dense.delete(key)
+        assert dense.space_bytes() == dense.base_bytes()
+
+    def test_update_writes_exactly_one_record(self):
+        dense = DenseArray()
+        dense.bulk_load([(i, i) for i in range(20)])
+        before = dense.device.snapshot()
+        dense.update(5, 99)
+        io = dense.device.stats_since(before)
+        assert io.write_bytes == RECORD_BYTES  # UO = 1.0
+
+    def test_read_cost_linear_in_n(self):
+        costs = {}
+        for n in (20, 200):
+            dense = DenseArray()
+            dense.bulk_load([(i, i) for i in range(n)])
+            before = dense.device.snapshot()
+            dense.get(n - 1)  # worst case: last element
+            costs[n] = dense.device.stats_since(before).read_bytes
+        assert costs[200] == pytest.approx(10 * costs[20], rel=0.05)
+
+    def test_correctness_basics(self):
+        dense = DenseArray()
+        dense.bulk_load([(1, 10), (2, 20), (3, 30)])
+        assert dense.get(2) == 20
+        dense.delete(2)
+        assert dense.get(2) is None
+        assert sorted(dense.range_query(0, 10)) == [(1, 10), (3, 30)]
+
+
+class TestRecordGrainDevice:
+    def test_block_is_one_record(self):
+        device = record_grain_device("test")
+        assert device.block_bytes == RECORD_BYTES

@@ -1,0 +1,238 @@
+"""Unit tests for Bloom filters, count-min sketch, quotient filter and
+zone synopses — the space-optimized building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filters.bloom import (
+    BloomFilter,
+    CountingBloomFilter,
+    optimal_bits,
+    optimal_hashes,
+)
+from repro.filters.countmin import CountMinSketch
+from repro.filters.quotient import QuotientFilter
+from repro.filters.zonefilter import ZoneEntry, ZoneSynopsis
+
+
+class TestBloomSizing:
+    def test_optimal_bits_grow_with_items(self):
+        assert optimal_bits(1000, 0.01) > optimal_bits(100, 0.01)
+
+    def test_optimal_bits_grow_with_precision(self):
+        assert optimal_bits(1000, 0.001) > optimal_bits(1000, 0.01)
+
+    def test_invalid_fpr_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            optimal_bits(10, 1.0)
+
+    def test_zero_items_gets_minimum(self):
+        assert optimal_bits(0, 0.01) == 8
+
+    def test_optimal_hashes_at_least_one(self):
+        assert optimal_hashes(8, 1000) >= 1
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(500, 0.01)
+        keys = list(range(0, 1000, 2))
+        bloom.add_all(keys)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(1000, 0.02)
+        bloom.add_all(range(1000))
+        false_positives = sum(
+            1 for probe in range(100_000, 110_000) if bloom.may_contain(probe)
+        )
+        assert false_positives / 10_000 < 0.06  # 3x slack over target
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(100, 0.01)
+        assert not any(bloom.may_contain(key) for key in range(50))
+
+    def test_estimated_fpr_increases_with_load(self):
+        bloom = BloomFilter(100, 0.01)
+        empty_estimate = bloom.estimated_false_positive_rate()
+        bloom.add_all(range(100))
+        assert bloom.estimated_false_positive_rate() > empty_estimate
+
+    def test_size_bytes_positive(self):
+        assert BloomFilter(100, 0.01).size_bytes > 0
+
+    def test_items_counted(self):
+        bloom = BloomFilter(10, 0.1)
+        bloom.add(1)
+        bloom.add(2)
+        assert bloom.items == 2
+
+
+class TestCountingBloom:
+    def test_remove_restores_absence(self):
+        bloom = CountingBloomFilter(100, 0.01)
+        bloom.add(42)
+        assert bloom.may_contain(42)
+        bloom.remove(42)
+        assert not bloom.may_contain(42)
+
+    def test_shared_positions_survive_one_removal(self):
+        bloom = CountingBloomFilter(100, 0.01)
+        bloom.add(1)
+        bloom.add(1)
+        bloom.remove(1)
+        assert bloom.may_contain(1)
+
+    def test_size_is_8x_plain(self):
+        plain = BloomFilter(100, 0.01)
+        counting = CountingBloomFilter(100, 0.01)
+        assert counting.size_bytes == plain.bits
+
+
+class TestCountMin:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        for key in range(100):
+            sketch.add(key, count=key + 1)
+        for key in range(100):
+            assert sketch.estimate(key) >= key + 1
+
+    def test_error_bound_holds_mostly(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        for key in range(200):
+            sketch.add(key)
+        bound = sketch.epsilon * sketch.total
+        violations = sum(
+            1 for key in range(200) if sketch.estimate(key) > 1 + bound
+        )
+        assert violations <= 10
+
+    def test_absent_keys_can_be_zero(self):
+        sketch = CountMinSketch(epsilon=0.1, delta=0.1)
+        sketch.add(1)
+        assert sketch.estimate(999999) >= 0
+
+    def test_negative_count_rejected(self):
+        sketch = CountMinSketch()
+        with pytest.raises(ValueError):
+            sketch.add(1, count=-1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(delta=2)
+
+    def test_size_bytes(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.05)
+        assert sketch.size_bytes == sketch.width * sketch.depth * 4
+
+
+class TestQuotientFilter:
+    def test_no_false_negatives(self):
+        qf = QuotientFilter(quotient_bits=12, remainder_bits=8)
+        keys = list(range(0, 2000, 2))
+        for key in keys:
+            qf.add(key)
+        assert all(qf.may_contain(key) for key in keys)
+
+    def test_false_positive_rate_bounded(self):
+        qf = QuotientFilter(quotient_bits=12, remainder_bits=8)
+        for key in range(2000):
+            qf.add(key)
+        false_positives = sum(
+            1 for probe in range(100_000, 105_000) if qf.may_contain(probe)
+        )
+        # Load 2000/4096 ~ 0.49; expected FPR ~ 0.49/256 ~ 0.2%.
+        assert false_positives / 5000 < 0.02
+
+    def test_remove_supports_deletion(self):
+        qf = QuotientFilter(quotient_bits=10, remainder_bits=8)
+        qf.add(7)
+        assert qf.may_contain(7)
+        assert qf.remove(7)
+        assert not qf.may_contain(7)
+
+    def test_remove_absent_returns_false(self):
+        qf = QuotientFilter(quotient_bits=10, remainder_bits=8)
+        qf.add(1)
+        assert not qf.remove(123456)
+
+    def test_overflow_raises(self):
+        qf = QuotientFilter(quotient_bits=2, remainder_bits=4)
+        for key in range(qf.capacity):
+            qf.add(key)
+        with pytest.raises(OverflowError):
+            qf.add(9999)
+
+    def test_size_formula(self):
+        qf = QuotientFilter(quotient_bits=10, remainder_bits=8)
+        assert qf.size_bytes == (1024 * 11 + 7) // 8
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            QuotientFilter(quotient_bits=0)
+        with pytest.raises(ValueError):
+            QuotientFilter(remainder_bits=0)
+
+    def test_load_factor(self):
+        qf = QuotientFilter(quotient_bits=4, remainder_bits=4)
+        for key in range(8):
+            qf.add(key)
+        assert qf.load_factor == pytest.approx(0.5)
+
+
+class TestZoneSynopsis:
+    def test_entry_for_records(self):
+        entry = ZoneSynopsis.entry_for([(5, 1), (2, 1), (9, 1)])
+        assert entry.min_key == 2
+        assert entry.max_key == 9
+        assert entry.count == 3
+
+    def test_entry_for_empty(self):
+        assert ZoneSynopsis.entry_for([]) is None
+
+    def test_may_contain_bounds(self):
+        entry = ZoneEntry(10, 20, 5)
+        assert entry.may_contain(10)
+        assert entry.may_contain(20)
+        assert not entry.may_contain(9)
+        assert not entry.may_contain(21)
+
+    def test_overlaps(self):
+        entry = ZoneEntry(10, 20, 5)
+        assert entry.overlaps(0, 10)
+        assert entry.overlaps(20, 30)
+        assert entry.overlaps(12, 15)
+        assert not entry.overlaps(21, 30)
+        assert not entry.overlaps(0, 9)
+
+    def test_widen(self):
+        entry = ZoneEntry(10, 20, 5)
+        entry.widen(5)
+        entry.widen(25)
+        assert (entry.min_key, entry.max_key) == (5, 25)
+
+    def test_candidates_for_key(self):
+        synopsis = ZoneSynopsis()
+        synopsis.set_zone(0, ZoneEntry(0, 9, 10))
+        synopsis.set_zone(1, ZoneEntry(10, 19, 10))
+        synopsis.set_zone(2, ZoneEntry(5, 15, 10))  # overlapping zone
+        assert synopsis.candidates_for_key(7) == [0, 2]
+        assert synopsis.candidates_for_key(12) == [1, 2]
+
+    def test_candidates_for_range(self):
+        synopsis = ZoneSynopsis()
+        synopsis.set_zone(0, ZoneEntry(0, 9, 10))
+        synopsis.set_zone(1, ZoneEntry(10, 19, 10))
+        assert synopsis.candidates_for_range(8, 12) == [0, 1]
+
+    def test_cleared_zone_skipped(self):
+        synopsis = ZoneSynopsis()
+        synopsis.set_zone(0, ZoneEntry(0, 9, 10))
+        synopsis.set_zone(0, None)
+        assert synopsis.candidates_for_key(5) == []
+        assert len(synopsis) == 0

@@ -1,0 +1,110 @@
+"""Structure-specific tests for the hash index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.hashindex import HashIndex
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def make(**kwargs):
+    return HashIndex(SimulatedDevice(block_bytes=SMALL_BLOCK), **kwargs)
+
+
+class TestConstantTimeProbes:
+    def test_point_query_is_one_block_after_bulk_load(self):
+        index = make()
+        index.bulk_load(sample_records(1000))
+        # "Perfect" sizing: every bucket one block, probes read exactly 1.
+        before = index.device.snapshot()
+        for key in range(0, 200, 20):
+            index.get(key)
+        io = index.device.stats_since(before)
+        assert io.reads == 10
+
+    def test_probe_cost_independent_of_n(self):
+        costs = {}
+        for n in (200, 2000):
+            index = make()
+            index.bulk_load(sample_records(n))
+            before = index.device.snapshot()
+            for key in range(0, 100, 10):
+                index.get(key)
+            costs[n] = index.device.stats_since(before).reads
+        assert costs[2000] <= costs[200] * 1.5
+
+    def test_miss_probe_also_constant(self):
+        index = make()
+        index.bulk_load(sample_records(500))
+        before = index.device.snapshot()
+        for key in range(1, 100, 10):  # odd keys: absent
+            assert index.get(key) is None
+        io = index.device.stats_since(before)
+        assert io.reads <= 20  # ~1 block per miss, chains permitting
+
+
+class TestResizing:
+    def test_directory_doubles_under_inserts(self):
+        index = make(initial_buckets=2, load_factor_limit=0.7)
+        buckets_before = index.buckets
+        for i in range(400):
+            index.insert(i, i)
+        assert index.buckets > buckets_before
+        # Power-of-two growth.
+        assert index.buckets & (index.buckets - 1) == 0
+
+    def test_static_mode_never_resizes(self):
+        index = make(initial_buckets=2, load_factor_limit=None)
+        for i in range(300):
+            index.insert(i, i)
+        assert index.buckets == 2
+        # Correct, just chained.
+        assert index.get(250) == 250
+        assert max(index.chain_lengths()) > 1
+
+    def test_contents_survive_resize(self):
+        index = make(initial_buckets=2, load_factor_limit=0.5)
+        oracle = {}
+        for i in range(500):
+            index.insert(i, i * 3)
+            oracle[i] = i * 3
+        for key, value in oracle.items():
+            assert index.get(key) == value
+
+    def test_perfect_bulk_sizing_has_no_chains(self):
+        index = make()
+        index.bulk_load(sample_records(2000))
+        assert max(index.chain_lengths()) == 1
+
+
+class TestSpace:
+    def test_directory_charged_to_space(self):
+        small = make(initial_buckets=4, load_factor_limit=None)
+        large = make(initial_buckets=1024, load_factor_limit=None)
+        assert large.space_bytes() > small.space_bytes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(initial_buckets=0)
+
+
+class TestChains:
+    def test_overflow_chain_grow_and_shrink(self):
+        index = make(initial_buckets=1, load_factor_limit=None)
+        for i in range(40):  # 16 records per block: needs 3 blocks
+            index.insert(i, i)
+        assert max(index.chain_lengths()) >= 2
+        for i in range(40):
+            index.delete(i)
+        assert len(index) == 0
+        assert index.get(5) is None
+
+    def test_update_in_chain(self):
+        index = make(initial_buckets=1, load_factor_limit=None)
+        for i in range(40):
+            index.insert(i, i)
+        index.update(39, 999)  # lives in the overflow chain
+        assert index.get(39) == 999

@@ -1,0 +1,139 @@
+"""Unit tests for the memory-hierarchy simulator (Figure 2 substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.device import SimulatedDevice
+from repro.storage.hierarchy import LevelSpec, MemoryHierarchy
+
+
+@pytest.fixture
+def backing():
+    return SimulatedDevice(block_bytes=64, name="disk")
+
+
+def _seed(device, n):
+    blocks = []
+    for i in range(n):
+        block = device.allocate()
+        device.write(block, f"payload-{i}")
+        blocks.append(block)
+    return blocks
+
+
+def make_hierarchy(backing, capacities):
+    specs = [LevelSpec(name=f"L{i}", capacity_blocks=c) for i, c in enumerate(capacities)]
+    return MemoryHierarchy(backing, specs)
+
+
+class TestReads:
+    def test_read_through_fills_all_levels(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [2, 4])
+        backing.reset_counters()
+        assert hierarchy.read(block) == "payload-0"
+        assert backing.counters.reads == 1
+        # Second read is served at the top level.
+        assert hierarchy.read(block) == "payload-0"
+        assert backing.counters.reads == 1
+        assert hierarchy.levels[0].counters.reads_served == 1
+
+    def test_miss_counts_cascade(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [2, 4])
+        hierarchy.read(block)
+        for level in hierarchy.levels:
+            assert level.counters.reads_passed_down == 1
+
+    def test_mid_level_hit(self, backing):
+        b0, b1, b2 = _seed(backing, 3)
+        hierarchy = make_hierarchy(backing, [1, 8])
+        hierarchy.read(b0)
+        hierarchy.read(b1)  # evicts b0 from L0; still in L1
+        backing.reset_counters()
+        hierarchy.read(b0)
+        assert backing.counters.reads == 0
+        assert hierarchy.levels[1].counters.reads_served >= 1
+
+    def test_zero_capacity_level_always_passes(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [0, 4])
+        hierarchy.read(block)
+        hierarchy.read(block)
+        assert hierarchy.levels[0].counters.reads_served == 0
+        assert hierarchy.levels[1].counters.reads_served == 1
+
+
+class TestWrites:
+    def test_write_absorbed_at_top(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [2, 4])
+        backing.reset_counters()
+        hierarchy.write(block, "updated")
+        assert backing.counters.writes == 0
+        assert hierarchy.read(block) == "updated"
+
+    def test_flush_reaches_backing(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [2, 4])
+        hierarchy.write(block, "updated")
+        hierarchy.flush()
+        assert backing.peek(block) == "updated"
+
+    def test_no_levels_writes_direct(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [])
+        backing.reset_counters()
+        hierarchy.write(block, "direct")
+        assert backing.counters.writes == 1
+
+
+class TestFigure2Shape:
+    """Growing level n-1 capacity lowers traffic at level n and raises
+    space at n-1 — the exact interaction of the paper's Figure 2."""
+
+    def test_bigger_cache_means_less_backing_traffic(self, backing):
+        import random
+
+        blocks = _seed(backing, 16)
+        # A skewed pattern (hot head, cold tail) so partial caches help;
+        # a pure cyclic scan would defeat LRU at every sub-full capacity.
+        rng = random.Random(3)
+        pattern = [blocks[min(int(rng.expovariate(0.4)), 15)] for _ in range(300)]
+        results = {}
+        for capacity in (2, 8, 16):
+            backing.reset_counters()
+            hierarchy = make_hierarchy(backing, [capacity])
+            for block in pattern:
+                hierarchy.read(block)
+            results[capacity] = backing.counters.reads
+        assert results[16] < results[8] < results[2]
+
+    def test_bigger_cache_means_more_space(self, backing):
+        blocks = _seed(backing, 16)
+        spaces = {}
+        for capacity in (2, 8, 16):
+            hierarchy = make_hierarchy(backing, [capacity])
+            for block in blocks:
+                hierarchy.read(block)
+            spaces[capacity] = hierarchy.levels[0].space_bytes
+        assert spaces[16] > spaces[8] > spaces[2]
+
+
+class TestIntrospection:
+    def test_level_lookup_by_name(self, backing):
+        hierarchy = make_hierarchy(backing, [2, 4])
+        assert hierarchy.level("L1").spec.capacity_blocks == 4
+        with pytest.raises(KeyError):
+            hierarchy.level("missing")
+
+    def test_space_by_level(self, backing):
+        blocks = _seed(backing, 4)
+        hierarchy = make_hierarchy(backing, [2])
+        for block in blocks:
+            hierarchy.read(block)
+        rows = hierarchy.space_by_level()
+        assert rows[0][0] == "L0"
+        assert rows[-1][0] == "disk"
+        assert rows[-1][1] == 4 * backing.block_bytes

@@ -1,0 +1,161 @@
+"""Structure-specific tests for the indexed log (Section 5 roadmap)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.extremes import AppendOnlyLog
+from repro.methods.indexed_log import IndexedLog
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import RECORD_BYTES
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def make(**kwargs):
+    defaults = dict(segment_records=32, compact_segments=None)
+    defaults.update(kwargs)
+    return IndexedLog(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+class TestAppendBehaviour:
+    def test_writes_stay_near_append_floor(self):
+        log = make()
+        log.bulk_load(sample_records(64))
+        before = log.device.snapshot()
+        for i in range(256):
+            log.update(2 * (i % 64), i)
+        log.flush()
+        io = log.device.stats_since(before)
+        # 256 updates of 16 bytes each; appends batch into blocks, plus a
+        # filter block per segment: well under 2x amplification.
+        amplification = io.write_bytes / (256 * RECORD_BYTES)
+        assert amplification < 2.5
+
+    def test_segments_accumulate(self):
+        log = make(segment_records=16)
+        log.bulk_load(sample_records(64))
+        segments_before = log.segments
+        for i in range(64):
+            log.update(2 * (i % 64), i)
+        assert log.segments > segments_before
+
+
+class TestProbabilisticSkipping:
+    def test_filters_cut_point_read_cost(self):
+        import random
+
+        reads = {}
+        for bits in (0, 10):
+            # Multi-block segments (64 records = 4 blocks): a filter
+            # probe (1 block) must be cheaper than the binary search it
+            # replaces, which single-block segments would not show.
+            log = make(segment_records=64, bloom_bits_per_key=bits)
+            log.bulk_load(sample_records(256))
+            # Random update keys: every sealed segment spans most of the
+            # key space, so zone pruning is useless and filters must do
+            # the skipping (sequential updates would give disjoint zones
+            # and hide the filters' value).
+            rng = random.Random(5)
+            for i in range(256):
+                log.update(2 * rng.randrange(256), i)
+            log.flush()
+            log.device.reset_counters()
+            for key in range(0, 512, 7):  # mix of hits and misses
+                log.get(key)
+            reads[bits] = log.device.counters.reads
+        assert reads[10] < reads[0]
+
+    def test_filters_cost_space(self):
+        spaces = {}
+        for bits in (0, 10):
+            log = make(segment_records=16, bloom_bits_per_key=bits)
+            log.bulk_load(sample_records(256))
+            log.flush()
+            spaces[bits] = log.space_bytes()
+        assert spaces[10] > spaces[0]
+        assert make(bloom_bits_per_key=0).filter_bytes() == 0
+
+    def test_beats_plain_log_on_reads(self):
+        indexed = make(segment_records=16)
+        plain = AppendOnlyLog()
+        records = sample_records(128)
+        indexed.bulk_load(records)
+        plain.bulk_load(records)
+        for method in (indexed, plain):
+            method.device.reset_counters()
+            for key in range(0, 256, 5):
+                method.get(key)
+        # Same UO discipline, far fewer bytes read.
+        assert (
+            indexed.device.counters.read_bytes
+            < plain.device.counters.read_bytes / 3
+        )
+
+
+class TestCompaction:
+    def test_compaction_bounds_segments(self):
+        log = make(segment_records=16, compact_segments=4)
+        log.bulk_load(sample_records(64))
+        for i in range(400):
+            log.update(2 * (i % 64), i)
+        assert log.segments < 10
+
+    def test_compaction_preserves_contents(self):
+        log = make(segment_records=8, compact_segments=3)
+        records = sample_records(60)
+        log.bulk_load(records)
+        oracle = dict(records)
+        for i in range(120):
+            key = 2 * (i % 60)
+            if i % 10 == 3 and key in oracle:
+                log.delete(key)
+                del oracle[key]
+            elif key in oracle:
+                oracle[key] = i
+                log.update(key, i)
+            else:
+                log.insert(key, i)
+                oracle[key] = i
+        log.flush()
+        assert log.range_query(-1, 10**9) == sorted(oracle.items())
+
+    def test_compaction_drops_tombstones_and_duplicates(self):
+        log = make(segment_records=8, compact_segments=None)
+        log.bulk_load(sample_records(32))
+        # Several rounds of full-key updates: the older segments are
+        # pure stale versions.  The delete lands mid-history so its
+        # tombstone sits in the old half by the time we compact.
+        for round_number in range(3):
+            for key in range(0, 64, 2):
+                log.update(key, round_number)
+            if round_number == 0:
+                log.delete(2)
+                log.insert(2, 999)
+                log.update(2, 1000)
+        log.flush()
+        blocks_before = log.device.allocated_blocks
+        log.compact()
+        log.compact()
+        log.compact()
+        assert log.device.allocated_blocks < blocks_before
+        # Rounds 1 and 2 re-updated every key, so the last round wins.
+        assert log.get(0) == 2
+        assert log.get(2) == 2
+        assert log.get(4) == 2
+
+    def test_explicit_compact_on_tiny_log(self):
+        log = make()
+        log.bulk_load(sample_records(4))
+        log.compact()  # no-op with < 2 segments
+        assert log.get(0) == 1
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            make(segment_records=0)
+        with pytest.raises(ValueError):
+            make(bloom_bits_per_key=-1)
+        with pytest.raises(ValueError):
+            make(compact_segments=1)

@@ -1,0 +1,72 @@
+"""Unit tests for record-layout arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.layout import (
+    KEY_BYTES,
+    POINTER_BYTES,
+    RECORD_BYTES,
+    VALUE_BYTES,
+    blocks_for_records,
+    fanout_for_block,
+    keys_per_block,
+    pointers_per_block,
+    record_bytes,
+    records_per_block,
+)
+
+
+class TestConstants:
+    def test_record_is_key_plus_value(self):
+        assert RECORD_BYTES == KEY_BYTES + VALUE_BYTES
+
+
+class TestRecordsPerBlock:
+    def test_standard_block(self):
+        assert records_per_block(4096) == 256
+
+    def test_small_block(self):
+        assert records_per_block(256) == 16
+
+    def test_exact_fit(self):
+        assert records_per_block(RECORD_BYTES) == 1
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            records_per_block(RECORD_BYTES - 1)
+
+
+class TestOtherCapacities:
+    def test_keys_per_block(self):
+        assert keys_per_block(4096) == 512
+
+    def test_keys_too_small_raises(self):
+        with pytest.raises(ValueError):
+            keys_per_block(4)
+
+    def test_pointers_per_block(self):
+        assert pointers_per_block(4096) == 512
+
+    def test_fanout_fits_block(self):
+        for block in (256, 512, 4096):
+            fanout = fanout_for_block(block)
+            assert (fanout - 1) * KEY_BYTES + fanout * POINTER_BYTES <= block
+
+    def test_fanout_minimum_two(self):
+        assert fanout_for_block(16) >= 2
+
+
+class TestBlocksForRecords:
+    def test_zero_records(self):
+        assert blocks_for_records(0, 4096) == 0
+
+    def test_exact_multiple(self):
+        assert blocks_for_records(512, 4096) == 2
+
+    def test_rounds_up(self):
+        assert blocks_for_records(257, 4096) == 2
+
+    def test_record_bytes(self):
+        assert record_bytes(10) == 10 * RECORD_BYTES

@@ -1,0 +1,230 @@
+"""The access-method contract, checked for every registered structure.
+
+Every structure must behave identically to a dict oracle for the five
+workload operations, across bulk loads, mixed mutation sequences,
+re-insertion after deletion and boundary range queries.  Constructors
+are tuned to small capacities so that multi-block machinery (splits,
+spills, compactions, merges) runs even on small datasets.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.registry import available_methods, create_method
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+#: Constructor overrides per method, tuned so maintenance paths trigger
+#: with test-sized data.
+TUNED_KWARGS = {
+    "lsm": dict(memtable_records=32, size_ratio=3),
+    "masm": dict(buffer_records=16, max_runs=3),
+    "pdt": dict(checkpoint_records=48),
+    "pbt": dict(partition_records=64, max_partitions=3),
+    "zonemap": dict(partition_records=64),
+    "approximate-index": dict(partition_records=64),
+    "adaptive-merging": dict(run_records=64),
+    "cracking": dict(pending_limit=32),
+    "sparse-index": dict(rebuild_overflow_ratio=0.3),
+    "hash-index": dict(initial_buckets=4),
+    "sorted-column": dict(sort_memory_blocks=4),
+    "btree": dict(leaf_capacity=8, fanout=5, sort_memory_blocks=4),
+    "skiplist": dict(max_height=8),
+    "indexed-log": dict(segment_records=32, compact_segments=4),
+    "morphing": dict(window=60),
+    "silt": dict(log_records=24, merge_stores=2),
+    "cache-oblivious": dict(rebuild_fraction=0.2),
+}
+
+ALL_METHODS = sorted(available_methods())
+
+
+def build(name: str):
+    device = SimulatedDevice(block_bytes=SMALL_BLOCK)
+    return create_method(name, device=device, **TUNED_KWARGS.get(name, {}))
+
+
+@pytest.fixture(params=ALL_METHODS)
+def method(request):
+    return build(request.param)
+
+
+class TestBulkLoadAndGet:
+    def test_all_loaded_keys_found(self, method):
+        records = sample_records(100)
+        method.bulk_load(records)
+        for key, value in records:
+            assert method.get(key) == value
+
+    def test_absent_keys_return_none(self, method):
+        method.bulk_load(sample_records(50))
+        for key in (-2, 1, 99, 1001):
+            assert method.get(key) is None
+
+    def test_len_matches_load(self, method):
+        method.bulk_load(sample_records(77))
+        assert len(method) == 77
+
+    def test_empty_structure(self, method):
+        assert method.get(5) is None
+        assert method.range_query(0, 100) == []
+        assert len(method) == 0
+
+    def test_bulk_load_twice_rejected(self, method):
+        method.bulk_load(sample_records(5))
+        with pytest.raises(RuntimeError):
+            method.bulk_load(sample_records(5))
+
+    def test_bulk_load_empty_is_fine(self, method):
+        method.bulk_load([])
+        assert len(method) == 0
+        assert method.get(0) is None
+
+
+class TestRangeQueries:
+    def test_full_range(self, method):
+        records = sample_records(60)
+        method.bulk_load(records)
+        assert method.range_query(-10, 10_000) == sorted(records)
+
+    def test_interior_range(self, method):
+        records = sample_records(60)
+        method.bulk_load(records)
+        expected = [(k, v) for k, v in sorted(records) if 20 <= k <= 60]
+        assert method.range_query(20, 60) == expected
+
+    def test_empty_range(self, method):
+        method.bulk_load(sample_records(30))
+        # Keys are even, so an odd singleton range is empty.
+        assert method.range_query(7, 7) == []
+
+    def test_inverted_range_is_empty(self, method):
+        method.bulk_load(sample_records(30))
+        assert method.range_query(40, 10) == []
+
+    def test_single_key_range(self, method):
+        records = sample_records(30)
+        method.bulk_load(records)
+        assert method.range_query(10, 10) == [(10, 101)]
+
+    def test_range_bounds_inclusive(self, method):
+        method.bulk_load(sample_records(10))  # keys 0..18
+        result = method.range_query(0, 18)
+        assert result[0][0] == 0
+        assert result[-1][0] == 18
+
+
+class TestMutations:
+    def test_insert_then_get(self, method):
+        method.bulk_load(sample_records(20))
+        method.insert(101, 5555)
+        assert method.get(101) == 5555
+        assert len(method) == 21
+
+    def test_update_then_get(self, method):
+        method.bulk_load(sample_records(20))
+        method.update(10, 9999)
+        assert method.get(10) == 9999
+        assert len(method) == 20
+
+    def test_delete_then_get(self, method):
+        method.bulk_load(sample_records(20))
+        method.delete(10)
+        assert method.get(10) is None
+        assert len(method) == 19
+        # Neighbours are intact.
+        assert method.get(8) == 81
+        assert method.get(12) == 121
+
+    def test_update_absent_raises(self, method):
+        method.bulk_load(sample_records(10))
+        with pytest.raises(KeyError):
+            method.update(999, 1)
+
+    def test_delete_absent_raises(self, method):
+        method.bulk_load(sample_records(10))
+        with pytest.raises(KeyError):
+            method.delete(999)
+
+    def test_reinsert_after_delete(self, method):
+        method.bulk_load(sample_records(20))
+        method.delete(10)
+        method.insert(10, 42)
+        assert method.get(10) == 42
+        assert len(method) == 20
+
+    def test_insert_into_empty(self, method):
+        method.bulk_load([])
+        method.insert(7, 70)
+        assert method.get(7) == 70
+        assert len(method) == 1
+
+    def test_range_reflects_mutations(self, method):
+        method.bulk_load(sample_records(20))
+        method.insert(5, 50)
+        method.update(6, 61)
+        method.delete(8)
+        result = dict(method.range_query(4, 10))
+        assert result == {4: 41, 5: 50, 6: 61, 10: 101}
+
+
+class TestOracleSequences:
+    """Randomized mixed sequences checked against a dict oracle."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mixed_sequence_matches_oracle(self, method, seed):
+        rng = random.Random(seed)
+        records = sample_records(120)
+        method.bulk_load(records)
+        oracle = dict(records)
+        next_key = 1000
+        for _ in range(250):
+            op = rng.random()
+            if op < 0.30:  # point query
+                if oracle and rng.random() < 0.8:
+                    key = rng.choice(sorted(oracle))
+                    assert method.get(key) == oracle[key]
+                else:
+                    absent = next_key + 99999
+                    assert method.get(absent) is None
+            elif op < 0.45:  # range query
+                lo = rng.randrange(0, 260)
+                hi = lo + rng.randrange(0, 40)
+                expected = sorted(
+                    (k, v) for k, v in oracle.items() if lo <= k <= hi
+                )
+                assert method.range_query(lo, hi) == expected
+            elif op < 0.65:  # insert
+                method.insert(next_key, next_key * 7)
+                oracle[next_key] = next_key * 7
+                next_key += 1
+            elif op < 0.85 and oracle:  # update
+                key = rng.choice(sorted(oracle))
+                oracle[key] = oracle[key] + 1
+                method.update(key, oracle[key])
+            elif oracle:  # delete
+                key = rng.choice(sorted(oracle))
+                del oracle[key]
+                method.delete(key)
+        assert len(method) == len(oracle)
+        for key, value in oracle.items():
+            assert method.get(key) == value
+
+
+class TestSpaceAccounting:
+    def test_space_at_least_base(self, method):
+        method.bulk_load(sample_records(100))
+        method.flush()
+        stats = method.stats()
+        assert stats.space_bytes >= stats.base_bytes > 0
+        assert stats.space_amplification >= 1.0
+
+    def test_stats_shape(self, method):
+        method.bulk_load(sample_records(10))
+        stats = method.stats()
+        assert stats.name == method.name
+        assert stats.records == 10

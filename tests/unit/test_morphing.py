@@ -1,0 +1,130 @@
+"""Structure-specific tests for the morphing access method (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.morphing import SHAPES, MorphingMethod
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def make(**kwargs):
+    defaults = dict(window=50)
+    defaults.update(kwargs)
+    return MorphingMethod(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+class TestShapeTransitions:
+    def test_starts_in_initial_shape(self):
+        assert make(initial_shape="sorted").shape == "sorted"
+
+    def test_reads_escalate_toward_indexed(self):
+        method = make(initial_shape="log", window=40)
+        method.bulk_load(sample_records(200))
+        for i in range(90):
+            method.get(2 * (i % 200))
+        assert method.shape in ("sorted", "indexed")
+        for i in range(90):
+            method.get(2 * (i % 200))
+        assert method.shape == "indexed"
+        assert method.morph_history == ["log", "sorted", "indexed"]
+
+    def test_writes_deescalate_toward_log(self):
+        method = make(initial_shape="indexed", window=40)
+        method.bulk_load(sample_records(200))
+        for i in range(90):
+            method.update(2 * (i % 200), i)
+        assert method.shape in ("sorted", "log")
+
+    def test_balanced_traffic_holds_shape(self):
+        method = make(initial_shape="sorted", window=40)
+        method.bulk_load(sample_records(200))
+        for i in range(120):
+            if i % 2:
+                method.get(2 * (i % 200))
+            else:
+                method.update(2 * (i % 200), i)
+        assert method.shape == "sorted"
+        assert method.morph_history == ["sorted"]
+
+    def test_explicit_morph(self):
+        method = make(initial_shape="log")
+        records = sample_records(100)
+        method.bulk_load(records)
+        method.morph_to("indexed")
+        assert method.shape == "indexed"
+        assert method.range_query(-1, 10**9) == sorted(records)
+
+    def test_morph_to_same_shape_is_noop(self):
+        method = make(initial_shape="log")
+        method.bulk_load(sample_records(10))
+        writes = method.device.counters.writes
+        method.morph_to("log")
+        assert method.device.counters.writes == writes
+
+    def test_unknown_shape_rejected(self):
+        method = make()
+        with pytest.raises(ValueError):
+            method.morph_to("pyramid")
+        with pytest.raises(ValueError):
+            make(initial_shape="pyramid")
+
+
+class TestCorrectnessAcrossMorphs:
+    def test_contents_survive_every_transition(self):
+        method = make(initial_shape="log")
+        records = sample_records(150)
+        method.bulk_load(records)
+        oracle = dict(records)
+        for shape in ("sorted", "indexed", "sorted", "log", "indexed"):
+            method.morph_to(shape)
+            assert len(method) == len(oracle)
+            assert method.range_query(-1, 10**9) == sorted(oracle.items())
+            # Mutate a little in each shape.
+            key = 2 * (SHAPES.index(shape) + 1)
+            method.update(key, 999 + SHAPES.index(shape))
+            oracle[key] = 999 + SHAPES.index(shape)
+
+    def test_morph_frees_old_blocks(self):
+        method = make(initial_shape="indexed")
+        method.bulk_load(sample_records(300))
+        indexed_blocks = method.device.allocated_blocks
+        method.morph_to("sorted")
+        # The sorted column is denser than the tree (no internal nodes).
+        assert method.device.allocated_blocks < indexed_blocks
+
+    def test_reads_cheaper_after_escalation(self):
+        method = make(initial_shape="log")
+        method.bulk_load(sample_records(400))
+
+        def probe_cost():
+            before = method.device.snapshot()
+            # Probe tail keys: the heap stores in arrival order, so these
+            # sit at the end and force near-full scans in log shape.
+            for key in range(700, 798, 10):
+                method.get(key)
+            return method.device.stats_since(before).read_bytes
+
+        cost_as_log = probe_cost()
+        method.morph_to("indexed")
+        assert probe_cost() < cost_as_log / 3
+
+    def test_morph_cost_is_charged(self):
+        method = make(initial_shape="log")
+        method.bulk_load(sample_records(300))
+        before = method.device.snapshot()
+        method.morph_to("indexed")
+        io = method.device.stats_since(before)
+        assert io.reads > 0 and io.writes > 0  # reorganization is real I/O
+
+
+class TestValidation:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            make(window=0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            make(read_threshold=0.4)

@@ -1,0 +1,157 @@
+"""Unit tests for the buffer pool and its eviction policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.device import SimulatedDevice
+from repro.storage.pager import BufferPool, ClockPolicy, LRUPolicy
+
+
+@pytest.fixture
+def backing():
+    return SimulatedDevice(block_bytes=64, name="backing")
+
+
+def _seed(device, n):
+    blocks = []
+    for i in range(n):
+        block = device.allocate()
+        device.write(block, f"payload-{i}")
+        blocks.append(block)
+    return blocks
+
+
+class TestReadCaching:
+    def test_second_read_is_a_hit(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=4)
+        backing.reset_counters()
+        pool.read(block)
+        pool.read(block)
+        assert backing.counters.reads == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_capacity_zero_is_passthrough(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=0)
+        backing.reset_counters()
+        pool.read(block)
+        pool.read(block)
+        assert backing.counters.reads == 2
+        assert pool.cached_blocks == 0
+
+    def test_eviction_at_capacity(self, backing):
+        blocks = _seed(backing, 3)
+        pool = BufferPool(backing, capacity_blocks=2)
+        for block in blocks:
+            pool.read(block)
+        assert pool.cached_blocks == 2
+        assert pool.stats.evictions == 1
+
+    def test_lru_evicts_least_recent(self, backing):
+        b0, b1, b2 = _seed(backing, 3)
+        pool = BufferPool(backing, capacity_blocks=2, policy=LRUPolicy())
+        pool.read(b0)
+        pool.read(b1)
+        pool.read(b0)  # refresh b0; b1 is now LRU
+        pool.read(b2)  # evicts b1
+        backing.reset_counters()
+        pool.read(b0)
+        assert backing.counters.reads == 0  # b0 still cached
+        pool.read(b1)
+        assert backing.counters.reads == 1  # b1 was evicted
+
+    def test_negative_capacity_rejected(self, backing):
+        with pytest.raises(ValueError):
+            BufferPool(backing, capacity_blocks=-1)
+
+
+class TestWriteBack:
+    def test_write_deferred_until_flush(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=2)
+        backing.reset_counters()
+        pool.write(block, "new-payload")
+        assert backing.counters.writes == 0
+        pool.flush()
+        assert backing.counters.writes == 1
+        assert backing.read(block) == "new-payload"
+
+    def test_dirty_eviction_writes_back(self, backing):
+        b0, b1, b2 = _seed(backing, 3)
+        pool = BufferPool(backing, capacity_blocks=1)
+        pool.write(b0, "dirty-0")
+        backing.reset_counters()
+        pool.read(b1)  # evicts dirty b0
+        assert backing.counters.writes == 1
+        assert backing.peek(b0) == "dirty-0"
+
+    def test_flush_keeps_frames_clean(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=2)
+        pool.write(block, "x")
+        pool.flush()
+        backing.reset_counters()
+        pool.flush()  # nothing dirty anymore
+        assert backing.counters.writes == 0
+
+    def test_capacity_zero_write_passthrough(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=0)
+        backing.reset_counters()
+        pool.write(block, "direct")
+        assert backing.counters.writes == 1
+
+    def test_read_after_cached_write(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=2)
+        pool.write(block, "cached")
+        assert pool.read(block) == "cached"
+
+    def test_invalidate_drops_without_writeback(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=2)
+        pool.write(block, "doomed")
+        pool.invalidate(block)
+        backing.reset_counters()
+        pool.flush()
+        assert backing.counters.writes == 0
+
+
+class TestClockPolicy:
+    def test_clock_gives_second_chance(self, backing):
+        b0, b1, b2 = _seed(backing, 3)
+        pool = BufferPool(backing, capacity_blocks=2, policy=ClockPolicy())
+        pool.read(b0)
+        pool.read(b1)
+        pool.read(b0)  # reference b0 again
+        pool.read(b2)  # clock should prefer evicting b1 over b0
+        backing.reset_counters()
+        pool.read(b0)
+        # b0 may or may not survive depending on hand position, but the
+        # pool must stay within capacity and stay correct.
+        assert pool.cached_blocks <= 2
+        assert pool.read(b1) == "payload-1"
+
+    def test_hit_rate(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=1)
+        pool.read(block)
+        pool.read(block)
+        pool.read(block)
+        assert pool.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self, backing):
+        pool = BufferPool(backing, capacity_blocks=1)
+        assert pool.stats.hit_rate == 0.0
+
+
+class TestCachedBytes:
+    def test_cached_bytes_tracks_frames(self, backing):
+        blocks = _seed(backing, 3)
+        pool = BufferPool(backing, capacity_blocks=8)
+        for block in blocks:
+            pool.read(block)
+        assert pool.cached_bytes == 3 * backing.block_bytes

@@ -1,0 +1,123 @@
+"""Unit tests for RUM overhead accounting (the paper's Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rum import RUMAccumulator, RUMProfile, measure_workload
+from repro.methods.unsorted_column import UnsortedColumn
+from repro.storage.device import IOStats, SimulatedDevice
+from repro.storage.layout import RECORD_BYTES
+from repro.workloads.spec import Operation, OpKind
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+class TestAccumulator:
+    def test_read_overhead_ratio(self):
+        acc = RUMAccumulator()
+        io = IOStats(reads=2, read_bytes=2 * 4096)
+        acc.record_read(io, records_retrieved=1)
+        assert acc.read_overhead == pytest.approx(2 * 4096 / RECORD_BYTES)
+
+    def test_update_overhead_ratio(self):
+        acc = RUMAccumulator()
+        io = IOStats(writes=1, write_bytes=4096)
+        acc.record_update(io)
+        assert acc.update_overhead == pytest.approx(4096 / RECORD_BYTES)
+
+    def test_miss_counts_one_intended_record(self):
+        acc = RUMAccumulator()
+        acc.record_read(IOStats(read_bytes=100), records_retrieved=0)
+        assert acc.retrieved_bytes == RECORD_BYTES
+
+    def test_range_retrieval_scales_denominator(self):
+        acc = RUMAccumulator()
+        acc.record_read(IOStats(read_bytes=4096), records_retrieved=100)
+        assert acc.retrieved_bytes == 100 * RECORD_BYTES
+
+    def test_no_reads_defaults_to_one(self):
+        acc = RUMAccumulator()
+        assert acc.read_overhead == 1.0
+        assert acc.update_overhead == 1.0
+
+    def test_aggregation_over_operations(self):
+        acc = RUMAccumulator()
+        acc.record_read(IOStats(read_bytes=64), records_retrieved=1)
+        acc.record_read(IOStats(read_bytes=192), records_retrieved=1)
+        # (64 + 192) / (2 * 16)
+        assert acc.read_overhead == pytest.approx(256 / (2 * RECORD_BYTES))
+
+
+class TestProfile:
+    def test_str_is_informative(self):
+        profile = RUMProfile(2.0, 3.0, 1.5, name="x")
+        assert "RO=2.00" in str(profile)
+        assert "UO=3.00" in str(profile)
+        assert "MO=1.50" in str(profile)
+
+    def test_dominance(self):
+        better = RUMProfile(1.0, 1.0, 1.0)
+        worse = RUMProfile(2.0, 1.0, 1.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_profiles_do_not_dominate(self):
+        a = RUMProfile(1.0, 1.0, 1.0)
+        b = RUMProfile(1.0, 1.0, 1.0)
+        assert not a.dominates(b)
+
+    def test_incomparable_profiles(self):
+        a = RUMProfile(1.0, 3.0, 1.0)
+        b = RUMProfile(3.0, 1.0, 1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestMeasureWorkload:
+    def _method(self):
+        method = UnsortedColumn(SimulatedDevice(block_bytes=SMALL_BLOCK))
+        method.bulk_load(sample_records(64))
+        return method
+
+    def test_point_queries_measured(self):
+        method = self._method()
+        ops = [Operation(OpKind.POINT_QUERY, 10)]
+        profile = measure_workload(method, ops)
+        assert profile.read_overhead >= 1.0
+        assert profile.memory_overhead >= 1.0
+
+    def test_inserts_measured(self):
+        method = self._method()
+        ops = [Operation(OpKind.INSERT, 1001, 5)]
+        profile = measure_workload(method, ops)
+        assert profile.update_overhead >= 1.0
+        assert method.get(1001) == 5
+
+    def test_updates_and_deletes(self):
+        method = self._method()
+        ops = [
+            Operation(OpKind.UPDATE, 10, 999),
+            Operation(OpKind.DELETE, 12),
+        ]
+        profile = measure_workload(method, ops)
+        assert method.get(10) == 999
+        assert method.get(12) is None
+        assert profile.update_overhead > 0
+
+    def test_missing_update_keys_skipped(self):
+        method = self._method()
+        ops = [Operation(OpKind.UPDATE, 777777, 1), Operation(OpKind.DELETE, 888888)]
+        profile = measure_workload(method, ops)  # must not raise
+        assert profile.update_overhead == 1.0  # nothing was written
+
+    def test_range_query_measured(self):
+        method = self._method()
+        ops = [Operation(OpKind.RANGE_QUERY, 0, high_key=30)]
+        profile = measure_workload(method, ops)
+        assert profile.read_overhead >= 1.0
+
+    def test_profile_names_method(self):
+        method = self._method()
+        profile = measure_workload(method, [])
+        assert profile.name == "unsorted-column"

@@ -1,0 +1,86 @@
+"""Unit tests for the shared sorted-run helpers (repro.core.runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runs import probe_run, scan_run
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK
+
+
+@pytest.fixture
+def run(device):
+    """A three-block sorted run with fences [0, 100, 200]."""
+    block_ids = []
+    fences = []
+    for base in (0, 100, 200):
+        chunk = [(base + 2 * i, base + i) for i in range(16)]
+        block_id = device.allocate(kind="run")
+        device.write(block_id, chunk, used_bytes=256)
+        block_ids.append(block_id)
+        fences.append(chunk[0][0])
+    return device, block_ids, fences
+
+
+class TestProbe:
+    def test_hit_in_each_block(self, run):
+        device, blocks, fences = run
+        for base in (0, 100, 200):
+            found, value = probe_run(device, blocks, fences, base + 4)
+            assert found and value == base + 2
+
+    def test_probe_reads_exactly_one_block(self, run):
+        device, blocks, fences = run
+        before = device.snapshot()
+        probe_run(device, blocks, fences, 104)
+        assert device.stats_since(before).reads == 1
+
+    def test_miss_inside_range(self, run):
+        device, blocks, fences = run
+        found, value = probe_run(device, blocks, fences, 5)  # odd: absent
+        assert not found and value is None
+
+    def test_below_minimum_is_free(self, run):
+        device, blocks, fences = run
+        before = device.snapshot()
+        found, _ = probe_run(device, blocks, fences, -5)
+        assert not found
+        assert device.stats_since(before).reads == 0
+
+    def test_empty_run(self, device):
+        assert probe_run(device, [], [], 5) == (False, None)
+
+    def test_beyond_maximum_misses(self, run):
+        device, blocks, fences = run
+        found, _ = probe_run(device, blocks, fences, 999)
+        assert not found
+
+
+class TestScan:
+    def test_cross_block_range(self, run):
+        device, blocks, fences = run
+        result = scan_run(device, blocks, fences, 28, 104)
+        keys = [key for key, _ in result]
+        assert keys[0] == 28 and keys[-1] == 104
+        assert keys == sorted(keys)
+
+    def test_scan_prunes_blocks(self, run):
+        device, blocks, fences = run
+        before = device.snapshot()
+        scan_run(device, blocks, fences, 100, 110)
+        # Only the middle block qualifies (plus at most one boundary read).
+        assert device.stats_since(before).reads <= 2
+
+    def test_empty_range(self, run):
+        device, blocks, fences = run
+        assert scan_run(device, blocks, fences, 50, 60) == []
+
+    def test_full_span(self, run):
+        device, blocks, fences = run
+        result = scan_run(device, blocks, fences, -1, 10_000)
+        assert len(result) == 48
+
+    def test_empty_run(self, device):
+        assert scan_run(device, [], [], 0, 100) == []

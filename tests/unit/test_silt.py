@@ -1,0 +1,118 @@
+"""Structure-specific tests for the SILT-style multi-store (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.silt import SILTStore
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def make(**kwargs):
+    defaults = dict(log_records=32, merge_stores=3)
+    defaults.update(kwargs)
+    return SILTStore(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+class TestStagePipeline:
+    def test_writes_land_in_the_log(self, silt=None):
+        silt = make()
+        silt.bulk_load(sample_records(64))
+        silt.insert(1001, 1)
+        assert silt.log_entries == 1
+        assert silt.hash_store_count == 0
+        assert silt.get(1001) == 1
+
+    def test_log_seals_into_hash_store(self):
+        silt = make(log_records=8)
+        silt.bulk_load(sample_records(64))
+        for i in range(8):
+            silt.update(2 * i, i)
+        assert silt.log_entries == 0
+        assert silt.hash_store_count == 1
+        assert silt.get(0) == 0
+
+    def test_hash_stores_merge_into_sorted(self):
+        silt = make(log_records=8, merge_stores=2)
+        silt.bulk_load(sample_records(64))
+        for i in range(16):
+            silt.update(2 * (i % 64), i)
+        # Two seals happened; the merge folded them into the sorted store.
+        assert silt.hash_store_count < 2
+        assert silt.range_query(-1, 10**9)[0][0] == 0
+
+    def test_log_read_is_one_block(self):
+        silt = make()
+        silt.bulk_load(sample_records(256))
+        silt.update(10, 999)
+        before = silt.device.snapshot()
+        assert silt.get(10) == 999
+        io = silt.device.stats_since(before)
+        assert io.reads <= 1  # directory is memory; at most the log block
+
+    def test_hash_store_read_is_one_bucket(self):
+        silt = make(log_records=8, merge_stores=100)
+        silt.bulk_load(sample_records(256))
+        for i in range(8):
+            silt.update(2 * i, 7000 + i)
+        assert silt.hash_store_count == 1
+        before = silt.device.snapshot()
+        assert silt.get(0) == 7000
+        io = silt.device.stats_since(before)
+        assert io.reads == 1
+
+
+class TestVersionOrdering:
+    def test_newest_wins_across_stages(self):
+        silt = make(log_records=8, merge_stores=100)
+        silt.bulk_load(sample_records(64))  # sorted store: version 0
+        for i in range(8):
+            silt.update(0, 100 + i)  # seals a hash store with version 107
+        silt.update(0, 999)  # newest lives in the log
+        assert silt.get(0) == 999
+
+    def test_double_update_within_tail(self):
+        silt = make(log_records=64)
+        silt.bulk_load(sample_records(32))
+        silt.update(10, 1)
+        silt.update(10, 2)
+        silt.flush()
+        assert silt.get(10) == 2
+
+    def test_deletes_propagate_through_merge(self):
+        silt = make(log_records=8, merge_stores=2)
+        silt.bulk_load(sample_records(64))
+        silt.delete(10)
+        for i in range(32):  # churn to force seals and merges
+            silt.update(2 * ((i % 50) + 10), i)  # keys 20..118, never 10
+        assert silt.get(10) is None
+        assert 10 not in dict(silt.range_query(0, 200))
+
+
+class TestBalance:
+    def test_update_cost_near_append_floor(self):
+        silt = make(log_records=64, merge_stores=100)
+        silt.bulk_load(sample_records(256))
+        before = silt.device.snapshot()
+        for i in range(60):  # below the seal threshold
+            silt.update(2 * (i % 256), i)
+        silt.flush()
+        io = silt.device.stats_since(before)
+        # Appends batch into blocks: ~1 block per 16 records.
+        assert io.writes <= 6
+
+    def test_space_tracks_directory(self):
+        silt = make(log_records=1024, merge_stores=100)
+        silt.bulk_load(sample_records(64))
+        before = silt.space_bytes()
+        for i in range(100):
+            silt.insert(10_001 + 2 * i, i)
+        assert silt.space_bytes() > before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(log_records=0)
+        with pytest.raises(ValueError):
+            make(merge_stores=0)

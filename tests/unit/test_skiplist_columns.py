@@ -1,0 +1,181 @@
+"""Structure-specific tests for the skip list and the two columns."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.methods.skiplist import SkipList
+from repro.methods.sorted_column import SortedColumn
+from repro.methods.unsorted_column import UnsortedColumn
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def skiplist(**kwargs):
+    return SkipList(SimulatedDevice(block_bytes=SMALL_BLOCK), **kwargs)
+
+
+def sorted_column(**kwargs):
+    defaults = dict(sort_memory_blocks=4)
+    defaults.update(kwargs)
+    return SortedColumn(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+def unsorted_column():
+    return UnsortedColumn(SimulatedDevice(block_bytes=SMALL_BLOCK))
+
+
+class TestSkipList:
+    def test_deterministic_given_seed(self):
+        a, b = skiplist(seed=9), skiplist(seed=9)
+        for s in (a, b):
+            s.bulk_load(sample_records(200))
+        assert a.device.allocated_blocks == b.device.allocated_blocks
+
+    def test_search_sublinear(self):
+        costs = {}
+        for n in (100, 1600):
+            s = skiplist()
+            s.bulk_load(sample_records(n))
+            before = s.device.snapshot()
+            for key in range(0, 2 * n, n // 4):
+                s.get(key)
+            costs[n] = s.device.stats_since(before).reads
+        # 16x data, far less than 16x cost.
+        assert costs[1600] < costs[100] * 6
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            skiplist(probability=0.0)
+        with pytest.raises(ValueError):
+            skiplist(max_height=0)
+
+    def test_local_insert_touches_few_blocks(self):
+        s = skiplist()
+        s.bulk_load(sample_records(500))
+        before = s.device.snapshot()
+        s.insert(501, 1)
+        io = s.device.stats_since(before)
+        # Writes touch only the blocks holding the new node + predecessors.
+        assert io.writes <= 8
+
+    def test_slot_reuse_after_delete(self):
+        s = skiplist()
+        s.bulk_load(sample_records(100))
+        blocks = s.device.allocated_blocks
+        for _ in range(20):
+            s.delete(10)
+            s.insert(10, 101)
+        # Freed slots are reused: no unbounded arena growth.
+        assert s.device.allocated_blocks <= blocks + 1
+
+    def test_ordered_iteration_via_level0(self):
+        s = skiplist()
+        records = sample_records(150)
+        rng = random.Random(2)
+        shuffled = records[:]
+        rng.shuffle(shuffled)
+        s.bulk_load(shuffled)
+        assert s.range_query(-1, 10**9) == sorted(records)
+
+
+class TestSortedColumn:
+    def test_binary_search_reads_log_blocks(self):
+        column = sorted_column()
+        column.bulk_load(sample_records(2048))  # 128 blocks
+        before = column.device.snapshot()
+        column.get(2048)
+        io = column.device.stats_since(before)
+        assert io.reads <= 9  # ~log2(128) + 1
+
+    def test_insert_shifts_right_suffix(self):
+        column = sorted_column()
+        column.bulk_load(sample_records(512))  # 32 blocks
+        before = column.device.snapshot()
+        column.insert(1, 0)  # smallest key: shifts everything
+        everything = column.device.stats_since(before)
+        before = column.device.snapshot()
+        column.insert(2 * 512 + 1, 0)  # largest key: shifts nothing
+        tail_only = column.device.stats_since(before)
+        assert everything.writes > 10 * max(1, tail_only.writes)
+
+    def test_delete_keeps_order_and_density(self):
+        column = sorted_column()
+        records = sample_records(200)
+        column.bulk_load(records)
+        for key, _ in records[::3]:
+            column.delete(key)
+        remaining = [record for i, record in enumerate(records) if i % 3]
+        assert column.range_query(-1, 10**9) == remaining
+
+    def test_bulk_load_sorts_shuffled_input(self):
+        column = sorted_column()
+        records = sample_records(500)
+        shuffled = records[:]
+        random.Random(4).shuffle(shuffled)
+        column.bulk_load(shuffled)
+        assert column.range_query(-1, 10**9) == records
+
+    def test_external_sort_charges_merge_passes(self):
+        small_memory = sorted_column(sort_memory_blocks=2)
+        big_memory = sorted_column(sort_memory_blocks=64)
+        records = sample_records(2000)
+        random.Random(4).shuffle(records)
+        for column in (small_memory, big_memory):
+            column.bulk_load(list(records))
+        # Fewer merge passes with more sort memory.
+        assert (
+            big_memory.device.counters.writes
+            < small_memory.device.counters.writes
+        )
+
+    def test_sort_memory_validation(self):
+        with pytest.raises(ValueError):
+            sorted_column(sort_memory_blocks=1)
+
+
+class TestUnsortedColumn:
+    def test_append_is_one_write(self):
+        column = unsorted_column()
+        column.bulk_load(sample_records(160))
+        before = column.device.snapshot()
+        column.insert(1001, 1)
+        io = column.device.stats_since(before)
+        assert io.writes == 1
+
+    def test_scan_cost_position_dependent(self):
+        column = unsorted_column()
+        column.bulk_load(sample_records(320))  # 20 blocks
+
+        def cost(key):
+            before = column.device.snapshot()
+            column.get(key)
+            return column.device.stats_since(before).reads
+
+        assert cost(0) <= 2
+        assert cost(2 * 319) == 20
+
+    def test_delete_backfills_from_tail(self):
+        column = unsorted_column()
+        records = sample_records(100)
+        column.bulk_load(records)
+        blocks = column.device.allocated_blocks
+        column.delete(0)  # hole at the front, filled from the tail
+        assert len(column) == 99
+        assert column.get(2 * 99) == 2 * 99 * 10 + 1  # moved record findable
+        # Deleting down to a block boundary frees blocks.
+        for key, _ in records[1:50]:
+            column.delete(key)
+        assert column.device.allocated_blocks < blocks
+
+    def test_range_query_sorts_output(self):
+        column = unsorted_column()
+        records = sample_records(64)
+        shuffled = records[:]
+        random.Random(8).shuffle(shuffled)
+        column.bulk_load(shuffled)
+        result = column.range_query(10, 60)
+        assert result == [(k, v) for k, v in sorted(records) if 10 <= k <= 60]

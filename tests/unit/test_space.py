@@ -1,0 +1,92 @@
+"""Unit tests for the RUM triangle geometry (Figures 1 and 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.rum import RUMProfile
+from repro.core.space import (
+    CORNER_READ,
+    CORNER_SPACE,
+    CORNER_WRITE,
+    barycentric_weights,
+    corner_affinity,
+    goodness,
+    nearest_corner,
+    project,
+)
+
+
+class TestGoodness:
+    def test_optimal_overhead_is_one(self):
+        assert goodness(1.0) == 1.0
+
+    def test_larger_overhead_means_less_good(self):
+        assert goodness(2.0) == 0.5
+        assert goodness(10.0) == pytest.approx(0.1)
+
+    def test_infinite_overhead_is_zero(self):
+        assert goodness(float("inf")) == 0.0
+
+    def test_nan_is_zero(self):
+        assert goodness(float("nan")) == 0.0
+
+    def test_sub_one_clamped(self):
+        assert goodness(0.5) == 1.0
+
+
+class TestProjection:
+    def test_read_optimal_lands_on_read_corner(self):
+        profile = RUMProfile(1.0, 1e12, 1e12)
+        assert nearest_corner(profile) == CORNER_READ
+        point = project(profile)
+        assert point.distance_to(CORNER_READ) < 0.01
+
+    def test_write_optimal_lands_on_write_corner(self):
+        profile = RUMProfile(1e12, 1.0, 1e12)
+        assert nearest_corner(profile) == CORNER_WRITE
+
+    def test_space_optimal_lands_on_space_corner(self):
+        profile = RUMProfile(1e12, 1e12, 1.0)
+        assert nearest_corner(profile) == CORNER_SPACE
+
+    def test_balanced_profile_lands_in_center(self):
+        profile = RUMProfile(2.0, 2.0, 2.0)
+        point = project(profile)
+        # The centroid of the unit triangle.
+        assert point.x == pytest.approx(0.5)
+        assert point.y == pytest.approx(math.sqrt(3) / 6, rel=1e-6)
+
+    def test_all_infinite_lands_in_center(self):
+        inf = float("inf")
+        point = project(RUMProfile(inf, inf, inf))
+        assert point.x == pytest.approx(0.5)
+
+    def test_weights_sum_to_one(self):
+        profile = RUMProfile(1.5, 7.0, 3.0)
+        weights = barycentric_weights(profile)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_point_inside_triangle(self):
+        profile = RUMProfile(1.5, 7.0, 3.0)
+        point = project(profile)
+        assert 0.0 <= point.x <= 1.0
+        assert 0.0 <= point.y <= math.sqrt(3) / 2 + 1e-9
+
+    def test_project_uses_profile_name(self):
+        profile = RUMProfile(1.0, 2.0, 3.0, name="thing")
+        assert project(profile).name == "thing"
+        assert project(profile, name="override").name == "override"
+
+
+class TestAffinity:
+    def test_affinity_keys(self):
+        affinity = corner_affinity(RUMProfile(1.0, 2.0, 4.0))
+        assert set(affinity) == {CORNER_READ, CORNER_WRITE, CORNER_SPACE}
+
+    def test_read_heavy_affinity_ordering(self):
+        affinity = corner_affinity(RUMProfile(1.0, 4.0, 4.0))
+        assert affinity[CORNER_READ] > affinity[CORNER_WRITE]
+        assert affinity[CORNER_READ] > affinity[CORNER_SPACE]

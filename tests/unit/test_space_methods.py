@@ -1,0 +1,169 @@
+"""Structure-specific tests for the space-optimized family:
+ZoneMaps, sparse index, approximate index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods.approximate_index import ApproximateTreeIndex
+from repro.methods.sparse_index import SparseIndexColumn
+from repro.methods.zonemap import ZoneMapColumn
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def zonemap(**kwargs):
+    defaults = dict(partition_records=64)
+    defaults.update(kwargs)
+    return ZoneMapColumn(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+def sparse(**kwargs):
+    return SparseIndexColumn(SimulatedDevice(block_bytes=SMALL_BLOCK), **kwargs)
+
+
+def approx(**kwargs):
+    defaults = dict(partition_records=64)
+    defaults.update(kwargs)
+    return ApproximateTreeIndex(SimulatedDevice(block_bytes=SMALL_BLOCK), **defaults)
+
+
+class TestZoneMaps:
+    def test_synopsis_prunes_clustered_data(self):
+        column = zonemap()
+        column.bulk_load(sample_records(1024))  # sorted: disjoint zones
+        before = column.device.snapshot()
+        column.get(512)
+        io = column.device.stats_since(before)
+        # Synopsis blocks + exactly one partition (4 blocks at P=64).
+        assert io.reads <= 2 + 4
+
+    def test_partition_count(self):
+        column = zonemap(partition_records=64)
+        column.bulk_load(sample_records(1000))
+        assert column.partitions == -(-1000 // 64)
+
+    def test_synopsis_space_is_small(self):
+        column = zonemap()
+        column.bulk_load(sample_records(2048))
+        assert column.synopsis_bytes() < column.base_bytes() * 0.05
+
+    def test_overlapping_zones_degrade_gracefully(self):
+        # Insert keys in an order that forces the last partition's zone
+        # to span everything: queries then touch extra partitions but
+        # stay correct.
+        column = zonemap(partition_records=16)
+        column.bulk_load(sample_records(64))
+        column.insert(1, 10)      # low key -> widens the tail zone
+        column.insert(2001, 20)   # high key -> widens it further
+        assert column.get(1) == 10
+        assert column.get(2001) == 20
+        assert column.get(64) == 641
+
+    def test_delete_refreshes_zone(self):
+        column = zonemap(partition_records=16)
+        column.bulk_load(sample_records(64))
+        column.delete(0)  # the minimum of partition 0
+        assert column.get(0) is None
+        assert column.get(2) == 21
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zonemap(partition_records=0)
+
+
+class TestSparseIndex:
+    def test_index_is_sparse(self):
+        column = sparse()
+        column.bulk_load(sample_records(2048))
+        # One entry per data block: far smaller than the data.
+        assert column.index_bytes() < column.base_bytes() * 0.1
+
+    def test_point_query_cost(self):
+        column = sparse()
+        column.bulk_load(sample_records(2048))
+        before = column.device.snapshot()
+        column.get(2048)
+        io = column.device.stats_since(before)
+        # Binary search over index blocks + one data block.
+        assert io.reads <= 6
+
+    def test_overflow_chains_absorb_inserts(self):
+        column = sparse(rebuild_overflow_ratio=10.0)  # never rebuild
+        column.bulk_load(sample_records(128))
+        for i in range(64):
+            column.insert(2 * i + 1, i)  # odd keys into full blocks
+        assert column.overflow_records > 0
+        assert column.get(33) == 16
+
+    def test_rebuild_clears_overflow(self):
+        column = sparse(rebuild_overflow_ratio=10.0)
+        column.bulk_load(sample_records(128))
+        for i in range(64):
+            column.insert(2 * i + 1, i)
+        column.rebuild()
+        assert column.overflow_records == 0
+        assert column.get(33) == 16
+        assert len(column) == 192
+
+    def test_auto_rebuild_at_threshold(self):
+        column = sparse(rebuild_overflow_ratio=0.1)
+        column.bulk_load(sample_records(64))
+        for i in range(32):
+            column.insert(2 * i + 1, i)
+        assert column.overflow_records < 32  # a rebuild happened
+
+    def test_mutations_in_overflow(self):
+        column = sparse(rebuild_overflow_ratio=10.0)
+        column.bulk_load(sample_records(64))
+        column.insert(33, 5)
+        column.update(33, 6)
+        assert column.get(33) == 6
+        column.delete(33)
+        assert column.get(33) is None
+
+
+class TestApproximateIndex:
+    def test_filter_skips_absent_partitions(self):
+        index = approx()
+        index.bulk_load(sample_records(512))
+        before = index.device.snapshot()
+        misses = 0
+        for key in range(1, 200, 8):  # odd keys: absent
+            assert index.get(key) is None
+            misses += 1
+        io = index.device.stats_since(before)
+        # Mostly filter-block reads; data scans only on false positives.
+        assert io.reads < misses * 3
+
+    def test_filters_updatable_on_insert_and_delete(self):
+        index = approx()
+        index.bulk_load(sample_records(128))
+        index.insert(33, 5)
+        assert index.get(33) == 5
+        index.delete(33)
+        assert index.get(33) is None
+        # The quotient filter forgot the key: probing it is cheap again.
+        before = index.device.snapshot()
+        index.get(33)
+        assert index.device.stats_since(before).reads <= 4
+
+    def test_filter_space_fraction(self):
+        index = approx()
+        index.bulk_load(sample_records(1024))
+        assert 0 < index.filter_bytes() < index.base_bytes() * 0.6
+
+    def test_filter_overflow_triggers_rebuild(self):
+        index = approx(partition_records=8, remainder_bits=4)
+        index.bulk_load(sample_records(8))
+        # Push far more keys than the initial filter was sized for.
+        for i in range(64):
+            index.insert(2 * i + 1, i)
+        assert index.get(63) == 31
+        assert len(index) == 72
+
+    def test_partitions_split_by_range(self):
+        index = approx(partition_records=32)
+        index.bulk_load(sample_records(128))
+        assert index.partitions == 4

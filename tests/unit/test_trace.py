@@ -1,0 +1,87 @@
+"""Unit tests for workload traces (save/replay)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import create_method
+from repro.core.rum import measure_workload
+from repro.storage.device import SimulatedDevice
+from repro.workloads.generator import generate_operations
+from repro.workloads.spec import MIXES, Operation, OpKind
+from repro.workloads.trace import load_trace, save_trace
+
+from tests.conftest import SMALL_BLOCK
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    return str(tmp_path / "workload.trace")
+
+
+def _spec():
+    return MIXES["balanced"].scaled(initial_records=300, operations=120)
+
+
+class TestRoundTrip:
+    def test_data_and_operations_survive(self, trace_path):
+        data, operations = generate_operations(_spec())
+        save_trace(trace_path, data, operations)
+        loaded_data, loaded_operations = load_trace(trace_path)
+        assert loaded_data == data
+        assert loaded_operations == operations
+
+    def test_replay_gives_identical_profile(self, trace_path):
+        data, operations = generate_operations(_spec())
+        save_trace(trace_path, data, operations)
+
+        def run(dataset, stream):
+            method = create_method(
+                "btree", device=SimulatedDevice(block_bytes=SMALL_BLOCK)
+            )
+            method.bulk_load(dataset)
+            return measure_workload(method, stream)
+
+        original = run(data, operations)
+        loaded_data, loaded_operations = load_trace(trace_path)
+        replayed = run(loaded_data, loaded_operations)
+        assert replayed == original
+
+    def test_all_operation_kinds_encode(self, trace_path):
+        operations = [
+            Operation(OpKind.POINT_QUERY, 5),
+            Operation(OpKind.RANGE_QUERY, 2, high_key=9),
+            Operation(OpKind.INSERT, 11, value=110),
+            Operation(OpKind.UPDATE, 5, value=7),
+            Operation(OpKind.DELETE, 2),
+        ]
+        save_trace(trace_path, [(1, 1)], operations)
+        _, loaded = load_trace(trace_path)
+        assert loaded == operations
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"trace": 99}\n')
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        path = tmp_path / "mal.trace"
+        path.write_text('{"trace": 1}\n{"op": "nope", "k": 1}\n')
+        with pytest.raises(ValueError):
+            load_trace(str(path))
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "blank.trace"
+        path.write_text('{"trace": 1}\n\n{"r": [1, 2]}\n\n')
+        data, operations = load_trace(str(path))
+        assert data == [(1, 2)]
+        assert operations == []

@@ -1,0 +1,137 @@
+"""Unit tests for the tunable access method and the dynamic tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rum import measure_workload
+from repro.core.tuner import DynamicTuner, TunableAccessMethod, TunerPolicy
+from repro.storage.device import SimulatedDevice
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import WorkloadSpec
+
+from tests.conftest import SMALL_BLOCK, sample_records
+
+
+def tunable(r=0.5, w=0.5):
+    return TunableAccessMethod(
+        SimulatedDevice(block_bytes=SMALL_BLOCK),
+        read_optimization=r,
+        write_optimization=w,
+    )
+
+
+def measure(r, w, spec):
+    method = tunable(r, w)
+    generator = WorkloadGenerator(spec)
+    method.bulk_load(generator.initial_data())
+    return measure_workload(method, generator.operations())
+
+
+class TestKnobs:
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            tunable(r=1.5)
+        with pytest.raises(ValueError):
+            tunable(w=-0.1)
+
+    def test_fence_stride_follows_read_knob(self):
+        assert tunable(r=0.0).fence_stride is None
+        assert tunable(r=1.0).fence_stride == 1
+        assert tunable(r=0.1).fence_stride == 10
+
+    def test_buffer_grows_with_write_knob(self):
+        assert tunable(w=1.0).buffer_capacity > tunable(w=0.0).buffer_capacity
+
+    def test_bloom_only_at_high_read_optimization(self):
+        assert tunable(r=0.9).bloom_enabled
+        assert not tunable(r=0.5).bloom_enabled
+
+
+class TestRUMMovement:
+    SPEC = WorkloadSpec(
+        point_queries=0.4,
+        range_queries=0.1,
+        inserts=0.3,
+        updates=0.15,
+        deletes=0.05,
+        operations=400,
+        initial_records=3000,
+    )
+
+    def test_read_knob_lowers_ro_and_raises_mo(self):
+        low = measure(0.0, 0.3, self.SPEC)
+        high = measure(1.0, 0.3, self.SPEC)
+        assert high.read_overhead < low.read_overhead
+        assert high.memory_overhead > low.memory_overhead
+
+    def test_write_knob_lowers_uo(self):
+        low = measure(0.3, 0.0, self.SPEC)
+        high = measure(0.3, 1.0, self.SPEC)
+        assert high.update_overhead < low.update_overhead
+
+    def test_correctness_at_extremes(self):
+        for r, w in ((0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)):
+            method = tunable(r, w)
+            records = sample_records(300)
+            method.bulk_load(records)
+            method.insert(9999, 1)
+            method.update(10, 111)
+            method.delete(12)
+            assert method.get(9999) == 1
+            assert method.get(10) == 111
+            assert method.get(12) is None
+            survivors = dict(records)
+            survivors[10] = 111
+            survivors[9999] = 1
+            del survivors[12]
+            assert method.range_query(-1, 10**9) == sorted(survivors.items())
+
+    def test_knobs_can_change_mid_flight(self):
+        method = tunable(0.2, 0.8)
+        records = sample_records(300)
+        method.bulk_load(records)
+        method.insert(10_001, 1)
+        method.set_knobs(0.9, 0.1)
+        assert method.get(10_001) == 1
+        assert method.get(100) == 1001
+
+
+class TestDynamicTuner:
+    def test_read_heavy_traffic_raises_read_knob(self):
+        method = tunable(0.5, 0.5)
+        method.bulk_load(sample_records(200))
+        tuner = DynamicTuner(method, TunerPolicy(window=50, step=0.2))
+        for _ in range(120):
+            tuner.observe_read()
+        assert method.read_optimization > 0.5
+        assert method.write_optimization < 0.5
+
+    def test_write_heavy_traffic_raises_write_knob(self):
+        method = tunable(0.5, 0.5)
+        method.bulk_load(sample_records(200))
+        tuner = DynamicTuner(method, TunerPolicy(window=50, step=0.2))
+        for _ in range(120):
+            tuner.observe_write()
+        assert method.write_optimization > 0.5
+        assert method.read_optimization < 0.5
+
+    def test_memory_budget_caps_read_knob(self):
+        method = tunable(1.0, 0.5)
+        method.bulk_load(sample_records(200))
+        tuner = DynamicTuner(
+            method, TunerPolicy(window=10, step=0.2, memory_budget=1.0)
+        )
+        for _ in range(40):
+            tuner.observe_read()
+        # Budget of 1.0 is unachievable with aux structures; the tuner
+        # must have pushed the read knob down at least once.
+        assert any(r < 1.0 for r, _ in tuner.adjustments)
+
+    def test_adjustments_recorded(self):
+        method = tunable()
+        method.bulk_load(sample_records(100))
+        tuner = DynamicTuner(method, TunerPolicy(window=25))
+        for _ in range(100):
+            tuner.observe_read()
+        assert len(tuner.adjustments) == 4

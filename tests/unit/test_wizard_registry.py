@@ -1,0 +1,185 @@
+"""Unit tests for the method registry and the access-method wizard."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.registry import available_methods, create_method, register_method
+from repro.core.rum import RUMProfile
+from repro.core.wizard import (
+    HardwarePriorities,
+    Recommendation,
+    recommend,
+    score_profile,
+    workload_weights,
+)
+from repro.workloads.spec import MIXES, WorkloadSpec
+
+
+class TestRegistry:
+    def test_known_methods_present(self):
+        names = available_methods()
+        for expected in ("btree", "lsm", "hash-index", "zonemap", "sorted-column",
+                         "unsorted-column", "tunable", "cracking"):
+            assert expected in names
+
+    def test_create_by_name(self):
+        method = create_method("btree")
+        assert method.name == "btree"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            create_method("nonexistent")
+        assert "btree" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_method("btree", lambda: None)
+
+    def test_kwargs_forwarded(self):
+        method = create_method("lsm", size_ratio=7)
+        assert method.size_ratio == 7
+
+
+class TestScoring:
+    def test_weights_follow_mix(self):
+        read_heavy = workload_weights(MIXES["read-only"])
+        write_heavy = workload_weights(MIXES["write-heavy"])
+        assert read_heavy[0] > write_heavy[0]
+        assert read_heavy[1] < write_heavy[1]
+
+    def test_score_prefers_lower_overheads(self):
+        spec = MIXES["balanced"]
+        good = RUMProfile(2.0, 2.0, 1.2)
+        bad = RUMProfile(20.0, 20.0, 3.0)
+        priorities = HardwarePriorities()
+        assert score_profile(good, spec, priorities) < score_profile(bad, spec, priorities)
+
+    def test_flash_priorities_punish_writes(self):
+        spec = MIXES["balanced"]
+        writey = RUMProfile(2.0, 50.0, 1.2)
+        ready = RUMProfile(50.0, 2.0, 1.2)
+        neutral = HardwarePriorities()
+        flash = HardwarePriorities.flash()
+        # Under flash priorities the write-heavy profile loses more
+        # ground than under neutral priorities.
+        neutral_gap = score_profile(writey, spec, neutral) - score_profile(ready, spec, neutral)
+        flash_gap = score_profile(writey, spec, flash) - score_profile(ready, spec, flash)
+        assert flash_gap > neutral_gap
+
+    def test_infinite_overhead_is_disqualifying(self):
+        spec = MIXES["balanced"]
+        profile = RUMProfile(float("inf"), 1.0, 1.0)
+        assert score_profile(profile, spec, HardwarePriorities()) == float("inf")
+
+
+class TestRecommend:
+    def test_returns_sorted_recommendations(self):
+        spec = MIXES["balanced"].scaled(initial_records=400, operations=60)
+        recs = recommend(spec, sample_records=400, sample_operations=60)
+        assert len(recs) > 5
+        scores = [rec.score for rec in recs]
+        assert scores == sorted(scores)
+
+    def test_candidate_filter(self):
+        spec = MIXES["balanced"].scaled(initial_records=300, operations=40)
+        recs = recommend(
+            spec,
+            candidates=["btree", "lsm"],
+            sample_records=300,
+            sample_operations=40,
+        )
+        assert {rec.method for rec in recs} == {"btree", "lsm"}
+
+    def test_write_heavy_prefers_differential(self):
+        spec = WorkloadSpec(
+            point_queries=0.05,
+            inserts=0.65,
+            updates=0.3,
+            operations=300,
+            initial_records=1500,
+        )
+        recs = recommend(spec, sample_records=1500, sample_operations=300)
+        top3 = {rec.method for rec in recs[:3]}
+        differential = {"lsm", "masm", "pdt", "tunable", "pbt", "append-log", "cracking"}
+        assert top3 & differential, f"expected a differential method in {top3}"
+
+    def test_rationale_populated(self):
+        spec = MIXES["balanced"].scaled(initial_records=200, operations=30)
+        recs = recommend(spec, candidates=["btree"], sample_records=200, sample_operations=30)
+        assert "overhead" in recs[0].rationale
+
+
+class TestAnalyticWizard:
+    def test_classification_covers_every_rankable_method(self):
+        from repro.core.wizard import CLASSIFICATION, _EXCLUDED
+
+        rankable = set(available_methods()) - _EXCLUDED
+        assert rankable <= set(CLASSIFICATION), rankable - set(CLASSIFICATION)
+
+    def test_analytic_prefers_differential_for_writes(self):
+        from repro.core.wizard import recommend_analytic
+
+        spec = WorkloadSpec(
+            point_queries=0.05, inserts=0.7, updates=0.25, operations=100
+        )
+        recs = recommend_analytic(spec)
+        assert recs[0].method in ("lsm", "indexed-log", "masm", "append-log")
+
+    def test_analytic_prefers_readers_for_reads(self):
+        from repro.core.wizard import recommend_analytic
+
+        spec = WorkloadSpec(point_queries=1.0, operations=100)
+        recs = recommend_analytic(spec)
+        assert recs[0].method in ("hash-index", "btree", "pdt")
+
+    def test_memory_priority_shifts_ranking(self):
+        from repro.core.wizard import recommend_analytic
+
+        spec = MIXES["balanced"]
+        neutral = recommend_analytic(spec)
+        lean = recommend_analytic(spec, HardwarePriorities.memory_constrained())
+        neutral_rank = [rec.method for rec in neutral]
+        lean_rank = [rec.method for rec in lean]
+        # Space-lean structures move up under memory pressure.
+        assert lean_rank.index("sorted-column") < neutral_rank.index("sorted-column")
+
+    def test_range_heavy_prefers_ordered_structures(self):
+        from repro.core.wizard import recommend_analytic
+
+        spec = MIXES["scan-heavy"]
+        recs = recommend_analytic(spec)
+        ranking = [rec.method for rec in recs]
+        # Ordered structures top the list; the unordered hash (range =
+        # full scan) must rank far below them.
+        assert ranking[0] in ("btree", "fractured-mirrors", "sorted-column")
+        assert ranking.index("hash-index") > ranking.index("btree")
+        assert ranking.index("hash-index") > ranking.index("sorted-column")
+
+    def test_unknown_candidate_rejected(self):
+        from repro.core.wizard import recommend_analytic
+
+        with pytest.raises(KeyError):
+            recommend_analytic(MIXES["balanced"], candidates=["ghost"])
+
+    def test_analytic_agrees_with_empirical_on_extremes(self):
+        from repro.core.wizard import recommend_analytic
+
+        # For a strongly write-heavy workload, the analytic top-3 and
+        # the measured top-3 should overlap: the classification study
+        # reflects measured reality.
+        spec = WorkloadSpec(
+            point_queries=0.05,
+            inserts=0.65,
+            updates=0.3,
+            operations=300,
+            initial_records=1500,
+        )
+        analytic_top = {rec.method for rec in recommend_analytic(spec)[:4]}
+        measured_top = {
+            rec.method
+            for rec in recommend(spec, sample_records=1500, sample_operations=300)[:4]
+        }
+        assert analytic_top & measured_top

@@ -1,0 +1,205 @@
+"""Unit tests for workload specs, distributions and generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.distributions import (
+    ClusteredKeys,
+    LatestKeys,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+    distribution_names,
+    make_distribution,
+)
+from repro.workloads.generator import WorkloadGenerator, generate_operations
+from repro.workloads.spec import MIXES, Operation, OpKind, WorkloadSpec
+
+
+class TestSpecValidation:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(point_queries=0.5, inserts=0.6)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(point_queries=1.5, inserts=-0.5)
+
+    def test_negative_operations_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(operations=-1)
+
+    def test_range_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(range_fraction=1.5)
+
+    def test_named_mixes_are_valid(self):
+        for name, spec in MIXES.items():
+            assert sum(spec.mix.values()) == pytest.approx(1.0), name
+
+    def test_scaled_preserves_mix(self):
+        spec = MIXES["balanced"].scaled(initial_records=500, operations=50)
+        assert spec.initial_records == 500
+        assert spec.operations == 50
+        assert spec.point_queries == MIXES["balanced"].point_queries
+
+    def test_operation_kind_flags(self):
+        assert OpKind.POINT_QUERY.is_read
+        assert OpKind.RANGE_QUERY.is_read
+        assert OpKind.INSERT.is_write
+        assert OpKind.UPDATE.is_write
+        assert OpKind.DELETE.is_write
+
+    def test_invalid_range_operation(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.RANGE_QUERY, key=10, high_key=5)
+
+
+class TestDistributions:
+    def test_names(self):
+        assert set(distribution_names()) == {
+            "uniform",
+            "sequential",
+            "zipfian",
+            "latest",
+            "clustered",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_distribution("nope", random.Random(0))
+
+    @pytest.mark.parametrize("name", ["uniform", "sequential", "zipfian", "latest", "clustered"])
+    def test_picks_stay_in_bounds(self, name):
+        dist = make_distribution(name, random.Random(7))
+        for size in (1, 2, 10, 1000):
+            for _ in range(50):
+                index = dist.pick_index(size)
+                assert 0 <= index < size
+
+    def test_uniform_covers_population(self):
+        dist = UniformKeys(random.Random(1))
+        seen = {dist.pick_index(10) for _ in range(500)}
+        assert seen == set(range(10))
+
+    def test_sequential_cycles(self):
+        dist = SequentialKeys(random.Random(1))
+        picks = [dist.pick_index(3) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_zipfian_is_skewed(self):
+        dist = ZipfianKeys(random.Random(1), theta=0.99)
+        counts = [0] * 100
+        for _ in range(5000):
+            counts[dist.pick_index(100)] += 1
+        assert counts[0] > counts[50] * 3
+
+    def test_zipfian_theta_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(random.Random(0), theta=1.5)
+
+    def test_latest_prefers_tail(self):
+        dist = LatestKeys(random.Random(1))
+        counts = [0] * 100
+        for _ in range(5000):
+            counts[dist.pick_index(100)] += 1
+        assert counts[99] > counts[10] * 3
+
+    def test_clustered_is_local(self):
+        dist = ClusteredKeys(random.Random(1), spread=0.01)
+        picks = [dist.pick_index(10_000) for _ in range(20)]
+        spread = max(picks) - min(picks)
+        assert spread < 5000  # concentrated relative to the whole space
+
+    def test_pick_from_empty_population_raises(self):
+        dist = UniformKeys(random.Random(1))
+        with pytest.raises(ValueError):
+            dist.pick([])
+
+
+class TestGenerator:
+    def test_initial_data_size_and_keys(self):
+        generator = WorkloadGenerator(WorkloadSpec(initial_records=100))
+        data = generator.initial_data()
+        assert len(data) == 100
+        assert [key for key, _ in data] == [2 * i for i in range(100)]
+
+    def test_initial_data_only_once(self):
+        generator = WorkloadGenerator(WorkloadSpec(initial_records=10))
+        generator.initial_data()
+        with pytest.raises(RuntimeError):
+            generator.initial_data()
+
+    def test_determinism(self):
+        spec = MIXES["balanced"].scaled(initial_records=200, operations=100)
+        data_a, ops_a = generate_operations(spec)
+        data_b, ops_b = generate_operations(spec)
+        assert data_a == data_b
+        assert ops_a == ops_b
+
+    def test_operation_counts(self):
+        spec = WorkloadSpec(
+            point_queries=0.5, inserts=0.5, operations=200, initial_records=50
+        )
+        _, ops = generate_operations(spec)
+        assert len(ops) == 200
+
+    def test_updates_target_live_keys(self):
+        spec = WorkloadSpec(
+            point_queries=0.0,
+            updates=0.5,
+            deletes=0.5,
+            operations=80,
+            initial_records=100,
+        )
+        generator = WorkloadGenerator(spec)
+        data = generator.initial_data()
+        live = {key for key, _ in data}
+        for op in generator.operations():
+            assert op.key in live
+            if op.kind is OpKind.DELETE:
+                live.remove(op.key)
+
+    def test_inserts_use_fresh_keys(self):
+        spec = WorkloadSpec(
+            point_queries=0.5, inserts=0.5, operations=100, initial_records=50
+        )
+        generator = WorkloadGenerator(spec)
+        data = generator.initial_data()
+        existing = {key for key, _ in data}
+        for op in generator.operations():
+            if op.kind is OpKind.INSERT:
+                assert op.key not in existing
+                existing.add(op.key)
+
+    def test_range_queries_well_formed(self):
+        spec = WorkloadSpec(
+            point_queries=0.0,
+            range_queries=1.0,
+            operations=50,
+            initial_records=200,
+            range_fraction=0.05,
+        )
+        generator = WorkloadGenerator(spec)
+        generator.initial_data()
+        for op in generator.operations():
+            assert op.kind is OpKind.RANGE_QUERY
+            assert op.high_key >= op.key
+
+    def test_pure_insert_workload_from_empty(self):
+        spec = WorkloadSpec(
+            point_queries=0.0, inserts=1.0, operations=30, initial_records=0
+        )
+        generator = WorkloadGenerator(spec)
+        generator.initial_data()
+        ops = list(generator.operations())
+        assert len(ops) == 30
+        assert all(op.kind is OpKind.INSERT for op in ops)
+
+    def test_requires_initial_data_call(self):
+        generator = WorkloadGenerator(WorkloadSpec(initial_records=10))
+        with pytest.raises(RuntimeError):
+            list(generator.operations())
