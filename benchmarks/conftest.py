@@ -1,0 +1,40 @@
+"""Benchmark-suite fixtures: opt-in structured I/O tracing.
+
+Run any bench with event tracing to see the exact block stream behind
+its report::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_fig1.py \
+        --benchmark-only --io-trace events.jsonl
+
+(The option is ``--io-trace`` because pytest reserves ``--trace`` for
+pdb.)  Setting ``REPRO_TRACE=PATH`` in the environment does the same.
+Every device built through :func:`benchmarks.harness.build_method` then
+emits read/write/alloc/free/evict/write-back events into one shared
+JSONL sink.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks import harness
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--io-trace",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="dump structured device I/O events (JSONL) from every bench",
+    )
+
+
+def pytest_configure(config):
+    path = config.getoption("--io-trace") or os.environ.get("REPRO_TRACE")
+    if path:
+        harness.configure_tracing(path)
+
+
+def pytest_unconfigure(config):
+    harness.close_tracing()

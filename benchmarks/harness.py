@@ -16,6 +16,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.interfaces import AccessMethod
 from repro.core.registry import create_method
 from repro.core.rum import RUMProfile
+from repro.obs.sinks import JsonlSink
+from repro.obs.tracer import RecordingTracer
 from repro.storage.device import SimulatedDevice
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.runner import run_workload
@@ -45,11 +47,44 @@ BENCH_KWARGS: Dict[str, dict] = {
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
 
+#: Shared tracer for `pytest benchmarks/ --io-trace PATH` (or the
+#: REPRO_TRACE env var); None means tracing is off and devices keep
+#: their zero-cost null tracer.
+_TRACER: Optional[RecordingTracer] = None
+
+
+def configure_tracing(path: str) -> None:
+    """Route every harness-built device's events to a JSONL file.
+
+    Installed by ``benchmarks/conftest.py`` when the suite runs with
+    ``--io-trace PATH`` (pytest's own ``--trace`` is taken by pdb) or
+    with ``REPRO_TRACE=PATH`` in the environment.
+    """
+    global _TRACER
+    close_tracing()
+    _TRACER = RecordingTracer(JsonlSink(path))
+
+
+def close_tracing() -> None:
+    """Close the trace sink and return to zero-cost null tracing."""
+    global _TRACER
+    if _TRACER is not None:
+        _TRACER.sink.close()
+        _TRACER = None
+
+
+def attach_tracer(device: SimulatedDevice) -> SimulatedDevice:
+    """Attach the harness tracer to a device, if tracing is configured."""
+    if _TRACER is not None:
+        device.set_tracer(_TRACER)
+    return device
+
 
 def build_method(name: str, **overrides) -> AccessMethod:
     kwargs = dict(BENCH_KWARGS.get(name, {}))
     kwargs.update(overrides)
-    return create_method(name, device=SimulatedDevice(block_bytes=BENCH_BLOCK), **kwargs)
+    device = attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK))
+    return create_method(name, device=device, **kwargs)
 
 
 def loaded_method(

@@ -24,6 +24,7 @@ from repro.storage.device import SimulatedDevice
 
 from benchmarks.harness import (
     BENCH_BLOCK,
+    attach_tracer,
     emit_report,
     loaded_method,
     mark,
@@ -87,7 +88,7 @@ def test_lsm_compaction_ablation(benchmark):
     rows = []
     for compaction in ("leveled", "tiered"):
         method = LSMTree(
-            SimulatedDevice(block_bytes=BENCH_BLOCK),
+            attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)),
             memtable_records=64,
             size_ratio=4,
             compaction=compaction,
@@ -128,7 +129,7 @@ def test_bitmap_compression_ablation(benchmark):
     rows = []
     for compressed in (False, True):
         index = BitmapIndex(
-            SimulatedDevice(block_bytes=BENCH_BLOCK), compressed=compressed
+            attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)), compressed=compressed
         )
         index.bulk_load(_bitmap_rows())
         bitmap_bytes = index.bitmap_bytes()
@@ -159,7 +160,7 @@ def test_bitmap_update_friendly_ablation(benchmark):
     rows = []
     for update_friendly in (False, True):
         index = BitmapIndex(
-            SimulatedDevice(block_bytes=BENCH_BLOCK),
+            attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)),
             compressed=True,
             update_friendly=update_friendly,
             delta_merge_bits=256,

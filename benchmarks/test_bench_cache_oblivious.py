@@ -30,7 +30,7 @@ from repro.analysis.tables import format_table
 from repro.core.registry import create_method
 from repro.storage.device import SimulatedDevice
 
-from benchmarks.harness import emit_report, mark
+from benchmarks.harness import attach_tracer, emit_report, mark
 
 N = 8192
 BLOCK_SIZES = [64, 256, 1024, 4096]
@@ -42,7 +42,7 @@ def _measure() -> dict:
     for block_bytes in BLOCK_SIZES:
         for name in LAYOUTS:
             method = create_method(
-                name, device=SimulatedDevice(block_bytes=block_bytes)
+                name, device=attach_tracer(SimulatedDevice(block_bytes=block_bytes))
             )
             method.bulk_load([(2 * i, i) for i in range(N)])
             rng = random.Random(3)

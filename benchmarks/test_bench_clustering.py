@@ -22,14 +22,14 @@ from repro.analysis.tables import format_table
 from repro.core.registry import create_method
 from repro.storage.device import SimulatedDevice
 
-from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
 
 N = 8192
 
 
 def _point_cost(name: str, clustered: bool, **kwargs) -> float:
     method = create_method(
-        name, device=SimulatedDevice(block_bytes=BENCH_BLOCK), **kwargs
+        name, device=attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)), **kwargs
     )
     records = [(2 * i, i) for i in range(N)]
     if not clustered:

@@ -18,7 +18,7 @@ from repro.storage.device import CostModel, SimulatedDevice
 from repro.workloads.runner import run_workload
 from repro.workloads.spec import WorkloadSpec
 
-from benchmarks.harness import BENCH_BLOCK, BENCH_KWARGS, emit_report, mark
+from benchmarks.harness import BENCH_BLOCK, BENCH_KWARGS, attach_tracer, emit_report, mark
 
 WRITE_FRACTIONS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
 
@@ -43,9 +43,9 @@ def _measure() -> dict:
     times = {}
     for write_fraction in WRITE_FRACTIONS:
         for name in ("btree", "lsm"):
-            device = SimulatedDevice(
+            device = attach_tracer(SimulatedDevice(
                 block_bytes=BENCH_BLOCK, cost_model=CostModel.flash()
-            )
+            ))
             method = create_method(name, device=device, **BENCH_KWARGS.get(name, {}))
             spec = _spec(write_fraction)
             generator = WorkloadGenerator(spec)

@@ -22,7 +22,7 @@ from repro.analysis.tables import format_table
 from repro.storage.device import SimulatedDevice
 from repro.storage.hierarchy import LevelSpec, MemoryHierarchy
 
-from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
 
 N_BLOCKS = 256
 ACCESSES = 3000
@@ -43,7 +43,7 @@ def _measure() -> list:
         write = rng.random() < 0.25
         pattern.append((block, write))
     for capacity in CAPACITIES:
-        backing = SimulatedDevice(block_bytes=BENCH_BLOCK, name="flash")
+        backing = attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK, name="flash"))
         blocks = []
         for i in range(N_BLOCKS):
             block = backing.allocate()
@@ -107,7 +107,7 @@ def _btree_over_cache() -> list:
     rng = random.Random(79)
     keys = [2 * min(int(rng.expovariate(1.0 / 300)), 3999) for _ in range(2000)]
     for capacity in (0, 8, 32, 128):
-        backing = SimulatedDevice(block_bytes=BENCH_BLOCK, name="flash")
+        backing = attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK, name="flash"))
         cached = CachedDevice(backing, capacity_blocks=capacity)
         tree = BPlusTree(device=cached)
         tree.bulk_load([(2 * i, i) for i in range(4000)])

@@ -25,7 +25,7 @@ from repro.storage.device import SimulatedDevice
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.spec import OpKind, WorkloadSpec
 
-from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
 
 SPEC = WorkloadSpec(
     point_queries=0.4,
@@ -44,7 +44,7 @@ def _measure_grid() -> dict:
     for r in GRID:
         for w in GRID:
             method = TunableAccessMethod(
-                SimulatedDevice(block_bytes=BENCH_BLOCK),
+                attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)),
                 read_optimization=r,
                 write_optimization=w,
             )
@@ -118,7 +118,7 @@ class TestDynamicBalance:
     def test_tuner_chases_a_workload_shift(self, benchmark):
         mark(benchmark)
         method = TunableAccessMethod(
-            SimulatedDevice(block_bytes=BENCH_BLOCK),
+            attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)),
             read_optimization=0.5,
             write_optimization=0.5,
         )
@@ -148,7 +148,7 @@ class TestDynamicBalance:
 
         def run(adaptive: bool) -> float:
             method = TunableAccessMethod(
-                SimulatedDevice(block_bytes=BENCH_BLOCK),
+                attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)),
                 read_optimization=0.1,
                 write_optimization=0.9,
             )

@@ -22,7 +22,7 @@ from repro.storage.device import CostModel, SimulatedDevice
 from repro.workloads.runner import run_workload
 from repro.workloads.spec import WorkloadSpec
 
-from benchmarks.harness import BENCH_BLOCK, BENCH_KWARGS, emit_report, mark
+from benchmarks.harness import BENCH_BLOCK, BENCH_KWARGS, attach_tracer, emit_report, mark
 
 SPEC = WorkloadSpec(
     point_queries=0.15,
@@ -47,9 +47,9 @@ def _measure() -> dict:
     times = {}
     for medium, cost_model in MEDIA.items():
         for name in METHODS:
-            device = SimulatedDevice(
+            device = attach_tracer(SimulatedDevice(
                 block_bytes=BENCH_BLOCK, cost_model=cost_model, name=medium
-            )
+            ))
             method = create_method(name, device=device, **BENCH_KWARGS.get(name, {}))
             profile = run_workload(method, SPEC).profile
             times[(medium, name)] = profile.simulated_time

@@ -22,7 +22,7 @@ from repro.analysis.tables import format_table
 from repro.core.registry import create_method
 from repro.storage.device import SimulatedDevice
 
-from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
 
 N = 8192
 
@@ -36,7 +36,7 @@ def _measure() -> dict:
     results = {}
     for label, name, kwargs in configurations:
         method = create_method(
-            name, device=SimulatedDevice(block_bytes=BENCH_BLOCK), **kwargs
+            name, device=attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)), **kwargs
         )
         method.bulk_load([(2 * i, i) for i in range(N)])
         rng = random.Random(41)

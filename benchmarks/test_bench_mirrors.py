@@ -17,7 +17,7 @@ from repro.analysis.tables import format_table
 from repro.core.registry import create_method
 from repro.storage.device import SimulatedDevice
 
-from benchmarks.harness import BENCH_BLOCK, emit_report, mark
+from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
 
 N = 6000
 
@@ -25,7 +25,7 @@ N = 6000
 def _measure() -> dict:
     results = {}
     for name in ("hash-index", "btree", "fractured-mirrors"):
-        method = create_method(name, device=SimulatedDevice(block_bytes=BENCH_BLOCK))
+        method = create_method(name, device=attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)))
         method.bulk_load([(2 * i, i) for i in range(N)])
         rng = random.Random(43)
         device = method.device

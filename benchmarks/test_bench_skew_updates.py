@@ -21,7 +21,7 @@ from repro.storage.device import SimulatedDevice
 from repro.storage.layout import RECORD_BYTES
 from repro.workloads.distributions import UniformKeys, ZipfianKeys
 
-from benchmarks.harness import BENCH_BLOCK, BENCH_KWARGS, emit_report, mark
+from benchmarks.harness import BENCH_BLOCK, BENCH_KWARGS, attach_tracer, emit_report, mark
 
 N = 4000
 UPDATES = 3000
@@ -29,7 +29,7 @@ UPDATES = 3000
 
 def _write_amplification(name: str, zipfian: bool) -> float:
     method = create_method(
-        name, device=SimulatedDevice(block_bytes=BENCH_BLOCK), **BENCH_KWARGS.get(name, {})
+        name, device=attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)), **BENCH_KWARGS.get(name, {})
     )
     method.bulk_load([(2 * i, i) for i in range(N)])
     method.flush()

@@ -14,6 +14,14 @@ Commands
     Run the compact paper reproduction and print the report.
 ``record`` / ``replay``
     Save a workload trace to a file / replay it against any method.
+``trace``
+    Run a workload with structured I/O tracing on: dump every device /
+    buffer-pool event (read, write, alloc, free, evict, write-back) as
+    JSONL and print the per-op-type cost breakdown table.
+``stats``
+    Run a workload collecting per-op-type histograms only (no event
+    stream): blocks touched and simulated time per point query, insert,
+    range scan, ...
 
 Examples::
 
@@ -24,6 +32,8 @@ Examples::
     python -m repro reproduce --output report.txt
     python -m repro record --workload write-heavy --output w.trace
     python -m repro replay w.trace --method lsm
+    python -m repro trace --method lsm --workload balanced --output events.jsonl
+    python -m repro stats --method btree --workload write-heavy
 """
 
 from __future__ import annotations
@@ -96,6 +106,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("trace", help="trace file written by `record`")
     replay.add_argument("--method", default="btree", help="method to replay against")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload with I/O tracing on; dump JSONL events",
+    )
+    trace.add_argument("--method", default="btree", help="method to trace")
+    _workload_arguments(trace)
+    trace.add_argument("--output", required=True, help="JSONL event file to write")
+
+    stats = sub.add_parser(
+        "stats", help="per-op-type cost breakdown of a workload run"
+    )
+    stats.add_argument("--method", default="btree", help="method to measure")
+    _workload_arguments(stats)
     return parser
 
 
@@ -218,6 +242,48 @@ def _command_replay(args) -> int:
     return 0
 
 
+def _breakdown_table(args, metrics, profile) -> str:
+    """Render the per-op-type histogram table plus the profile footer."""
+    from repro.obs.metrics import WorkloadMetrics
+
+    table = format_table(
+        WorkloadMetrics.HEADERS,
+        metrics.rows(),
+        title=f"{args.method} under {args.workload!r}: per-op-type cost breakdown",
+    )
+    footer = (
+        f"RO={profile.read_overhead:.2f} UO={profile.update_overhead:.2f} "
+        f"MO={profile.memory_overhead:.2f} simulated_time={profile.simulated_time:.2f}"
+    )
+    return f"{table}\n{footer}"
+
+
+def _command_trace(args) -> int:
+    from repro.obs.metrics import WorkloadMetrics
+    from repro.obs.sinks import JsonlSink
+    from repro.obs.tracer import RecordingTracer
+
+    method = create_method(args.method)
+    metrics = WorkloadMetrics()
+    with JsonlSink(args.output) as sink:
+        method.device.set_tracer(RecordingTracer(sink))
+        result = run_workload(method, _spec(args), metrics=metrics)
+        events = sink.events_written
+    print(_breakdown_table(args, metrics, result.profile))
+    print(f"wrote {events} events to {args.output}")
+    return 0
+
+
+def _command_stats(args) -> int:
+    from repro.obs.metrics import WorkloadMetrics
+
+    method = create_method(args.method)
+    metrics = WorkloadMetrics()
+    result = run_workload(method, _spec(args), metrics=metrics)
+    print(_breakdown_table(args, metrics, result.profile))
+    return 0
+
+
 def _command_reproduce(args) -> int:
     from repro.analysis.reproduce import reproduce
 
@@ -248,6 +314,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_record(args)
         if args.command == "replay":
             return _command_replay(args)
+        if args.command == "trace":
+            return _command_trace(args)
+        if args.command == "stats":
+            return _command_stats(args)
     except BrokenPipeError:  # output piped into head & friends
         import os
 

@@ -24,6 +24,7 @@ from repro.storage.layout import RECORD_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.interfaces import AccessMethod
+    from repro.obs.metrics import WorkloadMetrics
     from repro.workloads.spec import Operation
 
 
@@ -139,7 +140,11 @@ class RUMAccumulator:
         )
 
 
-def measure_workload(method: "AccessMethod", operations: Iterable["Operation"]) -> RUMProfile:
+def measure_workload(
+    method: "AccessMethod",
+    operations: Iterable["Operation"],
+    metrics: Optional["WorkloadMetrics"] = None,
+) -> RUMProfile:
     """Run ``operations`` against ``method`` and measure its RUM profile.
 
     Each operation is bracketed by device-counter snapshots; reads feed the
@@ -147,6 +152,11 @@ def measure_workload(method: "AccessMethod", operations: Iterable["Operation"]) 
     space footprint.  Unknown keys on update/delete are skipped (the
     generators only emit valid operations, but adaptive workloads can
     race with deletions).
+
+    When a :class:`~repro.obs.metrics.WorkloadMetrics` is supplied, each
+    operation's blocks-touched count and simulated time are also recorded
+    into a per-op-type histogram (the terminal flush under the label
+    ``flush``) — the distribution behind the aggregate ratios.
     """
     from repro.workloads.spec import OpKind  # local import to avoid a cycle
 
@@ -157,35 +167,34 @@ def measure_workload(method: "AccessMethod", operations: Iterable["Operation"]) 
         operation_index += 1
         if operation_index % 16 == 0:
             accumulator.sample_space(method)
+        kind = operation.kind
         before = device.snapshot()
-        if operation.kind is OpKind.POINT_QUERY:
+        if kind is OpKind.POINT_QUERY:
             result = method.get(operation.key)
-            io = device.stats_since(before)
-            accumulator.record_read(io, 1 if result is not None else 0)
-        elif operation.kind is OpKind.RANGE_QUERY:
-            rows = method.range_query(operation.key, operation.high_key)
-            io = device.stats_since(before)
-            accumulator.record_read(io, len(rows))
-        elif operation.kind is OpKind.INSERT:
+            retrieved = 1 if result is not None else 0
+        elif kind is OpKind.RANGE_QUERY:
+            retrieved = len(method.range_query(operation.key, operation.high_key))
+        elif kind is OpKind.INSERT:
             method.insert(operation.key, operation.value)
-            io = device.stats_since(before)
-            accumulator.record_update(io)
-        elif operation.kind is OpKind.UPDATE:
+        elif kind is OpKind.UPDATE:
             try:
                 method.update(operation.key, operation.value)
             except KeyError:
                 continue
-            io = device.stats_since(before)
-            accumulator.record_update(io)
-        elif operation.kind is OpKind.DELETE:
+        elif kind is OpKind.DELETE:
             try:
                 method.delete(operation.key)
             except KeyError:
                 continue
-            io = device.stats_since(before)
-            accumulator.record_update(io)
         else:  # pragma: no cover - the enum is closed
             raise ValueError(f"unknown operation kind {operation.kind}")
+        io = device.stats_since(before)
+        if kind.is_read:
+            accumulator.record_read(io, retrieved)
+        else:
+            accumulator.record_update(io)
+        if metrics is not None:
+            metrics.record(kind.value, io.reads + io.writes, io.simulated_time)
     # Differential structures buffer writes; flush so the deferred I/O is
     # charged (amortized) to the updates that caused it.  Without this,
     # a workload shorter than the buffer would report UO = 0.
@@ -195,4 +204,8 @@ def measure_workload(method: "AccessMethod", operations: Iterable["Operation"]) 
         flush_io = device.stats_since(before)
         accumulator.write_bytes += flush_io.write_bytes
         accumulator.simulated_time += flush_io.simulated_time
+        if metrics is not None:
+            metrics.record(
+                "flush", flush_io.reads + flush_io.writes, flush_io.simulated_time
+            )
     return accumulator.finish(method)

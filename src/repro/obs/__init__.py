@@ -1,0 +1,42 @@
+"""Observability layer over the instrumented storage substrate.
+
+The RUM overheads are *ratios of counted I/O* (paper, Section 2); this
+package exposes the structure underneath those totals so a profile can
+be explained, not just reported:
+
+``tracer``
+    A structured trace API.  Devices and buffer pools emit one
+    :class:`~repro.obs.tracer.TraceEvent` per operation
+    (read/write/alloc/free/evict/write-back) into an attached
+    :class:`~repro.obs.tracer.Tracer`.  The default tracer is a no-op
+    whose ``enabled`` flag gates every emission site, so tracing costs
+    one attribute check when disabled.
+``metrics``
+    Per-operation histograms (blocks touched per point query, per
+    insert, per range scan, ...) accumulated by the workload runner —
+    the per-op-type cost breakdown that window deltas cannot show.
+``sinks``
+    Destinations for trace events: an in-memory list and a JSONL file.
+
+Attach a tracer with :meth:`SimulatedDevice.set_tracer
+<repro.storage.device.SimulatedDevice.set_tracer>`; collect histograms
+by passing a :class:`~repro.obs.metrics.WorkloadMetrics` to
+:func:`~repro.workloads.runner.run_workload`.  The ``repro trace`` and
+``repro stats`` CLI subcommands package both for one-shot use.
+"""
+
+from repro.obs.metrics import Histogram, WorkloadMetrics
+from repro.obs.sinks import JsonlSink, ListSink, TraceSink
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "WorkloadMetrics",
+]

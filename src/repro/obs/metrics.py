@@ -1,0 +1,134 @@
+"""Per-operation histograms — cost *distributions*, not just totals.
+
+The RUM profile aggregates a whole workload into three ratios; the
+histograms here keep the per-operation detail that explains them: how
+many blocks each point query, insert or range scan actually touched.
+The Data Calculator line of work (PAPERS.md) argues this per-operation
+breakdown is what makes design-space reasoning possible; the workload
+runner fills a :class:`WorkloadMetrics` when asked, and ``repro stats``
+renders it as a table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class Histogram:
+    """Exact histogram of small non-negative samples (count per value).
+
+    Samples are block counts and similar small integers, so the
+    histogram stores exact per-value counts rather than buckets; all
+    summary statistics are therefore exact too.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[float, int] = {}
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        if value < 0:
+            raise ValueError(f"histogram samples must be non-negative, got {value}")
+        self._counts[value] = self._counts.get(value, 0) + 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return min(self._counts) if self._counts else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return max(self._counts) if self._counts else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Exact sample at the given fraction (nearest-rank, 0..1)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.count:
+            return 0.0
+        rank = max(1, round(fraction * self.count))
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if seen >= rank:
+                return value
+        return self.max  # pragma: no cover - rank <= count by construction
+
+    def to_dict(self) -> Dict[float, int]:
+        """Value -> count mapping, sorted by value."""
+        return dict(sorted(self._counts.items()))
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for value, count in other._counts.items():
+            self._counts[value] = self._counts.get(value, 0) + count
+        self.count += other.count
+        self.total += other.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, mean={self.mean:.2f}, max={self.max})"
+
+
+class WorkloadMetrics:
+    """Per-op-type histograms accumulated over one workload run.
+
+    One :class:`Histogram` of blocks touched and one of simulated time
+    per operation label (``point_query``, ``insert``, ...; the runner
+    also records the terminal ``flush`` as its own label).  Pass an
+    instance to :func:`~repro.workloads.runner.run_workload` or
+    :func:`~repro.core.rum.measure_workload` to fill it.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: Dict[str, Histogram] = {}
+        self.time: Dict[str, Histogram] = {}
+
+    def record(self, label: str, blocks_touched: int, simulated_time: float) -> None:
+        """Account one operation of type ``label``."""
+        if label not in self.blocks:
+            self.blocks[label] = Histogram()
+            self.time[label] = Histogram()
+        self.blocks[label].record(blocks_touched)
+        self.time[label].record(simulated_time)
+
+    def labels(self) -> List[str]:
+        """Operation labels seen so far, sorted."""
+        return sorted(self.blocks)
+
+    def rows(self) -> List[List[object]]:
+        """Breakdown table rows: one per op type.
+
+        Columns: op, count, then blocks-touched mean/p50/p95/max, then
+        total and mean simulated time — the shape ``repro stats`` and
+        ``repro trace`` print.
+        """
+        out: List[List[object]] = []
+        for label in self.labels():
+            blocks = self.blocks[label]
+            time = self.time[label]
+            out.append([
+                label,
+                blocks.count,
+                blocks.mean,
+                blocks.percentile(0.5),
+                blocks.percentile(0.95),
+                blocks.max,
+                time.total,
+                time.mean,
+            ])
+        return out
+
+    #: Column headers matching :meth:`rows`.
+    HEADERS = [
+        "op", "count", "blocks/op", "p50", "p95", "max", "sim time", "time/op",
+    ]

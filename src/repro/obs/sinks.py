@@ -1,0 +1,72 @@
+"""Destinations for trace events.
+
+A sink receives fully-built :class:`~repro.obs.tracer.TraceEvent`
+objects from a :class:`~repro.obs.tracer.RecordingTracer`.  Two are
+provided: :class:`ListSink` keeps events in memory for assertions and
+ad-hoc analysis; :class:`JsonlSink` streams them to a file as one JSON
+object per line, the format ``repro trace`` writes and any external
+tooling can consume.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from typing import List
+
+from repro.obs.tracer import TraceEvent
+
+
+class TraceSink(ABC):
+    """Receiver of trace events."""
+
+    @abstractmethod
+    def emit(self, event: TraceEvent) -> None:
+        """Accept one event."""
+
+    def close(self) -> None:
+        """Release any resources held by the sink (no-op by default)."""
+
+
+class ListSink(TraceSink):
+    """Collect events in an in-memory list (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        """Append the event to :attr:`events`."""
+        self.events.append(event)
+
+
+class JsonlSink(TraceSink):
+    """Stream events to a file, one JSON object per line.
+
+    Keys are sorted so that byte-identical runs produce byte-identical
+    files — the determinism contract of ``repro trace``.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "w")
+        self.events_written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        """Serialize one event as a JSON line."""
+        self._handle.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        """Context-manager entry: the sink itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the file."""
+        self.close()

@@ -1,0 +1,115 @@
+"""Structured trace events and the tracer that routes them.
+
+Every instrumented component (:class:`~repro.storage.device.SimulatedDevice`,
+:class:`~repro.storage.pager.BufferPool`,
+:class:`~repro.storage.cached.CachedDevice`) holds a :class:`Tracer` and
+guards each emission site with ``tracer.enabled``.  The base tracer is
+the shared no-op :data:`NULL_TRACER` (``enabled`` is ``False``), so with
+tracing off the hot path pays exactly one attribute check — no event
+object is ever constructed.  :class:`RecordingTracer` numbers events and
+forwards them to a :class:`~repro.obs.sinks.TraceSink`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+# Block ids are plain ints (repro.storage.block.BlockId); importing the
+# storage package here would close an import cycle, since the device
+# module imports this one.
+BlockId = int
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One storage-layer operation, fully described.
+
+    ``seq`` is the tracer-assigned event number (total order over every
+    component sharing the tracer).  ``source`` names the emitting
+    component (a device name or ``pool(<device>)``).  ``op`` is one of
+    ``read``, ``write``, ``alloc``, ``free``, ``evict``, ``write_back``.
+    ``kind`` is the block's allocation tag, ``sequential`` the device's
+    seek classification, ``cost`` the simulated time charged and
+    ``nbytes`` the bytes moved (zero for space-only events).
+    """
+
+    seq: int
+    source: str
+    op: str
+    block_id: BlockId
+    kind: str = ""
+    sequential: bool = False
+    cost: float = 0.0
+    nbytes: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, ready for JSON serialization."""
+        return asdict(self)
+
+
+class Tracer:
+    """The no-op tracer: discards every event.
+
+    ``enabled`` is class-level ``False``; emission sites check it before
+    building an event, which makes disabled tracing zero-cost (verified
+    by ``benchmarks/test_bench_tracing.py``).  Subclasses that actually
+    record set ``enabled = True`` and override :meth:`emit`.
+    """
+
+    #: Gate checked by every emission site before any work is done.
+    enabled: bool = False
+
+    def emit(
+        self,
+        source: str,
+        op: str,
+        block_id: BlockId,
+        kind: str = "",
+        sequential: bool = False,
+        cost: float = 0.0,
+        nbytes: int = 0,
+    ) -> None:
+        """Discard the event (no-op)."""
+
+
+#: Shared no-op tracer installed on every device by default.
+NULL_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """A tracer that numbers events and forwards them to a sink."""
+
+    enabled = True
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+        self._seq = 0
+
+    @property
+    def events_emitted(self) -> int:
+        """Number of events emitted so far."""
+        return self._seq
+
+    def emit(
+        self,
+        source: str,
+        op: str,
+        block_id: BlockId,
+        kind: str = "",
+        sequential: bool = False,
+        cost: float = 0.0,
+        nbytes: int = 0,
+    ) -> None:
+        """Build a :class:`TraceEvent` and hand it to the sink."""
+        event = TraceEvent(
+            seq=self._seq,
+            source=source,
+            op=op,
+            block_id=block_id,
+            kind=kind,
+            sequential=sequential,
+            cost=cost,
+            nbytes=nbytes,
+        )
+        self._seq += 1
+        self.sink.emit(event)

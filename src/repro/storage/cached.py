@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.tracer import Tracer
 from repro.storage.block import BlockId
 from repro.storage.device import CostModel, DeviceCounters, IOStats, SimulatedDevice
 from repro.storage.pager import BufferPool, EvictionPolicy
@@ -56,6 +57,17 @@ class CachedDevice(SimulatedDevice):
         self.backing = backing
         self.pool = BufferPool(backing, capacity_blocks, policy)
 
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to this device, its pool and the backing device.
+
+        One tracer sees the whole vertical slice: logical traffic from
+        this device, evictions/write-backs from the pool, and physical
+        traffic from the backing device, all in one ordered stream.
+        """
+        super().set_tracer(tracer)
+        self.pool.set_tracer(tracer)
+        self.backing.set_tracer(tracer)
+
     # ------------------------------------------------------------------
     # Allocation delegates to the backing device.
     # ------------------------------------------------------------------
@@ -76,22 +88,74 @@ class CachedDevice(SimulatedDevice):
     # I/O goes through the pool.
     # ------------------------------------------------------------------
     def read(self, block_id: BlockId) -> object:
+        """Read through the pool, with the base class's seek classification.
+
+        A logically sequential scan is sequential *at this level* no
+        matter which frames hit: the classification follows the request
+        stream, as on the base device.
+        """
+        sequential = (
+            self._last_read_id is not None and block_id == self._last_read_id + 1
+        )
+        self._last_read_id = block_id
         self.counters.reads += 1
         self.counters.read_bytes += self.block_bytes
-        self.counters.simulated_time += self.cost_model.random_read
-        return self.pool.read(block_id)
+        cost = (
+            self.cost_model.sequential_read if sequential else self.cost_model.random_read
+        )
+        self.counters.simulated_time += cost
+        payload = self.pool.read(block_id)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                source=self.name,
+                op="read",
+                block_id=block_id,
+                kind=self.backing.kind_of(block_id),
+                sequential=sequential,
+                cost=cost,
+                nbytes=self.block_bytes,
+            )
+        return payload
 
     def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
+        """Write through the pool, validating occupancy at the call site.
+
+        ``used_bytes`` is checked against the block capacity here, like
+        the base class does — an out-of-range value must fail on the
+        write that produced it, not later when the pool evicts or
+        flushes the frame.
+        """
+        if used_bytes < 0 or used_bytes > self.block_bytes:
+            raise ValueError(
+                f"used_bytes {used_bytes} outside block capacity {self.block_bytes}"
+            )
+        sequential = (
+            self._last_write_id is not None and block_id == self._last_write_id + 1
+        )
+        self._last_write_id = block_id
         self.counters.writes += 1
         self.counters.write_bytes += self.block_bytes
-        self.counters.simulated_time += self.cost_model.random_write
+        cost = (
+            self.cost_model.sequential_write
+            if sequential
+            else self.cost_model.random_write
+        )
+        self.counters.simulated_time += cost
         self.pool.write(block_id, payload, used_bytes)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                source=self.name,
+                op="write",
+                block_id=block_id,
+                kind=self.backing.kind_of(block_id),
+                sequential=sequential,
+                cost=cost,
+                nbytes=self.block_bytes,
+            )
 
     def peek(self, block_id: BlockId) -> object:
-        frame = self.pool._frames.get(block_id)
-        if frame is not None:
-            return frame.payload
-        return self.backing.peek(block_id)
+        """Current payload (cached frame first), without charging I/O."""
+        return self.pool.peek(block_id)
 
     def flush(self) -> None:
         """Write every dirty cached frame down to the backing device."""
@@ -109,7 +173,23 @@ class CachedDevice(SimulatedDevice):
         return self.backing.allocated_bytes
 
     def used_bytes(self) -> int:
-        return self.backing.used_bytes()
+        """Logical occupancy including unflushed dirty frames.
+
+        The backing device's per-block occupancy is stale while a dirty
+        frame sits in the pool, so mid-run MO reads would be too: each
+        dirty frame's declared occupancy replaces the backing block's.
+        """
+        total = self.backing.used_bytes()
+        for block_id, frame_used in self.pool.iter_dirty():
+            total += frame_used - self.backing.used_bytes_of(block_id)
+        return total
+
+    def fill_factor(self) -> float:
+        """Average logical occupancy (0..1), dirty frames included."""
+        allocated = self.backing.allocated_bytes
+        if not allocated:
+            return 0.0
+        return self.used_bytes() / allocated
 
     def blocks_by_kind(self):
         return self.backing.blocks_by_kind()

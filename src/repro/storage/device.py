@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, Optional
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.storage.block import Block, BlockId
 from repro.storage.layout import DEFAULT_BLOCK_BYTES
 
@@ -146,10 +147,18 @@ class SimulatedDevice:
         self.cost_model = cost_model or CostModel.flash()
         self.name = name
         self.counters = DeviceCounters()
+        self.tracer: Tracer = NULL_TRACER
         self._blocks: Dict[BlockId, Block] = {}
         self._next_id: BlockId = 0
         self._last_read_id: Optional[BlockId] = None
         self._last_write_id: Optional[BlockId] = None
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer; every subsequent operation emits an event.
+
+        Pass :data:`~repro.obs.tracer.NULL_TRACER` to disable again.
+        """
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Allocation
@@ -160,14 +169,21 @@ class SimulatedDevice:
         self._next_id += 1
         self._blocks[block_id] = Block(block_id=block_id, kind=kind)
         self.counters.allocations += 1
+        if self.tracer.enabled:
+            self.tracer.emit(source=self.name, op="alloc", block_id=block_id, kind=kind)
         return block_id
 
     def free(self, block_id: BlockId) -> None:
         """Release a block.  Freed space no longer counts toward MO."""
-        if block_id not in self._blocks:
+        block = self._blocks.get(block_id)
+        if block is None:
             raise KeyError(f"free of unallocated block {block_id}")
         del self._blocks[block_id]
         self.counters.frees += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                source=self.name, op="free", block_id=block_id, kind=block.kind
+            )
 
     def is_allocated(self, block_id: BlockId) -> bool:
         """Whether ``block_id`` is currently allocated."""
@@ -192,6 +208,16 @@ class SimulatedDevice:
             self.cost_model.sequential_read if sequential else self.cost_model.random_read
         )
         self.counters.simulated_time += cost
+        if self.tracer.enabled:
+            self.tracer.emit(
+                source=self.name,
+                op="read",
+                block_id=block_id,
+                kind=block.kind,
+                sequential=sequential,
+                cost=cost,
+                nbytes=self.block_bytes,
+            )
         return block.payload
 
     def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
@@ -223,6 +249,16 @@ class SimulatedDevice:
             else self.cost_model.random_write
         )
         self.counters.simulated_time += cost
+        if self.tracer.enabled:
+            self.tracer.emit(
+                source=self.name,
+                op="write",
+                block_id=block_id,
+                kind=block.kind,
+                sequential=sequential,
+                cost=cost,
+                nbytes=self.block_bytes,
+            )
         return None
 
     def peek(self, block_id: BlockId) -> object:
@@ -235,6 +271,20 @@ class SimulatedDevice:
         if block is None:
             raise KeyError(f"peek of unallocated block {block_id}")
         return block.payload
+
+    def kind_of(self, block_id: BlockId) -> str:
+        """A block's allocation ``kind`` tag, without charging I/O."""
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise KeyError(f"kind_of unallocated block {block_id}")
+        return block.kind
+
+    def used_bytes_of(self, block_id: BlockId) -> int:
+        """A block's declared logical occupancy, without charging I/O."""
+        block = self._blocks.get(block_id)
+        if block is None:
+            raise KeyError(f"used_bytes_of unallocated block {block_id}")
+        return block.used_bytes
 
     # ------------------------------------------------------------------
     # Space accounting

@@ -14,8 +14,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.storage.block import BlockId
 from repro.storage.device import SimulatedDevice
 
@@ -135,7 +136,13 @@ class BufferPool:
         self.capacity_blocks = capacity_blocks
         self.policy = policy if policy is not None else LRUPolicy()
         self.stats = PoolStats()
+        self.name = f"pool({device.name})"
+        self.tracer: Tracer = NULL_TRACER
         self._frames: Dict[BlockId, _Frame] = {}
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer; evictions and write-backs emit events."""
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def read(self, block_id: BlockId) -> object:
@@ -178,6 +185,36 @@ class BufferPool:
                 self.device.write(block_id, frame.payload, frame.used_bytes)
                 self.stats.write_backs += 1
                 frame.dirty = False
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        source=self.name,
+                        op="write_back",
+                        block_id=block_id,
+                        nbytes=self.device.block_bytes,
+                    )
+
+    def peek(self, block_id: BlockId) -> object:
+        """A block's current payload without I/O, stats or policy updates.
+
+        Serves the cached frame when present (it may be dirty and newer
+        than the device copy), otherwise falls through to the device's
+        own ``peek``.  Debugging/assertion aid, like
+        :meth:`~repro.storage.device.SimulatedDevice.peek`.
+        """
+        frame = self._frames.get(block_id)
+        if frame is not None:
+            return frame.payload
+        return self.device.peek(block_id)
+
+    def iter_dirty(self) -> Iterator[Tuple[BlockId, int]]:
+        """Yield ``(block_id, used_bytes)`` for each dirty frame.
+
+        Lets callers account unflushed occupancy (space statistics mid-run)
+        without reaching into the frame table.
+        """
+        for block_id, frame in self._frames.items():
+            if frame.dirty:
+                yield block_id, frame.used_bytes
 
     def invalidate(self, block_id: BlockId) -> None:
         """Drop a block from the cache without writing it back.
@@ -208,8 +245,17 @@ class BufferPool:
             victim_frame = self._frames.pop(victim)
             self.policy.on_remove(victim)
             self.stats.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.emit(source=self.name, op="evict", block_id=victim)
             if victim_frame.dirty:
                 self.device.write(victim, victim_frame.payload, victim_frame.used_bytes)
                 self.stats.write_backs += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        source=self.name,
+                        op="write_back",
+                        block_id=victim,
+                        nbytes=self.device.block_bytes,
+                    )
         self._frames[block_id] = _Frame(payload=payload, used_bytes=used_bytes, dirty=dirty)
         self.policy.on_insert(block_id)

@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.core.interfaces import AccessMethod
 from repro.core.rum import RUMProfile, measure_workload
+from repro.obs.metrics import WorkloadMetrics
 from repro.storage.device import IOStats
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.spec import WorkloadSpec
@@ -40,12 +41,16 @@ def run_workload(
     method: AccessMethod,
     spec: WorkloadSpec,
     generator: Optional[WorkloadGenerator] = None,
+    metrics: Optional[WorkloadMetrics] = None,
 ) -> WorkloadResult:
     """Bulk-load ``method`` and run the spec's operation stream against it.
 
     A pre-built ``generator`` can be supplied to replay an identical
     stream against several methods (as the Figure-1 bench does); it must
-    not have been consumed yet.
+    not have been consumed yet.  A caller-owned ``metrics`` object, when
+    supplied, accumulates per-op-type histograms (blocks touched and
+    simulated time per point query / insert / range scan / ...) over the
+    measured phase — the bulk load is excluded, as in the profile.
     """
     generator = generator or WorkloadGenerator(spec)
     data = generator.initial_data()
@@ -55,7 +60,7 @@ def run_workload(
     method.flush()
     bulk_load_io = method.device.stats_since(before_load)
 
-    profile = measure_workload(method, generator.operations())
+    profile = measure_workload(method, generator.operations(), metrics=metrics)
     stats = method.stats()
     return WorkloadResult(
         method_name=method.name,

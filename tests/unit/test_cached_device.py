@@ -5,8 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.methods.btree import BPlusTree
+from repro.obs.sinks import ListSink
+from repro.obs.tracer import RecordingTracer
 from repro.storage.cached import CachedDevice
-from repro.storage.device import SimulatedDevice
+from repro.storage.device import CostModel, SimulatedDevice
 
 from tests.conftest import SMALL_BLOCK, sample_records
 
@@ -49,6 +51,107 @@ class TestPassThroughSemantics:
         # Not yet on the backing device, but visible through peek.
         assert cached.peek(block) == "dirty"
         assert backing.peek(block) is None
+
+
+class TestSequentialClassification:
+    """Regression: logical scans were always charged as random."""
+
+    def test_sequential_reads_charged_at_sequential_cost(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=8)
+        cached.cost_model = CostModel.disk()  # make the asymmetry visible
+        blocks = [cached.allocate() for _ in range(4)]
+        for block in blocks:
+            cached.write(block, block)
+        before = cached.snapshot()
+        for block in blocks:  # ids ascend by 1: a logical scan
+            cached.read(block)
+        scan_time = cached.stats_since(before).simulated_time
+        # First read random (100), the rest sequential (1 each).
+        assert scan_time == pytest.approx(100.0 + 3 * 1.0)
+
+    def test_sequential_writes_charged_at_sequential_cost(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=8)
+        cached.cost_model = CostModel.shingled_disk()
+        blocks = [cached.allocate() for _ in range(4)]
+        before = cached.snapshot()
+        for block in blocks:
+            cached.write(block, block)
+        write_time = cached.stats_since(before).simulated_time
+        assert write_time == pytest.approx(1000.0 + 3 * 10.0)
+
+    def test_trace_events_carry_the_sequential_flag(self, backing):
+        sink = ListSink()
+        cached = CachedDevice(backing, capacity_blocks=8)
+        blocks = [cached.allocate() for _ in range(3)]
+        for block in blocks:
+            cached.write(block, block)
+        cached.set_tracer(RecordingTracer(sink))
+        for block in blocks:
+            cached.read(block)
+        cached.read(blocks[0])
+        logical = [
+            event for event in sink.events if event.source.startswith("cached")
+        ]
+        assert [event.sequential for event in logical] == [
+            False, True, True, False,
+        ]
+
+
+class TestWriteValidation:
+    """Regression: out-of-range used_bytes only exploded at eviction."""
+
+    def test_oversized_used_bytes_rejected_at_write(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        with pytest.raises(ValueError):
+            cached.write(block, "x", used_bytes=SMALL_BLOCK + 1)
+
+    def test_negative_used_bytes_rejected_at_write(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        with pytest.raises(ValueError):
+            cached.write(block, "x", used_bytes=-1)
+
+    def test_rejected_write_charges_no_io(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        before = cached.snapshot()
+        with pytest.raises(ValueError):
+            cached.write(block, "x", used_bytes=SMALL_BLOCK + 1)
+        assert cached.stats_since(before).writes == 0
+
+
+class TestSpaceAccountingWithDirtyFrames:
+    """Regression: mid-run occupancy ignored unflushed dirty frames."""
+
+    def test_used_bytes_sees_unflushed_writes(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        cached.write(block, "x", used_bytes=100)
+        assert backing.used_bytes() == 0  # stale until flush
+        assert cached.used_bytes() == 100  # but the wrapper is current
+        cached.flush()
+        assert backing.used_bytes() == 100
+        assert cached.used_bytes() == 100
+
+    def test_used_bytes_sees_dirty_overwrite_of_flushed_block(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        cached.write(block, "x", used_bytes=100)
+        cached.flush()
+        cached.write(block, "y", used_bytes=40)  # dirty again, shrunk
+        assert backing.used_bytes() == 100
+        assert cached.used_bytes() == 40
+
+    def test_fill_factor_counts_dirty_frames(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        block = cached.allocate()
+        cached.write(block, "x", used_bytes=SMALL_BLOCK // 2)
+        assert cached.fill_factor() == pytest.approx(0.5)
+
+    def test_fill_factor_empty_device_is_zero(self, backing):
+        cached = CachedDevice(backing, capacity_blocks=4)
+        assert cached.fill_factor() == 0.0
 
 
 class TestTrafficSeparation:

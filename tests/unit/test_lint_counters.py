@@ -1,0 +1,62 @@
+"""The counter-mutation lint holds over the tree and catches offenders."""
+
+from __future__ import annotations
+
+import os
+import sys
+import textwrap
+
+LINT_TOOLS_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+SRC_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _lint_counters():
+    sys.path.insert(0, LINT_TOOLS_PATH)
+    try:
+        import lint_counters
+    finally:
+        sys.path.remove(LINT_TOOLS_PATH)
+    return lint_counters
+
+
+def test_no_counter_mutations_outside_storage():
+    lint_counters = _lint_counters()
+    violations = lint_counters.check_tree(SRC_PATH)
+    assert violations == [], (
+        "DeviceCounters mutated outside repro/storage:\n"
+        + "\n".join(f"{path}:{line}: {target}" for path, line, target in violations)
+    )
+
+
+def test_lint_flags_attribute_mutation():
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        def sneaky(device):
+            device.counters.reads += 1
+            device.counters.simulated_time = 0.0
+        """
+    )
+    violations = lint_counters.violations_in_source(bad, "bad.py")
+    assert len(violations) == 2
+    assert violations[0][2] == "device.counters.reads"
+
+
+def test_lint_flags_bare_counters_variable():
+    lint_counters = _lint_counters()
+    bad = "counters.writes = 5\n"
+    assert len(lint_counters.violations_in_source(bad, "bad.py")) == 1
+
+
+def test_lint_ignores_reads_and_other_attributes():
+    lint_counters = _lint_counters()
+    fine = textwrap.dedent(
+        """
+        def fine(device, pool):
+            total = device.counters.reads + device.counters.writes
+            pool.stats.hits += 1  # PoolStats is not DeviceCounters
+            reads = 4
+            return total, reads
+        """
+    )
+    assert lint_counters.violations_in_source(fine, "fine.py") == []

@@ -155,3 +155,28 @@ class TestCachedBytes:
         for block in blocks:
             pool.read(block)
         assert pool.cached_bytes == 3 * backing.block_bytes
+
+
+class TestPeekAndDirtyIteration:
+    def test_peek_serves_dirty_frame_without_io(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=4)
+        pool.write(block, "newer", used_bytes=8)
+        backing.reset_counters()
+        assert pool.peek(block) == "newer"
+        assert backing.counters.reads == 0
+        assert pool.stats.hits + pool.stats.misses == 1  # only the write
+
+    def test_peek_falls_through_to_device(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=4)
+        assert pool.peek(block) == "payload-0"
+
+    def test_iter_dirty_lists_unflushed_frames_only(self, backing):
+        first, second = _seed(backing, 2)
+        pool = BufferPool(backing, capacity_blocks=4)
+        pool.read(first)  # clean frame
+        pool.write(second, "dirty", used_bytes=16)
+        assert list(pool.iter_dirty()) == [(second, 16)]
+        pool.flush()
+        assert list(pool.iter_dirty()) == []

@@ -1,0 +1,105 @@
+"""Lint: DeviceCounters may only be mutated inside ``repro/storage``.
+
+The RUM measurements are ratios of these counters, so the set of code
+locations that can change them must stay auditable: exactly the storage
+substrate.  This checker walks the AST of every module under
+``src/repro`` outside ``storage/`` and flags any assignment or augmented
+assignment whose target is a counter field reached through a
+``counters`` attribute or variable (``device.counters.reads += 1``,
+``counters.simulated_time = 0``, ...).
+
+Run from the repository root::
+
+    python tools/lint_counters.py
+
+Exit status 1 and one line per violation when any are found;
+``tests/unit/test_lint_counters.py`` runs the same check in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List, Tuple
+
+#: The fields of repro.storage.device.DeviceCounters.
+COUNTER_FIELDS = {
+    "reads",
+    "writes",
+    "read_bytes",
+    "write_bytes",
+    "allocations",
+    "frees",
+    "simulated_time",
+}
+
+#: Subtree whose modules own the counters and may mutate them.
+ALLOWED_SUBPACKAGE = os.path.join("repro", "storage")
+
+Violation = Tuple[str, int, str]
+
+
+def _is_counter_target(node: ast.expr) -> bool:
+    """True for ``<...>.counters.<field>`` or ``counters.<field>`` targets."""
+    if not isinstance(node, ast.Attribute) or node.attr not in COUNTER_FIELDS:
+        return False
+    owner = node.value
+    if isinstance(owner, ast.Attribute):
+        return owner.attr == "counters"
+    if isinstance(owner, ast.Name):
+        return owner.id == "counters"
+    return False
+
+
+def violations_in_source(source: str, path: str) -> List[Violation]:
+    """All counter-mutation sites in one module's source text."""
+    found: List[Violation] = []
+    tree = ast.parse(source, filename=path)
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            elements = (
+                target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            )
+            for element in elements:
+                if _is_counter_target(element):
+                    found.append(
+                        (path, element.lineno, ast.unparse(element))
+                    )
+    return found
+
+
+def check_tree(src_root: str) -> List[Violation]:
+    """Counter mutations in every repro module outside the storage package."""
+    found: List[Violation] = []
+    for dirpath, _dirnames, filenames in sorted(os.walk(src_root)):
+        if ALLOWED_SUBPACKAGE in os.path.normpath(dirpath):
+            continue
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path) as handle:
+                found.extend(violations_in_source(handle.read(), path))
+    return found
+
+
+def main() -> int:
+    """Check the repository's ``src`` tree; print violations."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    violations = check_tree(os.path.join(root, "src"))
+    for path, line, target in violations:
+        print(f"{path}:{line}: DeviceCounters mutated outside storage/: {target}")
+    if violations:
+        return 1
+    print("ok: DeviceCounters only mutated inside repro/storage")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
