@@ -3,23 +3,37 @@
 Each benchmark module regenerates one artifact of the paper (a
 proposition, Table 1, or one of Figures 1-3) by measuring I/O on the
 simulated device.  This module holds the common machinery: method
-construction at benchmark scale, per-operation I/O probes, and report
-output (printed and archived under ``benchmarks/reports/``).
+construction at benchmark scale, per-operation I/O probes, sweep-engine
+routing for the grid benchmarks, and report output (printed and
+archived under ``benchmarks/reports/``).
+
+Grid benchmarks (Figure 1, Figure 3, the conjecture sweep, Table 1) go
+through :func:`run_cells` / :func:`measure_profiles`, which route over
+:class:`repro.exec.SweepEngine`.  Two environment knobs apply:
+
+* ``REPRO_JOBS=N`` fans the grid over N worker processes (results are
+  byte-identical to a serial run);
+* ``REPRO_BENCH_CACHE=DIR`` re-uses cached cell results from DIR across
+  runs (content-addressed — any cell or library change invalidates).
+
+Both default to off, so a plain ``pytest benchmarks/`` behaves exactly
+as before.
 """
 
 from __future__ import annotations
 
 import os
 import random
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import AccessMethod
 from repro.core.registry import create_method
 from repro.core.rum import RUMProfile
+from repro.exec import ResultCache, SweepCell, SweepEngine, SweepOutcome
 from repro.obs.sinks import JsonlSink
-from repro.obs.tracer import RecordingTracer
+from repro.obs.tracer import RecordingTracer, Tracer
 from repro.storage.device import SimulatedDevice
-from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.runner import run_workload
 from repro.workloads.spec import WorkloadSpec
 
@@ -80,11 +94,31 @@ def attach_tracer(device: SimulatedDevice) -> SimulatedDevice:
     return device
 
 
-def build_method(name: str, **overrides) -> AccessMethod:
+def build_method(
+    name: str, device: Optional[SimulatedDevice] = None, **overrides
+) -> AccessMethod:
     kwargs = dict(BENCH_KWARGS.get(name, {}))
     kwargs.update(overrides)
-    device = attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK))
+    if device is None:
+        device = attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK))
     return create_method(name, device=device, **kwargs)
+
+
+@lru_cache(maxsize=None)
+def _bench_records(n_records: int) -> Tuple[Tuple[int, int], ...]:
+    records = [(2 * i, 20 * i + 1) for i in range(n_records)]
+    random.Random(17).shuffle(records)
+    return tuple(records)
+
+
+def bench_records(n_records: int) -> List[Tuple[int, int]]:
+    """The benchmark load set: ``n_records`` shuffled (key, value) pairs.
+
+    Every loader uses the same seed-17 shuffle, so results are
+    comparable across probes; the list is memoized (methods may mutate
+    their copy freely — callers get a fresh list each time).
+    """
+    return list(_bench_records(n_records))
 
 
 def loaded_method(
@@ -92,6 +126,7 @@ def loaded_method(
     n_records: int,
     shuffled: bool = True,
     churn: bool = True,
+    device: Optional[SimulatedDevice] = None,
     **overrides,
 ) -> AccessMethod:
     """A method bulk-loaded with ``n_records`` and brought to steady state.
@@ -101,10 +136,11 @@ def loaded_method(
     their realistic multi-run shape instead of the unrepresentative
     single-sorted-run state right after a bulk load.
     """
-    method = build_method(name, **overrides)
-    records = [(2 * i, 20 * i + 1) for i in range(n_records)]
+    method = build_method(name, device=device, **overrides)
     if shuffled:
-        random.Random(17).shuffle(records)
+        records = bench_records(n_records)
+    else:
+        records = [(2 * i, 20 * i + 1) for i in range(n_records)]
     method.bulk_load(records)
     if churn:
         rng = random.Random(19)
@@ -189,13 +225,16 @@ def auxiliary_bytes(method: AccessMethod) -> int:
     return max(0, method.space_bytes() - method.base_bytes())
 
 
-def bulk_creation_cost(name: str, n_records: int, **overrides) -> float:
+def bulk_creation_cost(
+    name: str,
+    n_records: int,
+    device: Optional[SimulatedDevice] = None,
+    **overrides,
+) -> float:
     """Total block I/Os to bulk load n shuffled records."""
-    method = build_method(name, **overrides)
-    records = [(2 * i, 20 * i + 1) for i in range(n_records)]
-    random.Random(17).shuffle(records)
+    method = build_method(name, device=device, **overrides)
     before = method.device.snapshot()
-    method.bulk_load(records)
+    method.bulk_load(bench_records(n_records))
     method.flush()
     stats = method.device.stats_since(before)
     return stats.reads + stats.writes
@@ -205,6 +244,106 @@ def measure_profile(name: str, spec: WorkloadSpec, **overrides) -> RUMProfile:
     """Measured RUM profile of a method under a workload spec."""
     method = build_method(name, **overrides)
     return run_workload(method, spec).profile
+
+
+# ----------------------------------------------------------------------
+# Sweep-engine routing (the grid benchmarks go through here)
+# ----------------------------------------------------------------------
+def sweep_engine(collect_events: Optional[bool] = None) -> SweepEngine:
+    """The engine the grid benchmarks run on, configured from the env.
+
+    ``REPRO_JOBS`` sets the worker count (default 1: in-process, no
+    pool); ``REPRO_BENCH_CACHE`` names a result-cache directory (default
+    unset: always execute).  When harness tracing is on, workers collect
+    their cells' events so :func:`run_cells` can forward them.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = ResultCache(root=cache_dir) if cache_dir else None
+    if collect_events is None:
+        collect_events = _TRACER is not None
+    return SweepEngine(jobs=jobs, cache=cache, collect_events=collect_events)
+
+
+def run_cells(cells: Sequence[SweepCell]) -> SweepOutcome:
+    """Run a cell grid through the sweep engine.
+
+    If harness tracing is configured, each cell's events (recorded
+    inside the worker) are re-emitted through the shared tracer, so the
+    JSONL file matches a serial traced run of the same grid.
+    """
+    outcome = sweep_engine().run(cells)
+    if _TRACER is not None and outcome.events:
+        for event in outcome.events:
+            _TRACER.emit(
+                source=event.source,
+                op=event.op,
+                block_id=event.block_id,
+                kind=event.kind,
+                sequential=event.sequential,
+                cost=event.cost,
+                nbytes=event.nbytes,
+            )
+    return outcome
+
+
+def measure_profiles(
+    spec: WorkloadSpec,
+    entries: Sequence[Tuple[str, str, dict]],
+) -> Dict[str, RUMProfile]:
+    """RUM profiles for a grid of ``(label, method, overrides)`` cells.
+
+    The benchmark-scale constructor overrides (:data:`BENCH_KWARGS`) are
+    baked into each cell, so the cell's content hash — and therefore its
+    cache identity — captures the full configuration.
+    """
+    cells = [
+        SweepCell.make(
+            name,
+            spec,
+            label=label,
+            block_bytes=BENCH_BLOCK,
+            overrides={**BENCH_KWARGS.get(name, {}), **overrides},
+        )
+        for label, name, overrides in entries
+    ]
+    outcome = run_cells(cells)
+    return {
+        cell.display_label: result.profile
+        for cell, result in zip(outcome.cells, outcome.results)
+    }
+
+
+def run_table1_cell(cell: SweepCell, tracer: Optional[Tracer] = None) -> dict:
+    """Custom sweep runner: every Table-1 probe for one (method, N) cell.
+
+    Cell params carry ``n`` and ``range_result``.  Returns a plain JSON
+    row (the operation costs), so it round-trips through the engine's
+    envelope under the ``"json"`` tag.  Devices are built locally and
+    attached to the engine-supplied tracer — never the harness global,
+    which must not be shared across worker processes.
+    """
+
+    def fresh_device() -> SimulatedDevice:
+        device = SimulatedDevice(block_bytes=BENCH_BLOCK, name=cell.display_label)
+        if tracer is not None:
+            device.set_tracer(tracer)
+        return device
+
+    params = cell.param_kwargs()
+    n = int(params["n"])
+    range_result = int(params["range_result"])
+    overrides = cell.override_kwargs()
+    method = loaded_method(cell.method, n, device=fresh_device(), **overrides)
+    return {
+        "index_size": auxiliary_bytes(method),
+        "point_query": point_query_cost(method, n),
+        "range_query": range_query_cost(method, n, range_result),
+        "insert": insert_cost(method, n),
+        "bulk_creation": bulk_creation_cost(
+            cell.method, n, device=fresh_device(), **overrides
+        ),
+    }
 
 
 def mark(benchmark) -> None:

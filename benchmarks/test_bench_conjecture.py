@@ -18,7 +18,7 @@ from repro.analysis.tables import format_table
 from repro.core.registry import available_methods
 from repro.workloads.spec import WorkloadSpec
 
-from benchmarks.harness import emit_report, mark, measure_profile
+from benchmarks.harness import emit_report, mark, measure_profile, measure_profiles
 
 SPEC = WorkloadSpec(
     point_queries=0.4,
@@ -95,16 +95,21 @@ def _magic_array_profile():
 
 
 def _measure() -> dict:
-    profiles = {}
-    for name in sorted(available_methods()):
-        if name == "bitmap":
-            continue  # value-predicate query model; measured in E10
-        profiles[name] = measure_profile(name, SPEC)
+    # Default configurations plus the tuning grid, all as independent
+    # sweep cells (parallel under REPRO_JOBS, cached under
+    # REPRO_BENCH_CACHE).  The MagicArray has its own measurement form
+    # and stays in-process.
+    entries = [
+        (name, name, {})
+        for name in sorted(available_methods())
+        if name != "bitmap"  # value-predicate query model; measured in E10
+    ]
     for index, (name, overrides) in enumerate(TUNINGS):
         label = f"{name}#{index}:" + ",".join(
             f"{k}={v}" for k, v in overrides.items()
         )
-        profiles[label] = measure_profile(name, SPEC, **overrides)
+        entries.append((label, name, overrides))
+    profiles = measure_profiles(SPEC, entries)
     profiles["magic-array (Prop 1)"] = _magic_array_profile()
     return profiles
 

@@ -23,7 +23,7 @@ from repro.analysis.triangle import render_triangle
 from repro.core.space import CORNER_READ, CORNER_SPACE, CORNER_WRITE, project_field
 from repro.workloads.spec import WorkloadSpec
 
-from benchmarks.harness import emit_report, mark, measure_profile
+from benchmarks.harness import emit_report, mark, measure_profiles
 
 #: One common workload for every structure.  Reads are point queries —
 #: the regime under which the paper groups hash/trie/skiplist with the
@@ -48,7 +48,9 @@ FIGURE_METHODS = READ_GROUP + WRITE_GROUP + SPACE_GROUP + ADAPTIVE_GROUP + COLUM
 
 
 def _measure_profiles() -> dict:
-    return {name: measure_profile(name, SPEC) for name in FIGURE_METHODS}
+    # Routed through the sweep engine: REPRO_JOBS parallelizes the grid,
+    # REPRO_BENCH_CACHE reuses unchanged cells across runs.
+    return measure_profiles(SPEC, [(name, name, {}) for name in FIGURE_METHODS])
 
 
 @pytest.fixture(scope="module")

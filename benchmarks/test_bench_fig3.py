@@ -18,14 +18,19 @@ import pytest
 
 from repro.analysis.tables import format_table
 from repro.analysis.triangle import render_triangle
-from repro.core.rum import measure_workload
 from repro.core.space import project_field
 from repro.core.tuner import DynamicTuner, TunableAccessMethod, TunerPolicy
 from repro.storage.device import SimulatedDevice
 from repro.workloads.generator import WorkloadGenerator
-from repro.workloads.spec import OpKind, WorkloadSpec
+from repro.workloads.spec import WorkloadSpec
 
-from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
+from benchmarks.harness import (
+    BENCH_BLOCK,
+    attach_tracer,
+    emit_report,
+    mark,
+    measure_profiles,
+)
 
 SPEC = WorkloadSpec(
     point_queries=0.4,
@@ -40,19 +45,18 @@ GRID = [0.0, 0.5, 1.0]
 
 
 def _measure_grid() -> dict:
-    profiles = {}
-    for r in GRID:
-        for w in GRID:
-            method = TunableAccessMethod(
-                attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK)),
-                read_optimization=r,
-                write_optimization=w,
-            )
-            generator = WorkloadGenerator(SPEC)
-            method.bulk_load(generator.initial_data())
-            profile = measure_workload(method, generator.operations())
-            profiles[f"r={r:.1f},w={w:.1f}"] = profile
-    return profiles
+    # The knob grid as sweep cells over the registered "tunable" method:
+    # independent cells, so REPRO_JOBS fans them over worker processes.
+    entries = [
+        (
+            f"r={r:.1f},w={w:.1f}",
+            "tunable",
+            dict(read_optimization=r, write_optimization=w),
+        )
+        for r in GRID
+        for w in GRID
+    ]
+    return measure_profiles(SPEC, entries)
 
 
 @pytest.fixture(scope="module")

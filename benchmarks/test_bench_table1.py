@@ -23,38 +23,58 @@ from repro.analysis.complexity import TABLE1_MODELS, Table1Params
 from repro.analysis.fitting import growth_ratio, is_flat
 from repro.analysis.tables import format_table
 
+from repro.exec import SweepCell
+from repro.workloads.spec import WorkloadSpec
+
 from benchmarks.harness import (
     mark,
+    BENCH_BLOCK,
+    BENCH_KWARGS,
     RECORDS_PER_BLOCK,
-    auxiliary_bytes,
-    bulk_creation_cost,
     emit_report,
-    insert_cost,
     loaded_method,
-    point_query_cost,
     range_query_cost,
+    run_cells,
 )
 
 METHODS = ["btree", "hash-index", "zonemap", "lsm", "sorted-column", "unsorted-column"]
 NS = [1024, 4096, 16384]
 RANGE_RESULT = 128  # the paper's m
 
+#: The Table-1 runner probes operations directly (no workload stream);
+#: the spec slot of each cell is this fixed placeholder.
+_PROBE_SPEC = WorkloadSpec(point_queries=1.0, operations=0, initial_records=0)
+
 
 def _measure_all() -> dict:
-    """measured[method][operation] = [cost at each N]"""
+    """measured[method][operation] = [cost at each N]
+
+    One sweep cell per (method, N), dispatched to the custom
+    ``run_table1_cell`` runner — every cell is independent, so the
+    whole table parallelizes under REPRO_JOBS and caches under
+    REPRO_BENCH_CACHE.
+    """
+    cells = [
+        SweepCell.make(
+            name,
+            _PROBE_SPEC,
+            label=f"{name}@N={n}",
+            block_bytes=BENCH_BLOCK,
+            # Baked in for cache identity (the runner re-merges them).
+            overrides=BENCH_KWARGS.get(name, {}),
+            params=dict(n=n, range_result=RANGE_RESULT),
+            runner="benchmarks.harness:run_table1_cell",
+        )
+        for n in NS
+        for name in METHODS
+    ]
+    outcome = run_cells(cells)
     measured = {name: {op: [] for op in
                        ("bulk_creation", "index_size", "point_query",
                         "range_query", "insert")} for name in METHODS}
-    for n in NS:
-        for name in METHODS:
-            method = loaded_method(name, n)
-            measured[name]["index_size"].append(auxiliary_bytes(method))
-            measured[name]["point_query"].append(point_query_cost(method, n))
-            measured[name]["range_query"].append(
-                range_query_cost(method, n, RANGE_RESULT)
-            )
-            measured[name]["insert"].append(insert_cost(method, n))
-            measured[name]["bulk_creation"].append(bulk_creation_cost(name, n))
+    for cell, row in zip(outcome.cells, outcome.results):
+        for op, cost in row.items():
+            measured[cell.method][op].append(cost)
     return measured
 
 

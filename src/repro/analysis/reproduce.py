@@ -17,10 +17,10 @@ from repro.analysis.triangle import render_triangle
 from repro.core.registry import create_method
 from repro.core.rum import RUMProfile
 from repro.core.space import project_field
+from repro.exec import SweepCell, SweepEngine
 from repro.methods.extremes import AppendOnlyLog, DenseArray, MagicArray
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import RECORD_BYTES
-from repro.workloads.runner import run_workload
 from repro.workloads.spec import WorkloadSpec
 
 #: Compact-run parameters (chosen so the whole report takes seconds).
@@ -127,12 +127,16 @@ def _table1_section() -> str:
     )
 
 
-def _profiles() -> Dict[str, RUMProfile]:
-    profiles = {}
-    for name in _TRIANGLE_METHODS:
-        method = create_method(name, device=SimulatedDevice(block_bytes=_BLOCK))
-        profiles[name] = run_workload(method, _SPEC).profile
-    return profiles
+def _profiles(jobs: int = 1) -> Dict[str, RUMProfile]:
+    cells = [
+        SweepCell.make(name, _SPEC, block_bytes=_BLOCK)
+        for name in _TRIANGLE_METHODS
+    ]
+    outcome = SweepEngine(jobs=jobs).run(cells)
+    return {
+        cell.display_label: result.profile
+        for cell, result in zip(outcome.cells, outcome.results)
+    }
 
 
 def _fig1_section(profiles: Dict[str, RUMProfile]) -> str:
@@ -177,14 +181,19 @@ def _conjecture_section(profiles: Dict[str, RUMProfile]) -> str:
     return table + "\n\n" + verdict
 
 
-def reproduce() -> str:
-    """Run the compact reproduction and return the full text report."""
+def reproduce(jobs: int = 1) -> str:
+    """Run the compact reproduction and return the full text report.
+
+    ``jobs`` parallelizes the Figure-1/conjecture profile sweep (the
+    bulk of the runtime) over worker processes; the report is identical
+    at any job count.
+    """
     sections = ["RUM Conjecture reproduction (compact run)", "=" * 60, ""]
     sections.append(_props_section())
     sections.append("")
     sections.append(_table1_section())
     sections.append("")
-    profiles = _profiles()
+    profiles = _profiles(jobs=jobs)
     sections.append(_fig1_section(profiles))
     sections.append("")
     sections.append(_conjecture_section(profiles))

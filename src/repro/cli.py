@@ -22,6 +22,12 @@ Commands
     Run a workload collecting per-op-type histograms only (no event
     stream): blocks touched and simulated time per point query, insert,
     range scan, ...
+``sweep``
+    Measure a grid of methods under one workload through the parallel
+    sweep engine: ``--jobs N`` fans cells over worker processes, and a
+    content-addressed cache under ``.repro-cache/`` makes re-running an
+    unchanged grid near-instant (``--no-cache`` to bypass,
+    ``--clear-cache`` to drop stale entries).
 
 Examples::
 
@@ -29,11 +35,13 @@ Examples::
     python -m repro profile btree --workload balanced --records 8000
     python -m repro triangle --workload write-heavy
     python -m repro wizard --workload read-mostly --hardware flash --analytic
-    python -m repro reproduce --output report.txt
+    python -m repro reproduce --output report.txt --jobs 4
     python -m repro record --workload write-heavy --output w.trace
     python -m repro replay w.trace --method lsm
     python -m repro trace --method lsm --workload balanced --output events.jsonl
     python -m repro stats --method btree --workload write-heavy
+    python -m repro sweep --workload balanced --jobs 4
+    python -m repro sweep --methods btree,lsm,hash-index --no-cache
 """
 
 from __future__ import annotations
@@ -47,6 +55,8 @@ from repro.analysis.triangle import render_triangle
 from repro.core.registry import available_methods, create_method
 from repro.core.space import project_field
 from repro.core.wizard import HardwarePriorities, recommend, recommend_analytic
+from repro.exec.cache import DEFAULT_CACHE_DIR
+from repro.storage.device import CostModel
 from repro.workloads.runner import run_workload
 from repro.workloads.spec import MIXES
 
@@ -55,6 +65,13 @@ _HARDWARE = {
     "flash": HardwarePriorities.flash,
     "disk": HardwarePriorities.disk,
     "memory": HardwarePriorities.memory_constrained,
+}
+
+_COST_MODELS = {
+    "dram": CostModel.dram,
+    "flash": CostModel.flash,
+    "disk": CostModel.disk,
+    "shingled-disk": CostModel.shingled_disk,
 }
 
 
@@ -96,6 +113,12 @@ def _build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--output", default=None, help="also write the report to this file"
     )
+    reproduce.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the profile sweep (same report at any count)",
+    )
 
     record = sub.add_parser("record", help="save a workload trace to a file")
     _workload_arguments(record)
@@ -120,6 +143,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--method", default="btree", help="method to measure")
     _workload_arguments(stats)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="measure a method grid through the parallel sweep engine",
+    )
+    _workload_arguments(sweep)
+    sweep.add_argument(
+        "--methods",
+        default=None,
+        help=(
+            "comma-separated method names "
+            "(default: every method except bitmap)"
+        ),
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the grid"
+    )
+    sweep.add_argument(
+        "--block-bytes", type=int, default=4096, help="device block size"
+    )
+    sweep.add_argument(
+        "--device",
+        choices=sorted(_COST_MODELS),
+        default="flash",
+        help="device cost-model preset",
+    )
+    sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="execute every cell even if a cached result exists",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="result cache directory",
+    )
+    sweep.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="drop every cached result before running",
+    )
     return parser
 
 
@@ -287,12 +351,63 @@ def _command_stats(args) -> int:
 def _command_reproduce(args) -> int:
     from repro.analysis.reproduce import reproduce
 
-    report = reproduce()
+    report = reproduce(jobs=args.jobs)
     # Persist before printing, so a closed stdout pipe cannot lose it.
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(report + "\n")
     print(report)
+    return 0
+
+
+def _command_sweep(args) -> int:
+    from repro.exec import ResultCache, SweepCell, SweepEngine
+
+    if args.methods:
+        names = [name.strip() for name in args.methods.split(",") if name.strip()]
+        known = set(available_methods())
+        unknown = sorted(set(names) - known)
+        if unknown:
+            raise KeyError(f"unknown access method(s): {', '.join(unknown)}")
+    else:
+        # bitmap speaks the value-predicate query model, not key lookups.
+        names = [name for name in available_methods() if name != "bitmap"]
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    if args.clear_cache and cache is not None:
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.root}")
+    spec = _spec(args)
+    cost_model = _COST_MODELS[args.device]()
+    cells = [
+        SweepCell.make(
+            name, spec, block_bytes=args.block_bytes, cost_model=cost_model
+        )
+        for name in names
+    ]
+    outcome = SweepEngine(jobs=args.jobs, cache=cache).run(cells)
+    rows = [
+        [
+            cell.display_label,
+            result.profile.read_overhead,
+            result.profile.update_overhead,
+            result.profile.memory_overhead,
+            result.profile.simulated_time,
+        ]
+        for cell, result in zip(outcome.cells, outcome.results)
+    ]
+    print(format_table(
+        ["method", "RO", "UO", "MO", "simulated time"],
+        rows,
+        title=(
+            f"sweep of {len(cells)} cells under {args.workload!r} "
+            f"on {args.device} (jobs={args.jobs})"
+        ),
+    ))
+    print(
+        f"executed {outcome.executed_cells} cell(s), "
+        f"{outcome.cached_cells} from cache"
+        + ("" if cache is None else f" ({cache.root})")
+    )
     return 0
 
 
@@ -318,6 +433,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_trace(args)
         if args.command == "stats":
             return _command_stats(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
     except BrokenPipeError:  # output piped into head & friends
         import os
 

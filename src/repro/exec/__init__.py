@@ -1,0 +1,27 @@
+"""Parallel experiment execution.
+
+Every artifact this library reproduces (the propositions, Table 1,
+Figures 1-3) is a grid of independent *cells*: one access method, one
+workload, one device configuration.  This package executes such grids —
+serially or fanned out over worker processes — with deterministic
+results and a content-addressed on-disk cache, so re-running an
+unchanged grid costs no workload execution at all.
+
+* :mod:`repro.exec.cells` — :class:`SweepCell`, the declarative cell.
+* :mod:`repro.exec.serialize` — canonical JSON for cells and results
+  (the byte-identical determinism contract).
+* :mod:`repro.exec.cache` — the ``.repro-cache/`` result store.
+* :mod:`repro.exec.engine` — :class:`SweepEngine`, which runs grids.
+"""
+
+from repro.exec.cache import ResultCache
+from repro.exec.cells import SweepCell
+from repro.exec.engine import SweepEngine, SweepOutcome, run_workload_cell
+
+__all__ = [
+    "ResultCache",
+    "SweepCell",
+    "SweepEngine",
+    "SweepOutcome",
+    "run_workload_cell",
+]

@@ -1,0 +1,122 @@
+"""Content-addressed on-disk cache for sweep results.
+
+A cell's canonical JSON (see :mod:`repro.exec.serialize`) is hashed
+together with a *salt* — by default the library version — into the cache
+key.  The stored value is the cell's executed envelope, verbatim.  Two
+consequences:
+
+* an unchanged grid re-runs from cache with zero workload execution and
+  byte-identical results (the envelope bytes are returned as written);
+* any change to the cell configuration, or a library version bump,
+  changes the key and the stale entry is simply never read again —
+  invalidation is structural, not heuristic.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, fanned out over 256 prefix
+directories.  Writes are atomic (temp file + ``os.replace``) so a
+killed run never leaves a torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from typing import Optional
+
+import repro
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """The ``.repro-cache/`` store.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    salt:
+        Version salt mixed into every key.  Defaults to
+        ``repro.__version__`` so results never survive a library
+        version change.
+    """
+
+    def __init__(
+        self,
+        root: str = DEFAULT_CACHE_DIR,
+        salt: Optional[str] = None,
+    ) -> None:
+        self.root = root
+        self.salt = repro.__version__ if salt is None else salt
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, cell_payload: str) -> str:
+        """Cache key: SHA-256 of the salt and the canonical cell JSON."""
+        return hashlib.sha256(
+            (self.salt + "\n" + cell_payload).encode()
+        ).hexdigest()
+
+    def _path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[str]:
+        """The stored envelope string, or ``None`` on a miss."""
+        try:
+            with open(self._path_for(key), "r") as handle:
+                payload = handle.read()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: str) -> None:
+        """Store an envelope atomically (temp file + rename)."""
+        path = self._path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def entry_count(self) -> int:
+        """Number of cached envelopes currently on disk."""
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for prefix in os.listdir(self.root):
+            subdir = os.path.join(self.root, prefix)
+            if os.path.isdir(subdir):
+                count += sum(
+                    1 for name in os.listdir(subdir) if name.endswith(".json")
+                )
+        return count
+
+    def clear(self) -> int:
+        """Delete every cached envelope; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for prefix in os.listdir(self.root):
+            subdir = os.path.join(self.root, prefix)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if name.endswith(".json"):
+                    os.unlink(os.path.join(subdir, name))
+                    removed += 1
+            try:
+                os.rmdir(subdir)
+            except OSError:
+                pass
+        return removed

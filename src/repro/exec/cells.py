@@ -1,0 +1,108 @@
+"""The unit of parallel execution: one experiment cell.
+
+A :class:`SweepCell` pins down everything a worker process needs to
+reproduce one grid point from scratch: the access-method name (resolved
+through the registry), the workload spec, the device configuration, the
+constructor overrides, and the *runner* — the function that actually
+performs the measurement.  Cells are frozen, hashable and canonically
+serializable, which is what makes result caching and cross-process
+dispatch sound: a cell's serialized form is its identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.storage.device import CostModel
+from repro.storage.layout import DEFAULT_BLOCK_BYTES
+from repro.workloads.spec import WorkloadSpec
+
+#: The default runner: bulk-load the method and stream the spec's
+#: operations through it (``repro.exec.engine.run_workload_cell``).
+DEFAULT_RUNNER = "repro.exec.engine:run_workload_cell"
+
+KVTuple = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_kwargs(kwargs: Optional[Mapping[str, Any]]) -> KVTuple:
+    """Sorted key/value tuple form of a kwargs mapping (hashable)."""
+    if not kwargs:
+        return ()
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent grid point of a sweep.
+
+    Parameters
+    ----------
+    method:
+        Registry name of the access method under test.
+    spec:
+        The workload to run.  Fully determines the operation stream.
+    label:
+        Display / lookup label for the cell; defaults to ``method``.
+        Distinguishes cells that share a method but differ in overrides
+        (e.g. the Figure-3 tuning grid).
+    block_bytes, cost_model:
+        Device configuration the runner builds the device from.
+    overrides:
+        Constructor keyword arguments for the method, as a sorted
+        key/value tuple (use :meth:`make` to pass a plain dict).
+    params:
+        Runner-specific parameters (same representation) for custom
+        runners that measure something other than a workload profile.
+    runner:
+        ``"module:function"`` reference resolved in the worker process.
+        The function receives ``(cell, tracer)`` and returns either a
+        :class:`~repro.workloads.runner.WorkloadResult` or a
+        JSON-serializable dict.
+    """
+
+    method: str
+    spec: WorkloadSpec
+    label: str = ""
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    cost_model: CostModel = field(default_factory=CostModel.flash)
+    overrides: KVTuple = ()
+    params: KVTuple = ()
+    runner: str = DEFAULT_RUNNER
+
+    @classmethod
+    def make(
+        cls,
+        method: str,
+        spec: WorkloadSpec,
+        label: str = "",
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        cost_model: Optional[CostModel] = None,
+        overrides: Optional[Mapping[str, Any]] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        runner: str = DEFAULT_RUNNER,
+    ) -> "SweepCell":
+        """Build a cell from plain mappings (frozen into sorted tuples)."""
+        return cls(
+            method=method,
+            spec=spec,
+            label=label or method,
+            block_bytes=block_bytes,
+            cost_model=cost_model or CostModel.flash(),
+            overrides=_freeze_kwargs(overrides),
+            params=_freeze_kwargs(params),
+            runner=runner,
+        )
+
+    @property
+    def display_label(self) -> str:
+        """The label to report results under."""
+        return self.label or self.method
+
+    def override_kwargs(self) -> Dict[str, Any]:
+        """The constructor overrides as a plain dict."""
+        return dict(self.overrides)
+
+    def param_kwargs(self) -> Dict[str, Any]:
+        """The runner parameters as a plain dict."""
+        return dict(self.params)

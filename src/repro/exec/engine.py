@@ -1,0 +1,217 @@
+"""The sweep engine: run a grid of cells, serially or in parallel.
+
+:class:`SweepEngine` executes :class:`~repro.exec.cells.SweepCell` grids
+with three guarantees:
+
+**Determinism.**  Results are collected in cell order, and both
+execution paths round-trip through the same canonical JSON envelope
+(:mod:`repro.exec.serialize`), so ``jobs=4`` output is byte-identical to
+``jobs=1`` output.  Before a cell runs, the worker seeds the *global*
+``random`` module from a hash of the cell itself — any stray global-RNG
+use inside a method costs determinism neither across processes (fresh
+interpreter state) nor across grid orders (the seed depends only on the
+cell).
+
+**Caching.**  With a :class:`~repro.exec.cache.ResultCache` attached,
+each cell's envelope is stored under its content hash; a warm rerun of
+an unchanged grid executes zero workloads.  A cached envelope without
+trace events does not satisfy a tracing run — the cell re-executes and
+the traced envelope replaces the entry.
+
+**Tracing.**  With ``collect_events=True``, each worker records its
+cell's device events into an in-memory sink and ships them back inside
+the envelope; the parent merges them in cell order with a continuous
+sequence numbering, equivalent to a serial traced run.
+"""
+
+from __future__ import annotations
+
+import importlib
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.registry import create_method
+from repro.exec.cache import ResultCache
+from repro.exec.cells import SweepCell
+from repro.exec.serialize import (
+    cell_seed,
+    decode_cell,
+    decode_envelope,
+    encode_cell,
+    encode_envelope,
+    envelope_is_traced,
+)
+from repro.obs.sinks import ListSink
+from repro.obs.tracer import RecordingTracer, TraceEvent, Tracer
+from repro.storage.device import SimulatedDevice
+from repro.workloads.runner import WorkloadResult, run_workload
+
+#: Salt for per-cell seeds.  Fixed, so seeds (and therefore results)
+#: are stable across library versions unless a cell itself changes.
+_SEED_SALT = "repro.exec"
+
+CellResult = Union[WorkloadResult, Dict[str, Any]]
+
+
+def resolve_runner(reference: str) -> Callable[..., CellResult]:
+    """Resolve a ``"module:function"`` runner reference.
+
+    Resolution happens inside the executing process, so custom runners
+    (e.g. ``benchmarks.harness:run_table1_cell``) only need to be
+    importable, not picklable.
+    """
+    module_name, sep, function_name = reference.partition(":")
+    if not sep or not module_name or not function_name:
+        raise ValueError(
+            f"runner reference {reference!r} is not of the form 'module:function'"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, function_name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {module_name!r} has no runner {function_name!r}"
+        ) from None
+
+
+def run_workload_cell(
+    cell: SweepCell, tracer: Optional[Tracer] = None
+) -> WorkloadResult:
+    """The standard runner: build the method, run the cell's workload.
+
+    Builds a fresh device from the cell's configuration (attaching
+    ``tracer`` when given), constructs the method through the registry
+    with the cell's overrides, and measures the spec end to end.
+    """
+    device = SimulatedDevice(
+        block_bytes=cell.block_bytes,
+        cost_model=cell.cost_model,
+        name=cell.display_label,
+    )
+    if tracer is not None:
+        device.set_tracer(tracer)
+    method = create_method(cell.method, device=device, **cell.override_kwargs())
+    return run_workload(method, cell.spec)
+
+
+def execute_cell_payload(args: Tuple[str, bool]) -> str:
+    """Execute one encoded cell; returns its encoded envelope.
+
+    Module-level so :class:`ProcessPoolExecutor` can dispatch it.  This
+    is the *only* execution path — the serial loop calls it too, which
+    is what makes serial and parallel runs byte-identical.
+    """
+    cell_payload, collect_events = args
+    cell = decode_cell(cell_payload)
+    random.seed(cell_seed(cell_payload, _SEED_SALT))
+    sink: Optional[ListSink] = None
+    tracer: Optional[Tracer] = None
+    if collect_events:
+        sink = ListSink()
+        tracer = RecordingTracer(sink)
+    runner = resolve_runner(cell.runner)
+    result = runner(cell, tracer)
+    return encode_envelope(result, sink.events if sink is not None else None)
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep produced, in cell order."""
+
+    cells: List[SweepCell]
+    results: List[CellResult]
+    executed_cells: int
+    cached_cells: int
+    events: Optional[List[TraceEvent]] = None
+
+    def by_label(self) -> Dict[str, CellResult]:
+        """Results keyed by cell label (labels must be unique to use this)."""
+        mapping: Dict[str, CellResult] = {}
+        for cell, result in zip(self.cells, self.results):
+            label = cell.display_label
+            if label in mapping:
+                raise ValueError(f"duplicate cell label {label!r} in sweep")
+            mapping[label] = result
+        return mapping
+
+
+class SweepEngine:
+    """Executes cell grids with optional parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` runs in-process (no pool); the
+        results are identical either way.
+    cache:
+        A :class:`~repro.exec.cache.ResultCache`, or ``None`` to always
+        execute.
+    collect_events:
+        Record each cell's trace events and merge them (renumbered, in
+        cell order) into :attr:`SweepOutcome.events`.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        collect_events: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.collect_events = collect_events
+
+    def run(self, cells: Sequence[SweepCell]) -> SweepOutcome:
+        """Execute every cell; results come back in cell order."""
+        cells = list(cells)
+        payloads = [encode_cell(cell) for cell in cells]
+        envelopes: List[Optional[str]] = [None] * len(cells)
+
+        keys: List[Optional[str]] = [None] * len(cells)
+        if self.cache is not None:
+            for index, payload in enumerate(payloads):
+                key = self.cache.key_for(payload)
+                keys[index] = key
+                stored = self.cache.get(key)
+                if stored is None:
+                    continue
+                if self.collect_events and not envelope_is_traced(stored):
+                    # Cached result lacks the events this run needs.
+                    continue
+                envelopes[index] = stored
+
+        pending = [index for index, env in enumerate(envelopes) if env is None]
+        work = [(payloads[index], self.collect_events) for index in pending]
+        if self.jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+                fresh = list(pool.map(execute_cell_payload, work))
+        else:
+            fresh = [execute_cell_payload(item) for item in work]
+        for index, envelope in zip(pending, fresh):
+            envelopes[index] = envelope
+            if self.cache is not None:
+                self.cache.put(keys[index], envelope)
+
+        results: List[CellResult] = []
+        merged_events: Optional[List[TraceEvent]] = (
+            [] if self.collect_events else None
+        )
+        for envelope in envelopes:
+            decoded = decode_envelope(envelope)
+            results.append(decoded["result"])
+            if merged_events is not None and decoded["events"]:
+                for event_dict in decoded["events"]:
+                    fields = dict(event_dict)
+                    fields["seq"] = len(merged_events)
+                    merged_events.append(TraceEvent(**fields))
+        return SweepOutcome(
+            cells=cells,
+            results=results,
+            executed_cells=len(pending),
+            cached_cells=len(cells) - len(pending),
+            events=merged_events,
+        )

@@ -1,0 +1,220 @@
+"""Canonical JSON for cells, results and trace events.
+
+This module is the determinism contract of the sweep engine.  Both
+execution paths — in-process serial and fanned out over worker
+processes — produce results by round-tripping through the *same*
+canonical encoding, so a parallel run is byte-identical to a serial run
+by construction rather than by accident.  The same canonical cell string
+doubles as the cache identity (:mod:`repro.exec.cache` hashes it).
+
+Encoding rules:
+
+* objects become dicts of primitives; ``json.dumps`` with sorted keys
+  and fixed separators produces one canonical byte string per value;
+* floats rely on ``repr`` round-tripping (exact in Python 3), so decoded
+  results compare equal field-for-field to the originals;
+* decoded envelopes rebuild the real frozen dataclasses
+  (:class:`WorkloadSpec`, :class:`RUMProfile`, :class:`IOStats`,
+  :class:`WorkloadResult`) — callers get first-class objects back, never
+  raw dicts, unless the cell's runner returned a plain dict on purpose.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.rum import RUMProfile
+from repro.exec.cells import SweepCell
+from repro.obs.tracer import TraceEvent
+from repro.storage.device import CostModel, IOStats
+from repro.workloads.runner import WorkloadResult
+from repro.workloads.spec import WorkloadSpec
+
+#: Fields of WorkloadSpec, in declaration order (all primitives).
+_SPEC_FIELDS = (
+    "point_queries",
+    "range_queries",
+    "inserts",
+    "updates",
+    "deletes",
+    "operations",
+    "initial_records",
+    "range_fraction",
+    "distribution",
+    "seed",
+)
+
+_IOSTATS_FIELDS = (
+    "reads",
+    "writes",
+    "read_bytes",
+    "write_bytes",
+    "allocations",
+    "frees",
+    "simulated_time",
+)
+
+_PROFILE_FIELDS = (
+    "read_overhead",
+    "update_overhead",
+    "memory_overhead",
+    "simulated_time",
+    "name",
+)
+
+
+def _canonical(value: Any) -> str:
+    """The one canonical JSON byte string for a JSON-compatible value."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: WorkloadSpec) -> Dict[str, Any]:
+    """Plain-dict form of a workload spec."""
+    return {name: getattr(spec, name) for name in _SPEC_FIELDS}
+
+
+def spec_from_dict(data: Dict[str, Any]) -> WorkloadSpec:
+    """Rebuild a :class:`WorkloadSpec` from its dict form."""
+    return WorkloadSpec(**data)
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+def cell_to_dict(cell: SweepCell) -> Dict[str, Any]:
+    """Plain-dict form of a sweep cell."""
+    model = cell.cost_model
+    return {
+        "method": cell.method,
+        "spec": spec_to_dict(cell.spec),
+        "label": cell.label,
+        "block_bytes": cell.block_bytes,
+        "cost_model": [
+            model.sequential_read,
+            model.random_read,
+            model.sequential_write,
+            model.random_write,
+        ],
+        "overrides": [[key, value] for key, value in cell.overrides],
+        "params": [[key, value] for key, value in cell.params],
+        "runner": cell.runner,
+    }
+
+
+def cell_from_dict(data: Dict[str, Any]) -> SweepCell:
+    """Rebuild a :class:`SweepCell` from its dict form."""
+    return SweepCell(
+        method=data["method"],
+        spec=spec_from_dict(data["spec"]),
+        label=data["label"],
+        block_bytes=data["block_bytes"],
+        cost_model=CostModel(*data["cost_model"]),
+        overrides=tuple((key, value) for key, value in data["overrides"]),
+        params=tuple((key, value) for key, value in data["params"]),
+        runner=data["runner"],
+    )
+
+
+def encode_cell(cell: SweepCell) -> str:
+    """Canonical JSON string for a cell — its identity."""
+    return _canonical(cell_to_dict(cell))
+
+
+def decode_cell(payload: str) -> SweepCell:
+    """Inverse of :func:`encode_cell`."""
+    return cell_from_dict(json.loads(payload))
+
+
+def cell_seed(cell_payload: str, salt: str) -> int:
+    """Deterministic per-cell seed for the worker's global RNG.
+
+    Derived from the canonical cell string, so a cell's seed does not
+    depend on where in the grid it sits or which process runs it —
+    a requirement for serial/parallel equivalence.
+    """
+    digest = hashlib.sha256((salt + "\n" + cell_payload).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def result_to_dict(result: Union[WorkloadResult, Dict[str, Any]]) -> Dict[str, Any]:
+    """Tagged dict form of a runner's return value.
+
+    Standard runners return :class:`WorkloadResult`; custom runners may
+    return any JSON-compatible dict, which is passed through under the
+    ``"json"`` tag.
+    """
+    if isinstance(result, dict):
+        return {"kind": "json", "value": result}
+    if not isinstance(result, WorkloadResult):
+        raise TypeError(
+            f"cell runner must return WorkloadResult or dict, got {type(result)!r}"
+        )
+    profile = result.profile
+    io = result.bulk_load_io
+    return {
+        "kind": "workload_result",
+        "method_name": result.method_name,
+        "spec": spec_to_dict(result.spec),
+        "profile": {name: getattr(profile, name) for name in _PROFILE_FIELDS},
+        "bulk_load_io": {name: getattr(io, name) for name in _IOSTATS_FIELDS},
+        "final_records": result.final_records,
+        "final_space_bytes": result.final_space_bytes,
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> Union[WorkloadResult, Dict[str, Any]]:
+    """Inverse of :func:`result_to_dict`."""
+    if data["kind"] == "json":
+        return data["value"]
+    return WorkloadResult(
+        method_name=data["method_name"],
+        spec=spec_from_dict(data["spec"]),
+        profile=RUMProfile(**data["profile"]),
+        bulk_load_io=IOStats(**data["bulk_load_io"]),
+        final_records=data["final_records"],
+        final_space_bytes=data["final_space_bytes"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Envelopes (what workers return and what the cache stores)
+# ----------------------------------------------------------------------
+def encode_envelope(
+    result: Union[WorkloadResult, Dict[str, Any]],
+    events: Optional[List[TraceEvent]],
+) -> str:
+    """Canonical JSON for one executed cell: result plus optional events."""
+    return _canonical(
+        {
+            "result": result_to_dict(result),
+            "events": (
+                None if events is None else [event.to_dict() for event in events]
+            ),
+        }
+    )
+
+
+def decode_envelope(payload: str) -> Dict[str, Any]:
+    """Parse an envelope string into ``{"result": ..., "events": ...}``.
+
+    ``result`` is rebuilt into its dataclass form; ``events`` stays a
+    list of event dicts (or ``None`` if the cell ran untraced).
+    """
+    data = json.loads(payload)
+    return {
+        "result": result_from_dict(data["result"]),
+        "events": data["events"],
+    }
+
+
+def envelope_is_traced(payload: str) -> bool:
+    """Whether an envelope carries trace events (cheap cache-hit check)."""
+    return json.loads(payload)["events"] is not None

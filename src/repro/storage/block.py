@@ -11,16 +11,20 @@ exactly as on a real device with a minimum access granularity (the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 #: Block identifiers are plain integers handed out by the device.
 BlockId = int
 
 
-@dataclass
 class Block:
     """One allocated block on a :class:`~repro.storage.device.SimulatedDevice`.
+
+    A ``__slots__`` class rather than a dataclass: devices hold one
+    instance per allocated block and touch its attributes on every
+    simulated I/O, so the slot layout (no per-instance ``__dict__``)
+    measurably shrinks and speeds the simulator hot path
+    (``tools/bench_hotpath.py`` records the effect).
 
     Attributes
     ----------
@@ -37,15 +41,38 @@ class Block:
         and debugging output.
     """
 
-    block_id: BlockId
-    payload: Any = None
-    used_bytes: int = 0
-    kind: str = "data"
-    writes: int = field(default=0, repr=False)
-    reads: int = field(default=0, repr=False)
+    __slots__ = ("block_id", "payload", "used_bytes", "kind")
+
+    def __init__(
+        self,
+        block_id: BlockId,
+        payload: Any = None,
+        used_bytes: int = 0,
+        kind: str = "data",
+    ) -> None:
+        self.block_id = block_id
+        self.payload = payload
+        self.used_bytes = used_bytes
+        self.kind = kind
 
     def fill_factor(self, block_bytes: int) -> float:
         """Fraction of the block's capacity that is logically in use."""
         if block_bytes <= 0:
             return 0.0
         return min(1.0, self.used_bytes / block_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(block_id={self.block_id!r}, payload={self.payload!r}, "
+            f"used_bytes={self.used_bytes!r}, kind={self.kind!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Block):
+            return NotImplemented
+        return (
+            self.block_id == other.block_id
+            and self.payload == other.payload
+            and self.used_bytes == other.used_bytes
+            and self.kind == other.kind
+        )

@@ -43,6 +43,8 @@ class CachedDevice(SimulatedDevice):
       footprint.
     """
 
+    __slots__ = ("backing", "pool")
+
     def __init__(
         self,
         backing: SimulatedDevice,
@@ -72,11 +74,11 @@ class CachedDevice(SimulatedDevice):
     # Allocation delegates to the backing device.
     # ------------------------------------------------------------------
     def allocate(self, kind: str = "data") -> BlockId:
-        self.counters.allocations += 1
+        self._allocations += 1
         return self.backing.allocate(kind)
 
     def free(self, block_id: BlockId) -> None:
-        self.counters.frees += 1
+        self._frees += 1
         self.pool.invalidate(block_id)
         self.backing.free(block_id)
 
@@ -94,25 +96,21 @@ class CachedDevice(SimulatedDevice):
         matter which frames hit: the classification follows the request
         stream, as on the base device.
         """
-        sequential = (
-            self._last_read_id is not None and block_id == self._last_read_id + 1
-        )
-        self._last_read_id = block_id
-        self.counters.reads += 1
-        self.counters.read_bytes += self.block_bytes
-        cost = (
-            self.cost_model.sequential_read if sequential else self.cost_model.random_read
-        )
-        self.counters.simulated_time += cost
+        sequential = block_id == self._seq_read_id
+        if sequential:
+            self._seq_reads += 1
+        else:
+            self._rand_reads += 1
+        self._seq_read_id = block_id + 1
         payload = self.pool.read(block_id)
-        if self.tracer.enabled:
+        if self._trace_enabled:
             self.tracer.emit(
                 source=self.name,
                 op="read",
                 block_id=block_id,
                 kind=self.backing.kind_of(block_id),
                 sequential=sequential,
-                cost=cost,
+                cost=self._cost_seq_read if sequential else self._cost_rand_read,
                 nbytes=self.block_bytes,
             )
         return payload
@@ -125,31 +123,25 @@ class CachedDevice(SimulatedDevice):
         write that produced it, not later when the pool evicts or
         flushes the frame.
         """
-        if used_bytes < 0 or used_bytes > self.block_bytes:
+        if not 0 <= used_bytes <= self.block_bytes:
             raise ValueError(
                 f"used_bytes {used_bytes} outside block capacity {self.block_bytes}"
             )
-        sequential = (
-            self._last_write_id is not None and block_id == self._last_write_id + 1
-        )
-        self._last_write_id = block_id
-        self.counters.writes += 1
-        self.counters.write_bytes += self.block_bytes
-        cost = (
-            self.cost_model.sequential_write
-            if sequential
-            else self.cost_model.random_write
-        )
-        self.counters.simulated_time += cost
+        sequential = block_id == self._seq_write_id
+        if sequential:
+            self._seq_writes += 1
+        else:
+            self._rand_writes += 1
+        self._seq_write_id = block_id + 1
         self.pool.write(block_id, payload, used_bytes)
-        if self.tracer.enabled:
+        if self._trace_enabled:
             self.tracer.emit(
                 source=self.name,
                 op="write",
                 block_id=block_id,
                 kind=self.backing.kind_of(block_id),
                 sequential=sequential,
-                cost=cost,
+                cost=self._cost_seq_write if sequential else self._cost_rand_write,
                 nbytes=self.block_bytes,
             )
 

@@ -14,16 +14,32 @@ The paper defines the three RUM overheads as ratios of data accessed,
 written and stored (Section 2).  Counting simulated block traffic measures
 exactly those quantities, free of the noise a real device would add —
 this is the substitution recorded in DESIGN.md for the paper's hardware.
+
+``read``/``write`` are the innermost loop of every experiment (~20 access
+methods funnel every probe through them), so the device is written for
+speed: ``__slots__`` layouts, counters kept as plain integer attributes
+on the device (``counters`` materializes the same :class:`DeviceCounters`
+view on demand), per-cost-model floats cached at assignment, a
+sentinel-based sequential check and an O(1) running occupancy total.
+``tools/bench_hotpath.py`` measures the effect against a replica of the
+pre-optimization hot path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, Optional
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.storage.block import Block, BlockId
 from repro.storage.layout import DEFAULT_BLOCK_BYTES
+
+#: Sentinel for the "block id that would count as sequential" trackers:
+#: no allocated block ever has a negative id, so -1 never matches and a
+#: fresh (or reset) device classifies its first access as random without
+#: a separate ``is None`` test on the hot path.
+_NO_SEQUENTIAL: BlockId = -1
 
 
 @dataclass(frozen=True)
@@ -62,21 +78,63 @@ class CostModel:
         return cls(1.0, 100.0, 10.0, 1000.0)
 
 
-@dataclass
 class DeviceCounters:
-    """Monotonic operation counters maintained by a device."""
+    """Monotonic operation counters observed on a device.
 
-    reads: int = 0
-    writes: int = 0
-    read_bytes: int = 0
-    write_bytes: int = 0
-    allocations: int = 0
-    frees: int = 0
-    simulated_time: float = 0.0
+    A plain ``__slots__`` class, not a dataclass — it is constructed for
+    every :meth:`SimulatedDevice.snapshot`, which measured workloads take
+    around each operation.  The interface (field names, :meth:`copy`,
+    :meth:`delta`, equality) matches the previous dataclass; the *live*
+    counts now live as integer attributes directly on the device, and
+    ``device.counters`` materializes this view of them.
+    """
+
+    __slots__ = (
+        "reads",
+        "writes",
+        "read_bytes",
+        "write_bytes",
+        "allocations",
+        "frees",
+        "simulated_time",
+    )
+
+    #: Field names, in :meth:`as_tuple` order.
+    FIELDS = __slots__
+
+    def __init__(
+        self,
+        reads: int = 0,
+        writes: int = 0,
+        read_bytes: int = 0,
+        write_bytes: int = 0,
+        allocations: int = 0,
+        frees: int = 0,
+        simulated_time: float = 0.0,
+    ) -> None:
+        self.reads = reads
+        self.writes = writes
+        self.read_bytes = read_bytes
+        self.write_bytes = write_bytes
+        self.allocations = allocations
+        self.frees = frees
+        self.simulated_time = simulated_time
+
+    def as_tuple(self) -> Tuple[float, ...]:
+        """Field values in :data:`FIELDS` order (monotonicity checks)."""
+        return (
+            self.reads,
+            self.writes,
+            self.read_bytes,
+            self.write_bytes,
+            self.allocations,
+            self.frees,
+            self.simulated_time,
+        )
 
     def copy(self) -> "DeviceCounters":
         """An independent snapshot of the current counter values."""
-        return replace(self)
+        return DeviceCounters(*self.as_tuple())
 
     def delta(self, earlier: "DeviceCounters") -> "IOStats":
         """Difference between this snapshot and an ``earlier`` one."""
@@ -89,6 +147,17 @@ class DeviceCounters:
             frees=self.frees - earlier.frees,
             simulated_time=self.simulated_time - earlier.simulated_time,
         )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeviceCounters):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self.FIELDS, self.as_tuple())
+        )
+        return f"DeviceCounters({fields})"
 
 
 @dataclass(frozen=True)
@@ -133,7 +202,37 @@ class SimulatedDevice:
     Sequential vs random classification: an access is *sequential* when it
     targets the block id immediately following the previously accessed
     block id, mirroring how a real device amortizes seeks.
+
+    The hot path maintains four plain integer attributes — sequential
+    and random access counts for reads and for writes — and everything
+    else (totals, byte counts, simulated time) is derived from them on
+    demand; :attr:`counters` materializes the :class:`DeviceCounters`
+    view, so the public accounting interface is unchanged.
     """
+
+    __slots__ = (
+        "block_bytes",
+        "name",
+        "tracer",
+        "_trace_enabled",
+        "_blocks",
+        "_next_id",
+        "_used_total",
+        "_seq_read_id",
+        "_seq_write_id",
+        "_cost_model",
+        "_cost_seq_read",
+        "_cost_rand_read",
+        "_cost_seq_write",
+        "_cost_rand_write",
+        "_seq_reads",
+        "_rand_reads",
+        "_seq_writes",
+        "_rand_writes",
+        "_allocations",
+        "_frees",
+        "_time_base",
+    )
 
     def __init__(
         self,
@@ -146,12 +245,77 @@ class SimulatedDevice:
         self.block_bytes = block_bytes
         self.cost_model = cost_model or CostModel.flash()
         self.name = name
-        self.counters = DeviceCounters()
-        self.tracer: Tracer = NULL_TRACER
+        self.tracer = NULL_TRACER
+        self._trace_enabled = False
         self._blocks: Dict[BlockId, Block] = {}
         self._next_id: BlockId = 0
-        self._last_read_id: Optional[BlockId] = None
-        self._last_write_id: Optional[BlockId] = None
+        self._used_total = 0
+        self._seq_read_id = _NO_SEQUENTIAL
+        self._seq_write_id = _NO_SEQUENTIAL
+        self._seq_reads = 0
+        self._rand_reads = 0
+        self._seq_writes = 0
+        self._rand_writes = 0
+        self._allocations = 0
+        self._frees = 0
+        self._time_base = 0.0
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The latency model.  Assigning a new one refreshes the cached
+        per-operation costs the hot path reads."""
+        return self._cost_model
+
+    @cost_model.setter
+    def cost_model(self, model: CostModel) -> None:
+        old = getattr(self, "_cost_model", None)
+        if old is not None:
+            # Simulated time is derived as base + per-category counts x
+            # current costs; re-base so time already accrued keeps its
+            # old-cost valuation and only future accesses pay new costs.
+            self._time_base += (
+                self._seq_reads * (old.sequential_read - model.sequential_read)
+                + self._rand_reads * (old.random_read - model.random_read)
+                + self._seq_writes * (old.sequential_write - model.sequential_write)
+                + self._rand_writes * (old.random_write - model.random_write)
+            )
+        self._cost_model = model
+        self._cost_seq_read = model.sequential_read
+        self._cost_rand_read = model.random_read
+        self._cost_seq_write = model.sequential_write
+        self._cost_rand_write = model.random_write
+
+    @property
+    def counters(self) -> DeviceCounters:
+        """Current counter values as a :class:`DeviceCounters` snapshot.
+
+        The hot path maintains only four per-category access counts
+        (sequential/random x read/write); everything else is derived
+        here.  ``read_bytes == reads * block_bytes`` because every access
+        moves exactly one block, and ``simulated_time`` is the counts
+        priced at the current cost model (plus the re-basing term kept by
+        the ``cost_model`` setter).
+        """
+        seq_reads = self._seq_reads
+        rand_reads = self._rand_reads
+        seq_writes = self._seq_writes
+        rand_writes = self._rand_writes
+        reads = seq_reads + rand_reads
+        writes = seq_writes + rand_writes
+        block_bytes = self.block_bytes
+        return DeviceCounters(
+            reads,
+            writes,
+            reads * block_bytes,
+            writes * block_bytes,
+            self._allocations,
+            self._frees,
+            self._time_base
+            + seq_reads * self._cost_seq_read
+            + rand_reads * self._cost_rand_read
+            + seq_writes * self._cost_seq_write
+            + rand_writes * self._cost_rand_write,
+        )
 
     def set_tracer(self, tracer: Tracer) -> None:
         """Attach a tracer; every subsequent operation emits an event.
@@ -159,6 +323,7 @@ class SimulatedDevice:
         Pass :data:`~repro.obs.tracer.NULL_TRACER` to disable again.
         """
         self.tracer = tracer
+        self._trace_enabled = tracer.enabled
 
     # ------------------------------------------------------------------
     # Allocation
@@ -166,10 +331,10 @@ class SimulatedDevice:
     def allocate(self, kind: str = "data") -> BlockId:
         """Allocate a fresh, empty block and return its id."""
         block_id = self._next_id
-        self._next_id += 1
+        self._next_id = block_id + 1
         self._blocks[block_id] = Block(block_id=block_id, kind=kind)
-        self.counters.allocations += 1
-        if self.tracer.enabled:
+        self._allocations += 1
+        if self._trace_enabled:
             self.tracer.emit(source=self.name, op="alloc", block_id=block_id, kind=kind)
         return block_id
 
@@ -179,8 +344,9 @@ class SimulatedDevice:
         if block is None:
             raise KeyError(f"free of unallocated block {block_id}")
         del self._blocks[block_id]
-        self.counters.frees += 1
-        if self.tracer.enabled:
+        self._used_total -= block.used_bytes
+        self._frees += 1
+        if self._trace_enabled:
             self.tracer.emit(
                 source=self.name, op="free", block_id=block_id, kind=block.kind
             )
@@ -194,28 +360,24 @@ class SimulatedDevice:
     # ------------------------------------------------------------------
     def read(self, block_id: BlockId) -> object:
         """Read a block's payload, charging one block of read I/O."""
-        block = self._blocks.get(block_id)
-        if block is None:
-            raise KeyError(f"read of unallocated block {block_id}")
-        sequential = (
-            self._last_read_id is not None and block_id == self._last_read_id + 1
-        )
-        self._last_read_id = block_id
-        block.reads += 1
-        self.counters.reads += 1
-        self.counters.read_bytes += self.block_bytes
-        cost = (
-            self.cost_model.sequential_read if sequential else self.cost_model.random_read
-        )
-        self.counters.simulated_time += cost
-        if self.tracer.enabled:
+        try:
+            block = self._blocks[block_id]
+        except KeyError:
+            raise KeyError(f"read of unallocated block {block_id}") from None
+        sequential = block_id == self._seq_read_id
+        if sequential:
+            self._seq_reads += 1
+        else:
+            self._rand_reads += 1
+        self._seq_read_id = block_id + 1
+        if self._trace_enabled:
             self.tracer.emit(
                 source=self.name,
                 op="read",
                 block_id=block_id,
                 kind=block.kind,
                 sequential=sequential,
-                cost=cost,
+                cost=self._cost_seq_read if sequential else self._cost_rand_read,
                 nbytes=self.block_bytes,
             )
         return block.payload
@@ -227,39 +389,35 @@ class SimulatedDevice:
         statistics; the full block is charged regardless (minimum access
         granularity).
         """
-        block = self._blocks.get(block_id)
-        if block is None:
-            raise KeyError(f"write of unallocated block {block_id}")
-        if used_bytes < 0 or used_bytes > self.block_bytes:
+        try:
+            block = self._blocks[block_id]
+        except KeyError:
+            raise KeyError(f"write of unallocated block {block_id}") from None
+        if not 0 <= used_bytes <= self.block_bytes:
             raise ValueError(
                 f"used_bytes {used_bytes} outside block capacity {self.block_bytes}"
             )
-        sequential = (
-            self._last_write_id is not None and block_id == self._last_write_id + 1
-        )
-        self._last_write_id = block_id
+        sequential = block_id == self._seq_write_id
+        if sequential:
+            self._seq_writes += 1
+        else:
+            self._rand_writes += 1
+        self._seq_write_id = block_id + 1
+        old_used = block.used_bytes
+        if used_bytes != old_used:
+            self._used_total += used_bytes - old_used
+            block.used_bytes = used_bytes
         block.payload = payload
-        block.used_bytes = used_bytes
-        block.writes += 1
-        self.counters.writes += 1
-        self.counters.write_bytes += self.block_bytes
-        cost = (
-            self.cost_model.sequential_write
-            if sequential
-            else self.cost_model.random_write
-        )
-        self.counters.simulated_time += cost
-        if self.tracer.enabled:
+        if self._trace_enabled:
             self.tracer.emit(
                 source=self.name,
                 op="write",
                 block_id=block_id,
                 kind=block.kind,
                 sequential=sequential,
-                cost=cost,
+                cost=self._cost_seq_write if sequential else self._cost_rand_write,
                 nbytes=self.block_bytes,
             )
-        return None
 
     def peek(self, block_id: BlockId) -> object:
         """Read a payload *without* charging I/O.
@@ -300,21 +458,24 @@ class SimulatedDevice:
         return len(self._blocks) * self.block_bytes
 
     def used_bytes(self) -> int:
-        """Sum of declared logical occupancy across all blocks."""
-        return sum(block.used_bytes for block in self._blocks.values())
+        """Sum of declared logical occupancy across all blocks.
+
+        O(1): a running total maintained on every write and free, rather
+        than a sum over the block table — space sampling happens inside
+        measured workloads (``RUMAccumulator.sample_space``), so it must
+        not scale with the dataset.
+        """
+        return self._used_total
 
     def fill_factor(self) -> float:
         """Average logical occupancy across allocated blocks (0..1)."""
         if not self._blocks:
             return 0.0
-        return self.used_bytes() / self.allocated_bytes
+        return self._used_total / self.allocated_bytes
 
     def blocks_by_kind(self) -> Dict[str, int]:
         """Histogram of allocated block counts keyed by their ``kind`` tag."""
-        histogram: Dict[str, int] = {}
-        for block in self._blocks.values():
-            histogram[block.kind] = histogram.get(block.kind, 0) + 1
-        return histogram
+        return dict(Counter(block.kind for block in self._blocks.values()))
 
     def iter_block_ids(self) -> Iterator[BlockId]:
         """Iterate over currently allocated block ids (no I/O charged)."""
@@ -325,7 +486,7 @@ class SimulatedDevice:
     # ------------------------------------------------------------------
     def snapshot(self) -> DeviceCounters:
         """Capture the current counter values (for later ``delta``)."""
-        return self.counters.copy()
+        return self.counters
 
     def stats_since(self, snapshot: DeviceCounters) -> IOStats:
         """I/O performed since ``snapshot`` was taken."""
@@ -333,13 +494,20 @@ class SimulatedDevice:
 
     def reset_counters(self) -> None:
         """Zero the operation counters (allocation state is untouched)."""
-        self.counters = DeviceCounters()
-        self._last_read_id = None
-        self._last_write_id = None
+        self._seq_reads = 0
+        self._rand_reads = 0
+        self._seq_writes = 0
+        self._rand_writes = 0
+        self._allocations = 0
+        self._frees = 0
+        self._time_base = 0.0
+        self._seq_read_id = _NO_SEQUENTIAL
+        self._seq_write_id = _NO_SEQUENTIAL
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SimulatedDevice(name={self.name!r}, block_bytes={self.block_bytes}, "
-            f"blocks={self.allocated_blocks}, reads={self.counters.reads}, "
-            f"writes={self.counters.writes})"
+            f"blocks={self.allocated_blocks}, "
+            f"reads={self._seq_reads + self._rand_reads}, "
+            f"writes={self._seq_writes + self._rand_writes})"
         )

@@ -28,6 +28,11 @@ class WorkloadGenerator:
         # chosen selectivity and deletes can maintain order in O(log n).
         self._keys: List[int] = []
         self._next_key = 0
+        #: True once :meth:`operations` has handed out its stream.  The
+        #: stream mutates generator state as it goes, so it is single
+        #: use; consumers check this to fail fast instead of replaying
+        #: a stale key set.
+        self.consumed = False
 
     # ------------------------------------------------------------------
     def initial_data(self) -> List[Tuple[int, int]]:
@@ -45,9 +50,13 @@ class WorkloadGenerator:
         return [(key, self._value_for(key)) for key in self._keys]
 
     def operations(self) -> Iterator[Operation]:
-        """Yield the operation stream described by the spec."""
+        """The operation stream described by the spec (single use)."""
         if not self._keys and self.spec.initial_records:
             raise RuntimeError("call initial_data() before operations()")
+        self.consumed = True
+        return self._operation_stream()
+
+    def _operation_stream(self) -> Iterator[Operation]:
         kinds, weights = zip(*self.spec.mix.items())
         for _ in range(self.spec.operations):
             kind = self._choose_kind(kinds, weights)

@@ -52,6 +52,12 @@ def run_workload(
     simulated time per point query / insert / range scan / ...) over the
     measured phase — the bulk load is excluded, as in the profile.
     """
+    if generator is not None and generator.consumed:
+        raise ValueError(
+            "the supplied WorkloadGenerator has already produced its "
+            "operation stream; streams mutate generator state, so build "
+            "a fresh WorkloadGenerator(spec) for each run"
+        )
     generator = generator or WorkloadGenerator(spec)
     data = generator.initial_data()
 

@@ -13,8 +13,6 @@ sequences:
 
 from __future__ import annotations
 
-from dataclasses import astuple
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -55,7 +53,7 @@ def _apply(op, device, live, payload_tag):
 
 
 def _assert_monotonic(previous, current, label):
-    for before, after in zip(astuple(previous), astuple(current)):
+    for before, after in zip(previous.as_tuple(), current.as_tuple()):
         assert after >= before, f"{label}: counter regressed {before} -> {after}"
 
 

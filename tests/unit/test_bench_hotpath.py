@@ -1,0 +1,85 @@
+"""The hot-path microbenchmark runs end to end (CI smoke mode).
+
+``tools/bench_hotpath.py`` is the performance record for the simulator
+hot path: it measures the current device against a compiled-in replica
+of the pre-optimization implementation and archives the numbers in
+``BENCH_hotpath.json``.  This test runs it in ``--smoke`` mode on every
+CI run, so the tool (and the legacy replica's API compatibility) cannot
+rot; it checks structure, not absolute throughput — timing assertions
+would flake on shared machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+TOOLS_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "BENCH_hotpath.json"
+)
+
+
+def _bench_hotpath():
+    sys.path.insert(0, TOOLS_PATH)
+    try:
+        import bench_hotpath
+    finally:
+        sys.path.remove(TOOLS_PATH)
+    return bench_hotpath
+
+
+def test_smoke_run_produces_report(tmp_path, capsys):
+    bench_hotpath = _bench_hotpath()
+    output = tmp_path / "hotpath.json"
+    exit_code = bench_hotpath.main(["--smoke", "--output", str(output)])
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert report["smoke"] is True
+    device = report["device"]
+    for key in (
+        "read_ops_per_sec",
+        "write_ops_per_sec",
+        "legacy_read_ops_per_sec",
+        "legacy_write_ops_per_sec",
+        "read_speedup",
+        "write_speedup",
+    ):
+        assert device[key] > 0, key
+    sweep = report["sweep"]
+    assert sweep["cells"] == len(bench_hotpath.SWEEP_METHODS)
+    assert sweep["serial_seconds"] > 0
+    assert sweep["parallel_seconds"] > 0
+    printed = capsys.readouterr().out
+    assert "device read" in printed and "device write" in printed
+
+
+def test_legacy_replica_counts_like_the_real_device():
+    """The baseline replica must agree with the device on counters —
+    otherwise the recorded speedup compares against a strawman."""
+    bench_hotpath = _bench_hotpath()
+    from repro.storage.device import SimulatedDevice
+
+    legacy = bench_hotpath._LegacyDevice(256)
+    current = SimulatedDevice(block_bytes=256)
+    for device in (legacy, current):
+        for _ in range(8):
+            device.allocate()
+        for i in range(50):
+            device.write((3 * i) % 8, payload=i, used_bytes=i % 257 % 256)
+        for i in range(75):
+            device.read((5 * i) % 8)
+    for field in ("reads", "writes", "read_bytes", "write_bytes",
+                  "allocations", "frees", "simulated_time"):
+        assert getattr(legacy.counters, field) == getattr(
+            current.counters, field
+        ), field
+
+
+def test_committed_baseline_meets_the_speedup_bar():
+    """The archived full-run numbers document >=1.5x on both paths."""
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    assert baseline["device"]["read_speedup"] >= 1.5
+    assert baseline["device"]["write_speedup"] >= 1.5

@@ -1,0 +1,279 @@
+"""Unit tests for ``repro.exec`` — the parallel sweep engine.
+
+The contract under test:
+
+* a parallel run is *byte-identical* to a serial run of the same grid
+  (compare the canonical envelopes, not just rough equality);
+* the result cache hits on unchanged cells, misses on any configuration
+  change, and invalidates structurally on a salt (version) change;
+* a warm rerun of an unchanged grid executes zero workloads;
+* tracing runs refuse untraced cache entries, and traced envelopes
+  merge back with contiguous sequence numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import ResultCache, SweepCell, SweepEngine, run_workload_cell
+from repro.exec.engine import execute_cell_payload, resolve_runner
+from repro.exec.serialize import (
+    cell_seed,
+    decode_cell,
+    decode_envelope,
+    encode_cell,
+    encode_envelope,
+)
+from repro.storage.device import CostModel
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.runner import WorkloadResult, run_workload
+from repro.workloads.spec import WorkloadSpec
+
+SPEC = WorkloadSpec(
+    point_queries=0.4,
+    inserts=0.3,
+    updates=0.2,
+    deletes=0.1,
+    operations=120,
+    initial_records=400,
+)
+
+METHODS = ["btree", "lsm", "hash-index", "sorted-column"]
+
+
+def _cells(spec=SPEC, methods=METHODS):
+    return [SweepCell.make(name, spec, block_bytes=256) for name in methods]
+
+
+class TestCellSerialization:
+    def test_cell_round_trips(self):
+        cell = SweepCell.make(
+            "lsm",
+            SPEC,
+            label="lsm@tuned",
+            block_bytes=512,
+            cost_model=CostModel.disk(),
+            overrides=dict(memtable_records=64, size_ratio=3),
+            params=dict(n=1024),
+        )
+        assert decode_cell(encode_cell(cell)) == cell
+
+    def test_encoding_is_canonical(self):
+        a = SweepCell.make("btree", SPEC, overrides=dict(b=2, a=1))
+        b = SweepCell.make("btree", SPEC, overrides=dict(a=1, b=2))
+        assert encode_cell(a) == encode_cell(b)
+
+    def test_different_cells_encode_differently(self):
+        base = SweepCell.make("btree", SPEC)
+        assert encode_cell(base) != encode_cell(SweepCell.make("lsm", SPEC))
+        assert encode_cell(base) != encode_cell(
+            SweepCell.make("btree", SPEC, block_bytes=512)
+        )
+
+    def test_seed_depends_only_on_the_cell(self):
+        payload = encode_cell(SweepCell.make("btree", SPEC))
+        assert cell_seed(payload, "s") == cell_seed(payload, "s")
+        assert cell_seed(payload, "s") != cell_seed(payload, "t")
+
+    def test_workload_result_round_trips(self):
+        result = run_workload_cell(SweepCell.make("btree", SPEC, block_bytes=256))
+        envelope = encode_envelope(result, None)
+        decoded = decode_envelope(envelope)["result"]
+        assert isinstance(decoded, WorkloadResult)
+        assert decoded == result
+        # And re-encoding the decoded result is byte-stable.
+        assert encode_envelope(decoded, None) == envelope
+
+
+class TestRunnerResolution:
+    def test_resolves_the_default_runner(self):
+        assert resolve_runner("repro.exec.engine:run_workload_cell") is run_workload_cell
+
+    def test_malformed_reference_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_runner("no_colon_here")
+
+    def test_missing_function_rejected(self):
+        with pytest.raises(AttributeError):
+            resolve_runner("repro.exec.engine:not_a_runner")
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_results_byte_identical_to_serial(self):
+        cells = _cells()
+        serial = SweepEngine(jobs=1).run(cells)
+        parallel = SweepEngine(jobs=4).run(cells)
+        serial_bytes = [encode_envelope(r, None) for r in serial.results]
+        parallel_bytes = [encode_envelope(r, None) for r in parallel.results]
+        assert serial_bytes == parallel_bytes
+
+    def test_results_come_back_in_cell_order(self):
+        outcome = SweepEngine(jobs=4).run(_cells())
+        assert [r.method_name for r in outcome.results] == METHODS
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=0)
+
+    def test_by_label_maps_results(self):
+        outcome = SweepEngine(jobs=1).run(_cells())
+        mapping = outcome.by_label()
+        assert set(mapping) == set(METHODS)
+        assert mapping["btree"].method_name == "btree"
+
+    def test_by_label_rejects_duplicates(self):
+        cells = [SweepCell.make("btree", SPEC), SweepCell.make("btree", SPEC)]
+        outcome = SweepEngine(jobs=1).run(cells)
+        with pytest.raises(ValueError):
+            outcome.by_label()
+
+
+class TestResultCache:
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        cells = _cells()
+        cold = SweepEngine(jobs=1, cache=cache).run(cells)
+        assert cold.executed_cells == len(cells)
+        assert cold.cached_cells == 0
+        warm = SweepEngine(jobs=1, cache=cache).run(cells)
+        assert warm.executed_cells == 0
+        assert warm.cached_cells == len(cells)
+        assert [encode_envelope(r, None) for r in warm.results] == [
+            encode_envelope(r, None) for r in cold.results
+        ]
+
+    def test_parallel_warm_rerun_also_hits(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        SweepEngine(jobs=1, cache=cache).run(_cells())
+        warm = SweepEngine(jobs=4, cache=cache).run(_cells())
+        assert warm.executed_cells == 0
+
+    def test_changed_cell_misses(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        SweepEngine(jobs=1, cache=cache).run(_cells())
+        changed = _cells(
+            spec=SPEC.scaled(initial_records=SPEC.initial_records, operations=121)
+        )
+        outcome = SweepEngine(jobs=1, cache=cache).run(changed)
+        assert outcome.executed_cells == len(changed)
+
+    def test_stale_salt_invalidates(self, tmp_path):
+        root = str(tmp_path / "cache")
+        SweepEngine(jobs=1, cache=ResultCache(root=root, salt="v1")).run(_cells())
+        outcome = SweepEngine(
+            jobs=1, cache=ResultCache(root=root, salt="v2")
+        ).run(_cells())
+        assert outcome.executed_cells == len(METHODS)
+
+    def test_salt_defaults_to_library_version(self, tmp_path):
+        import repro
+
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        assert cache.salt == repro.__version__
+
+    def test_entry_count_and_clear(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        SweepEngine(jobs=1, cache=cache).run(_cells())
+        assert cache.entry_count() == len(METHODS)
+        assert cache.clear() == len(METHODS)
+        assert cache.entry_count() == 0
+
+    def test_hit_and_miss_accounting(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        cells = _cells()
+        SweepEngine(jobs=1, cache=cache).run(cells)
+        assert cache.misses == len(cells)
+        SweepEngine(jobs=1, cache=cache).run(cells)
+        assert cache.hits == len(cells)
+
+    def test_no_cache_always_executes(self, tmp_path):
+        engine = SweepEngine(jobs=1)
+        first = engine.run(_cells())
+        second = engine.run(_cells())
+        assert first.executed_cells == second.executed_cells == len(METHODS)
+
+
+class TestTracing:
+    def test_traced_run_merges_events_contiguously(self):
+        outcome = SweepEngine(jobs=2, collect_events=True).run(_cells())
+        events = outcome.events
+        assert events, "traced sweep produced no events"
+        assert [event.seq for event in events] == list(range(len(events)))
+        assert {event.source for event in events} == set(METHODS)
+
+    def test_traced_run_matches_serial_traced_run(self):
+        serial = SweepEngine(jobs=1, collect_events=True).run(_cells())
+        parallel = SweepEngine(jobs=4, collect_events=True).run(_cells())
+        assert serial.events == parallel.events
+
+    def test_untraced_cache_entry_does_not_satisfy_traced_run(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        SweepEngine(jobs=1, cache=cache).run(_cells())
+        traced = SweepEngine(jobs=1, cache=cache, collect_events=True).run(_cells())
+        assert traced.executed_cells == len(METHODS)
+        # The traced envelopes replaced the entries: a traced rerun hits.
+        warm = SweepEngine(jobs=1, cache=cache, collect_events=True).run(_cells())
+        assert warm.executed_cells == 0
+        assert warm.events == traced.events
+
+    def test_untraced_run_accepts_traced_entry(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        SweepEngine(jobs=1, cache=cache, collect_events=True).run(_cells())
+        outcome = SweepEngine(jobs=1, cache=cache).run(_cells())
+        assert outcome.executed_cells == 0
+        assert outcome.events is None
+
+
+class TestCustomRunners:
+    def test_json_runner_round_trips(self, tmp_path):
+        cell = SweepCell.make(
+            "btree",
+            SPEC,
+            params=dict(answer=42),
+            runner="tests.unit.test_exec:json_cell_runner",
+        )
+        outcome = SweepEngine(jobs=1).run([cell])
+        assert outcome.results[0] == {"method": "btree", "answer": 42}
+
+    def test_execute_cell_payload_is_deterministic(self):
+        payload = encode_cell(SweepCell.make("lsm", SPEC, block_bytes=256))
+        first = execute_cell_payload((payload, False))
+        second = execute_cell_payload((payload, False))
+        assert first == second
+        assert json.loads(first)["result"]["kind"] == "workload_result"
+
+
+def json_cell_runner(cell, tracer=None):
+    """Runner used by TestCustomRunners (must be module-level)."""
+    return {"method": cell.method, "answer": cell.param_kwargs()["answer"]}
+
+
+class TestConsumedGenerator:
+    def test_run_workload_rejects_consumed_generator(self):
+        from repro.core.registry import create_method
+
+        spec = WorkloadSpec(point_queries=1.0, operations=20, initial_records=50)
+        generator = WorkloadGenerator(spec)
+        run_workload(create_method("btree"), spec, generator=generator)
+        with pytest.raises(ValueError, match="already produced"):
+            run_workload(create_method("btree"), spec, generator=generator)
+
+    def test_fresh_generator_accepted(self):
+        from repro.core.registry import create_method
+
+        spec = WorkloadSpec(point_queries=1.0, operations=20, initial_records=50)
+        result = run_workload(
+            create_method("btree"), spec, generator=WorkloadGenerator(spec)
+        )
+        assert result.final_records > 0
+
+    def test_consumed_flag_set_when_stream_is_handed_out(self):
+        spec = WorkloadSpec(point_queries=1.0, operations=5, initial_records=10)
+        generator = WorkloadGenerator(spec)
+        assert not generator.consumed
+        generator.initial_data()
+        assert not generator.consumed
+        generator.operations()
+        assert generator.consumed
