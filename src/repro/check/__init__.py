@@ -1,0 +1,39 @@
+"""Correctness and robustness tooling: fault injection + invariant audits.
+
+The paper's RO/UO/MO figures are all deltas of device counters, so a
+silently-corrupted structure or a mis-charged block write skews the
+reproduction without failing any functional test.  This package is the
+net that catches that class of bug:
+
+* :mod:`repro.check.faults` — :class:`FaultyDevice`, a deterministic
+  fault-injection wrapper over :class:`~repro.storage.device.SimulatedDevice`
+  driven by seeded :class:`FaultPlan`\\ s (fail the Nth read/write, fail
+  by block kind, probabilistic failure, torn writes).
+* :mod:`repro.check.audit` — the audit session harness behind the
+  ``repro audit`` CLI subcommand: run a workload (optionally under a
+  fault plan) against a method, call :meth:`AccessMethod.audit`
+  periodically, and compare against a dict oracle.
+
+The audit hook itself lives on
+:class:`~repro.core.interfaces.AccessMethod`; structures override
+``_audit_structure`` with their own invariants (key order, fanout, zone
+bounds, Bloom no-false-negatives, ...).
+"""
+
+from repro.check.audit import (
+    AuditError,
+    AuditReport,
+    build_audited_method,
+    run_audit_session,
+)
+from repro.check.faults import DeviceFault, FaultPlan, FaultyDevice
+
+__all__ = [
+    "AuditError",
+    "AuditReport",
+    "DeviceFault",
+    "FaultPlan",
+    "FaultyDevice",
+    "build_audited_method",
+    "run_audit_session",
+]

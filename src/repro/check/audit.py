@@ -1,0 +1,193 @@
+"""The audit session harness behind ``repro audit``.
+
+Runs a generated workload against one access method — optionally under a
+:class:`~repro.check.faults.FaultPlan` — while keeping a dict oracle in
+lockstep, calling :meth:`AccessMethod.audit` every few operations, and
+summarizing the outcome as an :class:`AuditReport`:
+
+* how many operations completed vs. faulted,
+* every distinct invariant violation any audit reported,
+* whether the method's final answers agree with the oracle.
+
+The clean (fault-free) run is a correctness gate: any violation or
+oracle divergence is a bug.  A faulted run is a robustness probe: the
+report shows whether faults were absorbed (operation raised
+:class:`DeviceFault`, state stayed consistent) or left damage behind —
+which is exactly what torn-write plans are *supposed* to show the
+audits catching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.faults import DeviceFault, FaultPlan, FaultyDevice
+from repro.core.interfaces import AccessMethod
+from repro.storage.device import SimulatedDevice
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.spec import OpKind, WorkloadSpec
+
+
+class AuditError(RuntimeError):
+    """Raised when an in-workload audit finds invariant violations."""
+
+    def __init__(self, method_name: str, violations: List[str]) -> None:
+        summary = "; ".join(violations[:3])
+        more = f" (+{len(violations) - 3} more)" if len(violations) > 3 else ""
+        super().__init__(f"{method_name}: audit failed: {summary}{more}")
+        self.method_name = method_name
+        self.violations = list(violations)
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of one audited (method, workload[, fault plan]) session."""
+
+    method: str
+    operations: int
+    completed: int
+    faults: int
+    rejected: int
+    oracle_divergences: int
+    violations: Tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violations and no oracle divergence."""
+        return not self.violations and self.oracle_divergences == 0
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"{self.method}: {status} — {self.completed}/{self.operations} ops "
+            f"completed, {self.faults} faulted, {self.rejected} rejected, "
+            f"{len(self.violations)} violations, "
+            f"{self.oracle_divergences} oracle divergences"
+        )
+
+
+def _apply(
+    method: AccessMethod, oracle: Dict[int, int], op
+) -> Optional[str]:
+    """Run one operation against method and oracle; return a divergence
+    description when the method's answer disagrees with the oracle."""
+    if op.kind is OpKind.POINT_QUERY:
+        got = method.get(op.key)
+        want = oracle.get(op.key)
+        if got != want:
+            return f"get({op.key}) = {got!r}, oracle says {want!r}"
+    elif op.kind is OpKind.RANGE_QUERY:
+        got = method.range_query(op.key, op.high_key)
+        want = sorted(
+            (key, value)
+            for key, value in oracle.items()
+            if op.key <= key <= op.high_key
+        )
+        if got != want:
+            return (
+                f"range({op.key}, {op.high_key}) returned {len(got)} records, "
+                f"oracle says {len(want)}"
+            )
+    elif op.kind is OpKind.INSERT:
+        method.insert(op.key, op.value)
+        oracle[op.key] = op.value
+    elif op.kind is OpKind.UPDATE:
+        method.update(op.key, op.value)
+        oracle[op.key] = op.value
+    else:  # DELETE
+        method.delete(op.key)
+        del oracle[op.key]
+    return None
+
+
+def run_audit_session(
+    method: AccessMethod,
+    spec: WorkloadSpec,
+    plan: Optional[FaultPlan] = None,
+    audit_every: int = 16,
+) -> AuditReport:
+    """Bulk-load, stream the spec's operations, audit as we go.
+
+    ``method`` must sit on a :class:`FaultyDevice` for ``plan`` to take
+    effect (build it with :func:`build_audited_method`); the plan is
+    armed only after the bulk load, so every session starts from an
+    intact structure.  Duplicate-insert/missing-key rejections
+    (``ValueError``/``KeyError``) are counted but not failures — the
+    generator is probabilistic and the oracle stays in lockstep either
+    way.
+    """
+    if audit_every < 0:
+        raise ValueError("audit_every must be >= 0")
+    generator = WorkloadGenerator(spec)
+    data = list(generator.initial_data())
+    method.bulk_load(data)
+    method.flush()
+    oracle: Dict[int, int] = dict(data)
+    device = method.device
+    if plan is not None:
+        if not isinstance(device, FaultyDevice):
+            raise ValueError(
+                "a fault plan needs the method to sit on a FaultyDevice; "
+                "construct one with build_audited_method(..., plan=...)"
+            )
+        device.arm(plan)
+
+    completed = faults = rejected = divergences = 0
+    violations: List[str] = []
+    seen_violations: set = set()
+
+    def record_audit() -> None:
+        for violation in method.audit():
+            if violation not in seen_violations:
+                seen_violations.add(violation)
+                violations.append(violation)
+
+    operations = 0
+    for index, op in enumerate(generator.operations(), start=1):
+        operations += 1
+        try:
+            divergence = _apply(method, oracle, op)
+            completed += 1
+            if divergence is not None:
+                divergences += 1
+        except DeviceFault:
+            faults += 1
+        except (KeyError, ValueError):
+            rejected += 1
+        except Exception as error:  # corruption fallout counts against us
+            divergences += 1
+            violations.append(f"operation {index} ({op.kind.value}) crashed: {error!r}")
+        if audit_every and index % audit_every == 0:
+            record_audit()
+    try:
+        method.flush()
+    except DeviceFault:
+        faults += 1
+    record_audit()
+    return AuditReport(
+        method=method.name,
+        operations=operations,
+        completed=completed,
+        faults=faults,
+        rejected=rejected,
+        oracle_divergences=divergences,
+        violations=tuple(violations),
+    )
+
+
+def build_audited_method(
+    name: str,
+    block_bytes: int,
+    plan: Optional[FaultPlan] = None,
+    **method_kwargs,
+) -> AccessMethod:
+    """Create a registered method on a (possibly fault-wrapped) device."""
+    from repro.core.registry import create_method
+
+    backing = SimulatedDevice(block_bytes=block_bytes)
+    device: SimulatedDevice = backing
+    if plan is not None:
+        # Constructed disarmed; run_audit_session arms it after the load.
+        device = FaultyDevice(backing)
+    return create_method(name, device=device, **method_kwargs)

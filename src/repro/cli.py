@@ -28,6 +28,12 @@ Commands
     content-addressed cache under ``.repro-cache/`` makes re-running an
     unchanged grid near-instant (``--no-cache`` to bypass,
     ``--clear-cache`` to drop stale entries).
+``audit``
+    Run structural invariant audits (``AccessMethod.audit``) against a
+    workload with a dict oracle in lockstep — optionally under a seeded
+    fault-injection plan (``--fail-write-at``, ``--fault-rate``,
+    ``--torn``, ...).  Clean runs gate correctness (non-zero exit on any
+    violation); fault-injected runs are informational.
 
 Examples::
 
@@ -42,6 +48,8 @@ Examples::
     python -m repro stats --method btree --workload write-heavy
     python -m repro sweep --workload balanced --jobs 4
     python -m repro sweep --methods btree,lsm,hash-index --no-cache
+    python -m repro audit --workload balanced --ops 600
+    python -m repro audit --methods lsm --fail-write-at 7 --torn
 """
 
 from __future__ import annotations
@@ -143,6 +151,66 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--method", default="btree", help="method to measure")
     _workload_arguments(stats)
+
+    audit = sub.add_parser(
+        "audit",
+        help="run structural invariant audits, optionally under faults",
+    )
+    _workload_arguments(audit)
+    audit.add_argument(
+        "--methods",
+        default=None,
+        help=(
+            "comma-separated method names "
+            "(default: every method except bitmap)"
+        ),
+    )
+    audit.add_argument(
+        "--block-bytes", type=int, default=4096, help="device block size"
+    )
+    audit.add_argument(
+        "--audit-every",
+        type=int,
+        default=16,
+        help="audit after every N operations (0 = only at the end)",
+    )
+    audit.add_argument(
+        "--fail-read-at",
+        type=int,
+        default=None,
+        help="inject a fault on the Nth eligible read",
+    )
+    audit.add_argument(
+        "--fail-write-at",
+        type=int,
+        default=None,
+        help="inject a fault on the Nth eligible write",
+    )
+    audit.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-access fault probability, applied to reads and writes",
+    )
+    audit.add_argument(
+        "--fault-kinds",
+        default=None,
+        help="only fault blocks of these comma-separated kinds",
+    )
+    audit.add_argument(
+        "--torn",
+        action="store_true",
+        help="faulted writes apply half their payload before raising",
+    )
+    audit.add_argument(
+        "--fault-seed", type=int, default=1234, help="fault-plan RNG seed"
+    )
+    audit.add_argument(
+        "--max-faults",
+        type=int,
+        default=None,
+        help="stop injecting after this many faults",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -360,6 +428,77 @@ def _command_reproduce(args) -> int:
     return 0
 
 
+def _command_audit(args) -> int:
+    from repro.check import FaultPlan, build_audited_method, run_audit_session
+
+    if args.methods:
+        names = [name.strip() for name in args.methods.split(",") if name.strip()]
+        known = set(available_methods())
+        unknown = sorted(set(names) - known)
+        if unknown:
+            raise KeyError(f"unknown access method(s): {', '.join(unknown)}")
+    else:
+        # bitmap speaks the value-predicate query model, not key lookups.
+        names = [name for name in available_methods() if name != "bitmap"]
+    plan = None
+    kinds = tuple(
+        kind.strip() for kind in (args.fault_kinds or "").split(",") if kind.strip()
+    )
+    if (
+        args.fail_read_at is not None
+        or args.fail_write_at is not None
+        or args.fault_rate > 0.0
+    ):
+        plan = FaultPlan(
+            fail_read_at=args.fail_read_at,
+            fail_write_at=args.fail_write_at,
+            kinds=kinds,
+            read_failure_rate=args.fault_rate,
+            write_failure_rate=args.fault_rate,
+            torn_writes=args.torn,
+            seed=args.fault_seed,
+            max_faults=args.max_faults,
+        )
+    spec = _spec(args)
+    rows = []
+    clean_failures = 0
+    for name in names:
+        method = build_audited_method(name, args.block_bytes, plan=plan)
+        report = run_audit_session(
+            method, spec, plan=plan, audit_every=args.audit_every
+        )
+        if not report.ok and plan is None:
+            clean_failures += 1
+        rows.append([
+            name,
+            "ok" if report.ok else "FAIL",
+            report.completed,
+            report.faults,
+            report.rejected,
+            len(report.violations),
+            report.oracle_divergences,
+        ])
+        for violation in report.violations[:3]:
+            rows.append(["", "", "", "", "", "", violation])
+    mode = "clean" if plan is None else "fault-injected"
+    print(format_table(
+        ["method", "status", "completed", "faults", "rejected",
+         "violations", "divergences"],
+        rows,
+        title=(
+            f"{mode} audit of {len(names)} method(s) under "
+            f"{args.workload!r} ({args.ops} ops)"
+        ),
+    ))
+    if plan is not None:
+        print(
+            "fault-injected runs are informational: violations show what "
+            "the audits caught, not regressions"
+        )
+        return 0
+    return 1 if clean_failures else 0
+
+
 def _command_sweep(args) -> int:
     from repro.exec import ResultCache, SweepCell, SweepEngine
 
@@ -433,6 +572,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_trace(args)
         if args.command == "stats":
             return _command_stats(args)
+        if args.command == "audit":
+            return _command_audit(args)
         if args.command == "sweep":
             return _command_sweep(args)
     except BrokenPipeError:  # output piped into head & friends

@@ -12,13 +12,20 @@ overheads can be measured uniformly for all of them.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.storage.block import BlockId
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import DEFAULT_BLOCK_BYTES, RECORD_BYTES
 
 Record = Tuple[int, int]
+
+#: Block kinds that are bulk-load scratch space: they must never survive
+#: past the operation that allocated them.  The device-level audit
+#: reports any that do as a leak.
+TEMP_BLOCK_KINDS = frozenset({"sort-run"})
 
 
 @dataclass(frozen=True)
@@ -84,6 +91,12 @@ class AccessMethod(ABC):
 
     #: Static capability flags; subclasses override as needed.
     capabilities: Capabilities = Capabilities()
+
+    #: Whether the device-level audit may assume every live record
+    #: occupies at least :data:`RECORD_BYTES` of declared block space.
+    #: Structures that compress (bitmaps) or keep records in memory
+    #: buffers they account separately set this to False.
+    audit_space_covers_records: bool = True
 
     def __init__(self, device: Optional[SimulatedDevice] = None) -> None:
         self.device = device if device is not None else SimulatedDevice(
@@ -163,6 +176,89 @@ class AccessMethod(ABC):
 
     def maintenance(self) -> None:
         """Run background reorganization (compaction, merging; no-op)."""
+
+    # ------------------------------------------------------------------
+    # Structural invariant audits
+    # ------------------------------------------------------------------
+    def audit(self) -> List[str]:
+        """Check structural invariants; return violations ([] = healthy).
+
+        Two layers: :meth:`_audit_device` checks accounting invariants
+        every structure must satisfy (declared per-block occupancy within
+        block capacity and summing to the device's running total, no
+        leaked scratch blocks, live records covered by declared space),
+        and :meth:`_audit_structure` — overridden per method — checks
+        structure-specific invariants (key order, fanout, zone bounds,
+        Bloom no-false-negatives, ...).
+
+        Audits observe state through the device's no-I/O interface
+        (``peek``/``kind_of``/``used_bytes_of``/``iter_block_ids``) only:
+        running one charges nothing, so ``measure_workload(...,
+        audit_every=N)`` can self-check without perturbing the profile.
+        Each violation additionally emits an ``op="audit"`` trace event
+        when a tracer is attached.
+        """
+        violations = self._audit_device()
+        violations.extend(self._audit_structure())
+        if violations and self.device.tracer.enabled:
+            for message in violations:
+                self.device.tracer.emit(
+                    source=self.name, op="audit", block_id=-1, kind=message
+                )
+        return violations
+
+    def _audit_device(self) -> List[str]:
+        """Device-level accounting invariants common to all structures."""
+        device = self.device
+        violations: List[str] = []
+        declared_total = 0
+        for block_id in device.iter_block_ids():
+            used = device.used_bytes_of(block_id)
+            if not 0 <= used <= device.block_bytes:
+                violations.append(
+                    f"block {block_id}: declared occupancy {used} outside "
+                    f"[0, {device.block_bytes}]"
+                )
+            declared_total += used
+            kind = device.kind_of(block_id)
+            if kind in TEMP_BLOCK_KINDS:
+                violations.append(f"leaked scratch block {block_id} (kind {kind!r})")
+        if declared_total != device.used_bytes():
+            violations.append(
+                f"device used-bytes total {device.used_bytes()} != "
+                f"recomputed per-block sum {declared_total}"
+            )
+        if (
+            self.audit_space_covers_records
+            and self._record_count * RECORD_BYTES > self.space_bytes()
+        ):
+            violations.append(
+                f"{self._record_count} records x {RECORD_BYTES}B exceed "
+                f"declared space {self.space_bytes()}B"
+            )
+        return violations
+
+    def _audit_structure(self) -> List[str]:
+        """Structure-specific invariants; subclasses override."""
+        return []
+
+    @contextmanager
+    def _fresh_block(self, kind: str) -> Iterator[BlockId]:
+        """Allocate a block, freeing it again if the body raises.
+
+        For allocate-then-first-write sites: if the initial write faults
+        (:mod:`repro.check` fault injection), the bare allocation would
+        leak an empty block the structure never references — visible to
+        :meth:`audit` as an accounting discrepancy.  Rolling the
+        allocation back keeps a faulted operation side-effect-free.
+        """
+        block_id = self.device.allocate(kind)
+        try:
+            yield block_id
+        except BaseException:
+            if self.device.is_allocated(block_id):
+                self.device.free(block_id)
+            raise
 
     def __repr__(self) -> str:
         return (

@@ -69,11 +69,17 @@ class RUMAccumulator:
     A miss (point query with no result) still "intended to read" one
     record, so its denominator is one record — otherwise misses would
     make RO undefined.
+
+    ``flush_read_bytes`` holds reads performed by deferred maintenance
+    (the terminal flush): a compaction that re-reads runs to merge them
+    is doing work *on behalf of buffered updates*, not retrieving data
+    for a query, so those bytes amplify UO, never RO.
     """
 
     read_bytes: int = 0
     retrieved_bytes: int = 0
     write_bytes: int = 0
+    flush_read_bytes: int = 0
     updated_bytes: int = 0
     read_ops: int = 0
     update_ops: int = 0
@@ -117,10 +123,15 @@ class RUMAccumulator:
 
     @property
     def update_overhead(self) -> float:
-        """Aggregate write amplification over all update operations."""
+        """Aggregate write amplification over all update operations.
+
+        The numerator includes reads done by deferred maintenance
+        (``flush_read_bytes``) — physical work the structure performs to
+        apply logical updates, per the Section 2 definition.
+        """
         if self.updated_bytes == 0:
             return 1.0
-        return self.write_bytes / self.updated_bytes
+        return (self.write_bytes + self.flush_read_bytes) / self.updated_bytes
 
     def finish(self, method: "AccessMethod") -> RUMProfile:
         """Combine accumulated read/write ratios with the method's MO.
@@ -144,6 +155,7 @@ def measure_workload(
     method: "AccessMethod",
     operations: Iterable["Operation"],
     metrics: Optional["WorkloadMetrics"] = None,
+    audit_every: int = 0,
 ) -> RUMProfile:
     """Run ``operations`` against ``method`` and measure its RUM profile.
 
@@ -157,8 +169,21 @@ def measure_workload(
     operation's blocks-touched count and simulated time are also recorded
     into a per-op-type histogram (the terminal flush under the label
     ``flush``) — the distribution behind the aggregate ratios.
+
+    ``audit_every=N`` (opt-in, default off) calls :meth:`AccessMethod.audit`
+    every N operations and once after the terminal flush, raising
+    :class:`~repro.check.audit.AuditError` on the first violation — so a
+    measurement run can double as an invariant sweep.  Audits use
+    counter-free device inspection and do not perturb the profile.
     """
     from repro.workloads.spec import OpKind  # local import to avoid a cycle
+
+    def run_audit() -> None:
+        violations = method.audit()
+        if violations:
+            from repro.check.audit import AuditError  # lazy: avoid a cycle
+
+            raise AuditError(method.name, violations)
 
     accumulator = RUMAccumulator()
     device = method.device
@@ -195,17 +220,25 @@ def measure_workload(
             accumulator.record_update(io)
         if metrics is not None:
             metrics.record(kind.value, io.reads + io.writes, io.simulated_time)
+        if audit_every and operation_index % audit_every == 0:
+            run_audit()
     # Differential structures buffer writes; flush so the deferred I/O is
     # charged (amortized) to the updates that caused it.  Without this,
-    # a workload shorter than the buffer would report UO = 0.
+    # a workload shorter than the buffer would report UO = 0.  Flush
+    # reads (compactions re-reading runs to merge them) are charged to
+    # the UO numerator via flush_read_bytes, not to RO — see
+    # RUMAccumulator's docstring for the policy.
     if accumulator.update_ops:
         before = device.snapshot()
         method.flush()
         flush_io = device.stats_since(before)
         accumulator.write_bytes += flush_io.write_bytes
+        accumulator.flush_read_bytes += flush_io.read_bytes
         accumulator.simulated_time += flush_io.simulated_time
         if metrics is not None:
             metrics.record(
                 "flush", flush_io.reads + flush_io.writes, flush_io.simulated_time
             )
+    if audit_every:
+        run_audit()
     return accumulator.finish(method)

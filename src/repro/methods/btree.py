@@ -198,8 +198,8 @@ class BPlusTree(AccessMethod):
     # ------------------------------------------------------------------
     def insert(self, key: int, value: int) -> None:
         if self._root is None:
-            root_id = self.device.allocate(kind="btree-leaf")
-            self._write_node(root_id, _Leaf([key], [value], None))
+            with self._fresh_block("btree-leaf") as root_id:
+                self._write_node(root_id, _Leaf([key], [value], None))
             self._root = root_id
             self._height = 1
             self._record_count = 1
@@ -207,8 +207,10 @@ class BPlusTree(AccessMethod):
         split = self._insert_into(self._root, key, value)
         if split is not None:
             separator, right_id = split
-            new_root = self.device.allocate(kind="btree-internal")
-            self._write_node(new_root, _Internal([separator], [self._root, right_id]))
+            with self._fresh_block("btree-internal") as new_root:
+                self._write_node(
+                    new_root, _Internal([separator], [self._root, right_id])
+                )
             self._root = new_root
             self._height += 1
         self._record_count += 1
@@ -304,8 +306,8 @@ class BPlusTree(AccessMethod):
     def _split_leaf(self, block_id: int, node: _Leaf) -> Tuple[int, int]:
         cut = max(1, min(len(node.keys) - 1, int(len(node.keys) * self.split_fill)))
         right = _Leaf(node.keys[cut:], node.values[cut:], node.next_leaf)
-        right_id = self.device.allocate(kind="btree-leaf")
-        self._write_node(right_id, right)
+        with self._fresh_block("btree-leaf") as right_id:
+            self._write_node(right_id, right)
         node.keys = node.keys[:cut]
         node.values = node.values[:cut]
         node.next_leaf = right_id
@@ -316,8 +318,8 @@ class BPlusTree(AccessMethod):
         cut = max(1, min(len(node.keys) - 1, int(len(node.keys) * self.split_fill)))
         separator = node.keys[cut]
         right = _Internal(node.keys[cut + 1 :], node.children[cut + 1 :])
-        right_id = self.device.allocate(kind="btree-internal")
-        self._write_node(right_id, right)
+        with self._fresh_block("btree-internal") as right_id:
+            self._write_node(right_id, right)
         node.keys = node.keys[:cut]
         node.children = node.children[: cut + 1]
         self._write_node(block_id, node)
@@ -425,6 +427,139 @@ class BPlusTree(AccessMethod):
         self._write_node(left_id, left)
         self._write_node(parent_id, parent)
         self.device.free(right_id)
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Key order and separator bounds, node capacities, uniform leaf
+        depth, left-to-right leaf chaining, and no orphaned tree blocks."""
+        violations: List[str] = []
+        device = self.device
+        on_device = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id).startswith("btree-")
+        }
+        if self._root is None:
+            if self._record_count:
+                violations.append(f"no root but record count {self._record_count}")
+            if self._height:
+                violations.append(f"no root but height {self._height}")
+            if on_device:
+                violations.append(
+                    f"no root but device holds tree blocks {sorted(on_device)}"
+                )
+            return violations
+        reachable: set = set()
+        leaves: List[Tuple[int, _Leaf]] = []
+        leaf_depths: set = set()
+        total = 0
+
+        def walk(block_id: int, lo: Optional[int], hi: Optional[int], depth: int):
+            nonlocal total
+            if block_id in reachable:
+                violations.append(f"node {block_id} reachable via two paths")
+                return
+            reachable.add(block_id)
+            if block_id not in on_device:
+                violations.append(f"node {block_id} missing from device")
+                return
+            node = device.peek(block_id)
+            declared = device.used_bytes_of(block_id)
+            kind = device.kind_of(block_id)
+            if isinstance(node, _Leaf):
+                leaf_depths.add(depth)
+                if kind != "btree-leaf":
+                    violations.append(f"leaf {block_id} stored in {kind!r} block")
+                if len(node.keys) != len(node.values):
+                    violations.append(
+                        f"leaf {block_id}: {len(node.keys)} keys vs "
+                        f"{len(node.values)} values"
+                    )
+                if len(node.keys) > self.leaf_capacity:
+                    violations.append(
+                        f"leaf {block_id}: {len(node.keys)} keys exceed "
+                        f"capacity {self.leaf_capacity}"
+                    )
+                if node.keys != sorted(set(node.keys)):
+                    violations.append(f"leaf {block_id}: keys not strictly sorted")
+                for key in node.keys:
+                    if (lo is not None and key < lo) or (hi is not None and key >= hi):
+                        violations.append(
+                            f"leaf {block_id}: key {key} outside separator "
+                            f"bounds [{lo}, {hi})"
+                        )
+                if declared != node.used_bytes():
+                    violations.append(
+                        f"leaf {block_id}: declared {declared}B != "
+                        f"{node.used_bytes()}B of contents"
+                    )
+                total += len(node.keys)
+                leaves.append((block_id, node))
+            elif isinstance(node, _Internal):
+                if kind != "btree-internal":
+                    violations.append(f"internal {block_id} stored in {kind!r} block")
+                if len(node.children) != len(node.keys) + 1:
+                    violations.append(
+                        f"internal {block_id}: {len(node.children)} children "
+                        f"vs {len(node.keys)} separators"
+                    )
+                    return
+                if len(node.children) > self.fanout:
+                    violations.append(
+                        f"internal {block_id}: {len(node.children)} children "
+                        f"exceed fanout {self.fanout}"
+                    )
+                if node.keys != sorted(set(node.keys)):
+                    violations.append(
+                        f"internal {block_id}: separators not strictly sorted"
+                    )
+                for key in node.keys:
+                    if (lo is not None and key < lo) or (hi is not None and key >= hi):
+                        violations.append(
+                            f"internal {block_id}: separator {key} outside "
+                            f"[{lo}, {hi})"
+                        )
+                if declared != node.used_bytes():
+                    violations.append(
+                        f"internal {block_id}: declared {declared}B != "
+                        f"{node.used_bytes()}B of contents"
+                    )
+                bounds = [lo] + list(node.keys) + [hi]
+                for index, child in enumerate(node.children):
+                    walk(child, bounds[index], bounds[index + 1], depth + 1)
+            else:
+                violations.append(
+                    f"node {block_id}: unrecognized payload "
+                    f"{type(node).__name__}"
+                )
+
+        try:
+            walk(self._root, None, None, 1)
+        except Exception as error:  # corrupt payloads must not crash the audit
+            violations.append(f"tree walk failed: {error!r}")
+            return violations
+        for index, (block_id, node) in enumerate(leaves):
+            expected = leaves[index + 1][0] if index + 1 < len(leaves) else None
+            if node.next_leaf != expected:
+                violations.append(
+                    f"leaf {block_id}: next_leaf {node.next_leaf}, "
+                    f"chain expects {expected}"
+                )
+        if leaf_depths and leaf_depths != {self._height}:
+            violations.append(
+                f"leaf depths {sorted(leaf_depths)} != height {self._height}"
+            )
+        if total != self._record_count:
+            violations.append(
+                f"leaves hold {total} records, record count says "
+                f"{self._record_count}"
+            )
+        orphans = on_device - reachable
+        if orphans:
+            violations.append(f"orphaned tree blocks on device: {sorted(orphans)}")
+        return violations
 
     # -- charged external sort (shared shape with SortedColumn) ---------
     def _external_sort(self, records: List[Record]) -> List[Record]:

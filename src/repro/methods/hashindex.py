@@ -164,8 +164,8 @@ class HashIndex(AccessMethod):
         return _mix(key, 0xB0CE) % (buckets or len(self._directory))
 
     def _append_to_chain(self, bucket_index: int, records: List[Record]) -> None:
-        block_id = self.device.allocate(kind="bucket")
-        self._write_block(block_id, records)
+        with self._fresh_block("bucket") as block_id:
+            self._write_block(block_id, records)
         self._directory[bucket_index].append(block_id)
 
     def _write_chain(self, bucket_index: int, records: List[Record]) -> None:
@@ -178,6 +178,86 @@ class HashIndex(AccessMethod):
 
     def _write_block(self, block_id: int, records: List[Record]) -> None:
         self.device.write(block_id, records, used_bytes=len(records) * RECORD_BYTES)
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Bucket-chain integrity: every record hashes to the chain it
+        sits in, no empty blocks linger in multi-block chains, and the
+        directory's blocks are exactly the device's bucket blocks."""
+        violations: List[str] = []
+        device = self.device
+        referenced = [block_id for chain in self._directory for block_id in chain]
+        if len(set(referenced)) != len(referenced):
+            violations.append("bucket block id referenced twice")
+        on_device = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id) == "bucket"
+        }
+        if on_device != set(referenced):
+            violations.append(
+                f"chain/device mismatch: chains-only "
+                f"{sorted(set(referenced) - on_device)}, device-only "
+                f"{sorted(on_device - set(referenced))}"
+            )
+        total = 0
+        for bucket_index, chain in enumerate(self._directory):
+            for block_id in chain:
+                if block_id not in on_device:
+                    continue
+                payload = device.peek(block_id)
+                if payload is None:
+                    payload = []
+                if not isinstance(payload, list):
+                    violations.append(
+                        f"bucket {bucket_index}: block {block_id} payload "
+                        f"is not a record list"
+                    )
+                    continue
+                if len(payload) > self._per_block:
+                    violations.append(
+                        f"bucket {bucket_index}: block {block_id} holds "
+                        f"{len(payload)} records, capacity {self._per_block}"
+                    )
+                if not payload and len(chain) > 1:
+                    violations.append(
+                        f"bucket {bucket_index}: empty block {block_id} "
+                        f"in a multi-block chain"
+                    )
+                declared = device.used_bytes_of(block_id)
+                if declared != len(payload) * RECORD_BYTES:
+                    violations.append(
+                        f"bucket {bucket_index}: block {block_id} declares "
+                        f"{declared}B != {len(payload)} records x {RECORD_BYTES}B"
+                    )
+                try:
+                    for key, _ in payload:
+                        home = self._bucket_of(key)
+                        if home != bucket_index:
+                            violations.append(
+                                f"bucket {bucket_index}: key {key} hashes "
+                                f"to bucket {home}"
+                            )
+                except (TypeError, ValueError):
+                    violations.append(
+                        f"bucket {bucket_index}: block {block_id} malformed"
+                    )
+                total += len(payload)
+        if total != self._record_count:
+            violations.append(
+                f"chains hold {total} records, record count says "
+                f"{self._record_count}"
+            )
+        if self.load_factor_limit is not None:
+            capacity = len(self._directory) * self._per_block
+            if capacity and self._record_count / capacity > self.load_factor_limit:
+                violations.append(
+                    f"load factor {self._record_count / capacity:.3f} "
+                    f"exceeds limit {self.load_factor_limit}"
+                )
+        return violations
 
     def _maybe_grow(self) -> None:
         if self.load_factor_limit is None:

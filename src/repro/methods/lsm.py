@@ -183,9 +183,22 @@ class LSMTree(AccessMethod):
     # Write path
     # ------------------------------------------------------------------
     def _put(self, key: int, value: object) -> None:
+        absent = key not in self._memtable
+        previous = self._memtable.get(key)
         self._memtable[key] = value
         if len(self._memtable) >= self.memtable_records:
-            self._flush_memtable()
+            try:
+                self._flush_memtable()
+            except BaseException:
+                # A device fault aborted the flush before it cleared the
+                # memtable; roll this operation's entry back so the
+                # structure is exactly as it was before the call.
+                if key in self._memtable:
+                    if absent:
+                        del self._memtable[key]
+                    else:
+                        self._memtable[key] = previous
+                raise
 
     def flush(self) -> None:
         """Force the memtable down to level 0 (used before measuring MO)."""
@@ -194,10 +207,12 @@ class LSMTree(AccessMethod):
 
     def _flush_memtable(self) -> None:
         records = sorted(self._memtable.items())
-        self._memtable = {}
         if not self._levels:
             self._levels.append([])
         self._push_run(0, records)
+        # Cleared only after the push succeeds: a fault mid-flush must
+        # not lose the buffered updates.
+        self._memtable = {}
 
     def _push_run(self, level: int, records: List[Tuple[int, object]]) -> None:
         """Install ``records`` as a run at ``level``, compacting as needed."""
@@ -271,16 +286,18 @@ class LSMTree(AccessMethod):
         fences: List[int] = []
         for start in range(0, len(records), self._per_block):
             chunk = records[start : start + self._per_block]
-            block_id = self.device.allocate(kind="lsm-data")
-            self.device.write(block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES)
+            with self._fresh_block("lsm-data") as block_id:
+                self.device.write(
+                    block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES
+                )
             data_blocks.append(block_id)
             fences.append(chunk[0][0])
         fence_blocks: List[int] = []
         fence_directory: List[int] = []
         for start in range(0, len(fences), self._fences_per_block):
             chunk = fences[start : start + self._fences_per_block]
-            block_id = self.device.allocate(kind="lsm-fence")
-            self.device.write(block_id, chunk, used_bytes=len(chunk) * KEY_BYTES)
+            with self._fresh_block("lsm-fence") as block_id:
+                self.device.write(block_id, chunk, used_bytes=len(chunk) * KEY_BYTES)
             fence_blocks.append(block_id)
             fence_directory.append(chunk[0])
         bloom: Optional[BloomFilter] = None
@@ -294,15 +311,15 @@ class LSMTree(AccessMethod):
                 1, -(-bloom.size_bytes // self.device.block_bytes)
             )
             for index in range(n_bloom_blocks):
-                block_id = self.device.allocate(kind="lsm-bloom")
-                self.device.write(
-                    block_id,
-                    ("bloom-chunk", index),
-                    used_bytes=min(
-                        self.device.block_bytes,
-                        bloom.size_bytes - index * self.device.block_bytes,
-                    ),
-                )
+                with self._fresh_block("lsm-bloom") as block_id:
+                    self.device.write(
+                        block_id,
+                        ("bloom-chunk", index),
+                        used_bytes=min(
+                            self.device.block_bytes,
+                            bloom.size_bytes - index * self.device.block_bytes,
+                        ),
+                    )
                 bloom_blocks.append(block_id)
         return _Run(
             data_blocks=data_blocks,
@@ -314,6 +331,177 @@ class LSMTree(AccessMethod):
             min_key=records[0][0],
             max_key=records[-1][0],
         )
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Run sortedness and fence/filter consistency, per-level run
+        counts and capacities, Bloom no-false-negatives, and agreement
+        between the reconstructed newest-wins view and the live-key set."""
+        violations: List[str] = []
+        device = self.device
+        referenced: Set[int] = set()
+        run_records: List[Tuple[int, int, List[Tuple[int, object]]]] = []
+        for level, level_runs in enumerate(self._levels):
+            if self.compaction == "leveled" and len(level_runs) > 1:
+                violations.append(
+                    f"level {level}: {len(level_runs)} runs at rest; "
+                    f"leveled compaction allows 1"
+                )
+            if self.compaction == "tiered" and len(level_runs) >= self.size_ratio:
+                violations.append(
+                    f"level {level}: {len(level_runs)} runs at rest; "
+                    f"tiered compaction allows < {self.size_ratio}"
+                )
+            for run_index, run in enumerate(level_runs):
+                label = f"level {level} run {run_index}"
+                if run.records > self._level_capacity(level):
+                    violations.append(
+                        f"{label}: {run.records} records exceed level "
+                        f"capacity {self._level_capacity(level)}"
+                    )
+                records = self._audit_run(label, run, referenced, violations)
+                run_records.append((level, run_index, records))
+        on_device = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id).startswith("lsm-")
+        }
+        if on_device != referenced:
+            violations.append(
+                f"run/device block mismatch: runs-only "
+                f"{sorted(referenced - on_device)}, device-only "
+                f"{sorted(on_device - referenced)}"
+            )
+        # Newest-wins reconstruction: memtable, then levels top-down,
+        # newest run first within a level — the read path's precedence.
+        by_position = {
+            (level, index): records for level, index, records in run_records
+        }
+        merged: Dict[int, object] = dict(self._memtable)
+        for level, level_runs in enumerate(self._levels):
+            for run_index in range(len(level_runs) - 1, -1, -1):
+                for key, value in by_position.get((level, run_index), []):
+                    if key not in merged:
+                        merged[key] = value
+        live = {key for key, value in merged.items() if value is not TOMBSTONE}
+        if live != self._live_keys:
+            only_recon = sorted(live - self._live_keys)[:5]
+            only_tracked = sorted(self._live_keys - live)[:5]
+            violations.append(
+                f"live-key mismatch: reconstructed {len(live)} vs tracked "
+                f"{len(self._live_keys)} (reconstructed-only {only_recon}, "
+                f"tracked-only {only_tracked})"
+            )
+        if len(self._live_keys) != self._record_count:
+            violations.append(
+                f"{len(self._live_keys)} live keys vs record count "
+                f"{self._record_count}"
+            )
+        return violations
+
+    def _audit_run(
+        self,
+        label: str,
+        run: _Run,
+        referenced: Set[int],
+        violations: List[str],
+    ) -> List[Tuple[int, object]]:
+        """Audit one run; returns its records (newest-wins merge input)."""
+        device = self.device
+        records: List[Tuple[int, object]] = []
+        block_firsts: List[int] = []
+        for block_id in run.data_blocks + run.fence_blocks + run.bloom_blocks:
+            if block_id in referenced:
+                violations.append(f"{label}: block {block_id} shared between runs")
+            referenced.add(block_id)
+        for block_id in run.data_blocks:
+            if not device.is_allocated(block_id):
+                violations.append(f"{label}: data block {block_id} not allocated")
+                continue
+            if device.kind_of(block_id) != "lsm-data":
+                violations.append(
+                    f"{label}: data block {block_id} has kind "
+                    f"{device.kind_of(block_id)!r}"
+                )
+            payload = device.peek(block_id)
+            if not isinstance(payload, list) or not payload:
+                violations.append(
+                    f"{label}: data block {block_id} payload is not a "
+                    f"non-empty record list"
+                )
+                continue
+            if len(payload) > self._per_block:
+                violations.append(
+                    f"{label}: data block {block_id} holds {len(payload)} "
+                    f"records, capacity {self._per_block}"
+                )
+            declared = device.used_bytes_of(block_id)
+            if declared != len(payload) * RECORD_BYTES:
+                violations.append(
+                    f"{label}: data block {block_id} declares {declared}B "
+                    f"!= {len(payload)} records x {RECORD_BYTES}B"
+                )
+            try:
+                block_firsts.append(payload[0][0])
+                records.extend(payload)
+            except (TypeError, IndexError):
+                violations.append(f"{label}: data block {block_id} malformed")
+        keys = []
+        try:
+            keys = [key for key, _ in records]
+        except (TypeError, ValueError):
+            violations.append(f"{label}: malformed records")
+        if keys:
+            if keys != sorted(set(keys)):
+                violations.append(f"{label}: keys not strictly sorted")
+            if keys[0] != run.min_key or keys[-1] != run.max_key:
+                violations.append(
+                    f"{label}: key span [{keys[0]}, {keys[-1]}] != declared "
+                    f"[{run.min_key}, {run.max_key}]"
+                )
+        if len(records) != run.records:
+            violations.append(
+                f"{label}: holds {len(records)} records, declares {run.records}"
+            )
+        if not records:
+            violations.append(f"{label}: empty run should have been dropped")
+        # Fences: every data block's first key, chunked into fence blocks.
+        expected_chunks = [
+            block_firsts[start : start + self._fences_per_block]
+            for start in range(0, len(block_firsts), self._fences_per_block)
+        ]
+        if len(run.fence_blocks) != len(expected_chunks):
+            violations.append(
+                f"{label}: {len(run.fence_blocks)} fence blocks, expected "
+                f"{len(expected_chunks)}"
+            )
+        else:
+            for block_id, chunk in zip(run.fence_blocks, expected_chunks):
+                if not device.is_allocated(block_id):
+                    violations.append(f"{label}: fence block {block_id} not allocated")
+                    continue
+                if device.peek(block_id) != chunk:
+                    violations.append(
+                        f"{label}: fence block {block_id} disagrees with "
+                        f"data block first keys"
+                    )
+            if run.fence_directory != [chunk[0] for chunk in expected_chunks]:
+                violations.append(f"{label}: fence directory stale")
+        # Bloom filter: presence matches the knob; no false negatives.
+        if self.bloom_bits_per_key > 0:
+            if run.bloom is None or not run.bloom_blocks:
+                violations.append(f"{label}: Bloom filter missing despite knob")
+            else:
+                misses = [key for key in keys if not run.bloom.may_contain(key)]
+                if misses:
+                    violations.append(
+                        f"{label}: Bloom false negatives for keys {misses[:5]}"
+                    )
+        elif run.bloom is not None or run.bloom_blocks:
+            violations.append(f"{label}: Bloom filter present despite knob 0")
+        return records
 
     def _drain_run(self, run: _Run) -> List[Tuple[int, object]]:
         """Read a run's records (charged) and free all its blocks."""

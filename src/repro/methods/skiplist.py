@@ -107,6 +107,7 @@ class SkipList(AccessMethod):
             if succ_node.key == key:
                 raise ValueError(f"duplicate key {key}")
         height = self._random_height()
+        previous_height = self._height
         if height > self._height:
             self._height = height
         node = _Node(key, value, height)
@@ -124,7 +125,25 @@ class SkipList(AccessMethod):
                 pred_node.forwards[level] = ref
                 touched[pred_ref[0]] = None
         touched[ref[0]] = None
-        self._write_arena_blocks(touched.keys())
+        try:
+            self._write_arena_blocks(touched.keys())
+        except BaseException:
+            # Arena payloads are shared objects, so the links above are
+            # already visible even though the write never landed: unlink
+            # the half-inserted node so the structure matches its
+            # pre-insert state before propagating the failure.
+            for level in range(height):
+                predecessor = update[level] if level < len(update) else None
+                if predecessor is None:
+                    if self._head[level] == ref:
+                        self._head[level] = node.forwards[level]
+                else:
+                    pred_node = self._load_quiet(predecessor[0])
+                    if pred_node.forwards[level] == ref:
+                        pred_node.forwards[level] = node.forwards[level]
+            self._free_node(ref)
+            self._height = previous_height
+            raise
         self._record_count += 1
 
     def update(self, key: int, value: int) -> None:
@@ -163,6 +182,158 @@ class SkipList(AccessMethod):
     def space_bytes(self) -> int:
         head_bytes = self.max_height * POINTER_BYTES
         return self.device.allocated_bytes + head_bytes
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Level monotonicity: the level-0 chain is strictly key-sorted
+        and holds exactly the record count; every higher level is exactly
+        the subsequence of level-0 nodes whose towers reach it; arena
+        slots and the free list partition every block's capacity."""
+        violations: List[str] = []
+        device = self.device
+        if len(set(self._arena_blocks)) != len(self._arena_blocks):
+            violations.append("arena block id tracked twice")
+        on_device = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id) == "skiplist-arena"
+        }
+        if on_device != set(self._arena_blocks):
+            violations.append(
+                f"arena mismatch: tracked-only "
+                f"{sorted(set(self._arena_blocks) - on_device)}, device-only "
+                f"{sorted(on_device - set(self._arena_blocks))}"
+            )
+        if not 1 <= self._height <= self.max_height:
+            violations.append(
+                f"height {self._height} outside [1, {self.max_height}]"
+            )
+        for level in range(self._height, self.max_height):
+            if self._head[level] is not None:
+                violations.append(
+                    f"head links at level {level}, above height {self._height}"
+                )
+
+        stored: Dict[NodeRef, _Node] = {}
+        for block_id in self._arena_blocks:
+            if block_id not in on_device:
+                continue
+            payload = device.peek(block_id)
+            if payload is None:
+                payload = {}
+            if not isinstance(payload, dict):
+                violations.append(
+                    f"arena block {block_id} payload is not a slot map"
+                )
+                continue
+            if len(payload) > self._nodes_per_block:
+                violations.append(
+                    f"arena block {block_id} holds {len(payload)} nodes, "
+                    f"capacity {self._nodes_per_block}"
+                )
+            declared = device.used_bytes_of(block_id)
+            if declared != len(payload) * NODE_BYTES:
+                violations.append(
+                    f"arena block {block_id} declares {declared}B != "
+                    f"{len(payload)} nodes x {NODE_BYTES}B"
+                )
+            for slot, node in payload.items():
+                if not isinstance(node, _Node):
+                    violations.append(
+                        f"arena block {block_id} slot {slot} holds {node!r}"
+                    )
+                    continue
+                if not 1 <= len(node.forwards) <= self.max_height:
+                    violations.append(
+                        f"node at {(block_id, slot)} has tower height "
+                        f"{len(node.forwards)}"
+                    )
+                stored[(block_id, slot)] = node
+
+        free_seen: set = set()
+        for ref in self._free_slots:
+            if ref in free_seen:
+                violations.append(f"free slot {ref} listed twice")
+            free_seen.add(ref)
+            if ref in stored:
+                violations.append(f"free slot {ref} is occupied")
+            if ref[0] not in set(self._arena_blocks):
+                violations.append(
+                    f"free slot {ref} points outside the arena"
+                )
+
+        # Level-0 chain: strictly increasing keys covering every node.
+        chain0: List[NodeRef] = []
+        seen: set = set()
+        ref = self._head[0]
+        previous_key: Optional[int] = None
+        while ref is not None:
+            if ref in seen:
+                violations.append(f"cycle in level-0 chain at {ref}")
+                break
+            node = stored.get(ref)
+            if node is None:
+                violations.append(f"level 0 links to missing node {ref}")
+                break
+            seen.add(ref)
+            if previous_key is not None and node.key <= previous_key:
+                violations.append(
+                    f"level-0 keys not strictly increasing at {node.key}"
+                )
+            previous_key = node.key
+            chain0.append(ref)
+            ref = node.forwards[0] if node.forwards else None
+        unreachable = set(stored) - seen
+        if unreachable:
+            violations.append(
+                f"{len(unreachable)} stored nodes unreachable at level 0: "
+                f"{sorted(unreachable)[:5]}"
+            )
+        if len(chain0) != self._record_count:
+            violations.append(
+                f"level 0 holds {len(chain0)} nodes, record count says "
+                f"{self._record_count}"
+            )
+
+        # Each higher level must be exactly the level-0 subsequence of
+        # nodes tall enough to appear there.
+        for level in range(1, self._height):
+            expected = [
+                chain_ref
+                for chain_ref in chain0
+                if len(stored[chain_ref].forwards) > level
+            ]
+            actual: List[NodeRef] = []
+            level_seen: set = set()
+            ref = self._head[level]
+            broken = False
+            while ref is not None:
+                if ref in level_seen:
+                    violations.append(f"cycle in level-{level} chain at {ref}")
+                    broken = True
+                    break
+                level_seen.add(ref)
+                node = stored.get(ref)
+                if node is None:
+                    violations.append(
+                        f"level {level} links to missing node {ref}"
+                    )
+                    broken = True
+                    break
+                actual.append(ref)
+                ref = (
+                    node.forwards[level]
+                    if level < len(node.forwards)
+                    else None
+                )
+            if not broken and actual != expected:
+                violations.append(
+                    f"level {level} chain has {len(actual)} nodes, towers "
+                    f"say {len(expected)}"
+                )
+        return violations
 
     # ------------------------------------------------------------------
     # Search machinery
@@ -252,8 +423,8 @@ class SkipList(AccessMethod):
                 slot = self._next_slot(payload)
                 payload[slot] = node
                 return (last, slot)
-        block_id = self.device.allocate(kind="skiplist-arena")
-        self.device.write(block_id, {}, used_bytes=0)
+        with self._fresh_block("skiplist-arena") as block_id:
+            self.device.write(block_id, {}, used_bytes=0)
         self._arena_blocks.append(block_id)
         payload = self.device.peek(block_id)
         payload[0] = node

@@ -71,7 +71,7 @@ class SortedColumn(AccessMethod):
     def range_query(self, lo: int, hi: int) -> List[Record]:
         if not self._extent:
             return []
-        start = self._search_block(lo, for_range=True)
+        start = self._search_block(lo)
         matches: List[Record] = []
         for block_index in range(start, len(self._extent)):
             records = self.device.read(self._extent[block_index])
@@ -118,8 +118,13 @@ class SortedColumn(AccessMethod):
                 records.append(later_records.pop(0))
             self._write_block(self._extent[later - 1], records)
             records = later_records
-        self._write_block(self._extent[-1], records)
-        if not records:
+        if records:
+            self._write_block(self._extent[-1], records)
+        else:
+            # The trailing block just emptied: free it directly.  Writing
+            # the empty payload first would charge a block write that
+            # serves no purpose — free() already retires the block's
+            # declared occupancy.
             self.device.free(self._extent.pop())
         self._record_count -= 1
 
@@ -179,17 +184,20 @@ class SortedColumn(AccessMethod):
             self._write_block(block_id, records[start : start + self._per_block])
             self._extent.append(block_id)
 
-    def _search_block(self, key: int, for_range: bool = False) -> Optional[int]:
+    def _search_block(self, key: int) -> Optional[int]:
         """Binary search over blocks by reading midpoints.
 
-        Returns the index of the block that may hold ``key`` (for ranges,
-        the first block whose max key is >= key).  Charges one block read
-        per probe: O(log2 N/B).
+        Returns the index of the first block whose max key is >= ``key``
+        — the only block that can hold ``key``, and where a range scan
+        starting at ``key`` must begin.  When ``key`` is above every
+        stored key the *last* block's index is returned, so point
+        callers must still verify membership inside the block (range
+        callers scan an empty tail and stop).  ``None`` only when the
+        extent is empty.  Charges one block read per probe: O(log2 N/B).
         """
         if not self._extent:
             return None
         lo, hi = 0, len(self._extent) - 1
-        answer = len(self._extent) - 1 if not for_range else len(self._extent) - 1
         while lo < hi:
             mid = (lo + hi) // 2
             records = self.device.read(self._extent[mid])
@@ -212,8 +220,8 @@ class SortedColumn(AccessMethod):
 
     def _shift_insert(self, key: int, value: int) -> None:
         if not self._extent:
-            block_id = self.device.allocate(kind="sorted")
-            self._write_block(block_id, [(key, value)])
+            with self._fresh_block("sorted") as block_id:
+                self._write_block(block_id, [(key, value)])
             self._extent.append(block_id)
             return
         block_index = self._search_block(key)
@@ -233,9 +241,82 @@ class SortedColumn(AccessMethod):
             self._write_block(block_id, records)
             if carry is None:
                 return
-        block_id = self.device.allocate(kind="sorted")
-        self._write_block(block_id, [carry])
+        with self._fresh_block("sorted") as block_id:
+            self._write_block(block_id, [carry])
         self._extent.append(block_id)
 
     def _write_block(self, block_id: int, records: List[Record]) -> None:
         self.device.write(block_id, records, used_bytes=len(records) * RECORD_BYTES)
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Extent density: every block full except the trailing one,
+        keys globally sorted, declared occupancy matching contents."""
+        violations: List[str] = []
+        device = self.device
+        extent = set(self._extent)
+        if len(extent) != len(self._extent):
+            violations.append("extent lists a block id more than once")
+        on_device = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id) == "sorted"
+        }
+        if on_device != extent:
+            violations.append(
+                f"extent/device mismatch: extent-only "
+                f"{sorted(extent - on_device)}, device-only "
+                f"{sorted(on_device - extent)}"
+            )
+        total = 0
+        previous_key: Optional[int] = None
+        last = len(self._extent) - 1
+        for position, block_id in enumerate(self._extent):
+            if block_id not in on_device:
+                continue
+            payload = device.peek(block_id)
+            if not isinstance(payload, list):
+                violations.append(
+                    f"block {block_id}: payload {type(payload).__name__} "
+                    f"is not a record list"
+                )
+                continue
+            try:
+                keys = [record[0] for record in payload]
+            except (TypeError, IndexError):
+                violations.append(f"block {block_id}: malformed records")
+                continue
+            if len(payload) > self._per_block:
+                violations.append(
+                    f"block {block_id}: {len(payload)} records exceed "
+                    f"capacity {self._per_block}"
+                )
+            if position < last and len(payload) != self._per_block:
+                violations.append(
+                    f"block {block_id}: non-trailing block holds "
+                    f"{len(payload)} records; density requires {self._per_block}"
+                )
+            if position == last and not payload:
+                violations.append(f"block {block_id}: empty trailing block not freed")
+            declared = device.used_bytes_of(block_id)
+            if declared != len(payload) * RECORD_BYTES:
+                violations.append(
+                    f"block {block_id}: declared {declared}B != "
+                    f"{len(payload)} records x {RECORD_BYTES}B"
+                )
+            for key in keys:
+                if previous_key is not None and key <= previous_key:
+                    violations.append(
+                        f"block {block_id}: key {key} out of order "
+                        f"(follows {previous_key})"
+                    )
+                previous_key = key
+            total += len(payload)
+        if total != self._record_count:
+            violations.append(
+                f"extent holds {total} records, record count says "
+                f"{self._record_count}"
+            )
+        return violations

@@ -199,6 +199,138 @@ class SparseIndexColumn(AccessMethod):
         return len(self._index_blocks) * self.device.block_bytes
 
     # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Stride coverage: separators strictly increase, every record in
+        stride ``i`` (data block plus its overflow chain) falls inside
+        ``[index_keys[i], index_keys[i+1])`` — stride 0 is unbounded
+        below — and the on-device index blocks mirror the in-memory
+        entries exactly."""
+        violations: List[str] = []
+        device = self.device
+        if not (
+            len(self._data_blocks) == len(self._overflow) == len(self._index_keys)
+        ):
+            violations.append(
+                f"parallel arrays disagree: {len(self._data_blocks)} data "
+                f"blocks, {len(self._overflow)} overflow chains, "
+                f"{len(self._index_keys)} separators"
+            )
+            return violations
+        if any(
+            left >= right
+            for left, right in zip(self._index_keys, self._index_keys[1:])
+        ):
+            violations.append("index separators are not strictly increasing")
+        for kind, expected in (
+            ("sparse-data", list(self._data_blocks)),
+            ("sparse-overflow", [b for chain in self._overflow for b in chain]),
+            ("sparse-index", list(self._index_blocks)),
+        ):
+            if len(set(expected)) != len(expected):
+                violations.append(f"{kind} block id referenced twice")
+            on_device = {
+                block_id
+                for block_id in device.iter_block_ids()
+                if device.kind_of(block_id) == kind
+            }
+            if on_device != set(expected):
+                violations.append(
+                    f"{kind} mismatch: tracked-only "
+                    f"{sorted(set(expected) - on_device)}, device-only "
+                    f"{sorted(on_device - set(expected))}"
+                )
+        total = 0
+        overflow_total = 0
+        last = len(self._data_blocks) - 1
+        for position, data_id in enumerate(self._data_blocks):
+            lo = None if position == 0 else self._index_keys[position]
+            hi = None if position == last else self._index_keys[position + 1]
+            stride_blocks = [("data", data_id)] + [
+                ("overflow", block_id) for block_id in self._overflow[position]
+            ]
+            for role, block_id in stride_blocks:
+                if not device.is_allocated(block_id):
+                    continue
+                payload = device.peek(block_id)
+                if payload is None:
+                    payload = []
+                if not isinstance(payload, list):
+                    violations.append(
+                        f"stride {position}: {role} block {block_id} payload "
+                        f"is not a record list"
+                    )
+                    continue
+                if len(payload) > self._per_block:
+                    violations.append(
+                        f"stride {position}: {role} block {block_id} holds "
+                        f"{len(payload)} records, capacity {self._per_block}"
+                    )
+                declared = device.used_bytes_of(block_id)
+                if declared != len(payload) * RECORD_BYTES:
+                    violations.append(
+                        f"stride {position}: {role} block {block_id} declares "
+                        f"{declared}B != {len(payload)} records x {RECORD_BYTES}B"
+                    )
+                try:
+                    keys = [record_key for record_key, _ in payload]
+                except (TypeError, ValueError):
+                    violations.append(
+                        f"stride {position}: {role} block {block_id} malformed"
+                    )
+                    continue
+                if role == "data" and keys != sorted(set(keys)):
+                    violations.append(
+                        f"stride {position}: data block {block_id} keys "
+                        f"are not strictly sorted"
+                    )
+                for key in keys:
+                    if (lo is not None and key < lo) or (
+                        hi is not None and key >= hi
+                    ):
+                        violations.append(
+                            f"stride {position}: key {key} outside "
+                            f"[{lo}, {hi})"
+                        )
+                total += len(keys)
+                if role == "overflow":
+                    overflow_total += len(keys)
+        if overflow_total != self._overflow_records:
+            violations.append(
+                f"overflow chains hold {overflow_total} records, counter "
+                f"says {self._overflow_records}"
+            )
+        if total != self._record_count:
+            violations.append(
+                f"strides hold {total} records, record count says "
+                f"{self._record_count}"
+            )
+        entries = list(zip(self._index_keys, self._data_blocks))
+        for block_index, block_id in enumerate(self._index_blocks):
+            if not device.is_allocated(block_id):
+                continue
+            chunk = entries[
+                block_index
+                * self._entries_per_block : (block_index + 1)
+                * self._entries_per_block
+            ]
+            payload = device.peek(block_id)
+            stored = [tuple(entry) for entry in payload] if payload else []
+            if stored != chunk:
+                violations.append(
+                    f"index block {block_id} is stale: stores {len(stored)} "
+                    f"entries, memory says {len(chunk)}"
+                )
+            declared = device.used_bytes_of(block_id)
+            if payload is not None and declared != len(payload) * ENTRY_BYTES:
+                violations.append(
+                    f"index block {block_id} declares {declared}B != "
+                    f"{len(payload)} entries x {ENTRY_BYTES}B"
+                )
+        return violations
+
+    # ------------------------------------------------------------------
     def _install(self, records: List[Record]) -> None:
         self._data_blocks = []
         self._overflow = []
@@ -206,8 +338,10 @@ class SparseIndexColumn(AccessMethod):
         self._overflow_records = 0
         for start in range(0, len(records), self._per_block):
             chunk = records[start : start + self._per_block]
-            block_id = self.device.allocate(kind="sparse-data")
-            self.device.write(block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES)
+            with self._fresh_block("sparse-data") as block_id:
+                self.device.write(
+                    block_id, chunk, used_bytes=len(chunk) * RECORD_BYTES
+                )
             self._data_blocks.append(block_id)
             self._overflow.append([])
             self._index_keys.append(chunk[0][0])
@@ -277,8 +411,8 @@ class SparseIndexColumn(AccessMethod):
                 )
                 self._overflow_records += 1
                 return
-        block_id = self.device.allocate(kind="sparse-overflow")
-        self.device.write(block_id, [record], used_bytes=RECORD_BYTES)
+        with self._fresh_block("sparse-overflow") as block_id:
+            self.device.write(block_id, [record], used_bytes=RECORD_BYTES)
         chain.append(block_id)
         self._overflow_records += 1
 

@@ -194,8 +194,8 @@ class RadixTrie(AccessMethod):
         return len(payload) * entry_bytes
 
     def _new_node(self) -> int:
-        block_id = self.device.allocate(kind="trie-node")
-        self.device.write(block_id, {}, used_bytes=0)
+        with self._fresh_block("trie-node") as block_id:
+            self.device.write(block_id, {}, used_bytes=0)
         return block_id
 
     def _read_node(self, node_id: int) -> Dict:
@@ -229,6 +229,154 @@ class RadixTrie(AccessMethod):
         for spill_id in self._spill.pop(node_id, ()):
             self.device.free(spill_id)
         self.device.free(node_id)
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Path consistency: every digit sits inside the radix, every
+        leaf entry's key reconstructs from its root-to-leaf digit path,
+        empty nodes are pruned, and spill groups match node sizes."""
+        violations: List[str] = []
+        device = self.device
+        on_device_nodes = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id) == "trie-node"
+        }
+        on_device_spills = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id) == "trie-spill"
+        }
+        if self._root is None:
+            if self._record_count:
+                violations.append(
+                    f"no root but record count says {self._record_count}"
+                )
+            if on_device_nodes or on_device_spills:
+                violations.append(
+                    f"no root but {len(on_device_nodes)} node and "
+                    f"{len(on_device_spills)} spill blocks remain"
+                )
+            if self._spill:
+                violations.append("no root but spill directory is non-empty")
+            return violations
+
+        reachable: set = set()
+        block = device.block_bytes
+        total = 0
+
+        def walk(node_id: int, level: int, prefix: int) -> None:
+            nonlocal total
+            if node_id in reachable:
+                violations.append(f"node {node_id} reachable twice (cycle)")
+                return
+            reachable.add(node_id)
+            if node_id not in on_device_nodes:
+                violations.append(f"node {node_id} missing from device")
+                return
+            payload = device.peek(node_id)
+            if not isinstance(payload, dict):
+                violations.append(
+                    f"node {node_id} payload is not a digit map"
+                )
+                return
+            if not payload:
+                violations.append(f"empty node {node_id} was not pruned")
+            leaf = level == 0
+            node_total = self._node_bytes(payload, leaf)
+            spill_needed = max(0, -(-node_total // block) - 1)
+            spills = self._spill.get(node_id, [])
+            if len(spills) != spill_needed:
+                violations.append(
+                    f"node {node_id} has {len(spills)} spill blocks, "
+                    f"size {node_total}B needs {spill_needed}"
+                )
+            declared = device.used_bytes_of(node_id)
+            if declared != min(node_total, block):
+                violations.append(
+                    f"node {node_id} declares {declared}B, payload "
+                    f"says {min(node_total, block)}B"
+                )
+            for position, spill_id in enumerate(spills):
+                if not device.is_allocated(spill_id):
+                    violations.append(
+                        f"node {node_id}: spill block {spill_id} not allocated"
+                    )
+                    continue
+                expected = min(node_total - block * (position + 1), block)
+                spill_declared = device.used_bytes_of(spill_id)
+                if spill_declared != expected:
+                    violations.append(
+                        f"node {node_id}: spill block {spill_id} declares "
+                        f"{spill_declared}B, expected {expected}B"
+                    )
+            span = 1 << (self.digit_bits * level)
+            for digit in sorted(payload, key=repr):
+                if not isinstance(digit, int) or not 0 <= digit < self.radix:
+                    violations.append(
+                        f"node {node_id}: digit {digit!r} outside radix "
+                        f"{self.radix}"
+                    )
+                    continue
+                entry = payload[digit]
+                if leaf:
+                    expected_key = prefix + digit
+                    if (
+                        not isinstance(entry, tuple)
+                        or len(entry) != 2
+                        or entry[0] != expected_key
+                    ):
+                        violations.append(
+                            f"leaf {node_id}: digit {digit} holds "
+                            f"{entry!r}, path says key {expected_key}"
+                        )
+                    total += 1
+                else:
+                    if not isinstance(entry, int):
+                        violations.append(
+                            f"node {node_id}: digit {digit} child "
+                            f"{entry!r} is not a block id"
+                        )
+                        continue
+                    walk(entry, level - 1, prefix + digit * span)
+
+        try:
+            walk(self._root, self._depth - 1, 0)
+        except Exception as error:
+            violations.append(f"trie walk failed: {error!r}")
+            return violations
+
+        orphans = on_device_nodes - reachable
+        if orphans:
+            violations.append(
+                f"{len(orphans)} unreachable trie-node blocks: "
+                f"{sorted(orphans)[:5]}"
+            )
+        tracked_spills = [
+            spill_id for spills in self._spill.values() for spill_id in spills
+        ]
+        if len(set(tracked_spills)) != len(tracked_spills):
+            violations.append("spill block id referenced twice")
+        if set(tracked_spills) != on_device_spills:
+            violations.append(
+                f"spill mismatch: tracked-only "
+                f"{sorted(set(tracked_spills) - on_device_spills)}, "
+                f"device-only {sorted(on_device_spills - set(tracked_spills))}"
+            )
+        stale_owners = set(self._spill) - reachable
+        if stale_owners:
+            violations.append(
+                f"spill directory lists unreachable nodes: "
+                f"{sorted(stale_owners)[:5]}"
+            )
+        if total != self._record_count:
+            violations.append(
+                f"leaves hold {total} records, record count says "
+                f"{self._record_count}"
+            )
+        return violations
 
     # ------------------------------------------------------------------
     def _digit(self, key: int, level: int) -> int:

@@ -95,16 +95,20 @@ class UnsortedColumn(AccessMethod):
         tail_id = self._extent[-1]
         if block_id == tail_id:
             records.pop(index)
-            self._write_block(block_id, records)
-            self._tail_count -= 1
+            if records:
+                self._write_block(block_id, records)
         else:
             # Move the globally-last record into the hole to stay dense.
             tail_records = list(self.device.read(tail_id))
             records[index] = tail_records.pop()
             self._write_block(block_id, records)
-            self._write_block(tail_id, tail_records)
-            self._tail_count -= 1
+            if tail_records:
+                self._write_block(tail_id, tail_records)
+        self._tail_count -= 1
         if self._tail_count == 0 and self._extent:
+            # The tail just emptied: free it without writing the empty
+            # payload first — free() retires the stale occupancy, and the
+            # extra write would charge a spurious UO block write.
             self.device.free(self._extent.pop())
             self._tail_count = self._per_block if self._extent else 0
         self._record_count -= 1
@@ -120,9 +124,65 @@ class UnsortedColumn(AccessMethod):
         return None
 
     def _append_block(self, records: List[Record]) -> None:
-        block_id = self.device.allocate(kind="heap")
-        self._write_block(block_id, records)
+        with self._fresh_block("heap") as block_id:
+            self._write_block(block_id, records)
         self._extent.append(block_id)
 
     def _write_block(self, block_id: int, records: List[Record]) -> None:
         self.device.write(block_id, records, used_bytes=len(records) * RECORD_BYTES)
+
+    # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Heap density: every block full except the tail, which holds
+        exactly ``_tail_count`` records; counts and occupancy agree."""
+        violations: List[str] = []
+        device = self.device
+        extent = set(self._extent)
+        if len(extent) != len(self._extent):
+            violations.append("extent lists a block id more than once")
+        on_device = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id) == "heap"
+        }
+        if on_device != extent:
+            violations.append(
+                f"extent/device mismatch: extent-only "
+                f"{sorted(extent - on_device)}, device-only "
+                f"{sorted(on_device - extent)}"
+            )
+        if not self._extent and self._tail_count:
+            violations.append(f"empty extent but tail count {self._tail_count}")
+        total = 0
+        last = len(self._extent) - 1
+        for position, block_id in enumerate(self._extent):
+            if block_id not in on_device:
+                continue
+            payload = device.peek(block_id)
+            if not isinstance(payload, list):
+                violations.append(
+                    f"block {block_id}: payload {type(payload).__name__} "
+                    f"is not a record list"
+                )
+                continue
+            expected = self._tail_count if position == last else self._per_block
+            if len(payload) != expected:
+                violations.append(
+                    f"block {block_id}: holds {len(payload)} records, "
+                    f"heap density requires {expected}"
+                )
+            declared = device.used_bytes_of(block_id)
+            if declared != len(payload) * RECORD_BYTES:
+                violations.append(
+                    f"block {block_id}: declared {declared}B != "
+                    f"{len(payload)} records x {RECORD_BYTES}B"
+                )
+            total += len(payload)
+        if total != self._record_count:
+            violations.append(
+                f"extent holds {total} records, record count says "
+                f"{self._record_count}"
+            )
+        return violations

@@ -240,6 +240,153 @@ class ZoneMapColumn(AccessMethod):
         return None
 
     # ------------------------------------------------------------------
+    # Invariant audit
+    # ------------------------------------------------------------------
+    def _audit_structure(self) -> List[str]:
+        """Zone bounds cover partition contents with exact counts, the
+        block-resident synopsis mirrors the in-memory one, and partition
+        block lists match the device."""
+        violations: List[str] = []
+        device = self.device
+        referenced = [
+            block_id for blocks in self._partitions for block_id in blocks
+        ]
+        if len(set(referenced)) != len(referenced):
+            violations.append("partition block id referenced twice")
+        on_device = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id) == "partition"
+        }
+        if on_device != set(referenced):
+            violations.append(
+                f"partition/device mismatch: partitions-only "
+                f"{sorted(set(referenced) - on_device)}, device-only "
+                f"{sorted(on_device - set(referenced))}"
+            )
+        meta_on_device = {
+            block_id
+            for block_id in device.iter_block_ids()
+            if device.kind_of(block_id) == "zone-meta"
+        }
+        if meta_on_device != set(self._meta_blocks):
+            violations.append(
+                f"meta/device mismatch: meta-only "
+                f"{sorted(set(self._meta_blocks) - meta_on_device)}, "
+                f"device-only {sorted(meta_on_device - set(self._meta_blocks))}"
+            )
+        if len(self._partition_counts) != len(self._partitions):
+            violations.append(
+                f"{len(self._partition_counts)} partition counts for "
+                f"{len(self._partitions)} partitions"
+            )
+        expected_meta = (
+            max(1, -(-len(self._partitions) // self._entries_per_meta_block))
+            if self._partitions
+            else 0
+        )
+        if len(self._meta_blocks) != expected_meta:
+            violations.append(
+                f"{len(self._meta_blocks)} meta blocks, expected {expected_meta}"
+            )
+        total = 0
+        for index, block_ids in enumerate(self._partitions):
+            records: List[Record] = []
+            intact = True
+            for block_id in block_ids:
+                if block_id not in on_device:
+                    intact = False
+                    continue
+                payload = device.peek(block_id)
+                if payload is None:
+                    payload = []
+                if not isinstance(payload, list):
+                    violations.append(
+                        f"partition {index}: block {block_id} payload is "
+                        f"not a record list"
+                    )
+                    intact = False
+                    continue
+                if len(payload) > self._per_block:
+                    violations.append(
+                        f"partition {index}: block {block_id} holds "
+                        f"{len(payload)} records, capacity {self._per_block}"
+                    )
+                declared = device.used_bytes_of(block_id)
+                if declared != len(payload) * RECORD_BYTES:
+                    violations.append(
+                        f"partition {index}: block {block_id} declares "
+                        f"{declared}B != {len(payload)} records x {RECORD_BYTES}B"
+                    )
+                records.extend(payload)
+            count = (
+                self._partition_counts[index]
+                if index < len(self._partition_counts)
+                else None
+            )
+            if count != len(records):
+                violations.append(
+                    f"partition {index}: holds {len(records)} records, "
+                    f"count says {count}"
+                )
+            expected_blocks = max(1, -(-len(records) // self._per_block))
+            if intact and len(block_ids) != expected_blocks:
+                violations.append(
+                    f"partition {index}: {len(block_ids)} blocks for "
+                    f"{len(records)} records, expected {expected_blocks}"
+                )
+            try:
+                keys = [key for key, _ in records]
+            except (TypeError, ValueError):
+                violations.append(f"partition {index}: malformed records")
+                keys = []
+            if keys != sorted(keys):
+                violations.append(f"partition {index}: records not key-sorted")
+            zone = self._synopsis.zone(index)
+            if records:
+                if zone is None:
+                    violations.append(
+                        f"partition {index}: no zone for a non-empty partition"
+                    )
+                elif keys:
+                    if zone.min_key > min(keys) or zone.max_key < max(keys):
+                        violations.append(
+                            f"partition {index}: zone [{zone.min_key}, "
+                            f"{zone.max_key}] does not cover contents "
+                            f"[{min(keys)}, {max(keys)}]"
+                        )
+                    if zone.count != len(records):
+                        violations.append(
+                            f"partition {index}: zone count {zone.count} != "
+                            f"{len(records)} records"
+                        )
+            elif zone is not None:
+                violations.append(f"partition {index}: zone set for empty partition")
+            total += len(records)
+        if total != self._record_count:
+            violations.append(
+                f"partitions hold {total} records, record count says "
+                f"{self._record_count}"
+            )
+        for meta_index, block_id in enumerate(self._meta_blocks):
+            if block_id not in meta_on_device:
+                continue
+            start = meta_index * self._entries_per_meta_block
+            end = min(start + self._entries_per_meta_block, len(self._partitions))
+            expected = [self._synopsis.zone(i) for i in range(start, end)]
+            if device.peek(block_id) != expected:
+                violations.append(
+                    f"meta block {block_id} disagrees with in-memory synopsis"
+                )
+            declared = device.used_bytes_of(block_id)
+            if declared != len(expected) * ZONE_ENTRY_BYTES:
+                violations.append(
+                    f"meta block {block_id}: declared {declared}B != "
+                    f"{len(expected)} entries x {ZONE_ENTRY_BYTES}B"
+                )
+        return violations
+
+    # ------------------------------------------------------------------
     @property
     def partitions(self) -> int:
         return len(self._partitions)

@@ -27,9 +27,13 @@ class TraceEvent:
     ``seq`` is the tracer-assigned event number (total order over every
     component sharing the tracer).  ``source`` names the emitting
     component (a device name or ``pool(<device>)``).  ``op`` is one of
-    ``read``, ``write``, ``alloc``, ``free``, ``evict``, ``write_back``.
-    ``kind`` is the block's allocation tag, ``sequential`` the device's
-    seek classification, ``cost`` the simulated time charged and
+    ``read``, ``write``, ``alloc``, ``free``, ``evict``, ``write_back``,
+    ``fault`` (an injected :class:`~repro.check.faults.DeviceFault`) or
+    ``audit`` (an invariant violation found by
+    :meth:`~repro.core.interfaces.AccessMethod.audit`; the message rides
+    in ``kind`` and ``block_id`` is -1).
+    ``kind`` is otherwise the block's allocation tag, ``sequential`` the
+    device's seek classification, ``cost`` the simulated time charged and
     ``nbytes`` the bytes moved (zero for space-only events).
     """
 

@@ -1,0 +1,148 @@
+"""Property tests for the structural audits and fault injection.
+
+Three guarantees are exercised here:
+
+1. **Audits are quiet on healthy structures.** After any accepted
+   operation sequence, every registered method's ``audit()`` returns no
+   violations — the invariants the audits encode really are invariants.
+2. **Audits are loud on corrupted structures.** Scarring a data block
+   behind the method's back (as a torn write would) is always detected
+   by the methods that implement a structural audit.
+3. **First-access faults are crash-consistent.** If the *first* device
+   access of an operation fails, the audited methods either complete
+   the operation or leave no trace: the audit stays clean, the oracle
+   still agrees, and the operation succeeds on retry.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.check import DeviceFault, FaultPlan, FaultyDevice
+from repro.check.faults import TORN_PAYLOAD
+from repro.core.registry import available_methods, create_method
+from repro.storage.device import SimulatedDevice
+
+from tests.conftest import SMALL_BLOCK
+from tests.unit.test_method_contract import TUNED_KWARGS, build
+
+ALL_METHODS = sorted(available_methods())
+
+#: The methods with a structural ``_audit_structure`` override, paired
+#: with the block kind whose payload the corruption test scars.
+AUDITED_METHODS = [
+    ("sorted-column", "sorted"),
+    ("unsorted-column", "heap"),
+    ("btree", "btree-leaf"),
+    ("lsm", "lsm-data"),
+    ("zonemap", "partition"),
+    ("hash-index", "bucket"),
+    ("sparse-index", "sparse-data"),
+    ("trie", "trie-node"),
+    ("skiplist", "skiplist-arena"),
+]
+
+_script = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "get", "range"]),
+        st.integers(min_value=0, max_value=63),
+    ),
+    max_size=30,
+)
+
+
+def _apply(method, oracle, action, key):
+    """Apply one accepted operation to both method and oracle.
+
+    Only operations the contract accepts are issued: fresh keys for
+    inserts, live keys for updates/deletes.  (Methods that skip
+    duplicate detection would silently diverge from the oracle on a
+    duplicate insert.)
+    """
+    if action == "insert":
+        if key not in oracle:
+            method.insert(key, key * 3)
+            oracle[key] = key * 3
+    elif action == "update":
+        if key in oracle:
+            method.update(key, key * 5)
+            oracle[key] = key * 5
+    elif action == "delete":
+        if key in oracle:
+            method.delete(key)
+            del oracle[key]
+    elif action == "get":
+        assert method.get(key) == oracle.get(key)
+    elif action == "range":
+        low = key
+        expected = [(k, v) for k, v in sorted(oracle.items()) if low <= k <= low + 16]
+        assert method.range_query(low, low + 16) == expected
+
+
+@pytest.mark.parametrize("name", ALL_METHODS)
+@settings(max_examples=15, deadline=None)
+@given(script=_script)
+def test_audit_quiet_after_accepted_operations(name, script):
+    method = build(name)
+    initial = [(2 * i, i) for i in range(32)]
+    method.bulk_load(initial)
+    oracle = dict(initial)
+    for action, key in script:
+        _apply(method, oracle, action, key)
+    assert method.audit() == []
+    method.flush()
+    assert method.audit() == []
+    assert method.range_query(-1, 10**9) == sorted(oracle.items())
+
+
+@pytest.mark.parametrize("name,kind", AUDITED_METHODS)
+def test_audit_loud_on_scarred_block(name, kind):
+    """A torn-write scar planted behind the method's back is detected."""
+    method = build(name)
+    method.bulk_load([(2 * i, i) for i in range(64)])
+    method.flush()
+    assert method.audit() == []
+    device = method.device
+    block = next(
+        b for b in device.iter_block_ids() if device.kind_of(b) == kind
+    )
+    device.write(block, TORN_PAYLOAD, used_bytes=0)
+    assert method.audit(), f"{name} audit missed a scarred {kind} block"
+
+
+def _build_faulty(name):
+    device = FaultyDevice(SimulatedDevice(block_bytes=SMALL_BLOCK))
+    return create_method(name, device=device, **TUNED_KWARGS.get(name, {}))
+
+
+#: Fault the operation's first device access, whichever op it is.
+FIRST_ACCESS = FaultPlan(fail_read_at=1, fail_write_at=1, max_faults=1)
+
+AUDITED_NAMES = [name for name, _ in AUDITED_METHODS]
+
+
+@pytest.mark.parametrize("name", AUDITED_NAMES)
+@settings(max_examples=15, deadline=None)
+@given(script=_script)
+def test_first_access_fault_is_crash_consistent(name, script):
+    method = _build_faulty(name)
+    device = method.device
+    initial = [(2 * i, i) for i in range(32)]
+    method.bulk_load(initial)
+    method.flush()
+    oracle = dict(initial)
+    for action, key in script:
+        device.arm(FIRST_ACCESS)
+        try:
+            _apply(method, oracle, action, key)
+        except DeviceFault:
+            # The op was cut down at its first device access: it must
+            # have left no trace, and must succeed when retried.
+            device.disarm()
+            assert method.audit() == []
+            _apply(method, oracle, action, key)
+        finally:
+            device.disarm()
+        assert method.audit() == []
+    assert method.range_query(-1, 10**9) == sorted(oracle.items())

@@ -261,3 +261,48 @@ class TestReproduceJobs:
             reproduce_module.reproduce = original
         assert seen["jobs"] == 3
         assert "report" in capsys.readouterr().out
+
+
+class TestAudit:
+    ARGS = ["--records", "300", "--ops", "120", "--block-bytes", "512"]
+
+    def test_clean_audit_of_named_methods(self, capsys):
+        code = main(["audit", "--methods", "btree,lsm"] + self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clean audit of 2 method(s)" in out
+        assert "btree" in out and "lsm" in out
+        assert "FAIL" not in out
+
+    def test_audit_defaults_to_all_but_bitmap(self, capsys):
+        code = main(["audit", "--records", "120", "--ops", "30",
+                     "--block-bytes", "512", "--audit-every", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bitmap" not in out
+        assert "zonemap" in out and "skiplist" in out
+
+    def test_fault_injected_audit_is_informational(self, capsys):
+        code = main([
+            "audit", "--methods", "sorted-column",
+            "--fault-rate", "0.05", "--torn", "--fault-seed", "3",
+        ] + self.ARGS)
+        assert code == 0  # faulted runs never gate
+        out = capsys.readouterr().out
+        assert "fault-injected audit" in out
+        assert "informational" in out
+
+    def test_nth_write_fault_is_deterministic(self, capsys):
+        args = [
+            "audit", "--methods", "lsm", "--fail-write-at", "5",
+            "--max-faults", "1",
+        ] + self.ARGS
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_audit_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            main(["audit", "--methods", "btree,nonexistent"] + self.ARGS)

@@ -1,0 +1,94 @@
+"""Delete-path write accounting regressions.
+
+Both column layouts used to write a block's *empty* payload immediately
+before freeing it on the delete path — a dead write that charged a
+spurious block to UO every time a trailing block emptied.  These tests
+pin the fixed counter behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.methods.sorted_column import SortedColumn
+from repro.methods.unsorted_column import UnsortedColumn
+from repro.storage.device import SimulatedDevice
+from repro.storage.layout import records_per_block
+
+from tests.conftest import SMALL_BLOCK
+
+
+def _build(cls):
+    device = SimulatedDevice(block_bytes=SMALL_BLOCK)
+    method = cls(device=device)
+    per_block = records_per_block(SMALL_BLOCK)
+    # One full block plus a single-record trailing block.
+    records = [(2 * i, i) for i in range(per_block + 1)]
+    method.bulk_load(records)
+    method.flush()
+    return method, device, records
+
+
+class TestSortedColumnDelete:
+    def test_emptying_the_trailing_block_writes_nothing(self):
+        method, device, records = _build(SortedColumn)
+        blocks_before = device.allocated_blocks
+        writes_before = device.counters.writes
+        method.delete(records[-1][0])  # sole record of the trailing block
+        assert device.counters.writes == writes_before, (
+            "freeing an emptied block must not write its empty payload"
+        )
+        assert device.allocated_blocks == blocks_before - 1
+        assert method.audit() == []
+
+    def test_partial_trailing_block_still_writes_once(self):
+        method, device, records = _build(SortedColumn)
+        method.insert(records[-1][0] + 2, 99)  # trailing block now holds 2
+        writes_before = device.counters.writes
+        method.delete(records[-1][0])
+        assert device.counters.writes == writes_before + 1
+        assert method.audit() == []
+
+    def test_delete_down_to_empty(self):
+        method, device, records = _build(SortedColumn)
+        for key, _ in reversed(records):
+            method.delete(key)
+        assert len(method) == 0
+        assert device.allocated_blocks == 0
+        assert method.audit() == []
+
+
+class TestUnsortedColumnDelete:
+    def test_non_tail_delete_that_empties_tail_writes_only_the_hole(self):
+        method, device, records = _build(UnsortedColumn)
+        blocks_before = device.allocated_blocks
+        writes_before = device.counters.writes
+        method.delete(records[0][0])  # hole in block 0, filled from tail
+        assert device.counters.writes == writes_before + 1, (
+            "only the hole block should be rewritten; the emptied tail "
+            "is freed without a write"
+        )
+        assert device.allocated_blocks == blocks_before - 1
+        assert method.get(records[-1][0]) is not None  # tail record moved
+        assert method.audit() == []
+
+    def test_tail_delete_of_last_record_writes_nothing(self):
+        method, device, records = _build(UnsortedColumn)
+        writes_before = device.counters.writes
+        method.delete(records[-1][0])  # the tail block's only record
+        assert device.counters.writes == writes_before
+        assert method.audit() == []
+
+    def test_non_tail_delete_with_surviving_tail_writes_twice(self):
+        method, device, records = _build(UnsortedColumn)
+        method.insert(1001, 1)  # tail now holds 2 records
+        writes_before = device.counters.writes
+        method.delete(records[0][0])
+        assert device.counters.writes == writes_before + 2  # hole + tail
+        assert method.audit() == []
+
+    def test_delete_down_to_empty(self):
+        method, device, records = _build(UnsortedColumn)
+        for key, _ in records:
+            method.delete(key)
+        assert len(method) == 0
+        assert device.allocated_blocks == 0
+        assert method.audit() == []

@@ -48,6 +48,35 @@ def test_lint_flags_bare_counters_variable():
     assert len(lint_counters.violations_in_source(bad, "bad.py")) == 1
 
 
+def test_lint_flags_private_device_attribute_access():
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        def sneaky(method, backing):
+            table = method.device._blocks          # read access
+            method.device._used_total = 0          # write access
+            return table, backing._seq_reads
+        """
+    )
+    violations = lint_counters.violations_in_source(bad, "bad.py")
+    targets = {target for _, _, target in violations}
+    assert "method.device._blocks" in targets
+    assert "method.device._used_total" in targets
+    assert "backing._seq_reads" in targets
+
+
+def test_lint_allows_private_attrs_on_non_device_owners():
+    lint_counters = _lint_counters()
+    fine = textwrap.dedent(
+        """
+        def fine(self, pool):
+            self._blocks = []        # a method's own attribute, not a device's
+            return pool._next_id     # not a device-ish owner name
+        """
+    )
+    assert lint_counters.violations_in_source(fine, "fine.py") == []
+
+
 def test_lint_ignores_reads_and_other_attributes():
     lint_counters = _lint_counters()
     fine = textwrap.dedent(

@@ -48,6 +48,18 @@ class TestAccumulator:
         # (64 + 192) / (2 * 16)
         assert acc.read_overhead == pytest.approx(256 / (2 * RECORD_BYTES))
 
+    def test_flush_reads_amplify_uo_not_ro(self):
+        """Deferred-maintenance reads (compaction re-reading runs) are
+        physical update work: they belong in the UO numerator and must
+        never leak into RO."""
+        acc = RUMAccumulator()
+        acc.record_update(IOStats(write_bytes=100), records_updated=1)
+        acc.updated_bytes = 50
+        acc.write_bytes = 100
+        acc.flush_read_bytes = 50
+        assert acc.update_overhead == pytest.approx((100 + 50) / 50)
+        assert acc.read_overhead == 1.0  # no read op recorded
+
 
 class TestProfile:
     def test_str_is_informative(self):
@@ -121,3 +133,64 @@ class TestMeasureWorkload:
         method = self._method()
         profile = measure_workload(method, [])
         assert profile.name == "unsorted-column"
+
+    def test_terminal_flush_reads_charged_to_uo(self):
+        """Regression: the terminal flush used to drop its read bytes on
+        the floor — a buffering method's compaction reads went uncharged.
+        They must now appear in the UO numerator."""
+        from repro.methods.lsm import LSMTree
+
+        def build():
+            method = LSMTree(
+                SimulatedDevice(block_bytes=SMALL_BLOCK),
+                memtable_records=32,
+                size_ratio=3,
+            )
+            method.bulk_load(sample_records(200))
+            method.flush()
+            return method
+
+        # 52 inserts: the 32nd flushes the memtable into a level-0 run,
+        # so the *terminal* flush must merge with it — reading that run.
+        ops = [Operation(OpKind.INSERT, 1001 + 2 * i, i) for i in range(52)]
+
+        # Replay the identical run by hand to capture the flush I/O split.
+        replica = build()
+        write_bytes = 0
+        for op in ops:
+            before = replica.device.snapshot()
+            replica.insert(op.key, op.value)
+            write_bytes += replica.device.stats_since(before).write_bytes
+        before = replica.device.snapshot()
+        replica.flush()
+        flush_io = replica.device.stats_since(before)
+        assert flush_io.read_bytes > 0, "scenario must exercise merge reads"
+
+        profile = measure_workload(build(), ops)
+        updated = len(ops) * RECORD_BYTES
+        assert profile.update_overhead == pytest.approx(
+            (write_bytes + flush_io.write_bytes + flush_io.read_bytes) / updated
+        )
+
+    def test_audit_every_passes_on_healthy_method(self):
+        method = self._method()
+        ops = [Operation(OpKind.INSERT, 1001 + 2 * i, i) for i in range(10)]
+        profile = measure_workload(method, ops, audit_every=2)
+        assert profile.update_overhead >= 1.0
+
+    def test_audit_every_raises_on_corruption(self):
+        from repro.check import AuditError
+
+        method = self._method()
+        method._record_count += 3  # plant a counter drift
+        ops = [Operation(OpKind.POINT_QUERY, 10)]
+        with pytest.raises(AuditError) as excinfo:
+            measure_workload(method, ops, audit_every=1)
+        assert excinfo.value.method_name == "unsorted-column"
+        assert excinfo.value.violations
+
+    def test_audit_every_zero_skips_audits(self):
+        method = self._method()
+        method._record_count += 3  # corruption goes unnoticed when off
+        ops = [Operation(OpKind.POINT_QUERY, 10)]
+        measure_workload(method, ops)  # must not raise

@@ -136,6 +136,21 @@ class TestSortedColumn:
         with pytest.raises(ValueError):
             sorted_column(sort_memory_blocks=1)
 
+    def test_search_block_key_above_all_blocks(self):
+        """_search_block's contract: a key above every stored key maps
+        to the *last* block (so callers must verify membership), never
+        to an out-of-range index, and never to None on non-empty data."""
+        column = sorted_column()
+        column.bulk_load(sample_records(64))  # keys 0, 2, ..., 126
+        last = len(column._extent) - 1
+        assert column._search_block(10**9) == last
+        assert column._search_block(127) == last
+        # Point and range callers handle the above-all case correctly.
+        assert column.get(10**9) is None
+        assert column.range_query(10**9, 10**9 + 5) == []
+        # And the empty extent yields None.
+        assert sorted_column()._search_block(5) is None
+
 
 class TestUnsortedColumn:
     def test_append_is_one_write(self):

@@ -1,12 +1,19 @@
-"""Lint: DeviceCounters may only be mutated inside ``repro/storage``.
+"""Lint: device internals may only be touched inside ``repro/storage``.
 
-The RUM measurements are ratios of these counters, so the set of code
+The RUM measurements are ratios of device counters, so the set of code
 locations that can change them must stay auditable: exactly the storage
 substrate.  This checker walks the AST of every module under
-``src/repro`` outside ``storage/`` and flags any assignment or augmented
-assignment whose target is a counter field reached through a
-``counters`` attribute or variable (``device.counters.reads += 1``,
-``counters.simulated_time = 0``, ...).
+``src/repro`` outside ``storage/`` and flags:
+
+* any assignment or augmented assignment whose target is a counter
+  field reached through a ``counters`` attribute or variable
+  (``device.counters.reads += 1``, ``counters.simulated_time = 0``, ...);
+* any access — read *or* write — to a :class:`SimulatedDevice` private
+  attribute through a ``device`` or ``backing`` expression
+  (``self.device._blocks``, ``backing._used_total``, ...).  Methods and
+  audits must go through the public no-I/O surface (``peek``,
+  ``kind_of``, ``used_bytes_of``, ``iter_block_ids``, ...) so the block
+  table stays encapsulated.
 
 Run from the repository root::
 
@@ -34,6 +41,28 @@ COUNTER_FIELDS = {
     "simulated_time",
 }
 
+#: Private attributes of repro.storage.device.SimulatedDevice: the block
+#: table, the allocator cursor, and the raw per-category tallies the
+#: ``counters`` property is derived from.
+DEVICE_PRIVATE_FIELDS = {
+    "_blocks",
+    "_next_id",
+    "_used_total",
+    "_seq_read_id",
+    "_seq_write_id",
+    "_seq_reads",
+    "_rand_reads",
+    "_seq_writes",
+    "_rand_writes",
+    "_allocations",
+    "_frees",
+    "_time_base",
+}
+
+#: Variable / attribute names that conventionally hold a device in this
+#: codebase (``self.device``, ``device``, and wrapper ``backing``).
+DEVICE_OWNER_NAMES = {"device", "backing"}
+
 #: Subtree whose modules own the counters and may mutate them.
 ALLOWED_SUBPACKAGE = os.path.join("repro", "storage")
 
@@ -52,8 +81,21 @@ def _is_counter_target(node: ast.expr) -> bool:
     return False
 
 
+def _is_private_device_access(node: ast.expr) -> bool:
+    """True for ``<...>.device._blocks``-style expressions: a device
+    private attribute reached through a ``device``/``backing`` owner."""
+    if not isinstance(node, ast.Attribute) or node.attr not in DEVICE_PRIVATE_FIELDS:
+        return False
+    owner = node.value
+    if isinstance(owner, ast.Attribute):
+        return owner.attr in DEVICE_OWNER_NAMES
+    if isinstance(owner, ast.Name):
+        return owner.id in DEVICE_OWNER_NAMES
+    return False
+
+
 def violations_in_source(source: str, path: str) -> List[Violation]:
-    """All counter-mutation sites in one module's source text."""
+    """All counter-mutation and private-access sites in one module."""
     found: List[Violation] = []
     tree = ast.parse(source, filename=path)
     for node in ast.walk(tree):
@@ -71,6 +113,10 @@ def violations_in_source(source: str, path: str) -> List[Violation]:
                     found.append(
                         (path, element.lineno, ast.unparse(element))
                     )
+        # Private device attributes are off-limits in any expression
+        # position, not just assignment targets.
+        if isinstance(node, ast.Attribute) and _is_private_device_access(node):
+            found.append((path, node.lineno, ast.unparse(node)))
     return found
 
 
@@ -94,10 +140,14 @@ def main() -> int:
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     violations = check_tree(os.path.join(root, "src"))
     for path, line, target in violations:
-        print(f"{path}:{line}: DeviceCounters mutated outside storage/: {target}")
+        if target.rpartition(".")[2] in DEVICE_PRIVATE_FIELDS:
+            message = "device-private attribute accessed outside storage/"
+        else:
+            message = "DeviceCounters mutated outside storage/"
+        print(f"{path}:{line}: {message}: {target}")
     if violations:
         return 1
-    print("ok: DeviceCounters only mutated inside repro/storage")
+    print("ok: device internals only touched inside repro/storage")
     return 0
 
 
