@@ -5,11 +5,15 @@ memory level n can be reduced by storing more data, updates, or
 meta-data, at the previous level n-1, which results, at least, in a
 higher MO_{n-1}".
 
-We drive a B+-Tree workload through a two-level hierarchy (a cache
-level over the backing device) and sweep the cache capacity.  The
-measured series must show RO_n (traffic reaching the backing level)
-falling monotonically as MO_{n-1} (bytes replicated at the cache level)
-rises — the exact interaction of the figure.
+We drive block workloads through chained hierarchies and sweep cache
+capacity.  The measured series must show RO_n (traffic reaching the
+backing level) falling monotonically as MO_{n-1} (bytes replicated at
+the cache level) rises — the exact interaction of the figure.  Because
+the hierarchy is genuinely chained (each level's pool targets the level
+below it), the sweep also asserts **exact conservation** at every
+capacity point: reads/writes passed down at level n equal the
+reads/writes reaching level n+1, with the two sides counted by
+independent code paths.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ import random
 import pytest
 
 from repro.analysis.tables import format_table
-from repro.storage.device import SimulatedDevice
+from repro.storage.device import CostModel, SimulatedDevice
 from repro.storage.hierarchy import LevelSpec, MemoryHierarchy
 
 from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
@@ -27,6 +31,8 @@ from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
 N_BLOCKS = 256
 ACCESSES = 3000
 CAPACITIES = [0, 16, 32, 64, 128, 256]
+CACHE_SWEEP = [0, 4, 8, 16, 32, 64]
+DRAM_BLOCKS = 96
 
 
 def _measure() -> list:
@@ -88,6 +94,129 @@ def test_fig2_report(benchmark, sweep):
         title="Figure 2 (measured): growing level n-1 lowers level-n traffic",
     )
     emit_report("fig2", report)
+
+
+def _measure_three_levels() -> list:
+    """Sweep the top (cache) level of a cache/DRAM/disk chain.
+
+    Returns one dict per capacity point carrying every per-level
+    counter the conservation assertions need, plus the audit outcome.
+    """
+    rows = []
+    rng = random.Random(73)
+    pattern = []
+    for _ in range(ACCESSES):
+        block = min(int(rng.expovariate(1.0 / 24)), N_BLOCKS - 1)
+        pattern.append((block, rng.random() < 0.25))
+    for capacity in CACHE_SWEEP:
+        backing = attach_tracer(
+            SimulatedDevice(
+                block_bytes=BENCH_BLOCK,
+                cost_model=CostModel.disk(),
+                name="disk",
+            )
+        )
+        blocks = []
+        for i in range(N_BLOCKS):
+            block = backing.allocate()
+            backing.write(block, f"payload-{i}", used_bytes=BENCH_BLOCK // 2)
+            blocks.append(block)
+        backing.reset_counters()
+        hierarchy = MemoryHierarchy(
+            backing,
+            [
+                LevelSpec("cache", capacity, cost_model=CostModel.dram()),
+                LevelSpec("dram", DRAM_BLOCKS, access_cost=0.1),
+            ],
+        )
+        for index, write in pattern:
+            if write:
+                hierarchy.write(
+                    blocks[index],
+                    f"updated-{index}",
+                    used_bytes=BENCH_BLOCK // 2,
+                )
+            else:
+                hierarchy.read(blocks[index])
+        hierarchy.flush()
+        cache = hierarchy.level("cache").counters
+        dram = hierarchy.level("dram").counters
+        rows.append({
+            "capacity": capacity,
+            "cache": cache,
+            "dram": dram,
+            "backing_reads": hierarchy.backing_reads,
+            "backing_writes": hierarchy.backing_writes,
+            "device_reads": backing.counters.reads,
+            "device_writes": backing.counters.writes,
+            "cache_bytes": hierarchy.level("cache").space_bytes,
+            "dram_bytes": hierarchy.level("dram").space_bytes,
+            "simulated_time": hierarchy.simulated_time,
+            "violations": hierarchy.audit(),
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def deep_sweep():
+    return _measure_three_levels()
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_three_level_report(benchmark, deep_sweep):
+    mark(benchmark)
+    report = format_table(
+        ["cache blocks", "reads at dram", "reads at disk",
+         "writes at disk", "cache bytes", "simulated time"],
+        [
+            [
+                row["capacity"],
+                row["dram"].reads_reaching,
+                row["backing_reads"],
+                row["backing_writes"],
+                row["cache_bytes"],
+                round(row["simulated_time"], 1),
+            ]
+            for row in deep_sweep
+        ],
+        title="Figure 2, chained: cache/DRAM/disk, growing the top level",
+    )
+    emit_report("fig2_three_level", report)
+
+
+class TestThreeLevelConservation:
+    """Exact conservation at every point of the whole capacity sweep."""
+
+    def test_reads_conserved_level_by_level(self, benchmark, deep_sweep):
+        mark(benchmark)
+        for row in deep_sweep:
+            assert row["cache"].reads_passed_down == row["dram"].reads_reaching
+            assert row["dram"].reads_passed_down == row["backing_reads"]
+            assert row["backing_reads"] == row["device_reads"]
+
+    def test_writes_conserved_level_by_level(self, benchmark, deep_sweep):
+        mark(benchmark)
+        for row in deep_sweep:
+            assert row["cache"].writes_passed_down == row["dram"].writes_reaching
+            assert row["dram"].writes_passed_down == row["backing_writes"]
+            assert row["backing_writes"] == row["device_writes"]
+
+    def test_audit_clean_at_every_capacity(self, benchmark, deep_sweep):
+        mark(benchmark)
+        for row in deep_sweep:
+            assert row["violations"] == []
+
+    def test_growing_the_top_relieves_the_middle_and_bottom(
+        self, benchmark, deep_sweep
+    ):
+        mark(benchmark)
+        dram_reads = [row["dram"].reads_reaching for row in deep_sweep]
+        assert all(b <= a for a, b in zip(dram_reads, dram_reads[1:]))
+        space = [row["cache_bytes"] for row in deep_sweep]
+        assert all(b >= a for a, b in zip(space, space[1:]))
+        assert space[0] == 0 and space[-1] > 0
+        times = [row["simulated_time"] for row in deep_sweep]
+        assert times[-1] < times[0]
 
 
 def _btree_over_cache() -> list:

@@ -16,16 +16,30 @@ Modules
 ``layout``
     Record sizing shared by every access method (fixed-size integer
     key/value records, as in the paper's base-data model).
+``store``
+    The :class:`BlockStore` protocol every storage layer satisfies, so
+    pools stack on devices, proxies, or other pools interchangeably.
 ``pager``
-    A buffer pool (LRU / Clock eviction) layered over a device.
+    A buffer pool (LRU / Clock eviction) layered over any block store.
 ``hierarchy``
-    A multi-level memory-hierarchy simulator (Figure 2 substrate).
+    A chained multi-level memory-hierarchy simulator (Figure 2
+    substrate): each level's pool targets the level below it.
 """
 
 from repro.storage.block import Block, BlockId
 from repro.storage.cached import CachedDevice
 from repro.storage.device import CostModel, DeviceCounters, IOStats, SimulatedDevice
-from repro.storage.hierarchy import HierarchyLevel, LevelSpec, MemoryHierarchy
+from repro.storage.hierarchy import (
+    EXCLUSIVE,
+    INCLUSIVE,
+    WRITE_BACK,
+    WRITE_THROUGH,
+    HierarchyLevel,
+    LevelCounters,
+    LevelSpec,
+    MemoryHierarchy,
+)
+from repro.storage.store import BlockStore
 from repro.storage.layout import (
     KEY_BYTES,
     POINTER_BYTES,
@@ -38,21 +52,27 @@ from repro.storage.pager import BufferPool, ClockPolicy, EvictionPolicy, LRUPoli
 __all__ = [
     "Block",
     "BlockId",
+    "BlockStore",
     "BufferPool",
     "CachedDevice",
     "ClockPolicy",
     "CostModel",
     "DeviceCounters",
     "EvictionPolicy",
+    "EXCLUSIVE",
     "HierarchyLevel",
+    "INCLUSIVE",
     "IOStats",
     "KEY_BYTES",
     "LRUPolicy",
-    "LRUPolicy",
+    "LevelCounters",
+    "LevelSpec",
     "MemoryHierarchy",
     "POINTER_BYTES",
     "RECORD_BYTES",
     "SimulatedDevice",
     "VALUE_BYTES",
+    "WRITE_BACK",
+    "WRITE_THROUGH",
     "records_per_block",
 ]

@@ -154,16 +154,13 @@ class CachedDevice(SimulatedDevice):
         return self.backing.kind_of(block_id)
 
     def used_bytes_of(self, block_id: BlockId) -> int:
-        """Declared occupancy, preferring an unflushed dirty frame's.
+        """Declared occupancy, preferring an unflushed frame's.
 
         Mirrors :meth:`used_bytes`: while a dirty frame sits in the
         pool the backing block's occupancy is stale, and audits compare
         per-block occupancies against the dirty-aware total.
         """
-        for dirty_id, frame_used in self.pool.iter_dirty():
-            if dirty_id == block_id:
-                return frame_used
-        return self.backing.used_bytes_of(block_id)
+        return self.pool.used_bytes_of(block_id)
 
     def flush(self) -> None:
         """Write every dirty cached frame down to the backing device."""

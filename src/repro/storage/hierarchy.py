@@ -5,78 +5,305 @@ hierarchy and also *vertically*: the read overhead RO_n and update
 overhead UO_n at level ``n`` can be reduced by caching more data at the
 faster level ``n-1``, which raises the memory overhead MO_{n-1} there.
 
-:class:`MemoryHierarchy` models a stack of levels, each a
-:class:`~repro.storage.pager.BufferPool` over the level below; the bottom
-level is the backing :class:`~repro.storage.device.SimulatedDevice`.
-Every level tracks the accesses that *reach it* (its misses are the
-accesses that reach the next level down), so RO_n / UO_n / MO_{n-1} can be
-read off directly, reproducing Figure 2's interaction.
+That claim is about traffic that flows *level by level*, so the
+simulator is built as a genuinely chained stack:
+:class:`HierarchyLevel` satisfies the
+:class:`~repro.storage.store.BlockStore` protocol and each level's
+:class:`~repro.storage.pager.BufferPool` targets the level **below**
+it — the bottom level's pool targets the backing device (through a thin
+traffic meter).  A read miss at level 0 therefore cascades 0 → 1 → … →
+backing one level at a time, and a dirty eviction from level ``n``
+lands in level ``n+1``'s pool, never teleporting past it.  (The
+previous design pointed every pool at the backing device, so a dirty
+eviction from level 0 bypassed level 1, which could then serve a stale
+clean copy — the exact layering bug :meth:`MemoryHierarchy.audit` now
+rejects.)
+
+Every level counts the traffic reaching it and the traffic it passes
+down, so RO_n / UO_n / MO_{n-1} can be read off directly and the audit
+can check *conservation*: traffic passed down at level ``n`` equals
+traffic reaching level ``n+1``, exactly, with the two sides counted by
+independent code paths.
+
+Per level the :class:`LevelSpec` also selects a write policy
+(write-back / write-through), an inclusion mode (inclusive /
+exclusive victim-fill) and a :class:`~repro.storage.device.CostModel`
+whose read/write prices aggregate into one hierarchy-wide
+``simulated_time``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.tracer import Tracer
 from repro.storage.block import BlockId
 from repro.storage.device import CostModel, SimulatedDevice
 from repro.storage.pager import BufferPool, EvictionPolicy, LRUPolicy
+from repro.storage.store import BlockStore
+
+#: Write policies a level can adopt (see :class:`LevelSpec`).
+WRITE_BACK = "write-back"
+WRITE_THROUGH = "write-through"
+
+#: Inclusion modes a level can adopt (see :class:`LevelSpec`).
+INCLUSIVE = "inclusive"
+EXCLUSIVE = "exclusive"
 
 
 @dataclass(frozen=True)
 class LevelSpec:
     """Configuration of one hierarchy level.
 
-    ``capacity_blocks`` is the level's cache capacity; the bottom level's
-    capacity is ignored (it holds everything).  ``access_cost`` is the
-    abstract cost of one block access served *at* this level.
+    ``capacity_blocks`` is the level's cache capacity; 0 degenerates to
+    a pass-through level.  ``access_cost`` is the abstract cost of one
+    block access arriving at this level; ``cost_model`` overrides it
+    with distinct read/write prices (reads are charged the model's
+    ``random_read``, writes its ``random_write`` — per-level seek
+    classification is deliberately not modelled).
+
+    ``write_policy`` is :data:`WRITE_BACK` (writes dirty a frame, the
+    level below sees them on eviction/flush) or :data:`WRITE_THROUGH`
+    (writes propagate down immediately, frames stay clean).
+
+    ``inclusion`` is :data:`INCLUSIVE` (read misses install the fetched
+    block at this level, so upper-level content is typically replicated
+    here) or :data:`EXCLUSIVE` (victim-fill: demand reads pass through
+    uncached and this level holds only what the level above pushes
+    down — dirty write-backs and clean evicted victims).
     """
 
     name: str
     capacity_blocks: int
     access_cost: float = 1.0
+    cost_model: Optional[CostModel] = None
+    write_policy: str = WRITE_BACK
+    inclusion: str = INCLUSIVE
+
+    def __post_init__(self) -> None:
+        if self.write_policy not in (WRITE_BACK, WRITE_THROUGH):
+            raise ValueError(f"unknown write policy {self.write_policy!r}")
+        if self.inclusion not in (INCLUSIVE, EXCLUSIVE):
+            raise ValueError(f"unknown inclusion mode {self.inclusion!r}")
+
+    @property
+    def effective_cost_model(self) -> CostModel:
+        """The cost model priced into ``simulated_time`` for this level."""
+        if self.cost_model is not None:
+            return self.cost_model
+        cost = self.access_cost
+        return CostModel(cost, cost, cost, cost)
 
 
-@dataclass
+@dataclass(frozen=True)
 class LevelCounters:
-    """Traffic observed at one level of the hierarchy."""
+    """Traffic observed at one level of the hierarchy.
 
-    reads_served: int = 0
-    writes_served: int = 0
-    reads_passed_down: int = 0
-    writes_passed_down: int = 0
+    ``reads_in`` / ``writes_in`` count requests arriving at the level
+    (from the application at the top level, from the level above
+    otherwise).  ``reads_down`` counts demand reads the level issued to
+    the level below (one per read miss); ``writes_down`` counts writes
+    it issued below from any cause — dirty-eviction write-backs, flush
+    write-backs, write-through propagation, capacity-0 pass-through.
+    ``victims_accepted`` counts clean victim-fills received from the
+    level above (data movement, not backed writes — excluded from write
+    conservation).
+    """
+
+    reads_in: int = 0
+    writes_in: int = 0
+    reads_down: int = 0
+    writes_down: int = 0
+    writes_absorbed: int = 0
+    victims_accepted: int = 0
+
+    # Compatibility views, matching how Figure 2 reads the counters.
+    @property
+    def reads_served(self) -> int:
+        """Read requests this level answered from its own frames."""
+        return self.reads_in - self.reads_down
+
+    @property
+    def writes_served(self) -> int:
+        """Write requests absorbed into this level's frames."""
+        return self.writes_absorbed
+
+    @property
+    def reads_passed_down(self) -> int:
+        return self.reads_down
+
+    @property
+    def writes_passed_down(self) -> int:
+        return self.writes_down
 
     @property
     def reads_reaching(self) -> int:
         """Read requests that reached this level at all."""
-        return self.reads_served + self.reads_passed_down
+        return self.reads_in
 
     @property
     def writes_reaching(self) -> int:
-        return self.writes_served + self.writes_passed_down
+        return self.writes_in
+
+
+class _BackingMeter:
+    """Thin :class:`BlockStore` counting the traffic that reaches backing.
+
+    Sits between the bottom level's pool and the backing device so the
+    hierarchy owns an incoming-traffic count that is independent of the
+    device's own counters (which callers may ``reset_counters`` at
+    will).  Also prices that traffic with the backing device's cost
+    model — tracking sequential runs the way the device does — so
+    :attr:`MemoryHierarchy.simulated_time` composes per-level costs with
+    the backing level's without touching device state.
+    """
+
+    def __init__(self, backing: SimulatedDevice) -> None:
+        self.backing = backing
+        self.reads_in = 0
+        self.writes_in = 0
+        self.simulated_time = 0.0
+        self._seq_read_id: BlockId = -1
+        self._seq_write_id: BlockId = -1
+
+    @property
+    def name(self) -> str:
+        return self.backing.name
+
+    @property
+    def block_bytes(self) -> int:
+        return self.backing.block_bytes
+
+    def read(self, block_id: BlockId) -> object:
+        self.reads_in += 1
+        model = self.backing.cost_model
+        self.simulated_time += (
+            model.sequential_read
+            if block_id == self._seq_read_id
+            else model.random_read
+        )
+        self._seq_read_id = block_id + 1
+        return self.backing.read(block_id)
+
+    def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
+        self.writes_in += 1
+        model = self.backing.cost_model
+        self.simulated_time += (
+            model.sequential_write
+            if block_id == self._seq_write_id
+            else model.random_write
+        )
+        self._seq_write_id = block_id + 1
+        self.backing.write(block_id, payload, used_bytes)
+
+    def peek(self, block_id: BlockId) -> object:
+        return self.backing.peek(block_id)
+
+    def used_bytes_of(self, block_id: BlockId) -> int:
+        return self.backing.used_bytes_of(block_id)
 
 
 class HierarchyLevel:
-    """One cache level: a buffer pool plus traffic counters."""
+    """One cache level: a buffer pool over the level below, plus counters.
+
+    Satisfies :class:`~repro.storage.store.BlockStore`, so the level
+    above can stack its pool directly on this one — that chaining is
+    what makes misses, write-backs and flushes cascade level by level.
+    """
 
     def __init__(
         self,
         spec: LevelSpec,
-        device: SimulatedDevice,
+        below: BlockStore,
         policy: Optional[EvictionPolicy] = None,
     ) -> None:
         self.spec = spec
-        self.pool = BufferPool(device, spec.capacity_blocks, policy or LRUPolicy())
-        self.counters = LevelCounters()
+        self.below = below
+        self.pool = BufferPool(
+            below,
+            spec.capacity_blocks,
+            policy or LRUPolicy(),
+            write_through=spec.write_policy == WRITE_THROUGH,
+            admit_on_read=spec.inclusion == INCLUSIVE,
+        )
+        # Trace events from this level's pool carry the level's name.
+        self.pool.name = f"pool({spec.name})"
+        self._reads_in = 0
+        self._writes_in = 0
+        self._writes_absorbed = 0
+        self._victims_accepted = 0
 
     @property
     def name(self) -> str:
         return self.spec.name
 
     @property
+    def block_bytes(self) -> int:
+        return self.pool.block_bytes
+
+    # ------------------------------------------------------------------
+    # BlockStore surface: the level above (or the hierarchy) calls these.
+    # ------------------------------------------------------------------
+    def read(self, block_id: BlockId) -> object:
+        """Read arriving at this level; misses cascade to the level below."""
+        self._reads_in += 1
+        return self.pool.read(block_id)
+
+    def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
+        """Write arriving at this level, handled per the level's policy."""
+        self._writes_in += 1
+        if self.spec.capacity_blocks > 0:
+            self._writes_absorbed += 1
+        self.pool.write(block_id, payload, used_bytes)
+
+    def peek(self, block_id: BlockId) -> object:
+        """Newest copy at or below this level, without charging I/O."""
+        return self.pool.peek(block_id)
+
+    def used_bytes_of(self, block_id: BlockId) -> int:
+        """Declared occupancy at or below this level, without charging I/O."""
+        return self.pool.used_bytes_of(block_id)
+
+    def accept_victim(
+        self, block_id: BlockId, payload: object, used_bytes: int
+    ) -> None:
+        """Receive a clean victim evicted by the level above (exclusive
+        victim-fill).  Data movement, not a backed write — conservation
+        counts it separately."""
+        self._victims_accepted += 1
+        self.pool.fill_clean(block_id, payload, used_bytes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> LevelCounters:
+        """Snapshot of this level's traffic counters."""
+        stats = self.pool.stats
+        return LevelCounters(
+            reads_in=self._reads_in,
+            writes_in=self._writes_in,
+            reads_down=stats.demand_reads,
+            writes_down=stats.downstream_writes,
+            writes_absorbed=self._writes_absorbed,
+            victims_accepted=self._victims_accepted,
+        )
+
+    @property
     def space_bytes(self) -> int:
         """Bytes of data replicated at this level (drives MO here)."""
         return self.pool.cached_bytes
+
+    @property
+    def simulated_time(self) -> float:
+        """Latency accrued at this level: every arriving access pays the
+        level's price (AMAT-style), reads and writes separately."""
+        model = self.spec.effective_cost_model
+        return (
+            self._reads_in * model.random_read
+            + self._writes_in * model.random_write
+        )
 
     def hit_rate(self) -> float:
         """Fraction of accesses this level served itself."""
@@ -84,18 +311,18 @@ class HierarchyLevel:
 
 
 class MemoryHierarchy:
-    """A stack of cache levels over one backing device.
+    """A chained stack of cache levels over one backing device.
 
     ``levels`` are ordered fast-to-slow (e.g. ``[cache, dram]`` over a
-    flash backing device).  Reads and writes enter at the top; each level
-    serves hits and passes misses down.  The backing device's own counters
-    record the traffic that reached the bottom.
+    flash backing device).  Reads and writes enter at the top; each
+    level serves hits and passes misses to the level *below it* — the
+    chain is structural (each pool targets the next level), so dirty
+    evictions and flushes land in the next level down and nothing can
+    bypass an intermediate level.
 
-    Notes
-    -----
-    Caching is *inclusive*: a block cached at level ``n-1`` is typically
-    also present at ``n``, as in most real hierarchies.  Eviction is
-    per-level and independent.
+    :meth:`audit` checks the two invariants the chain promises:
+    per-level counter conservation, and that no level holds a clean
+    frame differing from the authoritative copy below it.
     """
 
     def __init__(
@@ -105,51 +332,47 @@ class MemoryHierarchy:
         policy_factory=LRUPolicy,
     ) -> None:
         self.backing = backing
-        self.levels: List[HierarchyLevel] = []
-        # Build bottom-up: each level's pool reads through to the composite
-        # below it.  We implement the chain by letting each level's pool
-        # target the backing device, but routing traffic level by level in
-        # read()/write() so per-level counters stay exact.
-        for spec in levels:
-            self.levels.append(HierarchyLevel(spec, backing, policy_factory()))
+        self.meter = _BackingMeter(backing)
+        below: BlockStore = self.meter
+        built: List[HierarchyLevel] = []
+        for spec in reversed(list(levels)):
+            level = HierarchyLevel(spec, below, policy_factory())
+            built.append(level)
+            below = level
+        self.levels = list(reversed(built))
+        # Exclusive levels receive the clean victims of the level above.
+        for upper, lower in zip(self.levels, self.levels[1:]):
+            if lower.spec.inclusion == EXCLUSIVE:
+                upper.pool.victim_store = lower
 
     # ------------------------------------------------------------------
     def read(self, block_id: BlockId) -> object:
         """Read a block through the hierarchy, top level first."""
-        missed: List[HierarchyLevel] = []
-        for level in self.levels:
-            frame = level.pool._frames.get(block_id)
-            if frame is not None:
-                level.counters.reads_served += 1
-                level.pool.stats.hits += 1
-                level.pool.policy.on_access(block_id)
-                payload = frame.payload
-                self._fill_upwards(missed, block_id, payload)
-                return payload
-            level.counters.reads_passed_down += 1
-            level.pool.stats.misses += 1
-            missed.append(level)
-        payload = self.backing.read(block_id)
-        self._fill_upwards(missed, block_id, payload)
-        return payload
+        top: BlockStore = self.levels[0] if self.levels else self.meter
+        return top.read(block_id)
 
     def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
-        """Write a block at the top level (write-back down the stack).
+        """Write a block at the top level.
 
-        The write is absorbed by the first level with capacity; lower
-        levels see it only on eviction or flush.  A hierarchy with no
-        levels writes straight to the backing device.
+        Under write-back the write is absorbed by the top level with
+        capacity; lower levels see it only on eviction or flush.  A
+        hierarchy with no levels writes straight to the backing device.
         """
-        for level in self.levels:
-            if level.spec.capacity_blocks > 0:
-                level.counters.writes_served += 1
-                self._pool_write(level, block_id, payload, used_bytes)
-                return
-            level.counters.writes_passed_down += 1
-        self.backing.write(block_id, payload, used_bytes)
+        top: BlockStore = self.levels[0] if self.levels else self.meter
+        top.write(block_id, payload, used_bytes)
+
+    def peek(self, block_id: BlockId) -> object:
+        """The hierarchy's newest copy of a block, without charging I/O."""
+        top: BlockStore = self.levels[0] if self.levels else self.meter
+        return top.peek(block_id)
 
     def flush(self) -> None:
-        """Flush every level's dirty frames down to the backing device."""
+        """Flush dirty frames down the stack, top level first.
+
+        The ordering matters: flushing level 0 pushes its dirty frames
+        into level 1's pool, whose own flush then carries everything to
+        level 2, and so on until the backing device is authoritative.
+        """
         for level in self.levels:
             level.pool.flush()
 
@@ -167,27 +390,89 @@ class MemoryHierarchy:
         rows.append((self.backing.name, self.backing.allocated_bytes))
         return rows
 
-    # ------------------------------------------------------------------
-    def _fill_upwards(
-        self, missed: List[HierarchyLevel], block_id: BlockId, payload: object
-    ) -> None:
-        """Install a block into every level that missed on the way down."""
-        for level in missed:
-            if level.spec.capacity_blocks > 0:
-                level.pool._admit(block_id, payload, used_bytes=0, dirty=False)
+    @property
+    def backing_reads(self) -> int:
+        """Reads that reached the backing device through the chain."""
+        return self.meter.reads_in
 
-    @staticmethod
-    def _pool_write(
-        level: HierarchyLevel, block_id: BlockId, payload: object, used_bytes: int
-    ) -> None:
-        pool = level.pool
-        frame = pool._frames.get(block_id)
-        if frame is not None:
-            pool.stats.hits += 1
-            frame.payload = payload
-            frame.used_bytes = used_bytes
-            frame.dirty = True
-            pool.policy.on_access(block_id)
-        else:
-            pool.stats.misses += 1
-            pool._admit(block_id, payload, used_bytes=used_bytes, dirty=True)
+    @property
+    def backing_writes(self) -> int:
+        """Writes that reached the backing device through the chain."""
+        return self.meter.writes_in
+
+    @property
+    def simulated_time(self) -> float:
+        """Hierarchy-wide latency: per-level cost models aggregated with
+        the backing device's pricing of the traffic that reached it."""
+        return sum(level.simulated_time for level in self.levels) + (
+            self.meter.simulated_time
+        )
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """Attach one tracer to every level's pool and the backing device.
+
+        A single ordered stream then shows the whole vertical slice:
+        per-level evictions and write-backs (source ``pool(<level>)``)
+        interleaved with the physical traffic reaching backing.
+        """
+        for level in self.levels:
+            level.pool.set_tracer(tracer)
+        self.backing.set_tracer(tracer)
+
+    # ------------------------------------------------------------------
+    def audit(self) -> List[str]:
+        """Structural invariants of the chain; one string per violation.
+
+        * **Conservation** — the traffic level ``n`` counted as passed
+          down equals the traffic level ``n+1`` (or the backing meter)
+          counted as arriving; the two sides increment on independent
+          code paths, so any bypass or double-count shows up here.
+        * **Clean-frame coherence** — no level may hold a clean frame
+          whose payload (or declared occupancy) differs from the
+          authoritative copy below it; a violation means a read could
+          serve stale data, the layering bug the chained design exists
+          to prevent.
+        """
+        violations: List[str] = []
+        for index, level in enumerate(self.levels):
+            below_counts: Tuple[int, int]
+            if index + 1 < len(self.levels):
+                lower = self.levels[index + 1].counters
+                below_name = self.levels[index + 1].name
+                below_counts = (lower.reads_in, lower.writes_in)
+            else:
+                below_name = self.meter.name
+                below_counts = (self.meter.reads_in, self.meter.writes_in)
+            counters = level.counters
+            if counters.reads_down != below_counts[0]:
+                violations.append(
+                    f"conservation: {level.name} passed down "
+                    f"{counters.reads_down} reads but {below_name} "
+                    f"received {below_counts[0]}"
+                )
+            if counters.writes_down != below_counts[1]:
+                violations.append(
+                    f"conservation: {level.name} passed down "
+                    f"{counters.writes_down} writes but {below_name} "
+                    f"received {below_counts[1]}"
+                )
+        for level in self.levels:
+            name, below = level.name, level.below
+            for frame in level.pool.iter_frames():
+                if frame.dirty:
+                    continue
+                authoritative = below.peek(frame.block_id)
+                if frame.payload != authoritative:
+                    violations.append(
+                        f"coherence: {name} holds clean block "
+                        f"{frame.block_id} = {frame.payload!r} but the "
+                        f"level below says {authoritative!r}"
+                    )
+                below_used = below.used_bytes_of(frame.block_id)
+                if frame.used_bytes != below_used:
+                    violations.append(
+                        f"coherence: {name} clean block {frame.block_id} "
+                        f"declares used_bytes={frame.used_bytes} but the "
+                        f"level below says {below_used}"
+                    )
+        return violations

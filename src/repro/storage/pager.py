@@ -1,9 +1,39 @@
-"""Buffer pool over a simulated device.
+"""Buffer pool over any block store.
 
 The buffer pool is the mechanism through which the *vertical* view of the
 RUM tradeoffs (paper, Figure 2) materializes: caching blocks at a faster
 level reduces the read/update traffic that reaches the level below, at the
 price of memory overhead at the caching level.
+
+The pool targets any :class:`~repro.storage.store.BlockStore` — a
+:class:`~repro.storage.device.SimulatedDevice`, a fault-injecting proxy,
+or *another pool* — which is what lets
+:class:`~repro.storage.hierarchy.MemoryHierarchy` build a genuinely
+chained stack: each level's pool sits on the level below it, so misses
+read through one level at a time and dirty evictions land in the next
+level down rather than teleporting to the backing device.  The pool
+itself satisfies :class:`~repro.storage.store.BlockStore`.
+
+Two write policies are supported:
+
+* *write-back* (default): writes dirty a frame; the store below sees
+  them only on eviction or flush.
+* *write-through*: writes update the frame (kept clean) **and** pass
+  down immediately.
+
+and two admission modes:
+
+* *admit on read* (default, inclusive caching): read misses install the
+  fetched block.
+* *no admit on read* (exclusive victim-fill caching): read misses pass
+  through uncached; the pool holds only blocks pushed into it —
+  write-backs from above and clean victims offered via
+  :meth:`fill_clean`.
+
+Besides hit/miss statistics the pool counts its *outgoing* traffic
+(``stats.demand_reads``, ``stats.downstream_writes``), which is what the
+hierarchy's conservation audit compares against the next level's
+incoming counts.
 
 Two classic eviction policies are provided (LRU and Clock); both are
 deterministic so experiments are reproducible.
@@ -18,7 +48,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.storage.block import BlockId
-from repro.storage.device import SimulatedDevice
+from repro.storage.store import BlockStore
 
 
 class EvictionPolicy(ABC):
@@ -91,12 +121,22 @@ class ClockPolicy(EvictionPolicy):
 
 @dataclass
 class PoolStats:
-    """Hit/miss statistics of a buffer pool."""
+    """Hit/miss and outgoing-traffic statistics of a buffer pool.
+
+    ``demand_reads`` counts reads the pool issued to the store below
+    (one per read miss); ``downstream_writes`` counts writes issued
+    below from any cause — dirty-eviction write-backs, flush
+    write-backs, write-through propagation and capacity-0 pass-through.
+    The hierarchy's conservation audit checks these against the next
+    level's incoming traffic.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     write_backs: int = 0
+    demand_reads: int = 0
+    downstream_writes: int = 0
 
     @property
     def accesses(self) -> int:
@@ -114,31 +154,72 @@ class _Frame:
     dirty: bool
 
 
+@dataclass(frozen=True)
+class FrameView:
+    """Read-only view of one cached frame, for audits and space reports."""
+
+    block_id: BlockId
+    payload: object
+    used_bytes: int
+    dirty: bool
+
+
 class BufferPool:
-    """Write-back block cache of fixed capacity over a device.
+    """Block cache of fixed capacity over any :class:`BlockStore`.
 
     Reads and writes of cached blocks are served from the pool without
-    touching the underlying device; misses read through, and evictions of
+    touching the underlying store; misses read through, and evictions of
     dirty frames write back.  ``capacity_blocks == 0`` degenerates to a
-    pass-through (every access reaches the device), which is the "no
-    memory overhead at level n-1" end of Figure 2.
+    pass-through (every access reaches the store below), which is the
+    "no memory overhead at level n-1" end of Figure 2.
+
+    Parameters
+    ----------
+    device:
+        The store below — a device, a proxy, or another pool.
+    capacity_blocks:
+        Frame budget; 0 degenerates to pass-through.
+    policy:
+        Eviction policy (default LRU).
+    write_through:
+        When true, writes keep their frame clean and propagate down
+        immediately instead of waiting for eviction/flush.
+    admit_on_read:
+        When false (exclusive victim-fill caching), read misses pass
+        through without installing a frame; only writes and
+        :meth:`fill_clean` populate the pool.
     """
 
     def __init__(
         self,
-        device: SimulatedDevice,
+        device: BlockStore,
         capacity_blocks: int,
         policy: Optional[EvictionPolicy] = None,
+        *,
+        write_through: bool = False,
+        admit_on_read: bool = True,
     ) -> None:
         if capacity_blocks < 0:
             raise ValueError("capacity_blocks must be non-negative")
         self.device = device
         self.capacity_blocks = capacity_blocks
         self.policy = policy if policy is not None else LRUPolicy()
+        self.write_through = write_through
+        self.admit_on_read = admit_on_read
         self.stats = PoolStats()
         self.name = f"pool({device.name})"
         self.tracer: Tracer = NULL_TRACER
+        #: Optional sink for *clean* victims (exclusive victim-fill
+        #: caching): when set, a clean evicted frame is offered to it via
+        #: ``accept_victim(block_id, payload, used_bytes)`` instead of
+        #: being dropped.  Dirty victims always write back normally.
+        self.victim_store = None
         self._frames: Dict[BlockId, _Frame] = {}
+
+    @property
+    def block_bytes(self) -> int:
+        """Block granularity, inherited from the store below."""
+        return self.device.block_bytes
 
     def set_tracer(self, tracer: Tracer) -> None:
         """Attach a tracer; evictions and write-backs emit events."""
@@ -153,35 +234,52 @@ class BufferPool:
             self.policy.on_access(block_id)
             return frame.payload
         self.stats.misses += 1
+        self.stats.demand_reads += 1
         payload = self.device.read(block_id)
-        self._admit(block_id, payload, used_bytes=0, dirty=False)
+        if self.admit_on_read:
+            # Carry the block's true occupancy so a write-back of a
+            # read-admitted-then-evicted frame (and mid-run space
+            # statistics) report the real used_bytes, not zero.
+            self._admit(
+                block_id,
+                payload,
+                used_bytes=self.device.used_bytes_of(block_id),
+                dirty=False,
+            )
         return payload
 
     def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
-        """Write into the cache (write-back).
+        """Write into the cache.
 
-        The device only sees the write when the frame is evicted or the
-        pool is flushed.
+        Under write-back the store below only sees the write when the
+        frame is evicted or the pool is flushed; under write-through the
+        write also propagates down immediately and the frame stays clean.
         """
+        dirty = not self.write_through
         frame = self._frames.get(block_id)
         if frame is not None:
             self.stats.hits += 1
             frame.payload = payload
             frame.used_bytes = used_bytes
-            frame.dirty = True
+            frame.dirty = dirty
             self.policy.on_access(block_id)
-            return
-        self.stats.misses += 1
-        if self.capacity_blocks == 0:
+        else:
+            self.stats.misses += 1
+            if self.capacity_blocks == 0:
+                self.stats.downstream_writes += 1
+                self.device.write(block_id, payload, used_bytes)
+                return
+            self._admit(block_id, payload, used_bytes=used_bytes, dirty=dirty)
+        if self.write_through:
+            self.stats.downstream_writes += 1
             self.device.write(block_id, payload, used_bytes)
-            return
-        self._admit(block_id, payload, used_bytes=used_bytes, dirty=True)
 
     def flush(self) -> None:
         """Write back every dirty frame (frames stay cached, now clean)."""
         for block_id in sorted(self._frames):
             frame = self._frames[block_id]
             if frame.dirty:
+                self.stats.downstream_writes += 1
                 self.device.write(block_id, frame.payload, frame.used_bytes)
                 self.stats.write_backs += 1
                 frame.dirty = False
@@ -197,14 +295,53 @@ class BufferPool:
         """A block's current payload without I/O, stats or policy updates.
 
         Serves the cached frame when present (it may be dirty and newer
-        than the device copy), otherwise falls through to the device's
-        own ``peek``.  Debugging/assertion aid, like
+        than the copy below), otherwise falls through to the store's own
+        ``peek``.  Debugging/assertion aid, like
         :meth:`~repro.storage.device.SimulatedDevice.peek`.
         """
         frame = self._frames.get(block_id)
         if frame is not None:
             return frame.payload
         return self.device.peek(block_id)
+
+    def used_bytes_of(self, block_id: BlockId) -> int:
+        """Declared occupancy, preferring the cached frame's, no I/O."""
+        frame = self._frames.get(block_id)
+        if frame is not None:
+            return frame.used_bytes
+        return self.device.used_bytes_of(block_id)
+
+    def contains(self, block_id: BlockId) -> bool:
+        """Whether a frame for ``block_id`` is cached (no side effects)."""
+        return block_id in self._frames
+
+    def fill_clean(self, block_id: BlockId, payload: object, used_bytes: int) -> None:
+        """Install a *clean* frame without counting a hit or a miss.
+
+        The entry point for exclusive victim-fill caching: the level
+        above offers its clean victims here.  Admitting into a full pool
+        still evicts (and write-backs charge) normally.  A no-op when the
+        block is already cached — the resident copy may be dirty and
+        newer than the offered one.
+        """
+        if self.capacity_blocks == 0 or block_id in self._frames:
+            return
+        self._admit(block_id, payload, used_bytes=used_bytes, dirty=False)
+
+    def iter_frames(self) -> Iterator[FrameView]:
+        """Read-only views of every cached frame, for audits.
+
+        The public replacement for reaching into the frame table;
+        ``tools/lint_counters.py`` rejects ``._frames`` access outside
+        this module.
+        """
+        for block_id, frame in self._frames.items():
+            yield FrameView(
+                block_id=block_id,
+                payload=frame.payload,
+                used_bytes=frame.used_bytes,
+                dirty=frame.dirty,
+            )
 
     def iter_dirty(self) -> Iterator[Tuple[BlockId, int]]:
         """Yield ``(block_id, used_bytes)`` for each dirty frame.
@@ -230,6 +367,11 @@ class BufferPool:
         return len(self._frames)
 
     @property
+    def dirty_blocks(self) -> int:
+        """Number of frames holding unflushed writes."""
+        return sum(1 for frame in self._frames.values() if frame.dirty)
+
+    @property
     def cached_bytes(self) -> int:
         """Space consumed by the cache, for MO accounting at this level."""
         return len(self._frames) * self.device.block_bytes
@@ -248,6 +390,7 @@ class BufferPool:
             if self.tracer.enabled:
                 self.tracer.emit(source=self.name, op="evict", block_id=victim)
             if victim_frame.dirty:
+                self.stats.downstream_writes += 1
                 self.device.write(victim, victim_frame.payload, victim_frame.used_bytes)
                 self.stats.write_backs += 1
                 if self.tracer.enabled:
@@ -257,5 +400,9 @@ class BufferPool:
                         block_id=victim,
                         nbytes=self.device.block_bytes,
                     )
+            elif self.victim_store is not None:
+                self.victim_store.accept_victim(
+                    victim, victim_frame.payload, victim_frame.used_bytes
+                )
         self._frames[block_id] = _Frame(payload=payload, used_bytes=used_bytes, dirty=dirty)
         self.policy.on_insert(block_id)

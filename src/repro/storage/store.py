@@ -1,0 +1,69 @@
+"""The ``BlockStore`` protocol: anything a buffer pool can sit on.
+
+The memory-hierarchy simulator (Figure 2) composes storage components
+vertically: a :class:`~repro.storage.pager.BufferPool` over a
+:class:`~repro.storage.device.SimulatedDevice`, a pool over another
+pool, a pool over a fault-injecting proxy.  For that composition to be
+*genuinely chained* — misses, write-backs and flushes cascading level by
+level instead of teleporting to the backing device — every layer must
+speak the same small interface.  This module names it.
+
+A :class:`BlockStore` is the read/write surface of one storage layer:
+
+``read(block_id)``
+    Return a block's payload, charging whatever that layer charges.
+``write(block_id, payload, used_bytes=0)``
+    Replace a block's payload, declaring its logical occupancy.
+``peek(block_id)``
+    The current payload without I/O, stats or policy effects —
+    the layer's *newest* copy (a dirty cached frame beats the copy
+    below it).  Debugging/audit surface only.
+``used_bytes_of(block_id)``
+    The block's declared logical occupancy, without charging I/O,
+    preferring an unflushed dirty frame's value where one exists.
+``block_bytes`` / ``name``
+    The block granularity and a label for traces and reports.
+
+:class:`~repro.storage.device.SimulatedDevice` satisfies it natively,
+:class:`~repro.storage.pager.BufferPool` satisfies it so pools stack,
+and the device wrappers (:class:`~repro.storage.cached.CachedDevice`,
+:class:`~repro.check.faults.FaultyDevice`) satisfy it by inheritance —
+so a hierarchy level can sit on any of them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.storage.block import BlockId
+
+
+@runtime_checkable
+class BlockStore(Protocol):
+    """Structural interface of one storage layer (see module docstring)."""
+
+    @property
+    def block_bytes(self) -> int:
+        """Block granularity of this store, in bytes."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def name(self) -> str:
+        """Label used in traces and reports."""
+        ...  # pragma: no cover - protocol
+
+    def read(self, block_id: BlockId) -> object:
+        """Read a block's payload through this layer."""
+        ...  # pragma: no cover - protocol
+
+    def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
+        """Write a block's payload through this layer."""
+        ...  # pragma: no cover - protocol
+
+    def peek(self, block_id: BlockId) -> object:
+        """The layer's newest copy of a block, without charging I/O."""
+        ...  # pragma: no cover - protocol
+
+    def used_bytes_of(self, block_id: BlockId) -> int:
+        """Declared logical occupancy of a block, without charging I/O."""
+        ...  # pragma: no cover - protocol

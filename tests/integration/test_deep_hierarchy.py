@@ -96,3 +96,94 @@ class TestThreeLevels:
         hierarchy.flush()
         for index, block in enumerate(blocks):
             assert backing.peek(block) == f"updated-{index}"
+
+
+class TestStaleReadRegression:
+    """Pins the layering bug the chained stack fixes.
+
+    The old hierarchy pointed every level's pool at the backing device,
+    so a dirty eviction from level 0 bypassed level 1 — which kept a
+    clean copy of the *old* payload and served it on a later read.
+    In the chained design the eviction lands in level 1's pool, so the
+    read below must observe the newest value.
+    """
+
+    def test_dirty_eviction_cannot_bypass_the_middle_level(self):
+        backing = SimulatedDevice(block_bytes=64, name="flash")
+        b0, b1 = _seed(backing, 2)
+        hierarchy = MemoryHierarchy(
+            backing, [LevelSpec("cache", 1), LevelSpec("dram", 8)]
+        )
+        hierarchy.read(b0)            # cache and dram both hold b0, clean
+        hierarchy.write(b0, "newer")  # dirties only the cache frame
+        hierarchy.read(b1)            # evicts b0 from the 1-frame cache
+        # The dirty eviction must land in dram, not teleport to flash:
+        # a dram hit on the next read has to serve the newest payload.
+        assert hierarchy.read(b0) == "newer"
+        assert hierarchy.level("dram").counters.reads_served >= 1
+        assert hierarchy.audit() == []
+
+    def test_flush_cascades_level_by_level(self):
+        backing = SimulatedDevice(block_bytes=64, name="flash")
+        (block,) = _seed(backing, 1)
+        hierarchy = MemoryHierarchy(
+            backing, [LevelSpec("cache", 2), LevelSpec("dram", 4)]
+        )
+        backing.reset_counters()
+        hierarchy.write(block, "updated")
+        hierarchy.flush()
+        assert backing.peek(block) == "updated"
+        # The write traveled cache -> dram -> flash: both levels passed
+        # exactly one write down, and the backing device saw exactly one.
+        assert hierarchy.level("cache").counters.writes_passed_down == 1
+        assert hierarchy.level("dram").counters.writes_passed_down == 1
+        assert hierarchy.backing_writes == 1
+        assert backing.counters.writes == 1
+
+
+class TestChainedConservation:
+    def test_conservation_holds_through_a_mixed_workload(self):
+        backing = SimulatedDevice(block_bytes=64, name="flash")
+        blocks = _seed(backing, 128)
+        hierarchy = MemoryHierarchy(
+            backing,
+            [LevelSpec("cache", 4), LevelSpec("dram", 16), LevelSpec("l3", 48)],
+        )
+        rng = random.Random(11)
+        for index in _skewed_pattern(128, 3000):
+            if rng.random() < 0.3:
+                hierarchy.write(blocks[index], f"v-{index}")
+            else:
+                hierarchy.read(blocks[index])
+        assert hierarchy.audit() == []
+        cache, dram, l3 = (
+            hierarchy.level(name).counters for name in ("cache", "dram", "l3")
+        )
+        assert cache.reads_passed_down == dram.reads_reaching
+        assert dram.reads_passed_down == l3.reads_reaching
+        assert l3.reads_passed_down == hierarchy.backing_reads
+        assert cache.writes_passed_down == dram.writes_reaching
+        assert dram.writes_passed_down == l3.writes_reaching
+        assert l3.writes_passed_down == hierarchy.backing_writes
+        hierarchy.flush()
+        assert hierarchy.audit() == []
+
+    def test_exclusive_middle_level_caches_only_victims(self):
+        backing = SimulatedDevice(block_bytes=64, name="flash")
+        blocks = _seed(backing, 64)
+        hierarchy = MemoryHierarchy(
+            backing,
+            [
+                LevelSpec("cache", 8),
+                LevelSpec("dram", 32, inclusion="exclusive"),
+            ],
+        )
+        for index in _skewed_pattern(64, 1500):
+            hierarchy.read(blocks[index])
+        dram = hierarchy.level("dram")
+        # Every dram frame arrived as a victim pushed down from the
+        # cache, never as a demand-read admission.
+        assert dram.counters.victims_accepted > 0
+        assert dram.pool.cached_blocks <= dram.counters.victims_accepted
+        assert dram.counters.reads_served > 0  # victims do serve hits
+        assert hierarchy.audit() == []

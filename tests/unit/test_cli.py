@@ -306,3 +306,52 @@ class TestAudit:
     def test_audit_unknown_method_rejected(self):
         with pytest.raises(KeyError):
             main(["audit", "--methods", "btree,nonexistent"] + self.ARGS)
+
+
+class TestHierarchy:
+    ARGS = ["hierarchy", "--blocks", "96", "--accesses", "1200"]
+
+    @staticmethod
+    def _table_rows(out):
+        """Numeric cells of the per-level table, one list per data row."""
+        lines = out.splitlines()
+        start = next(i for i, line in enumerate(lines) if line.startswith("-----"))
+        rows = []
+        for line in lines[start + 1:]:
+            cells = line.split()
+            if len(cells) < 7 or not cells[1].isdigit():
+                break
+            rows.append((cells[0], [int(cell) for cell in cells[2:7]]))
+        return rows
+
+    def test_exits_zero_and_audit_holds(self, capsys):
+        assert main(self.ARGS + ["--capacities", "8,32"]) == 0
+        out = capsys.readouterr().out
+        assert "per-level traffic" in out
+        assert "conservation and clean-frame coherence hold" in out
+
+    def test_table_rows_sum_consistently(self, capsys):
+        assert main(self.ARGS + ["--capacities", "4,16,48"]) == 0
+        out = capsys.readouterr().out
+        rows = self._table_rows(out)
+        assert len(rows) == 4  # three levels plus the backing row
+        for (_, upper), (_, lower) in zip(rows, rows[1:]):
+            reads_in, reads_served, reads_down, writes_in, writes_down = upper
+            assert reads_in == reads_served + reads_down
+            assert lower[0] == reads_down      # reads reaching next level
+            assert lower[3] == writes_down     # writes reaching next level
+
+    def test_write_through_reaches_backing(self, capsys):
+        assert main(self.ARGS + [
+            "--capacities", "8,32", "--write-policy", "write-through",
+        ]) == 0
+        rows = self._table_rows(capsys.readouterr().out)
+        top_writes_in = rows[0][1][3]
+        backing_writes_in = rows[-1][1][3]
+        assert backing_writes_in == top_writes_in  # every write flows down
+
+    def test_bad_capacities_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["hierarchy", "--capacities", "eight"])
+        with pytest.raises(SystemExit):
+            main(["hierarchy", "--capacities", ""])

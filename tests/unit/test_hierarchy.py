@@ -137,3 +137,124 @@ class TestIntrospection:
         assert rows[0][0] == "L0"
         assert rows[-1][0] == "disk"
         assert rows[-1][1] == 4 * backing.block_bytes
+
+
+class TestWritePolicies:
+    def test_write_through_level_passes_every_write_down(self, backing):
+        (block,) = _seed(backing, 1)
+        from repro.storage.hierarchy import LevelSpec, MemoryHierarchy
+
+        hierarchy = MemoryHierarchy(
+            backing,
+            [
+                LevelSpec("cache", 2, write_policy="write-through"),
+                LevelSpec("dram", 4, write_policy="write-through"),
+            ],
+        )
+        backing.reset_counters()
+        hierarchy.write(block, "v1")
+        assert backing.counters.writes == 1
+        assert backing.peek(block) == "v1"
+        # Frames stayed clean at both levels but still serve reads.
+        assert hierarchy.levels[0].pool.dirty_blocks == 0
+        assert hierarchy.levels[1].pool.dirty_blocks == 0
+        assert hierarchy.read(block) == "v1"
+        assert backing.counters.reads == 0
+        assert hierarchy.audit() == []
+
+    def test_write_back_defers_until_flush(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [2, 4])
+        backing.reset_counters()
+        hierarchy.write(block, "v1")
+        assert backing.counters.writes == 0
+        hierarchy.flush()
+        assert backing.counters.writes == 1
+        assert hierarchy.audit() == []
+
+    def test_invalid_policy_rejected(self):
+        from repro.storage.hierarchy import LevelSpec
+
+        with pytest.raises(ValueError):
+            LevelSpec("bad", 2, write_policy="write-around")
+        with pytest.raises(ValueError):
+            LevelSpec("bad", 2, inclusion="nine")
+
+
+class TestAudit:
+    def test_clean_run_audits_clean(self, backing):
+        blocks = _seed(backing, 16)
+        hierarchy = make_hierarchy(backing, [2, 8])
+        for block in blocks:
+            hierarchy.read(block)
+            hierarchy.write(block, "w")
+        assert hierarchy.audit() == []
+
+    def test_audit_catches_a_planted_stale_frame(self, backing):
+        b0, b1 = _seed(backing, 2)
+        hierarchy = make_hierarchy(backing, [2, 8])
+        hierarchy.read(b0)
+        # Corrupt the backing copy behind the hierarchy's back: the
+        # clean frames above now disagree with the authoritative copy.
+        backing.write(b0, "mutated-behind-the-cache")
+        violations = hierarchy.audit()
+        assert any("coherence" in violation for violation in violations)
+
+    def test_audit_checks_conservation_both_sides(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [2, 4])
+        hierarchy.read(block)
+        # Traffic injected directly into a lower level (not via the
+        # chain) breaks the passed-down == reaching equality.
+        hierarchy.levels[1].read(block)
+        violations = hierarchy.audit()
+        assert any("conservation" in violation for violation in violations)
+
+
+class TestSimulatedTime:
+    def test_per_level_costs_aggregate(self, backing):
+        from repro.storage.device import CostModel
+        from repro.storage.hierarchy import LevelSpec, MemoryHierarchy
+
+        (block,) = _seed(backing, 1)
+        hierarchy = MemoryHierarchy(
+            backing,
+            [
+                LevelSpec("cache", 2, cost_model=CostModel(0.1, 0.1, 0.2, 0.2)),
+                LevelSpec("dram", 4, access_cost=1.0),
+            ],
+        )
+        hierarchy.read(block)   # misses both levels, reaches backing
+        hierarchy.read(block)   # cache hit
+        # cache: 2 reads x 0.1; dram: 1 read x 1.0; backing: 1 random read.
+        expected = 2 * 0.1 + 1 * 1.0 + backing.cost_model.random_read
+        assert hierarchy.simulated_time == pytest.approx(expected)
+
+    def test_backing_pricing_survives_counter_resets(self, backing):
+        (block,) = _seed(backing, 1)
+        hierarchy = make_hierarchy(backing, [0])
+        backing.reset_counters()
+        hierarchy.read(block)
+        before = hierarchy.simulated_time
+        backing.reset_counters()  # must not zero the hierarchy's meter
+        assert hierarchy.simulated_time == before
+        assert hierarchy.backing_reads == 1
+
+
+class TestTracing:
+    def test_per_level_evict_and_write_back_events(self, backing):
+        from repro.obs.sinks import ListSink
+        from repro.obs.tracer import RecordingTracer
+
+        b0, b1 = _seed(backing, 2)
+        hierarchy = make_hierarchy(backing, [1, 4])
+        sink = ListSink()
+        hierarchy.set_tracer(RecordingTracer(sink))
+        hierarchy.write(b0, "v0")
+        hierarchy.write(b1, "v1")  # evicts dirty b0 out of the top level
+        sources = {
+            event.source for event in sink.events if event.op == "write_back"
+        }
+        assert "pool(L0)" in sources  # the event names the level
+        evicts = [event for event in sink.events if event.op == "evict"]
+        assert evicts and evicts[0].block_id == b0

@@ -89,3 +89,42 @@ def test_lint_ignores_reads_and_other_attributes():
         """
     )
     assert lint_counters.violations_in_source(fine, "fine.py") == []
+
+
+def test_lint_flags_frame_table_access_anywhere():
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        def sneaky(pool, level):
+            frame = pool._frames.get(7)            # read access
+            level.pool._frames[7] = frame          # write access
+            return frame
+        """
+    )
+    violations = lint_counters.violations_in_source(bad, "bad.py")
+    targets = {target for _, _, target in violations}
+    assert "pool._frames" in targets
+    assert "level.pool._frames" in targets
+
+
+def test_lint_frames_rule_applies_inside_storage_modules():
+    lint_counters = _lint_counters()
+    bad = "def sneaky(pool):\n    return pool._frames\n"
+    violations = lint_counters.violations_in_source(
+        bad, "hierarchy.py", frames_only=True
+    )
+    assert len(violations) == 1
+    # frames_only skips the device/counter rules entirely.
+    also_device = "def ok(device):\n    device.counters.reads += 1\n"
+    assert lint_counters.violations_in_source(
+        also_device, "storage_mod.py", frames_only=True
+    ) == []
+
+
+def test_lint_tree_skips_pager_itself():
+    lint_counters = _lint_counters()
+    violations = lint_counters.check_tree(SRC_PATH)
+    assert violations == [], (
+        "frame table reached outside pager.py:\n"
+        + "\n".join(f"{path}:{line}: {target}" for path, line, target in violations)
+    )

@@ -180,3 +180,149 @@ class TestPeekAndDirtyIteration:
         assert list(pool.iter_dirty()) == [(second, 16)]
         pool.flush()
         assert list(pool.iter_dirty()) == []
+
+
+class TestBlockStoreSurface:
+    """The pool is itself a BlockStore: pools stack on pools."""
+
+    def test_pool_satisfies_the_protocol(self, backing):
+        from repro.storage.store import BlockStore
+
+        pool = BufferPool(backing, capacity_blocks=4)
+        assert isinstance(pool, BlockStore)
+        assert isinstance(backing, BlockStore)
+        assert pool.block_bytes == backing.block_bytes
+
+    def test_pool_over_pool_chains_misses(self, backing):
+        (block,) = _seed(backing, 1)
+        lower = BufferPool(backing, capacity_blocks=8)
+        upper = BufferPool(lower, capacity_blocks=2)
+        backing.reset_counters()
+        assert upper.read(block) == "payload-0"
+        assert backing.counters.reads == 1
+        assert lower.stats.misses == 1 and upper.stats.misses == 1
+        upper.invalidate(block)
+        # Still cached in the lower pool: no backing I/O on the re-read.
+        assert upper.read(block) == "payload-0"
+        assert backing.counters.reads == 1
+        assert lower.stats.hits == 1
+
+    def test_dirty_eviction_lands_in_the_lower_pool(self, backing):
+        b0, b1 = _seed(backing, 2)
+        lower = BufferPool(backing, capacity_blocks=8)
+        upper = BufferPool(lower, capacity_blocks=1)
+        backing.reset_counters()
+        upper.write(b0, "newer", used_bytes=8)
+        upper.read(b1)  # evicts dirty b0 into the lower pool
+        assert backing.counters.writes == 0
+        assert lower.peek(b0) == "newer"
+        assert upper.stats.write_backs == 1
+
+    def test_used_bytes_of_prefers_the_cached_frame(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=2)
+        pool.write(block, "x", used_bytes=48)
+        assert pool.used_bytes_of(block) == 48
+        assert backing.used_bytes_of(block) == 0  # not yet flushed
+
+
+class TestReadAdmissionOccupancy:
+    def test_read_miss_admits_with_true_used_bytes(self, backing):
+        (block,) = _seed(backing, 1)
+        backing.write(block, "payload-0", used_bytes=40)
+        pool = BufferPool(backing, capacity_blocks=2)
+        pool.read(block)
+        (frame,) = pool.iter_frames()
+        assert frame.used_bytes == 40
+        assert not frame.dirty
+
+    def test_outgoing_traffic_counters(self, backing):
+        b0, b1 = _seed(backing, 2)
+        pool = BufferPool(backing, capacity_blocks=1)
+        backing.reset_counters()
+        pool.read(b0)
+        pool.write(b0, "v", used_bytes=8)
+        pool.read(b1)   # evicts dirty b0 -> one downstream write
+        pool.flush()    # no dirty frames left dirty? b1 clean, so no-op
+        assert pool.stats.demand_reads == 2
+        assert pool.stats.downstream_writes == 1
+        assert backing.counters.reads == 2
+        assert backing.counters.writes == 1
+
+
+class TestWriteThrough:
+    def test_write_through_propagates_and_stays_clean(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=2, write_through=True)
+        backing.reset_counters()
+        pool.write(block, "v1", used_bytes=16)
+        assert backing.counters.writes == 1
+        assert backing.peek(block) == "v1"
+        assert pool.dirty_blocks == 0
+        assert pool.contains(block)  # still cached for fast reads
+        assert pool.stats.downstream_writes == 1
+
+    def test_write_through_hit_also_propagates(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=2, write_through=True)
+        pool.write(block, "v1")
+        backing.reset_counters()
+        pool.write(block, "v2")
+        assert backing.counters.writes == 1
+        assert backing.peek(block) == "v2"
+
+    def test_flush_after_write_through_is_a_noop(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=2, write_through=True)
+        pool.write(block, "v1")
+        backing.reset_counters()
+        pool.flush()
+        assert backing.counters.writes == 0
+
+
+class TestExclusiveAdmission:
+    def test_no_admit_on_read(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=4, admit_on_read=False)
+        pool.read(block)
+        assert not pool.contains(block)
+        assert pool.stats.demand_reads == 1
+
+    def test_fill_clean_installs_without_stats(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=4, admit_on_read=False)
+        pool.fill_clean(block, "payload-0", 12)
+        assert pool.contains(block)
+        assert pool.stats.accesses == 0
+        backing.reset_counters()
+        assert pool.read(block) == "payload-0"
+        assert backing.counters.reads == 0  # served by the filled frame
+
+    def test_fill_clean_never_clobbers_a_resident_frame(self, backing):
+        (block,) = _seed(backing, 1)
+        pool = BufferPool(backing, capacity_blocks=4)
+        pool.write(block, "dirty-newer", used_bytes=8)
+        pool.fill_clean(block, "stale", 0)
+        assert pool.peek(block) == "dirty-newer"
+        assert pool.dirty_blocks == 1
+
+    def test_clean_victims_are_offered_to_the_victim_store(self, backing):
+        b0, b1 = _seed(backing, 2)
+        lower = BufferPool(backing, capacity_blocks=8, admit_on_read=False)
+
+        class _Sink:
+            def __init__(self):
+                self.offered = []
+
+            def accept_victim(self, block_id, payload, used_bytes):
+                self.offered.append((block_id, payload, used_bytes))
+                lower.fill_clean(block_id, payload, used_bytes)
+
+        sink = _Sink()
+        upper = BufferPool(backing, capacity_blocks=1)
+        upper.victim_store = sink
+        upper.read(b0)
+        upper.read(b1)  # evicts clean b0 -> offered, not written back
+        assert sink.offered and sink.offered[0][0] == b0
+        assert lower.contains(b0)
+        assert upper.stats.write_backs == 0

@@ -13,7 +13,14 @@ substrate.  This checker walks the AST of every module under
   (``self.device._blocks``, ``backing._used_total``, ...).  Methods and
   audits must go through the public no-I/O surface (``peek``,
   ``kind_of``, ``used_bytes_of``, ``iter_block_ids``, ...) so the block
-  table stays encapsulated.
+  table stays encapsulated;
+* any access to a :class:`~repro.storage.pager.BufferPool` frame table
+  (``._frames``) outside ``repro/storage/pager.py`` itself — this rule
+  applies to *every* module, including the rest of ``storage/``.  The
+  hierarchy once reached into ``pool._frames`` and hand-incremented the
+  pool's stats, duplicating (and drifting from) the pool's own hit/miss
+  logic; callers must use the public surface (``contains``, ``peek``,
+  ``iter_frames``, ``iter_dirty``, ``fill_clean``, ...).
 
 Run from the repository root::
 
@@ -63,6 +70,13 @@ DEVICE_PRIVATE_FIELDS = {
 #: codebase (``self.device``, ``device``, and wrapper ``backing``).
 DEVICE_OWNER_NAMES = {"device", "backing"}
 
+#: Private attributes of repro.storage.pager.BufferPool: the frame
+#: table.  Off-limits everywhere except pager.py itself.
+POOL_PRIVATE_FIELDS = {"_frames"}
+
+#: The one module that owns the buffer-pool frame table.
+POOL_MODULE = os.path.join("repro", "storage", "pager.py")
+
 #: Subtree whose modules own the counters and may mutate them.
 ALLOWED_SUBPACKAGE = os.path.join("repro", "storage")
 
@@ -94,44 +108,64 @@ def _is_private_device_access(node: ast.expr) -> bool:
     return False
 
 
-def violations_in_source(source: str, path: str) -> List[Violation]:
-    """All counter-mutation and private-access sites in one module."""
+def violations_in_source(
+    source: str, path: str, *, frames_only: bool = False
+) -> List[Violation]:
+    """All counter-mutation and private-access sites in one module.
+
+    ``frames_only`` restricts the check to the frame-table rule — used
+    for modules inside ``repro/storage`` (which own the device counters
+    but still may not reach into ``BufferPool._frames``).
+    """
     found: List[Violation] = []
     tree = ast.parse(source, filename=path)
     for node in ast.walk(tree):
-        targets: List[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-            targets = [node.target]
-        for target in targets:
-            elements = (
-                target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
-            )
-            for element in elements:
-                if _is_counter_target(element):
-                    found.append(
-                        (path, element.lineno, ast.unparse(element))
-                    )
-        # Private device attributes are off-limits in any expression
-        # position, not just assignment targets.
-        if isinstance(node, ast.Attribute) and _is_private_device_access(node):
+        if not frames_only:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                elements = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for element in elements:
+                    if _is_counter_target(element):
+                        found.append(
+                            (path, element.lineno, ast.unparse(element))
+                        )
+            # Private device attributes are off-limits in any expression
+            # position, not just assignment targets.
+            if isinstance(node, ast.Attribute) and _is_private_device_access(node):
+                found.append((path, node.lineno, ast.unparse(node)))
+        # The buffer-pool frame table is off-limits everywhere (the pool
+        # module itself is excluded by the caller).
+        if isinstance(node, ast.Attribute) and node.attr in POOL_PRIVATE_FIELDS:
             found.append((path, node.lineno, ast.unparse(node)))
     return found
 
 
 def check_tree(src_root: str) -> List[Violation]:
-    """Counter mutations in every repro module outside the storage package."""
+    """Counter mutations in every repro module outside the storage
+    package, plus frame-table reaches anywhere outside pager.py."""
     found: List[Violation] = []
     for dirpath, _dirnames, filenames in sorted(os.walk(src_root)):
-        if ALLOWED_SUBPACKAGE in os.path.normpath(dirpath):
-            continue
+        in_storage = ALLOWED_SUBPACKAGE in os.path.normpath(dirpath)
         for filename in sorted(filenames):
             if not filename.endswith(".py"):
                 continue
             path = os.path.join(dirpath, filename)
+            if os.path.normpath(path).endswith(POOL_MODULE):
+                continue
             with open(path) as handle:
-                found.extend(violations_in_source(handle.read(), path))
+                found.extend(
+                    violations_in_source(
+                        handle.read(), path, frames_only=in_storage
+                    )
+                )
     return found
 
 
@@ -140,14 +174,20 @@ def main() -> int:
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     violations = check_tree(os.path.join(root, "src"))
     for path, line, target in violations:
-        if target.rpartition(".")[2] in DEVICE_PRIVATE_FIELDS:
+        field = target.rpartition(".")[2]
+        if field in POOL_PRIVATE_FIELDS:
+            message = "BufferPool frame table accessed outside pager.py"
+        elif field in DEVICE_PRIVATE_FIELDS:
             message = "device-private attribute accessed outside storage/"
         else:
             message = "DeviceCounters mutated outside storage/"
         print(f"{path}:{line}: {message}: {target}")
     if violations:
         return 1
-    print("ok: device internals only touched inside repro/storage")
+    print(
+        "ok: device internals only touched inside repro/storage, "
+        "frame table only inside pager.py"
+    )
     return 0
 
 
