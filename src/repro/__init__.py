@@ -30,7 +30,10 @@ from repro.workloads.runner import WorkloadResult, run_workload
 from repro.workloads.trace import load_trace, save_trace
 from repro.workloads.spec import MIXES, Operation, OpKind, WorkloadSpec
 
-__version__ = "1.0.0"
+# 1.1.0: trace events gained a `span` field (repro.obs.spans).  The
+# version is the sweep cache's key salt, so bumping it structurally
+# invalidates pre-span cached envelopes.
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessMethod",

@@ -31,7 +31,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import Tracer, emit_fault_event
 from repro.storage.block import BlockId
 from repro.storage.device import DeviceCounters, SimulatedDevice
 
@@ -203,8 +203,7 @@ class FaultyDevice(SimulatedDevice):
             if self.backing.is_allocated(block_id)
             else "?"
         )
-        if self._trace_enabled:
-            self.tracer.emit(source=self.name, op="fault", block_id=block_id, kind=kind)
+        emit_fault_event(self.tracer, self.name, block_id, kind)
         raise DeviceFault(op, block_id, kind, detail)
 
     @staticmethod

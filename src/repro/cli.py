@@ -22,6 +22,17 @@ Commands
     Run a workload collecting per-op-type histograms only (no event
     stream): blocks touched and simulated time per point query, insert,
     range scan, ...
+``explain``
+    Run a workload with hierarchical spans on and attribute the measured
+    RO/UO/MO to each internal phase (descent, split, flush, per-level
+    compaction, bloom probe, ...).  The per-span fractions sum *exactly*
+    to the aggregate profile — an audit certifies it, and any violation
+    is printed and exits non-zero.  ``--json`` emits the machine-readable
+    profile that ``tools/bench_gate.py`` diffs.
+``flame``
+    Same spanned run, emitted as folded stacks (``a;b;c weight`` lines)
+    for Brendan Gregg's ``flamegraph.pl``.  ``--weight`` selects bytes
+    moved (default), event count, or simulated time.
 ``sweep``
     Measure a grid of methods under one workload through the parallel
     sweep engine: ``--jobs N`` fans cells over worker processes, and a
@@ -53,6 +64,9 @@ Examples::
     python -m repro replay w.trace --method lsm
     python -m repro trace --method lsm --workload balanced --output events.jsonl
     python -m repro stats --method btree --workload write-heavy
+    python -m repro explain lsm --workload write-heavy
+    python -m repro explain btree --json --output profile.json
+    python -m repro flame --method lsm --weight time --output lsm.folded
     python -m repro sweep --workload balanced --jobs 4
     python -m repro sweep --methods btree,lsm,hash-index --no-cache
     python -m repro audit --workload balanced --ops 600
@@ -160,6 +174,55 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--method", default="btree", help="method to measure")
     _workload_arguments(stats)
+
+    explain = sub.add_parser(
+        "explain",
+        help="attribute measured RO/UO/MO to internal phases via spans",
+    )
+    explain.add_argument("method", help="registered method name")
+    _workload_arguments(explain)
+    explain.add_argument(
+        "--block-bytes", type=int, default=4096, help="device block size"
+    )
+    explain.add_argument(
+        "--device",
+        choices=sorted(_COST_MODELS),
+        default="flash",
+        help="device cost-model preset",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable profile (tools/bench_gate.py input)",
+    )
+    explain.add_argument(
+        "--output", default=None, help="also write the output to this file"
+    )
+
+    flame = sub.add_parser(
+        "flame",
+        help="emit a spanned run as folded stacks for flamegraph.pl",
+    )
+    flame.add_argument("--method", default="btree", help="method to profile")
+    _workload_arguments(flame)
+    flame.add_argument(
+        "--block-bytes", type=int, default=4096, help="device block size"
+    )
+    flame.add_argument(
+        "--device",
+        choices=sorted(_COST_MODELS),
+        default="flash",
+        help="device cost-model preset",
+    )
+    flame.add_argument(
+        "--weight",
+        choices=["bytes", "events", "time"],
+        default="bytes",
+        help="folded-stack weight: bytes moved, event count, or sim time",
+    )
+    flame.add_argument(
+        "--output", default=None, help="write folded stacks to this file"
+    )
 
     audit = sub.add_parser(
         "audit",
@@ -446,16 +509,34 @@ def _breakdown_table(args, metrics, profile) -> str:
 
 
 def _command_trace(args) -> int:
+    from repro.check.audit import AuditError
+    from repro.check.faults import DeviceFault
     from repro.obs.metrics import WorkloadMetrics
     from repro.obs.sinks import JsonlSink
     from repro.obs.tracer import RecordingTracer
 
     method = create_method(args.method)
     metrics = WorkloadMetrics()
+    failure: Optional[BaseException] = None
+    # The sink's lifetime brackets the workload: even when the run dies
+    # mid-workload (an injected DeviceFault, an AuditError from a
+    # structure check), the context manager closes and flushes the file,
+    # so the JSONL trace on disk is complete and parseable up to the
+    # failing operation — usually exactly the evidence needed.
     with JsonlSink(args.output) as sink:
         method.device.set_tracer(RecordingTracer(sink))
-        result = run_workload(method, _spec(args), metrics=metrics)
+        try:
+            result = run_workload(method, _spec(args), metrics=metrics)
+        except (AuditError, DeviceFault) as error:
+            failure = error
         events = sink.events_written
+    if failure is not None:
+        print(f"workload aborted: {failure}", file=sys.stderr)
+        print(
+            f"wrote {events} events to {args.output} "
+            f"(complete up to the failure)"
+        )
+        return 1
     print(_breakdown_table(args, metrics, result.profile))
     print(f"wrote {events} events to {args.output}")
     return 0
@@ -468,6 +549,141 @@ def _command_stats(args) -> int:
     metrics = WorkloadMetrics()
     result = run_workload(method, _spec(args), metrics=metrics)
     print(_breakdown_table(args, metrics, result.profile))
+    return 0
+
+
+def _span_profile_run(args):
+    """Run ``args``'s workload with spans on; return the span profile.
+
+    Shared by ``explain`` and ``flame``: builds a traced device, runs the
+    workload inside :func:`~repro.obs.spans.span_collection`, and folds
+    the span-stamped event stream into a
+    :class:`~repro.obs.spans.SpanProfile`.
+    """
+    import time
+
+    from repro.core.rum import RUMAccumulator
+    from repro.obs.sinks import ListSink
+    from repro.obs.spans import SpanProfile, span_collection
+    from repro.obs.tracer import RecordingTracer
+    from repro.storage.device import SimulatedDevice
+
+    sink = ListSink()
+    device = SimulatedDevice(
+        block_bytes=args.block_bytes,
+        cost_model=_COST_MODELS[args.device](),
+        name=args.device,
+    )
+    device.set_tracer(RecordingTracer(sink))
+    method = create_method(args.method, device=device)
+    accumulator = RUMAccumulator()
+    started = time.perf_counter()
+    with span_collection():
+        result = run_workload(method, _spec(args), accumulator=accumulator)
+    elapsed = time.perf_counter() - started
+    profile = SpanProfile.from_events(sink.events)
+    return method, device, result, accumulator, profile, elapsed
+
+
+def _command_explain(args) -> int:
+    import json
+
+    from repro.obs.spans import rum_attribution
+
+    method, device, result, accumulator, profile, elapsed = _span_profile_run(
+        args
+    )
+    attribution = rum_attribution(
+        profile,
+        accumulator,
+        base_bytes=method.base_bytes(),
+        space_bytes=method.space_bytes(),
+        allocated_bytes=device.allocated_bytes,
+        memory_overhead=result.profile.memory_overhead,
+    )
+    ops_per_sec = args.ops / elapsed if elapsed > 0 else 0.0
+    if args.json:
+        payload = {
+            "method": args.method,
+            "workload": args.workload,
+            "operations": args.ops,
+            "records": args.records,
+            "block_bytes": args.block_bytes,
+            "device": args.device,
+            "elapsed_seconds": elapsed,
+            "ops_per_sec": ops_per_sec,
+            "totals": {
+                "read_overhead": attribution.read_overhead,
+                "update_overhead": attribution.update_overhead,
+                "memory_overhead": attribution.memory_overhead,
+                "simulated_time": result.profile.simulated_time,
+            },
+            "spans": [row.to_dict() for row in attribution.rows],
+            "audit": list(attribution.audit),
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        labels = [
+            "  " * row.depth + row.path.rsplit("/", 1)[-1]
+            for row in attribution.rows
+        ]
+        # Pad to a common width so the table's right-alignment cannot
+        # swallow the tree indentation.
+        label_width = max((len(label) for label in labels), default=0)
+        rows = []
+        for label, row in zip(labels, attribution.rows):
+            rows.append([
+                label.ljust(label_width),
+                row.read_bytes,
+                row.write_bytes,
+                f"{row.ro:.3f}",
+                f"{row.uo:.3f}",
+                f"{row.mo:.3f}",
+                f"{row.simulated_time:.1f}",
+            ])
+        table = format_table(
+            ["span", "read B", "write B", "RO", "UO", "MO", "sim time"],
+            rows,
+            title=(
+                f"{args.method} under {args.workload!r}: "
+                f"RO/UO/MO by internal phase"
+            ),
+        )
+        footer = (
+            f"totals: RO={attribution.read_overhead:.3f} "
+            f"UO={attribution.update_overhead:.3f} "
+            f"MO={attribution.memory_overhead:.3f} "
+            f"ops/sec={ops_per_sec:,.0f}"
+        )
+        if attribution.audit:
+            status = "\n".join(
+                f"AUDIT: {line}" for line in attribution.audit
+            )
+        else:
+            status = (
+                "audit: span attribution sums exactly to the "
+                "aggregate profile"
+            )
+        text = f"{table}\n{footer}\n{status}"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return 1 if attribution.audit else 0
+
+
+def _command_flame(args) -> int:
+    _method, _device, _result, _acc, profile, _elapsed = _span_profile_run(
+        args
+    )
+    lines = profile.folded_lines(weight=args.weight)
+    text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(lines)} folded stacks to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -725,6 +941,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_trace(args)
         if args.command == "stats":
             return _command_stats(args)
+        if args.command == "explain":
+            return _command_explain(args)
+        if args.command == "flame":
+            return _command_flame(args)
         if args.command == "audit":
             return _command_audit(args)
         if args.command == "hierarchy":

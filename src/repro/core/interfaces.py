@@ -200,11 +200,10 @@ class AccessMethod(ABC):
         """
         violations = self._audit_device()
         violations.extend(self._audit_structure())
-        if violations and self.device.tracer.enabled:
-            for message in violations:
-                self.device.tracer.emit(
-                    source=self.name, op="audit", block_id=-1, kind=message
-                )
+        if violations:
+            from repro.obs.tracer import emit_audit_events  # lazy: cycle
+
+            emit_audit_events(self.device.tracer, self.name, violations)
         return violations
 
     def _audit_device(self) -> List[str]:

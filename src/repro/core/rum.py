@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional
 
+from repro.obs.spans import span, spans_active
 from repro.storage.device import IOStats
 from repro.storage.layout import RECORD_BYTES
 
@@ -156,6 +157,7 @@ def measure_workload(
     operations: Iterable["Operation"],
     metrics: Optional["WorkloadMetrics"] = None,
     audit_every: int = 0,
+    accumulator: Optional[RUMAccumulator] = None,
 ) -> RUMProfile:
     """Run ``operations`` against ``method`` and measure its RUM profile.
 
@@ -175,6 +177,17 @@ def measure_workload(
     :class:`~repro.check.audit.AuditError` on the first violation — so a
     measurement run can double as an invariant sweep.  Audits use
     counter-free device inspection and do not perturb the profile.
+
+    A caller-owned (fresh) ``accumulator`` can be supplied to read the
+    integer numerators/denominators behind the final ratios afterwards —
+    ``repro explain`` audits span attribution against them.
+
+    When span collection is active (:func:`repro.obs.spans.span_collection`),
+    every operation runs inside an ``op.<kind>`` root span and the
+    terminal flush inside ``op.flush``, so trace events carry the
+    operation category that the RO/UO attribution policy keys on.  The
+    check happens once per call; with spans inactive the loop body is
+    unchanged.
     """
     from repro.workloads.spec import OpKind  # local import to avoid a cycle
 
@@ -185,8 +198,10 @@ def measure_workload(
 
             raise AuditError(method.name, violations)
 
-    accumulator = RUMAccumulator()
+    if accumulator is None:
+        accumulator = RUMAccumulator()
     device = method.device
+    use_spans = spans_active()
     operation_index = 0
     for operation in operations:
         operation_index += 1
@@ -194,25 +209,34 @@ def measure_workload(
             accumulator.sample_space(method)
         kind = operation.kind
         before = device.snapshot()
-        if kind is OpKind.POINT_QUERY:
-            result = method.get(operation.key)
-            retrieved = 1 if result is not None else 0
-        elif kind is OpKind.RANGE_QUERY:
-            retrieved = len(method.range_query(operation.key, operation.high_key))
-        elif kind is OpKind.INSERT:
-            method.insert(operation.key, operation.value)
-        elif kind is OpKind.UPDATE:
-            try:
-                method.update(operation.key, operation.value)
-            except KeyError:
-                continue
-        elif kind is OpKind.DELETE:
-            try:
-                method.delete(operation.key)
-            except KeyError:
-                continue
-        else:  # pragma: no cover - the enum is closed
-            raise ValueError(f"unknown operation kind {operation.kind}")
+        op_span = span("op." + kind.value) if use_spans else None
+        if op_span is not None:
+            op_span.__enter__()
+        try:
+            if kind is OpKind.POINT_QUERY:
+                result = method.get(operation.key)
+                retrieved = 1 if result is not None else 0
+            elif kind is OpKind.RANGE_QUERY:
+                retrieved = len(
+                    method.range_query(operation.key, operation.high_key)
+                )
+            elif kind is OpKind.INSERT:
+                method.insert(operation.key, operation.value)
+            elif kind is OpKind.UPDATE:
+                try:
+                    method.update(operation.key, operation.value)
+                except KeyError:
+                    continue
+            elif kind is OpKind.DELETE:
+                try:
+                    method.delete(operation.key)
+                except KeyError:
+                    continue
+            else:  # pragma: no cover - the enum is closed
+                raise ValueError(f"unknown operation kind {operation.kind}")
+        finally:
+            if op_span is not None:
+                op_span.__exit__(None, None, None)
         io = device.stats_since(before)
         if kind.is_read:
             accumulator.record_read(io, retrieved)
@@ -230,7 +254,11 @@ def measure_workload(
     # RUMAccumulator's docstring for the policy.
     if accumulator.update_ops:
         before = device.snapshot()
-        method.flush()
+        if use_spans:
+            with span("op.flush"):
+                method.flush()
+        else:
+            method.flush()
         flush_io = device.stats_since(before)
         accumulator.write_bytes += flush_io.write_bytes
         accumulator.flush_read_bytes += flush_io.read_bytes

@@ -44,6 +44,7 @@ from repro.exec.serialize import (
     envelope_is_traced,
 )
 from repro.obs.sinks import ListSink
+from repro.obs.spans import span_collection
 from repro.obs.tracer import RecordingTracer, TraceEvent, Tracer
 from repro.storage.device import SimulatedDevice
 from repro.workloads.runner import WorkloadResult, run_workload
@@ -106,14 +107,19 @@ def execute_cell_payload(args: Tuple[str, bool]) -> str:
     cell_payload, collect_events = args
     cell = decode_cell(cell_payload)
     random.seed(cell_seed(cell_payload, _SEED_SALT))
-    sink: Optional[ListSink] = None
-    tracer: Optional[Tracer] = None
-    if collect_events:
-        sink = ListSink()
-        tracer = RecordingTracer(sink)
     runner = resolve_runner(cell.runner)
-    result = runner(cell, tracer)
-    return encode_envelope(result, sink.events if sink is not None else None)
+    if collect_events:
+        # Traced runs also collect spans: every event is stamped with the
+        # phase path active when it was emitted, so a SpanProfile built
+        # from the merged event stream is identical for serial, parallel
+        # and cache-replayed executions.
+        sink = ListSink()
+        tracer: Optional[Tracer] = RecordingTracer(sink)
+        with span_collection():
+            result = runner(cell, tracer)
+        return encode_envelope(result, sink.events)
+    result = runner(cell, None)
+    return encode_envelope(result, None)
 
 
 @dataclass

@@ -24,6 +24,7 @@ import bisect
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.obs.spans import spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import (
     KEY_BYTES,
@@ -166,10 +167,7 @@ class BPlusTree(AccessMethod):
     def get(self, key: int) -> Optional[int]:
         if self._root is None:
             return None
-        node = self._read_node(self._root)
-        while isinstance(node, _Internal):
-            _, child = node.child_for(key)
-            node = self._read_node(child)
+        node = self._descend(key)
         index = bisect.bisect_left(node.keys, key)
         if index < len(node.keys) and node.keys[index] == key:
             return node.values[index]
@@ -178,10 +176,7 @@ class BPlusTree(AccessMethod):
     def range_query(self, lo: int, hi: int) -> List[Record]:
         if self._root is None:
             return []
-        node = self._read_node(self._root)
-        while isinstance(node, _Internal):
-            _, child = node.child_for(lo)
-            node = self._read_node(child)
+        node = self._descend(lo)
         matches: List[Record] = []
         while True:
             start = bisect.bisect_left(node.keys, lo)
@@ -204,7 +199,7 @@ class BPlusTree(AccessMethod):
             self._height = 1
             self._record_count = 1
             return
-        split = self._insert_into(self._root, key, value)
+        split = self._insert_descent(key, value)
         if split is not None:
             separator, right_id = split
             with self._fresh_block("btree-internal") as new_root:
@@ -230,7 +225,7 @@ class BPlusTree(AccessMethod):
     def delete(self, key: int) -> None:
         if self._root is None:
             raise KeyError(key)
-        removed = self._delete_from(self._root, key, parents=[])
+        removed = self._delete_descent(key)
         if not removed:
             raise KeyError(key)
         # Collapse a root that shrank to a single child.
@@ -263,6 +258,28 @@ class BPlusTree(AccessMethod):
     def _write_node(self, block_id: int, node) -> None:
         self.device.write(block_id, node, used_bytes=node.used_bytes())
 
+    @spanned("btree.descent")
+    def _descend(self, key: int):
+        """Root-to-leaf walk: the logarithmic path every operation pays."""
+        node = self._read_node(self._root)
+        while isinstance(node, _Internal):
+            _, child = node.child_for(key)
+            node = self._read_node(child)
+        return node
+
+    @spanned("btree.descent")
+    def _insert_descent(self, key: int, value: int) -> Optional[Tuple[int, int]]:
+        """Span entry point for insertion: the recursive walk runs inside
+        one ``btree.descent`` span, with splits nested under it."""
+        return self._insert_into(self._root, key, value)
+
+    @spanned("btree.descent")
+    def _delete_descent(self, key: int) -> bool:
+        """Span entry point for deletion: one ``btree.descent`` span with
+        any borrow/merge rebalancing nested under ``btree.merge``."""
+        return self._delete_from(self._root, key, parents=[])
+
+    @spanned("btree.descent")
     def _path_to_leaf(self, key: int) -> List[Tuple[int, int]]:
         """(block id, child index chosen) pairs from root to leaf."""
         path: List[Tuple[int, int]] = []
@@ -303,6 +320,7 @@ class BPlusTree(AccessMethod):
             return None
         return self._split_internal(block_id, node)
 
+    @spanned("btree.split")
     def _split_leaf(self, block_id: int, node: _Leaf) -> Tuple[int, int]:
         cut = max(1, min(len(node.keys) - 1, int(len(node.keys) * self.split_fill)))
         right = _Leaf(node.keys[cut:], node.values[cut:], node.next_leaf)
@@ -314,6 +332,7 @@ class BPlusTree(AccessMethod):
         self._write_node(block_id, node)
         return right.keys[0], right_id
 
+    @spanned("btree.split")
     def _split_internal(self, block_id: int, node: _Internal) -> Tuple[int, int]:
         cut = max(1, min(len(node.keys) - 1, int(len(node.keys) * self.split_fill)))
         separator = node.keys[cut]
@@ -349,6 +368,7 @@ class BPlusTree(AccessMethod):
         self._rebalance_child(block_id, node, child_index)
         return True
 
+    @spanned("btree.merge")
     def _rebalance_child(self, parent_id: int, parent: _Internal, child_index: int) -> None:
         child_id = parent.children[child_index]
         child = self._read_node(child_id)

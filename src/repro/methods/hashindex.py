@@ -17,10 +17,11 @@ Two sizing modes:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
 from repro.filters.bloom import _mix
+from repro.obs.spans import spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import POINTER_BYTES, RECORD_BYTES, records_per_block
 
@@ -75,11 +76,11 @@ class HashIndex(AccessMethod):
         self._record_count = len(records)
 
     def get(self, key: int) -> Optional[int]:
-        for block_id in self._directory[self._bucket_of(key)]:
-            for record_key, value in self.device.read(block_id):
-                if record_key == key:
-                    return value
-        return None
+        location = self._probe_location(key)
+        if location is None:
+            return None
+        _position, _block_id, index, records = location
+        return records[index][1]
 
     def range_query(self, lo: int, hi: int) -> List[Record]:
         # Hashing destroys order: a range query reads every bucket.
@@ -111,31 +112,26 @@ class HashIndex(AccessMethod):
         self._maybe_grow()
 
     def update(self, key: int, value: int) -> None:
-        for block_id in self._directory[self._bucket_of(key)]:
-            records = list(self.device.read(block_id))
-            for index, (record_key, _) in enumerate(records):
-                if record_key == key:
-                    records[index] = (key, value)
-                    self._write_block(block_id, records)
-                    return
-        raise KeyError(key)
+        location = self._probe_location(key)
+        if location is None:
+            raise KeyError(key)
+        _position, block_id, index, records = location
+        records[index] = (key, value)
+        self._write_block(block_id, records)
 
     def delete(self, key: int) -> None:
-        bucket_index = self._bucket_of(key)
-        chain = self._directory[bucket_index]
-        for position, block_id in enumerate(chain):
-            records = list(self.device.read(block_id))
-            for index, (record_key, _) in enumerate(records):
-                if record_key == key:
-                    records.pop(index)
-                    if not records and len(chain) > 1:
-                        self.device.free(block_id)
-                        chain.pop(position)
-                    else:
-                        self._write_block(block_id, records)
-                    self._record_count -= 1
-                    return
-        raise KeyError(key)
+        location = self._probe_location(key)
+        if location is None:
+            raise KeyError(key)
+        position, block_id, index, records = location
+        chain = self._directory[self._bucket_of(key)]
+        records.pop(index)
+        if not records and len(chain) > 1:
+            self.device.free(block_id)
+            chain.pop(position)
+        else:
+            self._write_block(block_id, records)
+        self._record_count -= 1
 
     # ------------------------------------------------------------------
     def space_bytes(self) -> int:
@@ -162,6 +158,19 @@ class HashIndex(AccessMethod):
 
     def _bucket_of(self, key: int, buckets: Optional[int] = None) -> int:
         return _mix(key, 0xB0CE) % (buckets or len(self._directory))
+
+    @spanned("hash.probe")
+    def _probe_location(
+        self, key: int
+    ) -> Optional[Tuple[int, int, int, List[Record]]]:
+        """Walk the key's bucket chain; return (chain position, block id,
+        index in block, block's records) for the first match."""
+        for position, block_id in enumerate(self._directory[self._bucket_of(key)]):
+            records = list(self.device.read(block_id))
+            for index, (record_key, _) in enumerate(records):
+                if record_key == key:
+                    return position, block_id, index, records
+        return None
 
     def _append_to_chain(self, bucket_index: int, records: List[Record]) -> None:
         with self._fresh_block("bucket") as block_id:
@@ -265,6 +274,10 @@ class HashIndex(AccessMethod):
         capacity = len(self._directory) * self._per_block
         if capacity and self._record_count / capacity <= self.load_factor_limit:
             return
+        self._grow()
+
+    @spanned("hash.rehash")
+    def _grow(self) -> None:
         # Double the directory and rehash everything (linear, amortized
         # O(1) per insert — the textbook resizable hashing cost).
         records: List[Record] = []

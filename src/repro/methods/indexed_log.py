@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
 from repro.filters.bloom import BloomFilter
+from repro.obs.spans import span, spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import RECORD_BYTES, records_per_block
 
@@ -104,10 +105,8 @@ class IndexedLog(AccessMethod):
         for segment in reversed(self._segments):
             if key < segment.min_key or key > segment.max_key:
                 continue  # zone skip: free
-            if segment.bloom is not None:
-                self.device.read(segment.bloom_block)  # filter probe: 1 read
-                if not segment.bloom.may_contain(key):
-                    continue
+            if segment.bloom is not None and not self._consult_bloom(segment, key):
+                continue
             found, value = self._probe_segment(segment, key)
             if found:
                 return None if value is _TOMBSTONE else value
@@ -189,23 +188,24 @@ class IndexedLog(AccessMethod):
         """
         if len(self._segments) < 2:
             return
-        newest: Dict[int, object] = {}
-        for segment in reversed(self._segments):
-            for block_id in segment.block_ids:
-                for key, value in self.device.read(block_id):
-                    if key not in newest:
-                        newest[key] = value
-        for segment in self._segments:
-            self._free_segment(segment)
-        survivors = sorted(
-            (key, value) for key, value in newest.items() if value is not _TOMBSTONE
-        )
-        rebuilt: List[_Segment] = []
-        for start in range(0, len(survivors), self.segment_records):
-            chunk = survivors[start : start + self.segment_records]
-            if chunk:
-                rebuilt.append(self._seal(chunk))
-        self._segments = rebuilt
+        with span("ilog.compaction"):
+            newest: Dict[int, object] = {}
+            for segment in reversed(self._segments):
+                for block_id in segment.block_ids:
+                    for key, value in self.device.read(block_id):
+                        if key not in newest:
+                            newest[key] = value
+            for segment in self._segments:
+                self._free_segment(segment)
+            survivors = sorted(
+                (key, value) for key, value in newest.items() if value is not _TOMBSTONE
+            )
+            rebuilt: List[_Segment] = []
+            for start in range(0, len(survivors), self.segment_records):
+                chunk = survivors[start : start + self.segment_records]
+                if chunk:
+                    rebuilt.append(self._seal(chunk))
+            self._segments = rebuilt
 
     # ------------------------------------------------------------------
     def _append(self, key: int, value: object) -> None:
@@ -222,6 +222,7 @@ class IndexedLog(AccessMethod):
             if len(self._segments) >= minimal + self.compact_segments:
                 self.compact()
 
+    @spanned("ilog.seal")
     def _seal(self, records: List[Tuple[int, object]]) -> _Segment:
         block_ids: List[int] = []
         for start in range(0, len(records), self._per_block):
@@ -257,6 +258,12 @@ class IndexedLog(AccessMethod):
         if segment.bloom_block is not None:
             self.device.free(segment.bloom_block)
 
+    @spanned("ilog.bloom_probe")
+    def _consult_bloom(self, segment: _Segment, key: int) -> bool:
+        self.device.read(segment.bloom_block)  # filter probe: 1 read
+        return segment.bloom.may_contain(key)
+
+    @spanned("ilog.probe")
     def _probe_segment(self, segment: _Segment, key: int) -> Tuple[bool, object]:
         import bisect
 

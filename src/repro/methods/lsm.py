@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
 from repro.filters.bloom import BloomFilter
+from repro.obs.spans import span, spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import KEY_BYTES, RECORD_BYTES, records_per_block
 
@@ -182,6 +183,7 @@ class LSMTree(AccessMethod):
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
+    @spanned("lsm.put")
     def _put(self, key: int, value: object) -> None:
         absent = key not in self._memtable
         previous = self._memtable.get(key)
@@ -205,6 +207,7 @@ class LSMTree(AccessMethod):
         if self._memtable:
             self._flush_memtable()
 
+    @spanned("lsm.flush")
     def _flush_memtable(self) -> None:
         records = sorted(self._memtable.items())
         if not self._levels:
@@ -221,11 +224,18 @@ class LSMTree(AccessMethod):
         if self.compaction == "leveled":
             existing = self._levels[level]
             if existing:
-                merged = self._merge_record_lists(
-                    [records] + [self._drain_run(run) for run in reversed(existing)],
-                    drop_tombstones=self._is_bottom(level),
-                )
-                self._levels[level] = []
+                # Merging with resident runs is compaction work: the
+                # span covers the drain, the rewrite and any cascade it
+                # triggers, so per-level compaction bytes separate from
+                # the flush's own run write (E7 attribution).
+                with span(f"lsm.compaction.L{level}"):
+                    merged = self._merge_record_lists(
+                        [records]
+                        + [self._drain_run(run) for run in reversed(existing)],
+                        drop_tombstones=self._is_bottom(level),
+                    )
+                    self._levels[level] = []
+                    self._install_merged(level, merged)
             else:
                 merged = records
                 if self._is_bottom(level):
@@ -234,24 +244,31 @@ class LSMTree(AccessMethod):
                         for key, value in merged
                         if value is not TOMBSTONE
                     ]
-            if len(merged) > self._level_capacity(level):
-                # Over capacity: the run cascades down, deepening the
-                # tree if needed (capacities grow by T per level, so the
-                # recursion terminates).
-                self._push_run(level + 1, merged)
-            elif merged:
-                self._levels[level].append(self._build_run(merged))
+                self._install_merged(level, merged)
         else:  # tiered
             if records:
                 self._levels[level].append(self._build_run(records))
             if len(self._levels[level]) >= self.size_ratio:
-                runs = self._levels[level]
-                self._levels[level] = []
-                merged = self._merge_record_lists(
-                    [self._drain_run(run) for run in reversed(runs)],
-                    drop_tombstones=self._is_bottom(level + 1),
-                )
-                self._push_run(level + 1, merged)
+                with span(f"lsm.compaction.L{level}"):
+                    runs = self._levels[level]
+                    self._levels[level] = []
+                    merged = self._merge_record_lists(
+                        [self._drain_run(run) for run in reversed(runs)],
+                        drop_tombstones=self._is_bottom(level + 1),
+                    )
+                    self._push_run(level + 1, merged)
+
+    def _install_merged(
+        self, level: int, merged: List[Tuple[int, object]]
+    ) -> None:
+        """Install a merged record list at ``level`` or cascade it down."""
+        if len(merged) > self._level_capacity(level):
+            # Over capacity: the run cascades down, deepening the
+            # tree if needed (capacities grow by T per level, so the
+            # recursion terminates).
+            self._push_run(level + 1, merged)
+        elif merged:
+            self._levels[level].append(self._build_run(merged))
 
     def _is_bottom(self, level: int) -> bool:
         """True when no lower level holds data (tombstones can be dropped)."""
@@ -513,16 +530,13 @@ class LSMTree(AccessMethod):
             self.device.free(block_id)
         return records
 
+    @spanned("lsm.probe")
     def _probe_run(self, run: _Run, key: int) -> Tuple[bool, object]:
         """(found, value) for ``key`` in one run, charging filter I/O."""
         if key < run.min_key or key > run.max_key:
             return False, None
         if run.bloom is not None:
-            # Consult the filter: one block read (pick the chunk the key's
-            # first bit position falls into, as a partitioned filter would).
-            chunk = self._bloom_chunk_for(run, key)
-            self.device.read(run.bloom_blocks[chunk])
-            if not run.bloom.may_contain(key):
+            if not self._consult_bloom(run, key):
                 return False, None
         # Fence search: directory (memory) -> one fence block read.
         fence_index = bisect.bisect_right(run.fence_directory, key) - 1
@@ -556,6 +570,14 @@ class LSMTree(AccessMethod):
             if records and records[-1][0] > hi:
                 break
         return matches
+
+    @spanned("lsm.bloom_probe")
+    def _consult_bloom(self, run: _Run, key: int) -> bool:
+        """Consult the filter: one block read (pick the chunk the key's
+        first bit position falls into, as a partitioned filter would)."""
+        chunk = self._bloom_chunk_for(run, key)
+        self.device.read(run.bloom_blocks[chunk])
+        return run.bloom.may_contain(key)
 
     def _bloom_chunk_for(self, run: _Run, key: int) -> int:
         if len(run.bloom_blocks) == 1:

@@ -16,6 +16,7 @@ import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.obs.spans import spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import POINTER_BYTES, RECORD_BYTES
 
@@ -338,6 +339,7 @@ class SkipList(AccessMethod):
     # ------------------------------------------------------------------
     # Search machinery
     # ------------------------------------------------------------------
+    @spanned("skiplist.descent")
     def _search_path(self, key: int) -> List[Optional[Tuple[NodeRef, Optional[NodeRef]]]]:
         """Per level: (predecessor ref, its successor ref), or None when
         the head is the predecessor at that level.
@@ -387,6 +389,7 @@ class SkipList(AccessMethod):
             return node, ref
         return None, None
 
+    @spanned("skiplist.descent")
     def _find_at_least(self, key: int) -> Optional[NodeRef]:
         """Ref of the first node with key >= ``key``."""
         predecessor: Optional[NodeRef] = None
@@ -458,6 +461,7 @@ class SkipList(AccessMethod):
         block_id, slot = ref
         return self.device.peek(block_id)[slot]
 
+    @spanned("skiplist.relink")
     def _write_arena_blocks(self, block_ids) -> None:
         for block_id in block_ids:
             payload = self.device.peek(block_id)

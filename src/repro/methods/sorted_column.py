@@ -22,6 +22,7 @@ import bisect
 from typing import Iterable, List, Optional
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.obs.spans import spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import RECORD_BYTES, records_per_block
 
@@ -110,22 +111,8 @@ class SortedColumn(AccessMethod):
         index = self._find_in_block(records, key)
         if index is None:
             raise KeyError(key)
-        # Shift everything after the hole one slot left, block by block.
         records.pop(index)
-        for later in range(block_index + 1, len(self._extent)):
-            later_records = list(self.device.read(self._extent[later]))
-            if later_records:
-                records.append(later_records.pop(0))
-            self._write_block(self._extent[later - 1], records)
-            records = later_records
-        if records:
-            self._write_block(self._extent[-1], records)
-        else:
-            # The trailing block just emptied: free it directly.  Writing
-            # the empty payload first would charge a block write that
-            # serves no purpose — free() already retires the block's
-            # declared occupancy.
-            self.device.free(self._extent.pop())
+        self._compact_after_delete(block_index, records)
         self._record_count -= 1
 
     # ------------------------------------------------------------------
@@ -184,6 +171,27 @@ class SortedColumn(AccessMethod):
             self._write_block(block_id, records[start : start + self._per_block])
             self._extent.append(block_id)
 
+    @spanned("sorted.delete_compact")
+    def _compact_after_delete(
+        self, block_index: int, records: List[Record]
+    ) -> None:
+        """Shift everything after the hole one slot left, block by block."""
+        for later in range(block_index + 1, len(self._extent)):
+            later_records = list(self.device.read(self._extent[later]))
+            if later_records:
+                records.append(later_records.pop(0))
+            self._write_block(self._extent[later - 1], records)
+            records = later_records
+        if records:
+            self._write_block(self._extent[-1], records)
+        else:
+            # The trailing block just emptied: free it directly.  Writing
+            # the empty payload first would charge a block write that
+            # serves no purpose — free() already retires the block's
+            # declared occupancy.
+            self.device.free(self._extent.pop())
+
+    @spanned("sorted.search")
     def _search_block(self, key: int) -> Optional[int]:
         """Binary search over blocks by reading midpoints.
 
@@ -218,6 +226,7 @@ class SortedColumn(AccessMethod):
             return index
         return None
 
+    @spanned("sorted.rewrite")
     def _shift_insert(self, key: int, value: int) -> None:
         if not self._extent:
             with self._fresh_block("sorted") as block_id:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.obs.spans import spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import POINTER_BYTES, RECORD_BYTES
 
@@ -87,15 +88,9 @@ class RadixTrie(AccessMethod):
 
     def get(self, key: int) -> Optional[int]:
         # Negative keys are simply not storable, hence absent.
-        if key < 0 or self._root is None or self._digits_needed(key) > self._depth:
+        node_id = self._leaf_for(key)
+        if node_id is None:
             return None
-        node_id = self._root
-        for level in range(self._depth - 1, 0, -1):
-            children = self._read_node(node_id)
-            child = children.get(self._digit(key, level))
-            if child is None:
-                return None
-            node_id = child
         leaf = self._read_node(node_id)
         entry = leaf.get(self._digit(key, 0))
         if entry is None or entry[0] != key:
@@ -112,18 +107,7 @@ class RadixTrie(AccessMethod):
 
     def insert(self, key: int, value: int) -> None:
         self._ensure_depth(key)
-        if self._root is None:
-            self._root = self._new_node()
-        node_id = self._root
-        for level in range(self._depth - 1, 0, -1):
-            children = self._read_node(node_id)
-            digit = self._digit(key, level)
-            child = children.get(digit)
-            if child is None:
-                child = self._new_node()
-                children[digit] = child
-                self._write_node(node_id, children, leaf=False)
-            node_id = child
+        node_id = self._descend_for_insert(key)
         leaf = self._read_node(node_id)
         digit = self._digit(key, 0)
         if digit in leaf:
@@ -147,16 +131,7 @@ class RadixTrie(AccessMethod):
         # Walk down remembering the path so empty nodes can be pruned.
         if key < 0 or self._root is None or self._digits_needed(key) > self._depth:
             raise KeyError(key)
-        path: List[tuple] = []  # (node_id, digit taken, node payload)
-        node_id = self._root
-        for level in range(self._depth - 1, 0, -1):
-            children = self._read_node(node_id)
-            digit = self._digit(key, level)
-            child = children.get(digit)
-            if child is None:
-                raise KeyError(key)
-            path.append((node_id, digit, children))
-            node_id = child
+        node_id, path = self._descend_with_path(key)
         leaf = self._read_node(node_id)
         digit = self._digit(key, 0)
         if digit not in leaf or leaf[digit][0] != key:
@@ -382,6 +357,7 @@ class RadixTrie(AccessMethod):
     def _digit(self, key: int, level: int) -> int:
         return (key >> (self.digit_bits * level)) & (self.radix - 1)
 
+    @spanned("trie.walk")
     def _leaf_for(self, key: int) -> Optional[int]:
         if key < 0 or self._root is None or self._digits_needed(key) > self._depth:
             return None
@@ -393,6 +369,40 @@ class RadixTrie(AccessMethod):
                 return None
             node_id = child
         return node_id
+
+    @spanned("trie.walk")
+    def _descend_for_insert(self, key: int) -> int:
+        """Walk toward ``key``'s leaf, materialising missing interior
+        nodes along the way; returns the leaf node's block id."""
+        if self._root is None:
+            self._root = self._new_node()
+        node_id = self._root
+        for level in range(self._depth - 1, 0, -1):
+            children = self._read_node(node_id)
+            digit = self._digit(key, level)
+            child = children.get(digit)
+            if child is None:
+                child = self._new_node()
+                children[digit] = child
+                self._write_node(node_id, children, leaf=False)
+            node_id = child
+        return node_id
+
+    @spanned("trie.walk")
+    def _descend_with_path(self, key: int):
+        """Walk toward ``key``'s leaf remembering (node, digit, payload)
+        per interior level so delete can prune bottom-up."""
+        path: List[tuple] = []
+        node_id = self._root
+        for level in range(self._depth - 1, 0, -1):
+            children = self._read_node(node_id)
+            digit = self._digit(key, level)
+            child = children.get(digit)
+            if child is None:
+                raise KeyError(key)
+            path.append((node_id, digit, children))
+            node_id = child
+        return node_id, path
 
     def _ensure_depth(self, key: int) -> None:
         """Deepen the trie so ``key`` fits, re-rooting existing data."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
+from repro.obs.spans import spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import RECORD_BYTES, records_per_block
 
@@ -50,12 +51,11 @@ class UnsortedColumn(AccessMethod):
         self._tail_count = len(batch) if batch else (self._per_block if seen else 0)
 
     def get(self, key: int) -> Optional[int]:
-        for block_id in self._extent:
-            records = self.device.read(block_id)
-            for record_key, value in records:
-                if record_key == key:
-                    return value
-        return None
+        location = self._locate(key)
+        if location is None:
+            return None
+        _block_id, index, records = location
+        return records[index][1]
 
     def range_query(self, lo: int, hi: int) -> List[Record]:
         matches: List[Record] = []
@@ -68,6 +68,12 @@ class UnsortedColumn(AccessMethod):
         return matches
 
     def insert(self, key: int, value: int) -> None:
+        self._append_record(key, value)
+        self._record_count += 1
+
+    @spanned("unsorted.rewrite")
+    def _append_record(self, key: int, value: int) -> None:
+        """Tail append: rewrite the last block or open a fresh one."""
         if not self._extent or self._tail_count == self._per_block:
             self._append_block([(key, value)])
             self._tail_count = 1
@@ -77,7 +83,6 @@ class UnsortedColumn(AccessMethod):
             records.append((key, value))
             self._write_block(tail_id, records)
             self._tail_count += 1
-        self._record_count += 1
 
     def update(self, key: int, value: int) -> None:
         location = self._locate(key)
@@ -92,6 +97,12 @@ class UnsortedColumn(AccessMethod):
         if location is None:
             raise KeyError(key)
         block_id, index, records = location
+        self._fill_hole(block_id, index, records)
+        self._record_count -= 1
+
+    @spanned("unsorted.delete_compact")
+    def _fill_hole(self, block_id: int, index: int, records: List[Record]) -> None:
+        """Keep the heap dense after a delete at (block_id, index)."""
         tail_id = self._extent[-1]
         if block_id == tail_id:
             records.pop(index)
@@ -111,9 +122,9 @@ class UnsortedColumn(AccessMethod):
             # extra write would charge a spurious UO block write.
             self.device.free(self._extent.pop())
             self._tail_count = self._per_block if self._extent else 0
-        self._record_count -= 1
 
     # ------------------------------------------------------------------
+    @spanned("unsorted.search")
     def _locate(self, key: int) -> Optional[Tuple[int, int, List[Record]]]:
         """Find ``key``: (block id, index in block, block's records)."""
         for block_id in self._extent:

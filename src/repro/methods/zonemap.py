@@ -25,6 +25,7 @@ from typing import Iterable, List, Optional
 
 from repro.core.interfaces import AccessMethod, Capabilities, Record
 from repro.filters.zonefilter import ZoneEntry, ZoneSynopsis
+from repro.obs.spans import spanned
 from repro.storage.device import SimulatedDevice
 from repro.storage.layout import RECORD_BYTES, records_per_block
 
@@ -155,6 +156,7 @@ class ZoneMapColumn(AccessMethod):
         )
         self._rewrite_synopsis_block(len(self._partitions) - 1)
 
+    @spanned("zonemap.scan")
     def _read_partition(self, partition_index: int) -> List[Record]:
         records: List[Record] = []
         for block_id in self._partitions[partition_index]:
@@ -207,6 +209,7 @@ class ZoneMapColumn(AccessMethod):
             used_bytes=len(entries) * ZONE_ENTRY_BYTES,
         )
 
+    @spanned("zonemap.prune")
     def _consult_synopsis_for_key(self, key: int) -> List[int]:
         candidates: List[int] = []
         for meta_index, block_id in enumerate(self._meta_blocks):
@@ -217,6 +220,7 @@ class ZoneMapColumn(AccessMethod):
                     candidates.append(base + offset)
         return candidates
 
+    @spanned("zonemap.prune")
     def _consult_synopsis_for_range(self, lo: int, hi: int) -> List[int]:
         candidates: List[int] = []
         for meta_index, block_id in enumerate(self._meta_blocks):

@@ -17,6 +17,13 @@ be explained, not just reported:
     the per-op-type cost breakdown that window deltas cannot show.
 ``sinks``
     Destinations for trace events: an in-memory list and a JSONL file.
+``spans``
+    Hierarchical phase attribution.  Instrumented code opens named spans
+    (``with span("lsm.compaction"): ...`` or the :func:`~repro.obs.spans.spanned`
+    decorator); the active span path is stamped onto every trace event,
+    and :class:`~repro.obs.spans.SpanProfile` /
+    :func:`~repro.obs.spans.rum_attribution` roll the events back into a
+    tree that splits RO/UO/MO exactly across internal phases.
 
 Attach a tracer with :meth:`SimulatedDevice.set_tracer
 <repro.storage.device.SimulatedDevice.set_tracer>`; collect histograms
@@ -27,16 +34,32 @@ by passing a :class:`~repro.obs.metrics.WorkloadMetrics` to
 
 from repro.obs.metrics import Histogram, WorkloadMetrics
 from repro.obs.sinks import JsonlSink, ListSink, TraceSink
+from repro.obs.spans import (
+    Attribution,
+    SpanProfile,
+    rum_attribution,
+    span,
+    span_collection,
+    spanned,
+    spans_active,
+)
 from repro.obs.tracer import NULL_TRACER, RecordingTracer, TraceEvent, Tracer
 
 __all__ = [
+    "Attribution",
     "Histogram",
     "JsonlSink",
     "ListSink",
     "NULL_TRACER",
     "RecordingTracer",
+    "SpanProfile",
     "TraceEvent",
     "TraceSink",
     "Tracer",
     "WorkloadMetrics",
+    "rum_attribution",
+    "span",
+    "span_collection",
+    "spanned",
+    "spans_active",
 ]

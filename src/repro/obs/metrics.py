@@ -79,6 +79,19 @@ class Histogram:
         return f"Histogram(count={self.count}, mean={self.mean:.2f}, max={self.max})"
 
 
+#: Canonical op-type presentation order for breakdown tables: reads
+#: first, then mutations in lifecycle order, then the terminal flush.
+#: Labels outside this list sort after it, alphabetically.
+CANONICAL_OP_ORDER = (
+    "point_query",
+    "range_query",
+    "insert",
+    "update",
+    "delete",
+    "flush",
+)
+
+
 class WorkloadMetrics:
     """Per-op-type histograms accumulated over one workload run.
 
@@ -102,8 +115,19 @@ class WorkloadMetrics:
         self.time[label].record(simulated_time)
 
     def labels(self) -> List[str]:
-        """Operation labels seen so far, sorted."""
-        return sorted(self.blocks)
+        """Operation labels seen so far, in :data:`CANONICAL_OP_ORDER`.
+
+        The order is pinned (not insertion or alphabetical) so
+        ``repro stats`` output diffs cleanly across runs and methods;
+        labels outside the canonical list follow it, alphabetically.
+        """
+        def rank(label: str):
+            try:
+                return (0, CANONICAL_OP_ORDER.index(label), label)
+            except ValueError:
+                return (1, 0, label)
+
+        return sorted(self.blocks, key=rank)
 
     def rows(self) -> List[List[object]]:
         """Breakdown table rows: one per op type.

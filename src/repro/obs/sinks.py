@@ -44,7 +44,12 @@ class JsonlSink(TraceSink):
 
     Keys are sorted so that byte-identical runs produce byte-identical
     files — the determinism contract of ``repro trace``.  Usable as a
-    context manager.
+    context manager; ``__exit__`` closes (and therefore flushes) the
+    file *even when the managed block raised*, so a workload that dies
+    mid-run — an injected :class:`~repro.check.faults.DeviceFault`, an
+    :class:`~repro.check.audit.AuditError` — still leaves a complete,
+    parseable trace: every emitted event is a whole line, and the last
+    line on disk is the last event before the failure.
     """
 
     def __init__(self, path: str) -> None:

@@ -46,6 +46,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.obs.spans import span, spanned
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.storage.block import BlockId
 from repro.storage.store import BlockStore
@@ -235,6 +236,11 @@ class BufferPool:
             return frame.payload
         self.stats.misses += 1
         self.stats.demand_reads += 1
+        return self._miss_read(block_id)
+
+    @spanned("pool.miss")
+    def _miss_read(self, block_id: BlockId) -> object:
+        """Serve a read miss: fetch from below and (maybe) admit."""
         payload = self.device.read(block_id)
         if self.admit_on_read:
             # Carry the block's true occupancy so a write-back of a
@@ -276,20 +282,21 @@ class BufferPool:
 
     def flush(self) -> None:
         """Write back every dirty frame (frames stay cached, now clean)."""
-        for block_id in sorted(self._frames):
-            frame = self._frames[block_id]
-            if frame.dirty:
-                self.stats.downstream_writes += 1
-                self.device.write(block_id, frame.payload, frame.used_bytes)
-                self.stats.write_backs += 1
-                frame.dirty = False
-                if self.tracer.enabled:
-                    self.tracer.emit(
-                        source=self.name,
-                        op="write_back",
-                        block_id=block_id,
-                        nbytes=self.device.block_bytes,
-                    )
+        with span("pool.write_back"):
+            for block_id in sorted(self._frames):
+                frame = self._frames[block_id]
+                if frame.dirty:
+                    self.stats.downstream_writes += 1
+                    self.device.write(block_id, frame.payload, frame.used_bytes)
+                    self.stats.write_backs += 1
+                    frame.dirty = False
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            source=self.name,
+                            op="write_back",
+                            block_id=block_id,
+                            nbytes=self.device.block_bytes,
+                        )
 
     def peek(self, block_id: BlockId) -> object:
         """A block's current payload without I/O, stats or policy updates.
@@ -383,13 +390,20 @@ class BufferPool:
         if self.capacity_blocks == 0:
             return
         while len(self._frames) >= self.capacity_blocks:
-            victim = self.policy.choose_victim()
-            victim_frame = self._frames.pop(victim)
-            self.policy.on_remove(victim)
-            self.stats.evictions += 1
-            if self.tracer.enabled:
-                self.tracer.emit(source=self.name, op="evict", block_id=victim)
-            if victim_frame.dirty:
+            self._evict_victim()
+        self._frames[block_id] = _Frame(payload=payload, used_bytes=used_bytes, dirty=dirty)
+        self.policy.on_insert(block_id)
+
+    @spanned("pool.evict")
+    def _evict_victim(self) -> None:
+        victim = self.policy.choose_victim()
+        victim_frame = self._frames.pop(victim)
+        self.policy.on_remove(victim)
+        self.stats.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.emit(source=self.name, op="evict", block_id=victim)
+        if victim_frame.dirty:
+            with span("pool.write_back"):
                 self.stats.downstream_writes += 1
                 self.device.write(victim, victim_frame.payload, victim_frame.used_bytes)
                 self.stats.write_backs += 1
@@ -400,9 +414,7 @@ class BufferPool:
                         block_id=victim,
                         nbytes=self.device.block_bytes,
                     )
-            elif self.victim_store is not None:
-                self.victim_store.accept_victim(
-                    victim, victim_frame.payload, victim_frame.used_bytes
-                )
-        self._frames[block_id] = _Frame(payload=payload, used_bytes=used_bytes, dirty=dirty)
-        self.policy.on_insert(block_id)
+        elif self.victim_store is not None:
+            self.victim_store.accept_victim(
+                victim, victim_frame.payload, victim_frame.used_bytes
+            )

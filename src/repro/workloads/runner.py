@@ -12,8 +12,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.interfaces import AccessMethod
-from repro.core.rum import RUMProfile, measure_workload
+from repro.core.rum import RUMAccumulator, RUMProfile, measure_workload
 from repro.obs.metrics import WorkloadMetrics
+from repro.obs.spans import span, spans_active
 from repro.storage.device import IOStats
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.spec import WorkloadSpec
@@ -42,6 +43,7 @@ def run_workload(
     spec: WorkloadSpec,
     generator: Optional[WorkloadGenerator] = None,
     metrics: Optional[WorkloadMetrics] = None,
+    accumulator: Optional[RUMAccumulator] = None,
 ) -> WorkloadResult:
     """Bulk-load ``method`` and run the spec's operation stream against it.
 
@@ -50,7 +52,13 @@ def run_workload(
     not have been consumed yet.  A caller-owned ``metrics`` object, when
     supplied, accumulates per-op-type histograms (blocks touched and
     simulated time per point query / insert / range scan / ...) over the
-    measured phase — the bulk load is excluded, as in the profile.
+    measured phase — the bulk load is excluded, as in the profile.  A
+    caller-owned (fresh) ``accumulator`` exposes the integer byte counts
+    behind the final ratios (see :func:`~repro.core.rum.measure_workload`).
+
+    When span collection is active the bulk load runs inside an
+    ``op.bulk_load`` span, so load-phase I/O and allocations are
+    attributed separately from the measured operations.
     """
     if generator is not None and generator.consumed:
         raise ValueError(
@@ -62,11 +70,21 @@ def run_workload(
     data = generator.initial_data()
 
     before_load = method.device.snapshot()
-    method.bulk_load(data)
-    method.flush()
+    if spans_active():
+        with span("op.bulk_load"):
+            method.bulk_load(data)
+            method.flush()
+    else:
+        method.bulk_load(data)
+        method.flush()
     bulk_load_io = method.device.stats_since(before_load)
 
-    profile = measure_workload(method, generator.operations(), metrics=metrics)
+    profile = measure_workload(
+        method,
+        generator.operations(),
+        metrics=metrics,
+        accumulator=accumulator,
+    )
     stats = method.stats()
     return WorkloadResult(
         method_name=method.name,

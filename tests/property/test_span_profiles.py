@@ -1,0 +1,89 @@
+"""Property tests: span profiles are execution-path invariant.
+
+The span system's determinism contract (ISSUE 5): a
+:class:`~repro.obs.spans.SpanProfile` is a pure function of the
+workload, not of *how* the sweep that produced the event stream ran.
+Under randomly drawn workload mixes and method grids:
+
+* a serial sweep (``jobs=1``) and a parallel sweep (``jobs=N``) of the
+  same grid produce **byte-identical** span profiles — every span path,
+  every byte counter, every live-block tally;
+* a warm cache hit replays the identical span tree: the profile built
+  from cached envelopes equals the profile from the original execution.
+
+Both follow from the engine's single execution path plus span stamping
+inside the worker, but only property tests catch the ways it could rot
+(per-process contextvar leakage, event reordering in the merge, a cache
+envelope dropping span fields).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import ResultCache, SweepCell, SweepEngine
+from repro.obs.spans import SpanProfile
+from repro.workloads.spec import WorkloadSpec
+
+#: Methods cheap enough to sweep repeatedly under Hypothesis, chosen to
+#: cover distinct span vocabularies (descent/split, put/flush/compaction,
+#: probe/rehash, scan/rewrite).
+_METHODS = ("btree", "lsm", "hash-index", "sorted-column")
+
+_mixes = st.sampled_from([
+    dict(point_queries=0.5, inserts=0.3, updates=0.2),
+    dict(point_queries=0.3, range_queries=0.1, inserts=0.4, deletes=0.2),
+    dict(point_queries=0.0, inserts=0.7, updates=0.2, deletes=0.1),
+    dict(point_queries=0.8, range_queries=0.2),
+])
+
+_grids = st.lists(st.sampled_from(_METHODS), min_size=1, max_size=3,
+                  unique=True)
+
+
+def _cells(methods, mix, operations, initial_records):
+    spec = WorkloadSpec(
+        operations=operations, initial_records=initial_records, **mix
+    )
+    return [
+        SweepCell.make(name, spec, block_bytes=256) for name in methods
+    ]
+
+
+def _profile_bytes(outcome) -> str:
+    """Canonical JSON of the sweep's span profile — byte-comparable."""
+    profile = SpanProfile.from_events(outcome.events)
+    return json.dumps(profile.to_dict(), sort_keys=True)
+
+
+@settings(max_examples=8, deadline=None)
+@given(methods=_grids, mix=_mixes, operations=st.integers(60, 140))
+def test_serial_and_parallel_sweeps_span_profiles_byte_identical(
+    methods, mix, operations
+):
+    cells = _cells(methods, mix, operations, initial_records=300)
+    serial = SweepEngine(jobs=1, collect_events=True).run(cells)
+    parallel = SweepEngine(jobs=3, collect_events=True).run(cells)
+    assert _profile_bytes(serial) == _profile_bytes(parallel)
+    # The merged streams agree event for event, span stamps included.
+    assert [e.span for e in serial.events] == [
+        e.span for e in parallel.events
+    ]
+
+
+@settings(max_examples=6, deadline=None)
+@given(methods=_grids, mix=_mixes, operations=st.integers(60, 120))
+def test_warm_cache_hit_replays_identical_span_tree(
+    tmp_path_factory, methods, mix, operations
+):
+    cache_dir = tmp_path_factory.mktemp("span-cache")
+    cells = _cells(methods, mix, operations, initial_records=300)
+    cache = ResultCache(str(cache_dir))
+    cold = SweepEngine(jobs=1, cache=cache, collect_events=True).run(cells)
+    warm = SweepEngine(jobs=1, cache=cache, collect_events=True).run(cells)
+    assert cold.executed_cells == len(cells)
+    assert warm.executed_cells == 0 and warm.cached_cells == len(cells)
+    assert _profile_bytes(cold) == _profile_bytes(warm)

@@ -1,0 +1,184 @@
+"""Unit tests for ``tools/bench_gate.py`` — the span perf-regression gate.
+
+The gate's contract (ISSUE 5): exit 0 when a candidate profile matches
+its committed baseline, non-zero on any span byte-attribution drift
+beyond threshold or a large throughput drop, and 2 on unusable input.
+Profiles here are synthetic ``repro explain --json`` payloads, so every
+branch is reachable without running workloads.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import sys
+
+import pytest
+
+TOOLS_PATH = os.path.join(os.path.dirname(__file__), "..", "..", "tools")
+
+
+def _bench_gate():
+    sys.path.insert(0, TOOLS_PATH)
+    try:
+        import bench_gate
+    finally:
+        sys.path.remove(TOOLS_PATH)
+    return bench_gate
+
+
+def _profile(**overrides):
+    payload = {
+        "method": "btree",
+        "ops_per_sec": 10_000.0,
+        "spans": [
+            {"path": "op.point_query", "read_bytes": 4096, "write_bytes": 0,
+             "ro_bytes": 4096, "uo_bytes": 0},
+            {"path": "op.point_query/btree.descent", "read_bytes": 4096,
+             "write_bytes": 0, "ro_bytes": 4096, "uo_bytes": 0},
+            {"path": "op.insert", "read_bytes": 1024, "write_bytes": 2048,
+             "ro_bytes": 0, "uo_bytes": 2048},
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestDiff:
+    def test_identical_profiles_pass(self):
+        bench_gate = _bench_gate()
+        regressions, _notes = bench_gate.diff_profiles(
+            _profile(), _profile(), byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert regressions == []
+
+    def test_byte_growth_beyond_threshold_fails(self):
+        bench_gate = _bench_gate()
+        candidate = _profile()
+        candidate["spans"][1]["read_bytes"] = 6144  # +50% descent reads
+        regressions, _ = bench_gate.diff_profiles(
+            _profile(), candidate, byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert any("btree.descent" in r and "read_bytes" in r
+                   for r in regressions)
+
+    def test_small_byte_drift_is_a_note_not_a_regression(self):
+        bench_gate = _bench_gate()
+        candidate = _profile()
+        candidate["spans"][1]["read_bytes"] = 4100  # +0.1%
+        regressions, notes = bench_gate.diff_profiles(
+            _profile(), candidate, byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert regressions == []
+        assert any("btree.descent" in n for n in notes)
+
+    def test_span_growing_bytes_from_zero_fails(self):
+        bench_gate = _bench_gate()
+        candidate = _profile()
+        candidate["spans"][0]["write_bytes"] = 512
+        regressions, _ = bench_gate.diff_profiles(
+            _profile(), candidate, byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert any("grew 0 -> 512" in r for r in regressions)
+
+    def test_appeared_span_with_bytes_fails_without_bytes_notes(self):
+        bench_gate = _bench_gate()
+        with_bytes = _profile()
+        with_bytes["spans"].append(
+            {"path": "op.insert/surprise", "read_bytes": 100,
+             "write_bytes": 0, "ro_bytes": 0, "uo_bytes": 0}
+        )
+        regressions, _ = bench_gate.diff_profiles(
+            _profile(), with_bytes, byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert any("appeared" in r for r in regressions)
+
+        empty = copy.deepcopy(_profile())
+        empty["spans"].append(
+            {"path": "op.insert/empty", "read_bytes": 0, "write_bytes": 0,
+             "ro_bytes": 0, "uo_bytes": 0}
+        )
+        regressions, notes = bench_gate.diff_profiles(
+            _profile(), empty, byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert regressions == []
+        assert any("appeared" in n for n in notes)
+
+    def test_disappeared_span_with_baseline_bytes_fails(self):
+        bench_gate = _bench_gate()
+        candidate = _profile()
+        candidate["spans"] = candidate["spans"][:2]  # op.insert gone
+        regressions, _ = bench_gate.diff_profiles(
+            _profile(), candidate, byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert any("disappeared" in r for r in regressions)
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        bench_gate = _bench_gate()
+        slow = _profile(ops_per_sec=5_000.0)  # -50%
+        regressions, _ = bench_gate.diff_profiles(
+            _profile(), slow, byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert any("throughput" in r for r in regressions)
+        # Inside the generous wall-clock tolerance: just a note.
+        ok = _profile(ops_per_sec=8_000.0)  # -20%
+        regressions, notes = bench_gate.diff_profiles(
+            _profile(), ok, byte_threshold=0.02, ops_threshold=0.30
+        )
+        assert regressions == []
+        assert any("throughput" in n for n in notes)
+
+
+class TestMain:
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        bench_gate = _bench_gate()
+        baseline = _write(tmp_path, "base.json", _profile())
+        candidate = _write(tmp_path, "cand.json", _profile())
+        assert bench_gate.main([baseline, candidate]) == 0
+        assert "bench_gate: pass" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        bench_gate = _bench_gate()
+        slow = _profile(ops_per_sec=1_000.0)
+        baseline = _write(tmp_path, "base.json", _profile())
+        candidate = _write(tmp_path, "cand.json", slow)
+        assert bench_gate.main([baseline, candidate]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION:" in out and "bench_gate: FAIL" in out
+
+    def test_method_mismatch_exits_two(self, tmp_path, capsys):
+        bench_gate = _bench_gate()
+        baseline = _write(tmp_path, "base.json", _profile())
+        candidate = _write(tmp_path, "cand.json", _profile(method="lsm"))
+        assert bench_gate.main([baseline, candidate]) == 2
+        assert "different methods" in capsys.readouterr().err
+
+    def test_malformed_profile_rejected(self, tmp_path):
+        bench_gate = _bench_gate()
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"not": "a profile"}))
+        good = _write(tmp_path, "good.json", _profile())
+        with pytest.raises(SystemExit):
+            bench_gate.main([str(bad), good])
+
+    def test_missing_file_rejected(self, tmp_path):
+        bench_gate = _bench_gate()
+        good = _write(tmp_path, "good.json", _profile())
+        with pytest.raises(SystemExit):
+            bench_gate.main([str(tmp_path / "absent.json"), good])
+
+    def test_quiet_suppresses_notes(self, tmp_path, capsys):
+        bench_gate = _bench_gate()
+        baseline = _write(tmp_path, "base.json", _profile())
+        candidate = _write(
+            tmp_path, "cand.json", _profile(ops_per_sec=9_500.0)
+        )
+        assert bench_gate.main([baseline, candidate, "--quiet"]) == 0
+        assert "  ok:" not in capsys.readouterr().out

@@ -51,8 +51,20 @@ def test_smoke_run_produces_report(tmp_path, capsys):
     assert sweep["cells"] == len(bench_hotpath.SWEEP_METHODS)
     assert sweep["serial_seconds"] > 0
     assert sweep["parallel_seconds"] > 0
+    spans = report["spans"]
+    for key in (
+        "per_site_disabled_ns",
+        "span_sites_per_op",
+        "per_op_ns",
+        "disabled_overhead_fraction",
+        "enabled_slowdown",
+    ):
+        assert spans[key] >= 0, key
+    assert spans["span_sites_per_op"] > 0
+    assert spans["disabled_budget"] == bench_hotpath.SPAN_DISABLED_BUDGET
     printed = capsys.readouterr().out
     assert "device read" in printed and "device write" in printed
+    assert "spans disabled" in printed
 
 
 def test_legacy_replica_counts_like_the_real_device():
@@ -83,3 +95,13 @@ def test_committed_baseline_meets_the_speedup_bar():
         baseline = json.load(handle)
     assert baseline["device"]["read_speedup"] >= 1.5
     assert baseline["device"]["write_speedup"] >= 1.5
+
+
+def test_committed_baseline_keeps_spans_within_budget():
+    """The archived full run proves disabled spans cost <2% of the hot
+    loop (ISSUE 5 satellite: span overhead recorded in the baseline)."""
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    spans = baseline["spans"]
+    assert spans["within_budget"] is True
+    assert spans["disabled_overhead_fraction"] < spans["disabled_budget"]

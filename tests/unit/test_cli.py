@@ -159,6 +159,29 @@ class TestTraceAndStats:
         assert "p50" in out and "p95" in out
         assert "RO=" in out and "UO=" in out and "MO=" in out
 
+    def test_stats_breakdown_rows_follow_canonical_op_order(self, capsys):
+        """The breakdown table is pinned to CANONICAL_OP_ORDER, not
+        alphabetical — point/range queries first, then mutations, then
+        flush — so outputs diff cleanly across runs and methods."""
+        code = main([
+            "stats", "--method", "btree", "--workload", "balanced",
+            "--records", "400", "--ops", "200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        from repro.obs.metrics import CANONICAL_OP_ORDER
+
+        positions = [
+            (out.index(label), label)
+            for label in CANONICAL_OP_ORDER
+            if label in out
+        ]
+        assert len(positions) >= 4, "workload too small to exercise ordering"
+        assert positions == sorted(positions), (
+            "breakdown rows out of canonical order: "
+            f"{[label for _, label in sorted(positions)]}"
+        )
+
     def test_stats_matches_profile_command_numbers(self, capsys):
         args = ["--workload", "balanced", "--records", "400", "--ops", "120"]
         main(["stats", "--method", "btree"] + args)
@@ -169,6 +192,81 @@ class TestTraceAndStats:
         # the RO column printed by `profile`.
         ro = stats_out.split("RO=")[1].split()[0]
         assert ro.rstrip("0").rstrip(".") in profile_out or ro in profile_out
+
+
+class TestExplainAndFlame:
+    # Write-heavy and long enough that LSM inserts overflow the memtable
+    # mid-run, so the tree shows flush and compaction under op.insert.
+    ARGS = ["--workload", "write-heavy", "--records", "2000", "--ops", "1500"]
+
+    def test_explain_prints_audited_span_tree(self, capsys):
+        code = main(["explain", "lsm"] + self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "op.insert" in out and "lsm.put" in out
+        assert "lsm.flush" in out
+        assert "totals: RO=" in out and "UO=" in out and "MO=" in out
+        assert "audit: span attribution sums exactly" in out
+        assert "AUDIT:" not in out
+
+    def test_explain_json_payload_feeds_the_gate(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "profile.json"
+        code = main(
+            ["explain", "btree", "--json", "--output", str(output)]
+            + self.ARGS
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["method"] == "btree"
+        assert payload["audit"] == []
+        assert payload["ops_per_sec"] > 0
+        paths = [row["path"] for row in payload["spans"]]
+        assert any(path.endswith("btree.descent") for path in paths)
+        for key in ("read_overhead", "update_overhead", "memory_overhead"):
+            assert key in payload["totals"]
+
+    def test_explain_runs_are_deterministic(self, capsys, tmp_path):
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (a, b):
+            main(
+                ["explain", "lsm", "--json", "--output", str(path)]
+                + self.ARGS
+            )
+            capsys.readouterr()
+        first = json.loads(a.read_text())
+        second = json.loads(b.read_text())
+        # Wall-clock keys differ; everything attributed must not.
+        for volatile in ("elapsed_seconds", "ops_per_sec"):
+            first.pop(volatile), second.pop(volatile)
+        first["totals"].pop("simulated_time")
+        second["totals"].pop("simulated_time")
+        assert first == second
+
+    def test_flame_emits_folded_stacks(self, capsys, tmp_path):
+        output = tmp_path / "lsm.folded"
+        code = main(
+            ["flame", "--method", "lsm", "--output", str(output)] + self.ARGS
+        )
+        assert code == 0
+        lines = output.read_text().splitlines()
+        assert lines, "no folded stacks written"
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and int(weight) > 0  # "a;b;c <integer>" shape
+        assert any(";" in line for line in lines)  # nested frames exist
+        assert f"wrote {len(lines)} folded stacks" in capsys.readouterr().out
+
+    def test_flame_weight_selects_the_metric(self, capsys):
+        code = main(
+            ["flame", "--method", "btree", "--weight", "events"] + self.ARGS
+        )
+        assert code == 0
+        out = capsys.readouterr().out.splitlines()
+        assert all(int(line.rpartition(" ")[2]) > 0 for line in out if line)
 
 
 class TestSweep:

@@ -208,6 +208,23 @@ class TestTracing:
         parallel = SweepEngine(jobs=4, collect_events=True).run(_cells())
         assert serial.events == parallel.events
 
+    def test_traced_events_carry_span_stamps(self):
+        """Workers run inside span_collection, so every device event in
+        the merged stream is stamped with its op-root span path."""
+        outcome = SweepEngine(jobs=2, collect_events=True).run(_cells())
+        spans = {event.span for event in outcome.events}
+        assert any(span.startswith("op.") for span in spans), spans
+        # bulk_load happens inside a span too — nothing before the first
+        # operation leaks out unstamped.
+        assert "op.bulk_load" in {s.split("/")[0] for s in spans if s}
+
+    def test_cached_replay_preserves_span_stamps(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        cold = SweepEngine(jobs=1, cache=cache, collect_events=True).run(_cells())
+        warm = SweepEngine(jobs=1, cache=cache, collect_events=True).run(_cells())
+        assert warm.executed_cells == 0
+        assert [e.span for e in warm.events] == [e.span for e in cold.events]
+
     def test_untraced_cache_entry_does_not_satisfy_traced_run(self, tmp_path):
         cache = ResultCache(root=str(tmp_path / "cache"))
         SweepEngine(jobs=1, cache=cache).run(_cells())

@@ -121,6 +121,43 @@ def test_lint_frames_rule_applies_inside_storage_modules():
     ) == []
 
 
+def test_lint_flags_direct_tracer_emit_when_enabled():
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        def sneaky(self, tracer):
+            tracer.emit(source="x", op="read", block_id=1)
+            self.tracer.emit(source="x", op="write", block_id=2)
+            self._tracer.emit(source="x", op="alloc", block_id=3)
+        """
+    )
+    violations = lint_counters.violations_in_source(
+        bad, "bad.py", check_emit=True
+    )
+    targets = {target for _, _, target in violations}
+    assert targets == {
+        "tracer.emit", "self.tracer.emit", "self._tracer.emit"
+    }
+    # The same source is clean for modules allowed to emit directly
+    # (repro/obs, repro/storage), where check_emit stays off.
+    assert lint_counters.violations_in_source(bad, "device.py") == []
+
+
+def test_lint_emit_rule_ignores_non_tracer_emitters():
+    lint_counters = _lint_counters()
+    fine = textwrap.dedent(
+        """
+        def fine(self, sink, event):
+            sink.emit(event)                 # sinks receive, tracers emit
+            self.sink.emit(event)
+            emit_audit_events(self.tracer, "m", ["violation"])  # sanctioned
+        """
+    )
+    assert lint_counters.violations_in_source(
+        fine, "fine.py", check_emit=True
+    ) == []
+
+
 def test_lint_tree_skips_pager_itself():
     lint_counters = _lint_counters()
     violations = lint_counters.check_tree(SRC_PATH)

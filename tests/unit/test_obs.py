@@ -117,6 +117,7 @@ class TestSinks:
         assert rows[0] == {
             "seq": 0, "source": "d", "op": "read", "block_id": 1,
             "kind": "leaf", "sequential": True, "cost": 1.5, "nbytes": 256,
+            "span": "",
         }
         assert rows[1]["op"] == "free"
 
@@ -124,6 +125,41 @@ class TestSinks:
         sink = JsonlSink(str(tmp_path / "e.jsonl"))
         sink.close()
         sink.close()
+
+    def test_jsonl_survives_mid_workload_fault(self, tmp_path):
+        """A DeviceFault mid-workload leaves a complete, parseable trace.
+
+        The sink's context manager closes (flushes) on the exception
+        path, so every event emitted before the fault — including the
+        ``fault`` event itself — is a whole JSON line on disk.
+        """
+        import pytest
+
+        from repro.check.faults import DeviceFault, FaultPlan, FaultyDevice
+        from repro.core.registry import create_method
+        from repro.storage.device import SimulatedDevice
+        from repro.workloads.runner import run_workload
+        from repro.workloads.spec import WorkloadSpec
+
+        path = str(tmp_path / "faulted.jsonl")
+        device = FaultyDevice(
+            SimulatedDevice(block_bytes=SMALL_BLOCK),
+            FaultPlan(fail_read_at=40),
+        )
+        spec = WorkloadSpec(
+            point_queries=0.5, inserts=0.3, updates=0.2,
+            operations=400, initial_records=600,
+        )
+        with pytest.raises(DeviceFault):
+            with JsonlSink(path) as sink:
+                device.set_tracer(RecordingTracer(sink))
+                run_workload(create_method("btree", device=device), spec)
+        with open(path) as handle:
+            rows = [json.loads(line) for line in handle]  # every line parses
+        assert rows, "no events reached the sink before the fault"
+        assert [row["seq"] for row in rows] == list(range(len(rows)))
+        assert rows[-1]["op"] == "fault"
+        assert rows[-1]["source"] == "faulty(device)"
 
     def test_event_to_dict_matches_fields(self):
         event = TraceEvent(seq=7, source="s", op="evict", block_id=9)
@@ -174,9 +210,21 @@ class TestWorkloadMetrics:
         metrics.record("point_query", 2, 2.0)
         metrics.record("point_query", 4, 4.0)
         metrics.record("insert", 1, 10.0)
-        assert metrics.labels() == ["insert", "point_query"]
+        # Canonical presentation order: queries before mutations,
+        # regardless of recording or alphabetical order.
+        assert metrics.labels() == ["point_query", "insert"]
         assert metrics.blocks["point_query"].mean == 3.0
         assert metrics.time["insert"].total == 10.0
+
+    def test_labels_pin_canonical_order_with_unknowns_last(self):
+        metrics = WorkloadMetrics()
+        for label in ("zz_custom", "flush", "insert", "range_query",
+                      "aa_custom", "point_query", "delete", "update"):
+            metrics.record(label, 1, 1.0)
+        assert metrics.labels() == [
+            "point_query", "range_query", "insert", "update", "delete",
+            "flush", "aa_custom", "zz_custom",
+        ]
 
     def test_rows_match_headers(self):
         metrics = WorkloadMetrics()

@@ -1,0 +1,231 @@
+"""Unit tests for ``repro.obs.spans`` — the hierarchical span system.
+
+Covers the three layers in isolation and end to end:
+
+* the collection primitives (``span``, ``spanned``, ``span_collection``):
+  gating, nesting, exception safety, zero path leakage between scopes;
+* :class:`SpanProfile` aggregation from synthetic event streams: tree
+  shape, exclusive ``by_name`` tallies, space ownership, folded stacks;
+* :func:`rum_attribution` exactness against a *real* measured workload:
+  the audit list must come back empty, certifying that per-span RO/UO/MO
+  fractions sum exactly to the aggregate profile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import create_method
+from repro.core.rum import RUMAccumulator
+from repro.obs.spans import (
+    Attribution,
+    SpanProfile,
+    current_span,
+    rum_attribution,
+    span,
+    span_collection,
+    spanned,
+    spans_active,
+)
+from repro.obs.sinks import ListSink
+from repro.obs.tracer import RecordingTracer
+from repro.storage.device import SimulatedDevice
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import WorkloadSpec
+
+from tests.conftest import SMALL_BLOCK
+
+
+def _event(span_path, op, *, source="d", block_id=0, sequential=False,
+           cost=0.0, nbytes=0):
+    return {
+        "span": span_path, "source": source, "op": op, "block_id": block_id,
+        "sequential": sequential, "cost": cost, "nbytes": nbytes,
+    }
+
+
+class TestCollectionPrimitives:
+    def test_disabled_by_default(self):
+        assert not spans_active()
+        assert current_span() == ""
+        with span("never"):
+            assert current_span() == ""
+
+    def test_nesting_builds_slash_paths(self):
+        with span_collection():
+            assert spans_active()
+            with span("op.insert"):
+                assert current_span() == "op.insert"
+                with span("lsm.put"):
+                    assert current_span() == "op.insert/lsm.put"
+                assert current_span() == "op.insert"
+        assert current_span() == ""
+
+    def test_spanned_decorator_opens_and_closes(self):
+        @spanned("phase")
+        def observe():
+            return current_span()
+
+        assert observe() == ""  # disabled: plain tail-call
+        with span_collection():
+            assert observe() == "phase"
+            with span("outer"):
+                assert observe() == "outer/phase"
+        assert observe.__span_name__ == "phase"
+        assert observe.__name__ == "observe"
+
+    def test_spanned_restores_path_on_exception(self):
+        @spanned("boom")
+        def explode():
+            raise RuntimeError("mid-span failure")
+
+        with span_collection():
+            with pytest.raises(RuntimeError):
+                explode()
+            assert current_span() == ""
+
+    def test_collection_scopes_nest_and_reset(self):
+        with span_collection():
+            with span("outer"):
+                with span_collection():
+                    # A fresh scope never inherits the enclosing path.
+                    assert current_span() == ""
+                assert current_span() == "outer"
+        assert not spans_active()
+
+    def test_span_with_device_captures_io_delta(self):
+        device = SimulatedDevice(block_bytes=SMALL_BLOCK)
+        block = device.allocate()
+        with span("phase", device=device) as opened:
+            device.write(block, "x", used_bytes=8)
+            device.read(block)
+        assert opened.io.reads == 1
+        assert opened.io.writes == 1
+        assert opened.io.read_bytes == SMALL_BLOCK
+
+
+class TestSpanProfile:
+    def test_tree_shape_and_direct_stats(self):
+        profile = SpanProfile.from_events([
+            _event("op.insert", "read", nbytes=256, cost=1.0),
+            _event("op.insert/lsm.put", "write", nbytes=256, cost=2.0),
+            _event("", "alloc"),
+        ])
+        root = profile.roots["op.insert"]
+        assert root.stats.read_bytes == 256 and root.stats.write_bytes == 0
+        assert root.children["lsm.put"].stats.write_bytes == 256
+        assert root.total().write_bytes == 256
+        assert root.total().simulated_time == 3.0
+        assert profile.roots["(unspanned)"].stats.allocs == 1
+
+    def test_by_name_is_exclusive_across_nested_occurrences(self):
+        profile = SpanProfile.from_events([
+            _event("op.insert/c.L0", "write", nbytes=100),
+            _event("op.insert/c.L0/c.L1", "write", nbytes=40),
+        ])
+        merged = profile.by_name()
+        assert merged["c.L0"].write_bytes == 100  # not 140: no double count
+        assert merged["c.L1"].write_bytes == 40
+
+    def test_space_ownership_follows_alloc_and_free(self):
+        profile = SpanProfile.from_events([
+            _event("op.insert", "alloc", block_id=1),
+            _event("op.insert", "alloc", block_id=2),
+            _event("op.insert", "write", block_id=1, nbytes=256),
+            _event("op.delete", "free", block_id=1),
+            _event("op.delete", "free", block_id=99),  # pre-tracing block
+        ])
+        node = profile.roots["op.insert"]
+        assert node.live_blocks == {"d": 1}
+        assert profile.live_bytes_of(node) == 256
+        assert profile.untracked_frees == {"d": 1}
+
+    def test_folded_lines_weights(self):
+        profile = SpanProfile.from_events([
+            _event("a/b", "read", nbytes=100, cost=0.5),
+            _event("a", "write", nbytes=40, cost=1.0),
+        ])
+        assert profile.folded_lines("bytes") == ["a 40", "a;b 100"]
+        assert profile.folded_lines("events") == ["a 1", "a;b 1"]
+        assert profile.folded_lines("time") == ["a 1000", "a;b 500"]
+        with pytest.raises(ValueError):
+            profile.folded_lines("calories")
+
+    def test_profile_from_dicts_equals_profile_from_events(self):
+        sink = ListSink()
+        device = SimulatedDevice(block_bytes=SMALL_BLOCK)
+        device.set_tracer(RecordingTracer(sink))
+        with span_collection():
+            with span("op.insert"):
+                block = device.allocate()
+                device.write(block, "x", used_bytes=8)
+        from_events = SpanProfile.from_events(sink.events)
+        from_dicts = SpanProfile.from_events(
+            [event.to_dict() for event in sink.events]
+        )
+        assert from_events.to_dict() == from_dicts.to_dict()
+
+
+#: Representative methods for end-to-end attribution: one per major
+#: structure family the tentpole instrumented.
+ATTRIBUTED_METHODS = (
+    "btree", "lsm", "hash-index", "sorted-column", "unsorted-column",
+    "zonemap", "skiplist", "trie", "indexed-log",
+)
+
+
+class TestRumAttribution:
+    SPEC = WorkloadSpec(
+        point_queries=0.3, range_queries=0.1, inserts=0.3,
+        updates=0.2, deletes=0.1, operations=250, initial_records=600,
+    )
+
+    def _attribution(self, method_name):
+        sink = ListSink()
+        device = SimulatedDevice(block_bytes=SMALL_BLOCK)
+        device.set_tracer(RecordingTracer(sink))
+        method = create_method(method_name, device=device)
+        accumulator = RUMAccumulator()
+        with span_collection():
+            result = run_workload(method, self.SPEC, accumulator=accumulator)
+        profile = SpanProfile.from_events(sink.events)
+        return result, rum_attribution(
+            profile,
+            accumulator,
+            base_bytes=method.base_bytes(),
+            space_bytes=method.space_bytes(),
+            allocated_bytes=device.allocated_bytes,
+            memory_overhead=result.profile.memory_overhead,
+        )
+
+    @pytest.mark.parametrize("method_name", ATTRIBUTED_METHODS)
+    def test_attribution_is_exact_for_every_instrumented_method(
+        self, method_name
+    ):
+        result, attribution = self._attribution(method_name)
+        assert attribution.audit == [], "\n".join(attribution.audit)
+        assert attribution.read_overhead == result.profile.read_overhead
+        assert attribution.update_overhead == result.profile.update_overhead
+        assert attribution.memory_overhead == result.profile.memory_overhead
+
+    def test_root_fractions_sum_to_aggregates(self):
+        result, attribution = self._attribution("btree")
+        roots = [row for row in attribution.rows if row.depth == 0]
+        assert sum(row.ro for row in roots) == result.profile.read_overhead
+        assert sum(row.uo for row in roots) == result.profile.update_overhead
+        assert sum(row.mo for row in roots) == result.profile.memory_overhead
+
+    def test_descent_reads_during_updates_charge_neither_ro_nor_uo(self):
+        _result, attribution = self._attribution("btree")
+        insert_rows = [
+            row for row in attribution.rows
+            if row.path.startswith("op.insert") and row.depth > 0
+        ]
+        assert any(row.read_bytes > 0 for row in insert_rows)
+        assert all(row.ro == 0.0 for row in insert_rows)
+
+    def test_synthetic_buckets_are_labelled(self):
+        _result, attribution = self._attribution("lsm")
+        paths = [row.path for row in attribution.rows]
+        assert Attribution.NON_DEVICE in paths
+        assert Attribution.PEAK_HEADROOM in paths

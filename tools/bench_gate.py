@@ -1,0 +1,190 @@
+"""Perf-regression gate over span profiles.
+
+Diffs two profiles written by ``python -m repro explain <method> --json``
+— a committed baseline and a fresh candidate — span by span, and fails
+(exit 1) when the candidate regressed beyond threshold on either axis:
+
+* **throughput**: ``ops_per_sec`` dropped by more than ``--ops-threshold``
+  (wall-clock, so the default tolerance is generous);
+* **byte attribution**: any span's read/write/RO/UO byte counters grew by
+  more than ``--byte-threshold``, or a span gained bytes out of nowhere.
+  Byte attribution is fully deterministic, so drift here is a real
+  behaviour change (an extra descent read, a compaction firing earlier,
+  ...), not noise.
+
+Spans present only in the baseline (phase disappeared) or only in the
+candidate (phase appeared) are reported; they fail the gate only when
+they carry bytes, since an empty span is formatting, not I/O.
+
+Exit codes: ``0`` pass, ``1`` regression, ``2`` usage/bad input.
+
+Usage::
+
+    PYTHONPATH=src python -m repro explain lsm --json --output baseline.json
+    # ... hack on the LSM ...
+    PYTHONPATH=src python -m repro explain lsm --json --output candidate.json
+    PYTHONPATH=src python tools/bench_gate.py baseline.json candidate.json
+
+The benchmark suite runs this gate automatically when the
+``REPRO_BENCH_GATE`` environment variable names a baseline directory
+(see ``benchmarks/test_bench_tracing.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: Byte counters compared span-by-span.  All deterministic.
+BYTE_FIELDS = ("read_bytes", "write_bytes", "ro_bytes", "uo_bytes")
+
+
+def load_profile(path: str) -> dict:
+    """Load one ``repro explain --json`` payload, validating its shape."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot read profile {path!r}: {error}")
+    for field in ("spans", "ops_per_sec", "method"):
+        if field not in payload:
+            raise SystemExit(
+                f"{path!r} is not an explain profile: missing {field!r}"
+            )
+    return payload
+
+
+def _span_map(payload: dict) -> Dict[str, dict]:
+    return {row["path"]: row for row in payload["spans"]}
+
+
+def diff_profiles(
+    baseline: dict,
+    candidate: dict,
+    *,
+    byte_threshold: float,
+    ops_threshold: float,
+) -> Tuple[List[str], List[str]]:
+    """Compare two profiles; returns (regressions, notes).
+
+    ``regressions`` fail the gate; ``notes`` are informational.
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+
+    base_ops = float(baseline.get("ops_per_sec", 0.0))
+    cand_ops = float(candidate.get("ops_per_sec", 0.0))
+    if base_ops > 0:
+        drop = (base_ops - cand_ops) / base_ops
+        if drop > ops_threshold:
+            regressions.append(
+                f"throughput: {cand_ops:,.0f} ops/sec is "
+                f"{drop:.1%} below baseline {base_ops:,.0f} "
+                f"(threshold {ops_threshold:.0%})"
+            )
+        else:
+            notes.append(
+                f"throughput: {cand_ops:,.0f} vs {base_ops:,.0f} ops/sec "
+                f"({-drop:+.1%})"
+            )
+
+    base_spans = _span_map(baseline)
+    cand_spans = _span_map(candidate)
+    for path in sorted(set(base_spans) | set(cand_spans)):
+        base_row = base_spans.get(path)
+        cand_row = cand_spans.get(path)
+        if base_row is None:
+            grew = sum(int(cand_row.get(f, 0)) for f in BYTE_FIELDS)
+            message = f"span {path!r} appeared with {grew} attributed bytes"
+            (regressions if grew else notes).append(message)
+            continue
+        if cand_row is None:
+            lost = sum(int(base_row.get(f, 0)) for f in BYTE_FIELDS)
+            message = f"span {path!r} disappeared ({lost} baseline bytes)"
+            (regressions if lost else notes).append(message)
+            continue
+        for field in BYTE_FIELDS:
+            base_value = int(base_row.get(field, 0))
+            cand_value = int(cand_row.get(field, 0))
+            if cand_value == base_value:
+                continue
+            if base_value == 0:
+                regressions.append(
+                    f"span {path!r}: {field} grew 0 -> {cand_value}"
+                )
+                continue
+            growth = (cand_value - base_value) / base_value
+            if growth > byte_threshold:
+                regressions.append(
+                    f"span {path!r}: {field} grew {growth:+.1%} "
+                    f"({base_value} -> {cand_value}, "
+                    f"threshold {byte_threshold:.0%})"
+                )
+            else:
+                notes.append(
+                    f"span {path!r}: {field} changed {growth:+.1%} "
+                    f"({base_value} -> {cand_value})"
+                )
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="span-profile perf-regression gate"
+    )
+    parser.add_argument("baseline", help="explain --json profile (committed)")
+    parser.add_argument("candidate", help="explain --json profile (fresh)")
+    parser.add_argument(
+        "--byte-threshold",
+        type=float,
+        default=0.02,
+        help="tolerated relative growth of any span byte counter",
+    )
+    parser.add_argument(
+        "--ops-threshold",
+        type=float,
+        default=0.30,
+        help="tolerated relative ops/sec drop (wall-clock, noisy)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print regressions"
+    )
+    args = parser.parse_args(argv)
+    if args.byte_threshold < 0 or args.ops_threshold < 0:
+        parser.error("thresholds must be non-negative")
+
+    baseline = load_profile(args.baseline)
+    candidate = load_profile(args.candidate)
+    if baseline.get("method") != candidate.get("method"):
+        print(
+            f"bench_gate: comparing different methods "
+            f"({baseline.get('method')!r} vs {candidate.get('method')!r})",
+            file=sys.stderr,
+        )
+        return 2
+
+    regressions, notes = diff_profiles(
+        baseline,
+        candidate,
+        byte_threshold=args.byte_threshold,
+        ops_threshold=args.ops_threshold,
+    )
+    if not args.quiet:
+        for note in notes:
+            print(f"  ok: {note}")
+    for regression in regressions:
+        print(f"REGRESSION: {regression}")
+    if regressions:
+        print(
+            f"bench_gate: FAIL ({len(regressions)} regression(s) vs "
+            f"{args.baseline})"
+        )
+        return 1
+    print(f"bench_gate: pass ({baseline.get('method')} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,13 @@ substrate.  This checker walks the AST of every module under
   hierarchy once reached into ``pool._frames`` and hand-incremented the
   pool's stats, duplicating (and drifting from) the pool's own hit/miss
   logic; callers must use the public surface (``contains``, ``peek``,
-  ``iter_frames``, ``iter_dirty``, ``fill_clean``, ...).
+  ``iter_frames``, ``iter_dirty``, ``fill_clean``, ...);
+* any direct ``Tracer.emit`` call outside ``repro/obs`` and
+  ``repro/storage`` — the event vocabulary (and the span stamping that
+  rides on it) must stay auditable in one place.  Code elsewhere reports
+  through a sanctioned helper
+  (:func:`repro.obs.tracer.emit_audit_events`,
+  :func:`repro.obs.tracer.emit_fault_event`).
 
 Run from the repository root::
 
@@ -80,6 +86,16 @@ POOL_MODULE = os.path.join("repro", "storage", "pager.py")
 #: Subtree whose modules own the counters and may mutate them.
 ALLOWED_SUBPACKAGE = os.path.join("repro", "storage")
 
+#: Subtrees whose modules may call ``Tracer.emit`` directly: the
+#: observability layer itself and the storage substrate's emission
+#: sites.  Everything else must go through a sanctioned helper
+#: (``emit_audit_events``, ``emit_fault_event``) so the set of event
+#: vocabularies stays auditable in one module.
+EMIT_ALLOWED_SUBPACKAGES = (
+    os.path.join("repro", "obs"),
+    os.path.join("repro", "storage"),
+)
+
 Violation = Tuple[str, int, str]
 
 
@@ -108,18 +124,43 @@ def _is_private_device_access(node: ast.expr) -> bool:
     return False
 
 
+def _is_tracer_emit_call(node: ast.expr) -> bool:
+    """True for ``<tracer-ish>.emit(...)`` call expressions.
+
+    A tracer-ish owner is any name or attribute whose (lowercased) last
+    component mentions ``tracer`` — ``tracer.emit``, ``self.tracer.emit``,
+    ``self._tracer.emit``, ``NULL_TRACER.emit``, ...
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "emit":
+        return False
+    owner = func.value
+    if isinstance(owner, ast.Attribute):
+        return "tracer" in owner.attr.lower()
+    if isinstance(owner, ast.Name):
+        return "tracer" in owner.id.lower()
+    return False
+
+
 def violations_in_source(
-    source: str, path: str, *, frames_only: bool = False
+    source: str, path: str, *, frames_only: bool = False,
+    check_emit: bool = False,
 ) -> List[Violation]:
     """All counter-mutation and private-access sites in one module.
 
     ``frames_only`` restricts the check to the frame-table rule — used
     for modules inside ``repro/storage`` (which own the device counters
-    but still may not reach into ``BufferPool._frames``).
+    but still may not reach into ``BufferPool._frames``).  ``check_emit``
+    additionally flags direct ``Tracer.emit`` calls — enabled for
+    modules outside :data:`EMIT_ALLOWED_SUBPACKAGES`.
     """
     found: List[Violation] = []
     tree = ast.parse(source, filename=path)
     for node in ast.walk(tree):
+        if check_emit and _is_tracer_emit_call(node):
+            found.append((path, node.lineno, ast.unparse(node.func)))
         if not frames_only:
             targets: List[ast.expr] = []
             if isinstance(node, ast.Assign):
@@ -153,7 +194,12 @@ def check_tree(src_root: str) -> List[Violation]:
     package, plus frame-table reaches anywhere outside pager.py."""
     found: List[Violation] = []
     for dirpath, _dirnames, filenames in sorted(os.walk(src_root)):
-        in_storage = ALLOWED_SUBPACKAGE in os.path.normpath(dirpath)
+        normalized = os.path.normpath(dirpath)
+        in_storage = ALLOWED_SUBPACKAGE in normalized
+        emit_allowed = any(
+            subpackage in normalized
+            for subpackage in EMIT_ALLOWED_SUBPACKAGES
+        )
         for filename in sorted(filenames):
             if not filename.endswith(".py"):
                 continue
@@ -163,7 +209,8 @@ def check_tree(src_root: str) -> List[Violation]:
             with open(path) as handle:
                 found.extend(
                     violations_in_source(
-                        handle.read(), path, frames_only=in_storage
+                        handle.read(), path, frames_only=in_storage,
+                        check_emit=not emit_allowed,
                     )
                 )
     return found
@@ -175,7 +222,12 @@ def main() -> int:
     violations = check_tree(os.path.join(root, "src"))
     for path, line, target in violations:
         field = target.rpartition(".")[2]
-        if field in POOL_PRIVATE_FIELDS:
+        if field == "emit":
+            message = (
+                "direct Tracer.emit outside repro/obs and repro/storage "
+                "(use emit_audit_events / emit_fault_event)"
+            )
+        elif field in POOL_PRIVATE_FIELDS:
             message = "BufferPool frame table accessed outside pager.py"
         elif field in DEVICE_PRIVATE_FIELDS:
             message = "device-private attribute accessed outside storage/"
@@ -186,7 +238,8 @@ def main() -> int:
         return 1
     print(
         "ok: device internals only touched inside repro/storage, "
-        "frame table only inside pager.py"
+        "frame table only inside pager.py, Tracer.emit only inside "
+        "repro/obs and repro/storage"
     )
     return 0
 
