@@ -22,7 +22,12 @@ paper-versus-measured record of every reproduced table and figure.
 
 from repro.core.interfaces import AccessMethod, Capabilities, MethodStats
 from repro.core.registry import available_methods, create_method
-from repro.core.rum import RUMAccumulator, RUMProfile, measure_workload
+from repro.core.rum import (
+    RUMAccumulator,
+    RUMProfile,
+    measure_workload,
+    measure_workload_batched,
+)
 from repro.core.space import RUMPoint, nearest_corner, project
 from repro.storage.device import CostModel, SimulatedDevice
 from repro.workloads.generator import WorkloadGenerator, generate_operations
@@ -33,7 +38,10 @@ from repro.workloads.spec import MIXES, Operation, OpKind, WorkloadSpec
 # 1.1.0: trace events gained a `span` field (repro.obs.spans).  The
 # version is the sweep cache's key salt, so bumping it structurally
 # invalidates pre-span cached envelopes.
-__version__ = "1.1.0"
+# 1.2.0: batch-first measurement; serialized WorkloadResult envelopes
+# gained `operations_executed`, so pre-batch cached envelopes are
+# invalidated the same way.
+__version__ = "1.2.0"
 
 __all__ = [
     "AccessMethod",
@@ -55,6 +63,7 @@ __all__ = [
     "generate_operations",
     "load_trace",
     "measure_workload",
+    "measure_workload_batched",
     "nearest_corner",
     "project",
     "run_workload",

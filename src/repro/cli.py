@@ -601,12 +601,18 @@ def _command_explain(args) -> int:
         allocated_bytes=device.allocated_bytes,
         memory_overhead=result.profile.memory_overhead,
     )
-    ops_per_sec = args.ops / elapsed if elapsed > 0 else 0.0
+    # Throughput over operations the measurement loop actually accounted
+    # — not the requested count: a degenerate spec (or a tolerant per-op
+    # loop skipping invalid operations) can execute fewer, and dividing
+    # by the request would overstate the rate.
+    executed = result.operations_executed
+    ops_per_sec = executed / elapsed if elapsed > 0 else 0.0
     if args.json:
         payload = {
             "method": args.method,
             "workload": args.workload,
             "operations": args.ops,
+            "operations_executed": executed,
             "records": args.records,
             "block_bytes": args.block_bytes,
             "device": args.device,
@@ -653,7 +659,7 @@ def _command_explain(args) -> int:
             f"totals: RO={attribution.read_overhead:.3f} "
             f"UO={attribution.update_overhead:.3f} "
             f"MO={attribution.memory_overhead:.3f} "
-            f"ops/sec={ops_per_sec:,.0f}"
+            f"ops/sec={ops_per_sec:,.0f} (over {executed} executed)"
         )
         if attribution.audit:
             status = "\n".join(

@@ -115,6 +115,29 @@ class RUMAccumulator:
         self.updated_bytes += max(records_updated, 1) * RECORD_BYTES
         self.simulated_time += io.simulated_time
 
+    def record_read_batch(
+        self, io: IOStats, operations: int, retrieved_units: int
+    ) -> None:
+        """Account a run of read operations from one counter window.
+
+        ``retrieved_units`` is the sum over the run of
+        ``max(records_retrieved, 1)`` — per-op reads add the same byte
+        and denominator totals one operation at a time, so a batch
+        window that covers only reads accumulates identically (the
+        per-op deltas telescope into the window delta).
+        """
+        self.read_ops += operations
+        self.read_bytes += io.read_bytes
+        self.retrieved_bytes += retrieved_units * RECORD_BYTES
+        self.simulated_time += io.simulated_time
+
+    def record_update_batch(self, io: IOStats, operations: int) -> None:
+        """Account a run of write operations from one counter window."""
+        self.update_ops += operations
+        self.write_bytes += io.write_bytes
+        self.updated_bytes += operations * RECORD_BYTES
+        self.simulated_time += io.simulated_time
+
     @property
     def read_overhead(self) -> float:
         """Aggregate read amplification over all read operations."""
@@ -269,4 +292,104 @@ def measure_workload(
             )
     if audit_every:
         run_audit()
+    return accumulator.finish(method)
+
+
+#: Space-sampling cadence of the measurement loops: the per-op loop
+#: samples MO before every 16th operation, and the batched loop breaks
+#: its windows at the same points so peak-MO sampling is identical.
+_SPACE_SAMPLE_EVERY = 16
+
+
+def measure_workload_batched(
+    method: "AccessMethod",
+    batches: Iterable[List["Operation"]],
+    metrics: Optional["WorkloadMetrics"] = None,
+    audit_every: int = 0,
+    accumulator: Optional[RUMAccumulator] = None,
+) -> RUMProfile:
+    """Batch-first :func:`measure_workload`: same profile, less dispatch.
+
+    Consumes lists of operations (a
+    :meth:`~repro.workloads.generator.WorkloadGenerator.operation_batches`
+    stream) and brackets device-counter *windows* rather than individual
+    operations: one snapshot pair per run of same-category (read vs
+    write) operations, with windows additionally split at the per-op
+    loop's space-sampling points.  Per-op byte deltas telescope into the
+    window delta exactly (the counters are integers), so the resulting
+    profile is byte-identical to the per-op loop's — the property suite
+    asserts this across methods and batch sizes.
+
+    Per-op instrumentation cannot be amortized without changing what it
+    observes, so when ``metrics`` is supplied, ``audit_every`` is set, or
+    span collection is active, this function flattens the batches and
+    delegates to :func:`measure_workload` — identity with the per-op
+    path then holds by construction.  (Device *tracing* needs no
+    fallback: trace events are emitted by the device itself, in access
+    order, identically on both paths.)
+
+    One semantic difference from the tolerant per-op loop: a batch must
+    be valid.  An update or delete of an absent key raises ``KeyError``
+    out of :meth:`~repro.core.interfaces.AccessMethod.apply_batch`
+    instead of being skipped, because a window's I/O delta cannot be
+    re-attributed once an operation inside it has failed.  Workload
+    generators only emit valid streams.
+    """
+    from repro.workloads.spec import OpKind  # local import to avoid a cycle
+
+    if metrics is not None or audit_every or spans_active():
+        from itertools import chain
+
+        return measure_workload(
+            method,
+            chain.from_iterable(batches),
+            metrics=metrics,
+            audit_every=audit_every,
+            accumulator=accumulator,
+        )
+    if accumulator is None:
+        accumulator = RUMAccumulator()
+    device = method.device
+    apply_batch = method.apply_batch
+    read_kinds = frozenset((OpKind.POINT_QUERY, OpKind.RANGE_QUERY))
+    every = _SPACE_SAMPLE_EVERY
+    executed = 0
+    for batch in batches:
+        n = len(batch)
+        start = 0
+        while start < n:
+            phase = (executed + 1) % every
+            if phase == 0:
+                accumulator.sample_space(method)
+                allowed = every
+            else:
+                allowed = every - phase
+            limit = start + allowed
+            if limit > n:
+                limit = n
+            is_read = batch[start].kind in read_kinds
+            end = start + 1
+            while end < limit and (batch[end].kind in read_kinds) == is_read:
+                end += 1
+            segment = batch[start:end]
+            before = device.snapshot()
+            outcomes = apply_batch(segment)
+            io = device.stats_since(before)
+            count = end - start
+            if is_read:
+                units = 0
+                for outcome in outcomes:
+                    units += outcome if outcome > 1 else 1
+                accumulator.record_read_batch(io, count, units)
+            else:
+                accumulator.record_update_batch(io, count)
+            executed += count
+            start = end
+    if accumulator.update_ops:
+        before = device.snapshot()
+        method.flush()
+        flush_io = device.stats_since(before)
+        accumulator.write_bytes += flush_io.write_bytes
+        accumulator.flush_read_bytes += flush_io.read_bytes
+        accumulator.simulated_time += flush_io.simulated_time
     return accumulator.finish(method)

@@ -193,8 +193,17 @@ class SweepEngine:
         pending = [index for index, env in enumerate(envelopes) if env is None]
         work = [(payloads[index], self.collect_events) for index in pending]
         if self.jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-                fresh = list(pool.map(execute_cell_payload, work))
+            workers = min(self.jobs, len(pending))
+            # Hand each worker a slice of cells per IPC round trip instead
+            # of one: big grids of small cells would otherwise spend their
+            # wall clock on pickling and queue hops, not on workloads.
+            # Capped at 4 so a handful of slow cells cannot serialize
+            # behind each other at the tail of the grid.
+            chunksize = max(1, min(4, len(work) // (workers * 4)))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(
+                    pool.map(execute_cell_payload, work, chunksize=chunksize)
+                )
         else:
             fresh = [execute_cell_payload(item) for item in work]
         for index, envelope in zip(pending, fresh):

@@ -167,6 +167,7 @@ def result_to_dict(result: Union[WorkloadResult, Dict[str, Any]]) -> Dict[str, A
         "bulk_load_io": {name: getattr(io, name) for name in _IOSTATS_FIELDS},
         "final_records": result.final_records,
         "final_space_bytes": result.final_space_bytes,
+        "operations_executed": result.operations_executed,
     }
 
 
@@ -181,6 +182,7 @@ def result_from_dict(data: Dict[str, Any]) -> Union[WorkloadResult, Dict[str, An
         bulk_load_io=IOStats(**data["bulk_load_io"]),
         final_records=data["final_records"],
         final_space_bytes=data["final_space_bytes"],
+        operations_executed=data.get("operations_executed", 0),
     )
 
 

@@ -29,11 +29,20 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.storage.block import Block, BlockId
 from repro.storage.layout import DEFAULT_BLOCK_BYTES
+
+try:  # optional accelerator for large write batches; pure-python otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
+
+#: Below this batch size the per-item python loop beats the vectorized
+#: write path (two array conversions dominate); above it numpy wins.
+_VECTOR_MIN_BATCH = 512
 
 #: Sentinel for the "block id that would count as sequential" trackers:
 #: no allocated block ever has a negative id, so -1 never matches and a
@@ -418,6 +427,176 @@ class SimulatedDevice:
                 cost=self._cost_seq_write if sequential else self._cost_rand_write,
                 nbytes=self.block_bytes,
             )
+
+    def read_many(self, block_ids: Iterable[BlockId]) -> List[object]:
+        """Read a sequence of blocks, committing bookkeeping once.
+
+        Byte-identical to calling :meth:`read` per id — same sequential /
+        random classification (each access is compared against the id
+        following its predecessor), same counter totals, same trace
+        events, and on a read of an unallocated block the same
+        ``KeyError`` with every *preceding* read already counted.  The
+        batched path exists purely to amortize python dispatch: counters
+        are locals inside the loop and committed once at the end.
+        """
+        if self._trace_enabled:
+            # The tracer observes individual accesses; delegate so the
+            # event stream is identical to the per-op path.
+            read = self.read
+            return [read(block_id) for block_id in block_ids]
+        blocks = self._blocks
+        expected = self._seq_read_id
+        seq = 0
+        out: List[object] = []
+        append = out.append
+        block_id = _NO_SEQUENTIAL
+        try:
+            for block_id in block_ids:
+                block = blocks[block_id]
+                if block_id == expected:
+                    seq += 1
+                expected = block_id + 1
+                append(block.payload)
+        except KeyError:
+            raise KeyError(f"read of unallocated block {block_id}") from None
+        finally:
+            # Runs on both exits: the failed access raised before
+            # touching the locals, so this commits exactly the
+            # successfully-read prefix.
+            self._seq_reads += seq
+            self._rand_reads += len(out) - seq
+            self._seq_read_id = expected
+        return out
+
+    def write_many(
+        self,
+        block_ids: Sequence[BlockId],
+        payloads: Sequence[object],
+        used_bytes: Sequence[int],
+    ) -> None:
+        """Write a sequence of blocks, committing bookkeeping once.
+
+        Byte-identical to calling :meth:`write` per position — same
+        sequential / random classification, same occupancy total, same
+        trace events, and on an invalid position (unallocated block,
+        out-of-range ``used_bytes``) the same exception with every
+        preceding write already applied and counted.
+
+        Large batches take a vectorized path (when numpy is available)
+        that classifies sequentiality in C and applies only each block's
+        *final* state — legitimate because no read can interleave within
+        a batch, so intermediate payloads are unobservable and the
+        occupancy deltas telescope.  The path only engages after
+        validating the whole batch; anything suspect falls back to the
+        loop below, which is the semantics reference.
+        """
+        n = len(block_ids)
+        if len(payloads) != n or len(used_bytes) != n:
+            raise ValueError(
+                "write_many requires equal-length id/payload/used sequences"
+            )
+        if n == 0:
+            return
+        if self._trace_enabled:
+            write = self.write
+            for block_id, payload, used in zip(block_ids, payloads, used_bytes):
+                write(block_id, payload, used)
+            return
+        if (
+            _np is not None
+            and n >= _VECTOR_MIN_BATCH
+            and self._write_many_vectorized(block_ids, payloads, used_bytes, n)
+        ):
+            return
+        blocks = self._blocks
+        capacity = self.block_bytes
+        expected = self._seq_write_id
+        seq = 0
+        done = 0
+        delta = 0
+        try:
+            for block_id, payload, used in zip(block_ids, payloads, used_bytes):
+                try:
+                    block = blocks[block_id]
+                except KeyError:
+                    raise KeyError(
+                        f"write of unallocated block {block_id}"
+                    ) from None
+                if not 0 <= used <= capacity:
+                    raise ValueError(
+                        f"used_bytes {used} outside block capacity {capacity}"
+                    )
+                if block_id == expected:
+                    seq += 1
+                expected = block_id + 1
+                delta += used - block.used_bytes
+                block.used_bytes = used
+                block.payload = payload
+                done += 1
+        finally:
+            # Commits the successfully-written prefix on error, the whole
+            # batch on success.
+            self._seq_writes += seq
+            self._rand_writes += done - seq
+            self._seq_write_id = expected
+            self._used_total += delta
+
+    def _write_many_vectorized(
+        self,
+        block_ids: Sequence[BlockId],
+        payloads: Sequence[object],
+        used_bytes: Sequence[int],
+        n: int,
+    ) -> bool:
+        """Validate-then-commit fast path for large write batches.
+
+        Returns ``False`` without touching any state when the batch is
+        not provably valid (so the caller's reference loop replays it and
+        raises at the exact failing position); returns ``True`` after
+        committing the whole batch.  ``BlockId`` is ``int`` by contract —
+        the int64 conversion here is exact for every in-contract id.
+        """
+        try:
+            ids = _np.fromiter(block_ids, _np.int64, n)
+            used = _np.fromiter(used_bytes, _np.float64, n)
+        except (TypeError, ValueError, OverflowError):
+            return False
+        if float(used.min()) < 0 or float(used.max()) > self.block_bytes:
+            return False
+        if int(ids.min()) < 0:
+            return False
+        blocks = self._blocks
+        high = int(ids.max())
+        if high < max(4 * n, 1 << 16):
+            # Dense ids: last-occurrence per block via fancy assignment
+            # (later positions overwrite earlier ones).
+            lastpos = _np.full(high + 1, -1, _np.int64)
+            lastpos[ids] = _np.arange(n)
+            touched = _np.flatnonzero(lastpos >= 0)
+            distinct = touched.tolist()
+            final = list(zip(distinct, lastpos[touched].tolist()))
+        else:
+            # Sparse ids: a dict pass keyed by the original ids.
+            lastidx = dict(zip(block_ids, range(n)))
+            distinct = list(lastidx)
+            final = list(lastidx.items())
+        if not all(map(blocks.__contains__, distinct)):
+            return False
+        delta = 0
+        for block_id, position in final:
+            block = blocks[block_id]
+            value = used_bytes[position]
+            delta += value - block.used_bytes
+            block.used_bytes = value
+            block.payload = payloads[position]
+        seq = int((ids[1:] == ids[:-1] + 1).sum())
+        if block_ids[0] == self._seq_write_id:
+            seq += 1
+        self._seq_writes += seq
+        self._rand_writes += n - seq
+        self._seq_write_id = block_ids[-1] + 1
+        self._used_total += delta
+        return True
 
     def peek(self, block_id: BlockId) -> object:
         """Read a payload *without* charging I/O.

@@ -9,10 +9,17 @@ valid against any access method that starts from the same bulk load.
 from __future__ import annotations
 
 import random
+from bisect import bisect
+from itertools import accumulate, chain
 from typing import Iterator, List, Tuple
 
 from repro.workloads.distributions import KeyDistribution, make_distribution
 from repro.workloads.spec import Operation, OpKind, WorkloadSpec
+
+#: Draw granularity used when :meth:`WorkloadGenerator.operations` flattens
+#: the batch producer.  Invisible to consumers (the stream is identical,
+#: only materialized this many operations at a time).
+_FLATTEN_BATCH = 1024
 
 
 class WorkloadGenerator:
@@ -50,36 +57,77 @@ class WorkloadGenerator:
         return [(key, self._value_for(key)) for key in self._keys]
 
     def operations(self) -> Iterator[Operation]:
-        """The operation stream described by the spec (single use)."""
+        """The operation stream described by the spec (single use).
+
+        Yields exactly ``spec.operations`` operations: degenerate draws
+        (a read/update/delete when the live key set has drained and the
+        mix has no insert weight) are emitted as guaranteed-miss point
+        queries rather than silently dropped.
+        """
+        return chain.from_iterable(self.operation_batches(_FLATTEN_BATCH))
+
+    def operation_batches(self, size: int) -> Iterator[List[Operation]]:
+        """The same stream as :meth:`operations`, in lists of ``size``.
+
+        The batched producer the batch-first measurement pipeline
+        consumes: each yielded list holds ``size`` operations (the final
+        one possibly fewer), totalling exactly ``spec.operations``.  The
+        stream is byte-identical to :meth:`operations` — both are drawn
+        by the same code, and the kind draw replicates
+        ``random.choices``'s per-call arithmetic so seeds keep producing
+        the streams they always have.  Single use, like
+        :meth:`operations`.
+        """
+        if size <= 0:
+            raise ValueError(f"batch size must be positive, got {size}")
         if not self._keys and self.spec.initial_records:
             raise RuntimeError("call initial_data() before operations()")
         self.consumed = True
-        return self._operation_stream()
+        return self._batch_stream(size)
 
-    def _operation_stream(self) -> Iterator[Operation]:
+    def _batch_stream(self, size: int) -> Iterator[List[Operation]]:
         kinds, weights = zip(*self.spec.mix.items())
-        for _ in range(self.spec.operations):
-            kind = self._choose_kind(kinds, weights)
-            operation = self._emit(kind)
-            if operation is not None:
-                yield operation
+        # One kind draw consumes exactly one rng.random(), with the same
+        # float arithmetic as rng.choices(kinds, weights=weights)[0]
+        # (cumulative weights + bisect) — hoisted out of the loop so a
+        # draw is one C-level call instead of a list rebuild per op.
+        cum_weights = list(accumulate(weights))
+        total = cum_weights[-1] + 0.0
+        hi = len(kinds) - 1
+        draw = self.rng.random
+        emit = self._emit
+        keys = self._keys
+        insert_fallback = OpKind.INSERT if self.spec.inserts > 0 else None
+        remaining = self.spec.operations
+        while remaining > 0:
+            count = size if size < remaining else remaining
+            batch: List[Operation] = []
+            append = batch.append
+            for _ in range(count):
+                kind = kinds[bisect(cum_weights, draw() * total, 0, hi)]
+                # Degenerate fallback: reads/updates/deletes need live
+                # keys; redirect to inserts while the mix has them.
+                if not keys and kind is not OpKind.INSERT:
+                    if insert_fallback is not None:
+                        kind = insert_fallback
+                append(emit(kind))
+            remaining -= count
+            yield batch
 
     # ------------------------------------------------------------------
-    def _choose_kind(self, kinds, weights) -> OpKind:
-        kind = self.rng.choices(kinds, weights=weights)[0]
-        # Degenerate fallbacks: reads/updates/deletes need live keys.
-        if not self._keys and kind is not OpKind.INSERT:
-            return OpKind.INSERT if self.spec.inserts > 0 else kind
-        return kind
-
-    def _emit(self, kind: OpKind):
+    def _emit(self, kind: OpKind) -> Operation:
         if kind is OpKind.INSERT:
             key = self._next_key
             self._next_key += 2
             self._insert_sorted(key)
             return Operation(OpKind.INSERT, key, self._value_for(key))
         if not self._keys:
-            return None
+            # Drained key set and an insert-free mix: the slot must still
+            # count, so emit a guaranteed miss (live keys are even, so an
+            # odd key can never hit) instead of dropping it — dropped
+            # slots once made streams shorter than ``spec.operations``,
+            # skewing every per-op denominator.
+            return Operation(OpKind.POINT_QUERY, self._next_key + 1)
         if kind is OpKind.POINT_QUERY:
             return Operation(OpKind.POINT_QUERY, self.distribution.pick(self._keys))
         if kind is OpKind.RANGE_QUERY:

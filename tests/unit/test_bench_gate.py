@@ -182,3 +182,106 @@ class TestMain:
         )
         assert bench_gate.main([baseline, candidate, "--quiet"]) == 0
         assert "  ok:" not in capsys.readouterr().out
+
+    def test_candidate_required_without_trajectory(self, tmp_path):
+        bench_gate = _bench_gate()
+        baseline = _write(tmp_path, "base.json", _profile())
+        with pytest.raises(SystemExit):
+            bench_gate.main([baseline])
+
+
+def _trajectory(**latest_device):
+    """A two-entry trajectory: a per-op-only first entry and a batched
+    latest entry that comfortably clears every default check."""
+    device = {
+        "read_ops_per_sec": 10_000.0,
+        "write_ops_per_sec": 6_000.0,
+        "read_many_ops_per_sec": 25_000.0,
+        "write_many_ops_per_sec": 15_000.0,
+    }
+    device.update(latest_device)
+    return {
+        "entries": [
+            {
+                "label": "pre-batch",
+                "device": {
+                    "read_ops_per_sec": 9_000.0,
+                    "write_ops_per_sec": 5_500.0,
+                },
+            },
+            {"label": "batched", "device": device},
+        ]
+    }
+
+
+class TestTrajectory:
+    def _check(self, data, **kwargs):
+        bench_gate = _bench_gate()
+        kwargs.setdefault("min_batched_multiple", 2.0)
+        kwargs.setdefault("ops_threshold", 0.30)
+        return bench_gate.check_trajectory(data, **kwargs)
+
+    def test_healthy_trajectory_passes(self):
+        regressions, notes = self._check(_trajectory())
+        assert regressions == []
+        assert any("2." in n and "read_many" in n for n in notes)
+
+    def test_single_entry_trajectory_passes(self):
+        data = _trajectory()
+        data["entries"] = data["entries"][-1:]
+        regressions, _ = self._check(data)
+        assert regressions == []
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        data = _trajectory(read_ops_per_sec=5_000.0)  # -44% vs 9,000
+        regressions, _ = self._check(data)
+        assert any("read_ops_per_sec" in r for r in regressions)
+
+    def test_batched_below_required_multiple_fails(self):
+        data = _trajectory(write_many_ops_per_sec=10_000.0)  # < 2 x 5,500
+        regressions, _ = self._check(data)
+        assert any("write_many_ops_per_sec" in r and "2.0x" in r
+                   for r in regressions)
+
+    def test_missing_batched_field_fails_the_multiple_check(self):
+        data = _trajectory()
+        del data["entries"][-1]["device"]["read_many_ops_per_sec"]
+        regressions, _ = self._check(data)
+        assert any("read_many_ops_per_sec" in r for r in regressions)
+
+    def test_zero_multiple_disables_the_batched_check(self):
+        data = _trajectory(read_many_ops_per_sec=1.0)
+        regressions, _ = self._check(data, min_batched_multiple=0.0)
+        assert regressions == []
+
+    def test_empty_or_malformed_trajectory_rejected(self):
+        with pytest.raises(SystemExit):
+            self._check({"entries": []})
+        with pytest.raises(SystemExit):
+            self._check({"device": {}})  # legacy flat shape
+        broken = _trajectory()
+        del broken["entries"][0]["device"]["read_ops_per_sec"]
+        with pytest.raises(SystemExit):
+            self._check(broken)
+
+    def test_main_trajectory_mode(self, tmp_path, capsys):
+        bench_gate = _bench_gate()
+        good = _write(tmp_path, "good.json", _trajectory())
+        assert bench_gate.main(["--trajectory", good]) == 0
+        assert "bench_gate: pass (trajectory" in capsys.readouterr().out
+        bad = _write(
+            tmp_path, "bad.json", _trajectory(read_many_ops_per_sec=100.0)
+        )
+        assert bench_gate.main(["--trajectory", bad]) == 1
+        assert "REGRESSION:" in capsys.readouterr().out
+
+
+def test_committed_trajectory_passes_the_gate():
+    """The default test run gates the committed BENCH_hotpath.json (ISSUE
+    6 satellite: no ``REPRO_BENCH_GATE`` opt-in needed).  Pure arithmetic
+    over recorded numbers — deterministic wherever the suite runs."""
+    bench_gate = _bench_gate()
+    baseline = os.path.join(
+        os.path.dirname(__file__), "..", "..", "BENCH_hotpath.json"
+    )
+    assert bench_gate.main(["--trajectory", baseline, "--quiet"]) == 0

@@ -1,12 +1,15 @@
 """The hot-path microbenchmark runs end to end (CI smoke mode).
 
 ``tools/bench_hotpath.py`` is the performance record for the simulator
-hot path: it measures the current device against a compiled-in replica
-of the pre-optimization implementation and archives the numbers in
-``BENCH_hotpath.json``.  This test runs it in ``--smoke`` mode on every
-CI run, so the tool (and the legacy replica's API compatibility) cannot
-rot; it checks structure, not absolute throughput — timing assertions
-would flake on shared machines.
+hot path: it measures the current device (per-op and batched paths)
+against a compiled-in replica of the pre-optimization implementation and
+archives one trajectory entry per PR in ``BENCH_hotpath.json``.  This
+test runs it in ``--smoke`` mode on every CI run, so the tool (and the
+legacy replica's API compatibility) cannot rot; it checks structure, not
+absolute throughput — timing assertions would flake on shared machines.
+The committed trajectory itself is gated separately
+(``tools/bench_gate.py --trajectory``, wired in via
+``tests/unit/test_bench_gate.py``).
 """
 
 from __future__ import annotations
@@ -30,25 +33,35 @@ def _bench_hotpath():
     return bench_hotpath
 
 
-def test_smoke_run_produces_report(tmp_path, capsys):
+def test_smoke_run_produces_trajectory_entry(tmp_path, capsys):
     bench_hotpath = _bench_hotpath()
     output = tmp_path / "hotpath.json"
-    exit_code = bench_hotpath.main(["--smoke", "--output", str(output)])
+    exit_code = bench_hotpath.main(
+        ["--smoke", "--output", str(output), "--label", "smoke-test"]
+    )
     assert exit_code == 0
-    report = json.loads(output.read_text())
+    trajectory = json.loads(output.read_text())
+    assert [entry["label"] for entry in trajectory["entries"]] == ["smoke-test"]
+    report = trajectory["entries"][-1]
     assert report["smoke"] is True
     device = report["device"]
     for key in (
         "read_ops_per_sec",
         "write_ops_per_sec",
+        "read_many_ops_per_sec",
+        "write_many_ops_per_sec",
         "legacy_read_ops_per_sec",
         "legacy_write_ops_per_sec",
         "read_speedup",
         "write_speedup",
+        "read_batch_speedup",
+        "write_batch_speedup",
     ):
         assert device[key] > 0, key
     sweep = report["sweep"]
-    assert sweep["cells"] == len(bench_hotpath.SWEEP_METHODS)
+    assert sweep["cells"] == len(bench_hotpath.SWEEP_METHODS) * len(
+        bench_hotpath.SWEEP_SEEDS
+    )
     assert sweep["serial_seconds"] > 0
     assert sweep["parallel_seconds"] > 0
     spans = report["spans"]
@@ -62,9 +75,47 @@ def test_smoke_run_produces_report(tmp_path, capsys):
         assert spans[key] >= 0, key
     assert spans["span_sites_per_op"] > 0
     assert spans["disabled_budget"] == bench_hotpath.SPAN_DISABLED_BUDGET
+    workload = report["workload"]
+    assert set(workload["mixes"]) == set(bench_hotpath.WORKLOAD_MIXES)
+    for mix in workload["mixes"].values():
+        assert mix["per_op_seconds"] > 0
+        assert mix["batched_seconds"] > 0
+        assert mix["batched_speedup"] > 0
     printed = capsys.readouterr().out
     assert "device read" in printed and "device write" in printed
+    assert "read_many" in printed and "write_many" in printed
     assert "spans disabled" in printed
+    assert "identical profile" in printed
+
+
+def test_rerun_with_same_label_replaces_entry(tmp_path, capsys):
+    bench_hotpath = _bench_hotpath()
+    output = tmp_path / "hotpath.json"
+    for _ in range(2):
+        assert bench_hotpath.main(
+            ["--smoke", "--output", str(output), "--label", "smoke-test"]
+        ) == 0
+        capsys.readouterr()
+    trajectory = json.loads(output.read_text())
+    assert [e["label"] for e in trajectory["entries"]] == ["smoke-test"]
+
+
+def test_merge_trajectory_converts_legacy_report(tmp_path):
+    """A pre-trajectory BENCH_hotpath.json (one flat report) becomes the
+    first entry, labelled ``pre-batch``, when a new entry lands."""
+    bench_hotpath = _bench_hotpath()
+    path = tmp_path / "legacy.json"
+    legacy = {
+        "device": {"read_ops_per_sec": 1.0, "write_ops_per_sec": 2.0},
+        "smoke": False,
+    }
+    path.write_text(json.dumps(legacy))
+    merged = bench_hotpath.merge_trajectory(
+        str(path), {"label": "new", "device": {}}
+    )
+    labels = [entry["label"] for entry in merged["entries"]]
+    assert labels == ["pre-batch", "new"]
+    assert merged["entries"][0]["device"]["read_ops_per_sec"] == 1.0
 
 
 def test_legacy_replica_counts_like_the_real_device():
@@ -89,19 +140,48 @@ def test_legacy_replica_counts_like_the_real_device():
         ), field
 
 
-def test_committed_baseline_meets_the_speedup_bar():
-    """The archived full-run numbers document >=1.5x on both paths."""
+def _committed_entries():
     with open(BASELINE_PATH) as handle:
-        baseline = json.load(handle)
-    assert baseline["device"]["read_speedup"] >= 1.5
-    assert baseline["device"]["write_speedup"] >= 1.5
+        return json.load(handle)["entries"]
+
+
+def test_committed_baseline_meets_the_speedup_bar():
+    """Every archived full-run entry documents >=1.5x over the legacy
+    replica on both per-op paths."""
+    for entry in _committed_entries():
+        device = entry["device"]
+        assert device["read_speedup"] >= 1.5, entry["label"]
+        assert device["write_speedup"] >= 1.5, entry["label"]
+
+
+def test_committed_baseline_meets_the_batched_bar():
+    """The newest entry's batched throughput holds >=2x the *first*
+    entry's per-op numbers — the bar the batched pipeline (ISSUE 6
+    tentpole) was introduced to clear."""
+    entries = _committed_entries()
+    first, latest = entries[0]["device"], entries[-1]["device"]
+    assert latest["read_many_ops_per_sec"] >= 2.0 * first["read_ops_per_sec"]
+    assert latest["write_many_ops_per_sec"] >= 2.0 * first["write_ops_per_sec"]
 
 
 def test_committed_baseline_keeps_spans_within_budget():
-    """The archived full run proves disabled spans cost <2% of the hot
-    loop (ISSUE 5 satellite: span overhead recorded in the baseline)."""
-    with open(BASELINE_PATH) as handle:
-        baseline = json.load(handle)
-    spans = baseline["spans"]
-    assert spans["within_budget"] is True
-    assert spans["disabled_overhead_fraction"] < spans["disabled_budget"]
+    """The archived full runs prove the disabled span path stays within
+    its recorded budget of the hot loop (ISSUE 5 satellite)."""
+    for entry in _committed_entries():
+        spans = entry["spans"]
+        assert spans["within_budget"] is True, entry["label"]
+        assert (
+            spans["disabled_overhead_fraction"] < spans["disabled_budget"]
+        ), entry["label"]
+
+
+def test_committed_baseline_batched_workload_profiles_identical():
+    """The recorded end-to-end workload comparison ran with identical
+    profiles (the tool asserts it); the trajectory must carry the
+    numbers for both mixes."""
+    latest = _committed_entries()[-1]
+    mixes = latest["workload"]["mixes"]
+    assert set(mixes) == {"balanced", "read-mostly"}
+    for mix in mixes.values():
+        assert mix["per_op_ops_per_sec"] > 0
+        assert mix["batched_ops_per_sec"] > 0

@@ -227,6 +227,30 @@ class TestExplainAndFlame:
         for key in ("read_overhead", "update_overhead", "memory_overhead"):
             assert key in payload["totals"]
 
+    def test_explain_reports_executed_operation_count(self, capsys, tmp_path):
+        """Regression: ops/sec once divided by the *requested* operation
+        count; it must divide by the operations the measurement loop
+        actually accounted, and surface that count."""
+        import json
+
+        output = tmp_path / "profile.json"
+        args = ["--workload", "balanced", "--records", "300", "--ops", "90"]
+        code = main(
+            ["explain", "btree", "--json", "--output", str(output)] + args
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["operations"] == 90
+        assert payload["operations_executed"] == 90  # full generator stream
+        assert payload["ops_per_sec"] == pytest.approx(
+            payload["operations_executed"] / payload["elapsed_seconds"]
+        )
+        capsys.readouterr()
+        code = main(["explain", "btree"] + args)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(over 90 executed)" in out
+
     def test_explain_runs_are_deterministic(self, capsys, tmp_path):
         import json
 

@@ -165,3 +165,51 @@ def test_lint_tree_skips_pager_itself():
         "frame table reached outside pager.py:\n"
         + "\n".join(f"{path}:{line}: {target}" for path, line, target in violations)
     )
+
+
+def test_lint_flags_per_op_bookkeeping_in_batched_loops():
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        def get_many(self, keys):
+            out = []
+            for key in keys:
+                before = self.device.snapshot()      # per-op snapshot
+                out.append(self.get(key))
+                self.device.stats_since(before)      # per-op delta
+            return out
+
+        def apply_batch(self, operations):
+            while operations:
+                operations.pop()
+                total = self.device.counters          # derived property
+            return total
+        """
+    )
+    violations = lint_counters.violations_in_source(bad, "bad.py")
+    targets = [target for _path, _line, target in violations]
+    assert targets == [
+        "batch-loop self.device.snapshot",
+        "batch-loop self.device.stats_since",
+        "batch-loop self.device.counters",
+    ]
+
+
+def test_lint_batch_rule_ignores_hoisted_and_per_op_functions():
+    lint_counters = _lint_counters()
+    fine = textwrap.dedent(
+        """
+        def get_many(self, keys):
+            before = self.device.snapshot()          # hoisted: per batch
+            out = [self.get(key) for key in keys]
+            self.device.stats_since(before)
+            return out
+
+        def measure(self, operations):
+            for operation in operations:             # not a batched entry
+                before = self.device.snapshot()
+                self.run(operation)
+                self.device.stats_since(before)
+        """
+    )
+    assert lint_counters.violations_in_source(fine, "fine.py") == []

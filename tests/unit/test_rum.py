@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.rum import RUMAccumulator, RUMProfile, measure_workload
+from repro.core.rum import (
+    RUMAccumulator,
+    RUMProfile,
+    measure_workload,
+    measure_workload_batched,
+)
 from repro.methods.unsorted_column import UnsortedColumn
 from repro.storage.device import IOStats, SimulatedDevice
 from repro.storage.layout import RECORD_BYTES
@@ -194,3 +199,114 @@ class TestMeasureWorkload:
         method._record_count += 3  # corruption goes unnoticed when off
         ops = [Operation(OpKind.POINT_QUERY, 10)]
         measure_workload(method, ops)  # must not raise
+
+
+class TestMeasureWorkloadBatched:
+    def _method(self):
+        method = UnsortedColumn(SimulatedDevice(block_bytes=SMALL_BLOCK))
+        method.bulk_load(sample_records(64))
+        return method
+
+    def _ops(self):
+        return (
+            [Operation(OpKind.POINT_QUERY, 2 * i) for i in range(20)]
+            + [Operation(OpKind.INSERT, 1001 + 2 * i, i) for i in range(20)]
+            + [Operation(OpKind.UPDATE, 10, 999)]
+            + [Operation(OpKind.RANGE_QUERY, 0, high_key=30)]
+        )
+
+    @staticmethod
+    def _batched(ops, size):
+        return [ops[i : i + size] for i in range(0, len(ops), size)]
+
+    @pytest.mark.parametrize("size", [2, 5, 16, 17, 64])
+    def test_profile_matches_per_op_loop(self, size):
+        ops = self._ops()
+        per_op = measure_workload(self._method(), ops)
+        batched = measure_workload_batched(
+            self._method(), self._batched(ops, size)
+        )
+        assert batched == per_op
+
+    def test_accumulator_integers_match_per_op_loop(self):
+        # Not just the final ratios: the integer numerators and
+        # denominators behind them must telescope exactly.
+        ops = self._ops()
+        per_op_acc = RUMAccumulator()
+        measure_workload(self._method(), ops, accumulator=per_op_acc)
+        batched_acc = RUMAccumulator()
+        measure_workload_batched(
+            self._method(), self._batched(ops, 7), accumulator=batched_acc
+        )
+        for field in (
+            "read_bytes",
+            "retrieved_bytes",
+            "write_bytes",
+            "updated_bytes",
+            "flush_read_bytes",
+            "read_ops",
+            "update_ops",
+        ):
+            assert getattr(batched_acc, field) == getattr(
+                per_op_acc, field
+            ), field
+
+    def test_space_sampling_cadence_matches_per_op_loop(self):
+        """Peak MO must come from the same sampling points: windows are
+        split at every 16th operation, exactly where the per-op loop
+        samples.  An insert-heavy stream makes the footprint grow, so a
+        cadence mismatch would move the sampled peak."""
+        ops = [Operation(OpKind.INSERT, 1001 + 2 * i, i) for i in range(100)]
+        per_op = measure_workload(self._method(), ops)
+        for size in (3, 16, 50, 100):
+            batched = measure_workload_batched(
+                self._method(), self._batched(ops, size)
+            )
+            assert batched.memory_overhead == per_op.memory_overhead
+
+    def test_invalid_operation_raises_instead_of_skipping(self):
+        # The tolerant per-op loop skips updates of absent keys; a batch
+        # window's I/O cannot be re-attributed after a failure, so the
+        # batched loop propagates the KeyError.
+        ops = [Operation(OpKind.UPDATE, 777777, 1)]
+        with pytest.raises(KeyError):
+            measure_workload_batched(self._method(), [ops])
+
+    def test_metrics_delegate_to_per_op_loop(self):
+        # Per-op instrumentation cannot be amortized; with a metrics
+        # sink supplied the batched entry point must produce the per-op
+        # loop's histograms (by delegating to it).
+        from repro.obs.metrics import WorkloadMetrics
+
+        ops = self._ops()
+        per_op_metrics = WorkloadMetrics()
+        per_op = measure_workload(self._method(), ops, metrics=per_op_metrics)
+        batched_metrics = WorkloadMetrics()
+        batched = measure_workload_batched(
+            self._method(), self._batched(ops, 8), metrics=batched_metrics
+        )
+        assert batched == per_op
+        assert batched_metrics.labels() == per_op_metrics.labels()
+        for label in per_op_metrics.labels():
+            assert (
+                batched_metrics.blocks[label].to_dict()
+                == per_op_metrics.blocks[label].to_dict()
+            ), label
+            assert (
+                batched_metrics.time[label].to_dict()
+                == per_op_metrics.time[label].to_dict()
+            ), label
+
+    def test_audit_every_delegates_and_raises(self):
+        from repro.check import AuditError
+
+        method = self._method()
+        method._record_count += 3  # plant a counter drift
+        ops = [[Operation(OpKind.POINT_QUERY, 10)]]
+        with pytest.raises(AuditError):
+            measure_workload_batched(method, ops, audit_every=1)
+
+    def test_empty_stream_yields_floor_profile(self):
+        profile = measure_workload_batched(self._method(), [])
+        assert profile.read_overhead == 1.0
+        assert profile.update_overhead == 1.0

@@ -194,3 +194,41 @@ class TestUnsortedColumn:
         column.bulk_load(shuffled)
         result = column.range_query(10, 60)
         assert result == [(k, v) for k, v in sorted(records) if 10 <= k <= 60]
+
+    @pytest.mark.parametrize("blocks", [1, 3])
+    def test_bulk_load_exactly_full_last_block(self, blocks):
+        """Pin the ``_tail_count`` edge: a bulk load that fills its last
+        block exactly must record a *full* tail, not an empty one.
+
+        Were ``_tail_count`` 0 here, the next insert would rewrite the
+        (full) tail block into an overflowing 17-record payload instead
+        of opening a fresh block, and the density audit would flag it.
+        """
+        column = unsorted_column()
+        per_block = column._per_block
+        count = blocks * per_block
+        column.bulk_load(sample_records(count))
+        assert column._tail_count == per_block
+        assert column.device.allocated_blocks == blocks
+        assert column.audit() == []
+        # The next insert must open a fresh block, not rewrite the tail.
+        column.insert(2 * count, 1)
+        assert column.device.allocated_blocks == blocks + 1
+        assert column._tail_count == 1
+        assert column.audit() == []
+        # Deleting the lone tail record frees the block and restores the
+        # full-tail state.
+        column.delete(2 * count)
+        assert column.device.allocated_blocks == blocks
+        assert column._tail_count == per_block
+        assert column.audit() == []
+
+    def test_bulk_load_empty_then_partial_tail_counts(self):
+        empty = unsorted_column()
+        empty.bulk_load([])
+        assert empty._tail_count == 0
+        assert empty.audit() == []
+        partial = unsorted_column()
+        partial.bulk_load(sample_records(partial._per_block + 3))
+        assert partial._tail_count == 3
+        assert partial.audit() == []

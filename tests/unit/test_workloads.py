@@ -203,3 +203,98 @@ class TestGenerator:
         generator = WorkloadGenerator(WorkloadSpec(initial_records=10))
         with pytest.raises(RuntimeError):
             list(generator.operations())
+
+    def test_delete_heavy_degenerate_spec_emits_every_slot(self):
+        """Regression: a drained key set must not shorten the stream.
+
+        With more deletes than live keys and no insert weight, the
+        generator once returned ``None`` for the unfillable slots,
+        silently shortening the stream below ``spec.operations`` and
+        skewing every per-op denominator.  Drained slots must instead be
+        emitted as guaranteed-miss point queries (odd keys — live keys
+        are always even).
+        """
+        spec = WorkloadSpec(
+            point_queries=0.0,
+            deletes=1.0,
+            operations=120,
+            initial_records=40,
+        )
+        generator = WorkloadGenerator(spec)
+        generator.initial_data()
+        ops = list(generator.operations())
+        assert len(ops) == spec.operations
+        assert all(op is not None for op in ops)
+        deletes = [op for op in ops if op.kind is OpKind.DELETE]
+        misses = [op for op in ops if op.kind is OpKind.POINT_QUERY]
+        assert len(deletes) == 40  # every live key deleted exactly once
+        assert len(misses) == 80  # the drained tail, one per slot
+        assert all(op.key % 2 == 1 for op in misses)  # guaranteed miss
+
+    def test_delete_heavy_spec_falls_back_to_inserts_when_mixed(self):
+        # With insert weight in the mix, drained slots become inserts,
+        # not misses — the key set can refill.
+        spec = WorkloadSpec(
+            point_queries=0.0,
+            deletes=0.6,
+            inserts=0.4,
+            operations=200,
+            initial_records=10,
+        )
+        generator = WorkloadGenerator(spec)
+        generator.initial_data()
+        ops = list(generator.operations())
+        assert len(ops) == spec.operations
+        assert all(
+            op.kind in (OpKind.DELETE, OpKind.INSERT) for op in ops
+        )
+
+
+class TestOperationBatches:
+    def _spec(self, operations=100):
+        return MIXES["balanced"].scaled(
+            initial_records=200, operations=operations
+        )
+
+    @pytest.mark.parametrize("size", [1, 3, 16, 100, 1000])
+    def test_batches_total_exactly_spec_operations(self, size):
+        generator = WorkloadGenerator(self._spec())
+        generator.initial_data()
+        batches = list(generator.operation_batches(size))
+        assert sum(len(batch) for batch in batches) == 100
+        # Every batch is full except possibly the last.
+        for batch in batches[:-1]:
+            assert len(batch) == size
+        assert 0 < len(batches[-1]) <= size
+
+    @pytest.mark.parametrize("size", [1, 7, 64])
+    def test_stream_identical_to_operations(self, size):
+        spec = self._spec()
+        flat = WorkloadGenerator(spec)
+        flat.initial_data()
+        batched = WorkloadGenerator(spec)
+        batched.initial_data()
+        from_batches = [
+            op for batch in batched.operation_batches(size) for op in batch
+        ]
+        assert from_batches == list(flat.operations())
+
+    def test_non_positive_size_rejected(self):
+        generator = WorkloadGenerator(self._spec())
+        generator.initial_data()
+        with pytest.raises(ValueError):
+            generator.operation_batches(0)
+        with pytest.raises(ValueError):
+            generator.operation_batches(-5)
+
+    def test_marks_generator_consumed(self):
+        generator = WorkloadGenerator(self._spec())
+        generator.initial_data()
+        assert not generator.consumed
+        generator.operation_batches(16)
+        assert generator.consumed
+
+    def test_requires_initial_data_call(self):
+        generator = WorkloadGenerator(self._spec())
+        with pytest.raises(RuntimeError):
+            generator.operation_batches(16)

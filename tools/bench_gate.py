@@ -130,12 +130,106 @@ def diff_profiles(
     return regressions, notes
 
 
+#: Device throughput fields compared entry-to-entry along a trajectory.
+TRAJECTORY_FIELDS = (
+    "read_ops_per_sec",
+    "write_ops_per_sec",
+    "read_many_ops_per_sec",
+    "write_many_ops_per_sec",
+)
+
+
+def check_trajectory(
+    data: dict,
+    *,
+    min_batched_multiple: float,
+    ops_threshold: float,
+) -> Tuple[List[str], List[str]]:
+    """Gate a ``BENCH_hotpath.json`` trajectory; returns (regressions, notes).
+
+    Two checks over the committed per-PR entries (pure arithmetic — the
+    numbers were measured when the entry was recorded, so this is
+    deterministic wherever the tests run):
+
+    * the newest entry may not drop any device throughput field by more
+      than ``ops_threshold`` relative to the previous entry;
+    * the newest entry's batched ``read_many``/``write_many`` throughput
+      must hold ``min_batched_multiple`` x the *first* entry's per-op
+      numbers — the bar the batched pipeline was introduced to clear.
+    """
+    regressions: List[str] = []
+    notes: List[str] = []
+    entries = data.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise SystemExit("trajectory has no entries")
+    for index, entry in enumerate(entries):
+        device = entry.get("device")
+        if not isinstance(device, dict):
+            raise SystemExit(f"trajectory entry {index} has no device section")
+        for field in ("read_ops_per_sec", "write_ops_per_sec"):
+            if not float(device.get(field, 0.0)) > 0:
+                raise SystemExit(
+                    f"trajectory entry {index} "
+                    f"({entry.get('label', '?')!r}) missing {field}"
+                )
+    latest = entries[-1]
+    label = latest.get("label", "latest")
+    device = latest["device"]
+    if len(entries) >= 2:
+        previous = entries[-2]["device"]
+        for field in TRAJECTORY_FIELDS:
+            base = float(previous.get(field, 0.0))
+            cand = float(device.get(field, 0.0))
+            if base <= 0:
+                continue
+            drop = (base - cand) / base
+            message = (
+                f"trajectory {label!r}: {field} {cand:,.0f} vs "
+                f"previous {base:,.0f} ({-drop:+.1%})"
+            )
+            if drop > ops_threshold:
+                regressions.append(
+                    f"{message} (threshold {ops_threshold:.0%})"
+                )
+            else:
+                notes.append(message)
+    if min_batched_multiple > 0:
+        first = entries[0]["device"]
+        for per_op, batched in (
+            ("read_ops_per_sec", "read_many_ops_per_sec"),
+            ("write_ops_per_sec", "write_many_ops_per_sec"),
+        ):
+            anchor = float(first[per_op])
+            cand = float(device.get(batched, 0.0))
+            required = min_batched_multiple * anchor
+            if cand < required:
+                regressions.append(
+                    f"trajectory {label!r}: {batched} {cand:,.0f} below "
+                    f"{min_batched_multiple:.1f}x the first entry's "
+                    f"{per_op} ({anchor:,.0f} -> requires {required:,.0f})"
+                )
+            else:
+                notes.append(
+                    f"trajectory {label!r}: {batched} {cand:,.0f} is "
+                    f"{cand / anchor:.2f}x the first entry's {per_op}"
+                )
+    return regressions, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="span-profile perf-regression gate"
     )
-    parser.add_argument("baseline", help="explain --json profile (committed)")
-    parser.add_argument("candidate", help="explain --json profile (fresh)")
+    parser.add_argument("baseline", help="explain --json profile (committed), "
+                        "or the trajectory file with --trajectory")
+    parser.add_argument("candidate", nargs="?", default=None,
+                        help="explain --json profile (fresh)")
+    parser.add_argument(
+        "--trajectory",
+        action="store_true",
+        help="treat BASELINE as a BENCH_hotpath.json trajectory and gate "
+        "its newest entry (no candidate profile)",
+    )
     parser.add_argument(
         "--byte-threshold",
         type=float,
@@ -149,11 +243,50 @@ def main(argv=None) -> int:
         help="tolerated relative ops/sec drop (wall-clock, noisy)",
     )
     parser.add_argument(
+        "--min-batched-multiple",
+        type=float,
+        default=2.0,
+        help="trajectory mode: required batched/first-per-op multiple "
+        "(0 disables the check)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="only print regressions"
     )
     args = parser.parse_args(argv)
     if args.byte_threshold < 0 or args.ops_threshold < 0:
         parser.error("thresholds must be non-negative")
+
+    if args.trajectory:
+        try:
+            with open(args.baseline) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"cannot read trajectory {args.baseline!r}: {error}"
+            )
+        regressions, notes = check_trajectory(
+            data,
+            min_batched_multiple=args.min_batched_multiple,
+            ops_threshold=args.ops_threshold,
+        )
+        if not args.quiet:
+            for note in notes:
+                print(f"  ok: {note}")
+        for regression in regressions:
+            print(f"REGRESSION: {regression}")
+        if regressions:
+            print(
+                f"bench_gate: FAIL ({len(regressions)} regression(s) in "
+                f"{args.baseline})"
+            )
+            return 1
+        print(
+            f"bench_gate: pass (trajectory {args.baseline}, "
+            f"{len(data['entries'])} entries)"
+        )
+        return 0
+    if args.candidate is None:
+        parser.error("candidate profile required unless --trajectory")
 
     baseline = load_profile(args.baseline)
     candidate = load_profile(args.candidate)

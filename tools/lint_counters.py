@@ -26,7 +26,12 @@ substrate.  This checker walks the AST of every module under
   rides on it) must stay auditable in one place.  Code elsewhere reports
   through a sanctioned helper
   (:func:`repro.obs.tracer.emit_audit_events`,
-  :func:`repro.obs.tracer.emit_fault_event`).
+  :func:`repro.obs.tracer.emit_fault_event`);
+* any per-op device bookkeeping (``snapshot``, ``stats_since``, the
+  derived ``counters`` property) inside a loop of a batched entry point
+  (``*_many`` / ``apply_batch``) outside ``repro/storage`` — batched
+  paths exist to amortize exactly that work, so it must happen per
+  batch, before or after the loop.
 
 Run from the repository root::
 
@@ -85,6 +90,18 @@ POOL_MODULE = os.path.join("repro", "storage", "pager.py")
 
 #: Subtree whose modules own the counters and may mutate them.
 ALLOWED_SUBPACKAGE = os.path.join("repro", "storage")
+
+#: Device bookkeeping that a batched entry point must perform per
+#: *batch*, not per operation: a ``snapshot``/``stats_since`` pair or a
+#: ``counters`` materialization inside the loop of a ``*_many`` /
+#: ``apply_batch`` function re-introduces exactly the per-op overhead
+#: the batched surface exists to amortize (``counters`` is a derived
+#: property on the device — every touch builds a fresh dataclass).
+PER_OP_BOOKKEEPING = {"snapshot", "stats_since", "counters"}
+
+#: Function names treated as batched entry points for the rule above.
+BATCH_FUNCTION_NAMES = {"apply_batch"}
+BATCH_FUNCTION_SUFFIX = "_many"
 
 #: Subtrees whose modules may call ``Tracer.emit`` directly: the
 #: observability layer itself and the storage substrate's emission
@@ -186,6 +203,45 @@ def violations_in_source(
         # module itself is excluded by the caller).
         if isinstance(node, ast.Attribute) and node.attr in POOL_PRIVATE_FIELDS:
             found.append((path, node.lineno, ast.unparse(node)))
+    if not frames_only:
+        found.extend(_batch_loop_bookkeeping(tree, path))
+    return found
+
+
+def _batch_loop_bookkeeping(tree: ast.AST, path: str) -> List[Violation]:
+    """Per-op device bookkeeping inside the loops of batched entry points.
+
+    Flags any ``snapshot`` / ``stats_since`` / ``counters`` attribute
+    reached inside a ``for``/``while`` loop of a function named
+    ``*_many`` or ``apply_batch``; such bookkeeping belongs before or
+    after the loop (per batch), never per iteration.
+    """
+    found: List[Violation] = []
+    seen = set()
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        name = func.name
+        if not (
+            name.endswith(BATCH_FUNCTION_SUFFIX)
+            or name in BATCH_FUNCTION_NAMES
+        ):
+            continue
+        for loop in ast.walk(func):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for sub in ast.walk(loop):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in PER_OP_BOOKKEEPING
+                ):
+                    key = (sub.lineno, sub.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    found.append(
+                        (path, sub.lineno, f"batch-loop {ast.unparse(sub)}")
+                    )
     return found
 
 
@@ -222,7 +278,12 @@ def main() -> int:
     violations = check_tree(os.path.join(root, "src"))
     for path, line, target in violations:
         field = target.rpartition(".")[2]
-        if field == "emit":
+        if target.startswith("batch-loop "):
+            message = (
+                "per-op device bookkeeping inside a batched loop "
+                "(hoist snapshot/stats_since/counters out of the loop)"
+            )
+        elif field == "emit":
             message = (
                 "direct Tracer.emit outside repro/obs and repro/storage "
                 "(use emit_audit_events / emit_fault_event)"
@@ -239,7 +300,8 @@ def main() -> int:
     print(
         "ok: device internals only touched inside repro/storage, "
         "frame table only inside pager.py, Tracer.emit only inside "
-        "repro/obs and repro/storage"
+        "repro/obs and repro/storage, no per-op bookkeeping in "
+        "batched loops"
     )
     return 0
 
