@@ -37,4 +37,5 @@ def pytest_configure(config):
 
 
 def pytest_unconfigure(config):
+    harness.shutdown_engines()
     harness.close_tracing()

@@ -249,20 +249,45 @@ def measure_profile(name: str, spec: WorkloadSpec, **overrides) -> RUMProfile:
 # ----------------------------------------------------------------------
 # Sweep-engine routing (the grid benchmarks go through here)
 # ----------------------------------------------------------------------
+#: Session-persistent engines, one per (jobs, cache dir, tracing)
+#: configuration.  Each engine owns a worker pool that is reused across
+#: every grid benchmark in the session, so pool startup is paid once —
+#: :func:`shutdown_engines` (wired into ``benchmarks/conftest.py``)
+#: releases the workers at session end.
+_ENGINES: Dict[Tuple[int, Optional[str], bool], SweepEngine] = {}
+
+
 def sweep_engine(collect_events: Optional[bool] = None) -> SweepEngine:
     """The engine the grid benchmarks run on, configured from the env.
 
     ``REPRO_JOBS`` sets the worker count (default 1: in-process, no
     pool); ``REPRO_BENCH_CACHE`` names a result-cache directory (default
     unset: always execute).  When harness tracing is on, workers collect
-    their cells' events so :func:`run_cells` can forward them.
+    their cells' events so :func:`run_cells` can forward them.  Engines
+    are memoized per configuration: every grid in a session shares one
+    persistent worker pool (and its learned cost model) instead of
+    spawning a fresh pool per benchmark.
     """
     jobs = int(os.environ.get("REPRO_JOBS", "1"))
     cache_dir = os.environ.get("REPRO_BENCH_CACHE")
-    cache = ResultCache(root=cache_dir) if cache_dir else None
     if collect_events is None:
         collect_events = _TRACER is not None
-    return SweepEngine(jobs=jobs, cache=cache, collect_events=collect_events)
+    key = (jobs, cache_dir, collect_events)
+    engine = _ENGINES.get(key)
+    if engine is None:
+        cache = ResultCache(root=cache_dir) if cache_dir else None
+        engine = SweepEngine(
+            jobs=jobs, cache=cache, collect_events=collect_events
+        )
+        _ENGINES[key] = engine
+    return engine
+
+
+def shutdown_engines() -> None:
+    """Close every session engine's worker pool (idempotent)."""
+    for engine in _ENGINES.values():
+        engine.close()
+    _ENGINES.clear()
 
 
 def run_cells(cells: Sequence[SweepCell]) -> SweepOutcome:

@@ -132,7 +132,8 @@ def _profiles(jobs: int = 1) -> Dict[str, RUMProfile]:
         SweepCell.make(name, _SPEC, block_bytes=_BLOCK)
         for name in _TRIANGLE_METHODS
     ]
-    outcome = SweepEngine(jobs=jobs).run(cells)
+    with SweepEngine(jobs=jobs) as engine:
+        outcome = engine.run(cells)
     return {
         cell.display_label: result.profile
         for cell, result in zip(outcome.cells, outcome.results)

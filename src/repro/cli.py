@@ -35,10 +35,13 @@ Commands
     moved (default), event count, or simulated time.
 ``sweep``
     Measure a grid of methods under one workload through the parallel
-    sweep engine: ``--jobs N`` fans cells over worker processes, and a
-    content-addressed cache under ``.repro-cache/`` makes re-running an
-    unchanged grid near-instant (``--no-cache`` to bypass,
-    ``--clear-cache`` to drop stale entries).
+    sweep engine: ``--jobs N`` fans cells over a persistent worker
+    pool, and a content-addressed cache under ``.repro-cache/`` makes
+    re-running an unchanged grid near-instant (``--no-cache`` to
+    bypass, ``--clear-cache`` to drop stale entries).  ``--profile``
+    prints the scheduler's view — per-cell wall time, predicted cost,
+    longest-first dispatch order, executed/cached status — so sweep
+    regressions are diagnosable from the CLI.
 ``audit``
     Run structural invariant audits (``AccessMethod.audit``) against a
     workload with a dict oracle in lockstep — optionally under a seeded
@@ -69,6 +72,7 @@ Examples::
     python -m repro flame --method lsm --weight time --output lsm.folded
     python -m repro sweep --workload balanced --jobs 4
     python -m repro sweep --methods btree,lsm,hash-index --no-cache
+    python -m repro sweep --workload balanced --jobs 4 --profile
     python -m repro audit --workload balanced --ops 600
     python -m repro audit --methods lsm --fail-write-at 7 --torn
     python -m repro hierarchy --capacities 8,64 --device disk
@@ -369,6 +373,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--clear-cache",
         action="store_true",
         help="drop every cached result before running",
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the scheduler's view: per-cell wall time, predicted "
+            "cost, dispatch order, executed/cached status"
+        ),
     )
     return parser
 
@@ -898,7 +910,8 @@ def _command_sweep(args) -> int:
         )
         for name in names
     ]
-    outcome = SweepEngine(jobs=args.jobs, cache=cache).run(cells)
+    with SweepEngine(jobs=args.jobs, cache=cache) as engine:
+        outcome = engine.run(cells)
     rows = [
         [
             cell.display_label,
@@ -917,12 +930,48 @@ def _command_sweep(args) -> int:
             f"on {args.device} (jobs={args.jobs})"
         ),
     ))
+    if args.profile:
+        print()
+        print(_sweep_profile_table(outcome))
     print(
         f"executed {outcome.executed_cells} cell(s), "
         f"{outcome.cached_cells} from cache"
         + ("" if cache is None else f" ({cache.root})")
     )
     return 0
+
+
+def _sweep_profile_table(outcome) -> str:
+    """The scheduler's view of one sweep, for ``sweep --profile``.
+
+    One row per cell in cell order: executed/cached status, the cost
+    model's prediction, the measured wall time, and where in the
+    longest-first dispatch sequence the cell was handed out — enough to
+    diagnose a sweep regression (a mispredicted slow cell, a cache that
+    stopped hitting) straight from the CLI.
+    """
+    ranks = {
+        index: rank for rank, index in enumerate(outcome.dispatch_order)
+    }
+    rows = []
+    for index, cell in enumerate(outcome.cells):
+        wall = outcome.cell_seconds[index]
+        predicted = outcome.predicted_seconds[index]
+        rows.append([
+            cell.display_label,
+            "executed" if wall is not None else "cached",
+            "-" if index not in ranks else ranks[index] + 1,
+            f"{predicted * 1e3:.1f}" if predicted else "-",
+            f"{wall * 1e3:.1f}" if wall is not None else "-",
+        ])
+    return format_table(
+        ["cell", "status", "dispatch#", "predicted ms", "wall ms"],
+        rows,
+        title=(
+            f"scheduler profile: {outcome.executed_cells} executed, "
+            f"{outcome.cached_cells} cached (dispatch is longest-first)"
+        ),
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

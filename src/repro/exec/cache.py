@@ -13,20 +13,33 @@ consequences:
 
 Layout: ``<root>/<key[:2]>/<key>.json``, fanned out over 256 prefix
 directories.  Writes are atomic (temp file + ``os.replace``) so a
-killed run never leaves a torn entry.
+killed run — or two worker processes racing on the same key — never
+leaves a torn entry; the last complete write wins, and because cells
+are deterministic every writer produces the same bytes anyway.
+
+Next to each envelope an optional *metadata sidecar*
+(``<key>.meta.json``) records cheap facts about the entry that lookups
+want without decoding the envelope: whether the entry carries trace
+events (``traced``) and how long the cell took to execute
+(``wall_seconds``, which feeds the scheduler's cost model).  Entries
+written before sidecars existed simply have no sidecar — every reader
+falls back to sniffing the envelope itself.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import tempfile
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import repro
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+_META_SUFFIX = ".meta.json"
 
 
 class ResultCache:
@@ -52,6 +65,15 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
+    def spec(self) -> "CacheSpec":
+        """The picklable ``(root, salt)`` identity of this cache.
+
+        Worker processes rebuild an equivalent cache from it (see
+        :func:`repro.exec.engine.worker_cache`) and write envelopes
+        directly into the shared store.
+        """
+        return (self.root, self.salt)
+
     def key_for(self, cell_payload: str) -> str:
         """Cache key: SHA-256 of the salt and the canonical cell JSON."""
         return hashlib.sha256(
@@ -61,20 +83,51 @@ class ResultCache:
     def _path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
-    def get(self, key: str) -> Optional[str]:
-        """The stored envelope string, or ``None`` on a miss."""
+    def _meta_path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}{_META_SUFFIX}")
+
+    def _read(self, key: str) -> Optional[str]:
+        """Envelope bytes without touching the hit/miss counters."""
         try:
             with open(self._path_for(key), "r") as handle:
-                payload = handle.read()
+                return handle.read()
         except OSError:
+            return None
+
+    def get(self, key: str) -> Optional[str]:
+        """The stored envelope string, or ``None`` on a miss."""
+        payload = self._read(key)
+        if payload is None:
             self.misses += 1
             return None
         self.hits += 1
         return payload
 
-    def put(self, key: str, payload: str) -> None:
-        """Store an envelope atomically (temp file + rename)."""
-        path = self._path_for(key)
+    def lookup(self, key: str, require_traced: bool = False) -> Optional[str]:
+        """A *usable* envelope for this run, or ``None``.
+
+        Counter-accounted: a hit is an envelope the caller can actually
+        use.  With ``require_traced`` an untraced entry is a miss — and
+        when the metadata sidecar already says the entry is untraced,
+        the envelope is never even read from disk.
+        """
+        if require_traced and self.traced(key) is False:
+            self.misses += 1
+            return None
+        payload = self._read(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        if require_traced:
+            from repro.exec.serialize import envelope_is_traced
+
+            if not envelope_is_traced(payload):
+                self.misses += 1
+                return None
+        self.hits += 1
+        return payload
+
+    def _write_atomic(self, path: str, payload: str) -> None:
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -89,6 +142,53 @@ class ResultCache:
                 pass
             raise
 
+    def put(
+        self,
+        key: str,
+        payload: str,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Store an envelope atomically (temp file + rename).
+
+        ``meta`` additionally writes the metadata sidecar — envelope
+        first, so a crash between the two leaves a readable entry with
+        no sidecar, which every reader handles.
+        """
+        self._write_atomic(self._path_for(key), payload)
+        if meta is not None:
+            self._write_atomic(
+                self._meta_path_for(key),
+                json.dumps(meta, sort_keys=True, separators=(",", ":")),
+            )
+
+    def get_meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry's metadata sidecar, or ``None`` (absent/corrupt)."""
+        try:
+            with open(self._meta_path_for(key), "r") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def traced(self, key: str) -> Optional[bool]:
+        """Whether the entry carries trace events, from the sidecar alone.
+
+        ``None`` means unknown (no sidecar — a pre-sidecar entry, or no
+        entry at all); callers then fall back to reading the envelope.
+        """
+        meta = self.get_meta(key)
+        if meta is None or not isinstance(meta.get("traced"), bool):
+            return None
+        return meta["traced"]
+
+    def wall_seconds(self, key: str) -> Optional[float]:
+        """The entry's recorded execution time, or ``None``."""
+        meta = self.get_meta(key)
+        if meta is None:
+            return None
+        wall = meta.get("wall_seconds")
+        return float(wall) if isinstance(wall, (int, float)) else None
+
     def entry_count(self) -> int:
         """Number of cached envelopes currently on disk."""
         count = 0
@@ -98,12 +198,16 @@ class ResultCache:
             subdir = os.path.join(self.root, prefix)
             if os.path.isdir(subdir):
                 count += sum(
-                    1 for name in os.listdir(subdir) if name.endswith(".json")
+                    1
+                    for name in os.listdir(subdir)
+                    if name.endswith(".json")
+                    and not name.endswith(_META_SUFFIX)
                 )
         return count
 
     def clear(self) -> int:
-        """Delete every cached envelope; returns how many were removed."""
+        """Delete every cached envelope (and sidecar); returns how many
+        envelopes were removed."""
         removed = 0
         if not os.path.isdir(self.root):
             return 0
@@ -114,9 +218,14 @@ class ResultCache:
             for name in os.listdir(subdir):
                 if name.endswith(".json"):
                     os.unlink(os.path.join(subdir, name))
-                    removed += 1
+                    if not name.endswith(_META_SUFFIX):
+                        removed += 1
             try:
                 os.rmdir(subdir)
             except OSError:
                 pass
         return removed
+
+
+#: The picklable identity a worker rebuilds a cache from.
+CacheSpec = tuple

@@ -217,6 +217,25 @@ def decode_envelope(payload: str) -> Dict[str, Any]:
     }
 
 
+#: Canonical envelopes sort their keys, so every envelope ever written
+#: by :func:`encode_envelope` starts with its ``events`` field — which
+#: makes tracedness a prefix check, not a parse.
+_UNTRACED_PREFIX = '{"events":null'
+_TRACED_PREFIX = '{"events":['
+
+
 def envelope_is_traced(payload: str) -> bool:
-    """Whether an envelope carries trace events (cheap cache-hit check)."""
+    """Whether an envelope carries trace events (cheap cache-hit check).
+
+    Fast path: canonical envelopes (sorted keys) open with their
+    ``events`` field, so a prefix comparison answers without decoding —
+    a traced envelope can be megabytes of events, and cache lookups ask
+    this for every cell.  Anything that doesn't match either canonical
+    prefix (hand-written JSON, foreign whitespace) falls back to a full
+    decode, so the answer is always exact.
+    """
+    if payload.startswith(_UNTRACED_PREFIX):
+        return False
+    if payload.startswith(_TRACED_PREFIX):
+        return True
     return json.loads(payload)["events"] is not None

@@ -214,6 +214,15 @@ def _trajectory(**latest_device):
     }
 
 
+def _sweep(parallel_speedup, cpus=1, jobs=4):
+    return {
+        "cells": 32,
+        "jobs": jobs,
+        "cpus": cpus,
+        "parallel_speedup": parallel_speedup,
+    }
+
+
 class TestTrajectory:
     def _check(self, data, **kwargs):
         bench_gate = _bench_gate()
@@ -263,6 +272,61 @@ class TestTrajectory:
         del broken["entries"][0]["device"]["read_ops_per_sec"]
         with pytest.raises(SystemExit):
             self._check(broken)
+
+    def test_entries_without_sweep_data_skip_sweep_checks(self):
+        regressions, notes = self._check(_trajectory())
+        assert regressions == []
+        assert any("sweep checks skipped" in n for n in notes)
+
+    def test_sweep_below_cpu_aware_floor_fails(self):
+        # 4 cpus, jobs=4: the full 2.5x bar applies and 1.1x misses it.
+        data = _trajectory()
+        data["entries"][-1]["sweep"] = _sweep(
+            parallel_speedup=1.1, cpus=4, jobs=4
+        )
+        regressions, _ = self._check(data)
+        assert any("floor 2.50x" in r for r in regressions)
+
+    def test_floor_degrades_on_a_single_cpu_box(self):
+        # 1 cpu: wall-clock speedup is capped at 1.0, so the floor is
+        # 0.85 (bounded scheduler overhead), which 0.95x clears.
+        data = _trajectory()
+        data["entries"][-1]["sweep"] = _sweep(
+            parallel_speedup=0.95, cpus=1, jobs=4
+        )
+        regressions, notes = self._check(data)
+        assert regressions == []
+        assert any("floor 0.85x" in n for n in notes)
+
+    def test_sweep_regression_vs_previous_entry_fails(self):
+        data = _trajectory()
+        data["entries"][0]["sweep"] = _sweep(parallel_speedup=0.95)
+        data["entries"][-1]["sweep"] = _sweep(parallel_speedup=0.87)
+        regressions, _ = self._check(data)
+        assert any("vs previous 0.95x" in r for r in regressions)
+
+    def test_sweep_improvement_vs_previous_entry_passes(self):
+        data = _trajectory()
+        data["entries"][0]["sweep"] = _sweep(parallel_speedup=0.78)
+        data["entries"][-1]["sweep"] = _sweep(parallel_speedup=0.95)
+        regressions, notes = self._check(data)
+        assert regressions == []
+        assert any("vs previous 0.78x" in n for n in notes)
+
+    def test_zero_min_sweep_speedup_disables_the_floor(self):
+        data = _trajectory()
+        data["entries"][-1]["sweep"] = _sweep(
+            parallel_speedup=0.1, cpus=4, jobs=4
+        )
+        regressions, _ = self._check(data, min_sweep_speedup=0.0)
+        assert regressions == []
+
+    def test_sweep_speedup_floor_scaling(self):
+        bench_gate = _bench_gate()
+        assert bench_gate.sweep_speedup_floor(2.5, 8, 4) == 2.5
+        assert bench_gate.sweep_speedup_floor(2.5, 4, 4) == 2.5
+        assert bench_gate.sweep_speedup_floor(2.5, 2, 4) == pytest.approx(1.7)
+        assert bench_gate.sweep_speedup_floor(2.5, 1, 4) == pytest.approx(0.85)
 
     def test_main_trajectory_mode(self, tmp_path, capsys):
         bench_gate = _bench_gate()

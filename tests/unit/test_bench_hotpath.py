@@ -64,6 +64,11 @@ def test_smoke_run_produces_trajectory_entry(tmp_path, capsys):
     )
     assert sweep["serial_seconds"] > 0
     assert sweep["parallel_seconds"] > 0
+    assert sweep["cpus"] >= 1
+    assert set(sweep["jobs_sweep"]) == {"1", "2", str(sweep["jobs"])}
+    for stats in sweep["jobs_sweep"].values():
+        assert stats["seconds"] > 0
+        assert stats["speedup"] > 0
     spans = report["spans"]
     for key in (
         "per_site_disabled_ns",

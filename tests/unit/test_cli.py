@@ -347,6 +347,39 @@ class TestSweep:
         parallel_out = capsys.readouterr().out
         assert serial_out.replace("jobs=1", "") == parallel_out.replace("jobs=3", "")
 
+    def test_sweep_profile_reports_the_schedule(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--methods", "btree,lsm", "--profile",
+            "--cache-dir", str(tmp_path / "cache"),
+        ] + self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduler profile: 2 executed, 0 cached" in out
+        assert "dispatch#" in out and "wall ms" in out
+        # Both executed cells carry a dispatch rank and a measured wall.
+        for name in ("btree", "lsm"):
+            row = next(
+                line for line in out.splitlines()
+                if name in line and "executed" in line
+            )
+            assert row.count("-") == 0, row
+
+    def test_sweep_profile_marks_cached_cells(self, capsys, tmp_path):
+        args = [
+            "sweep", "--methods", "btree", "--profile",
+            "--cache-dir", str(tmp_path / "cache"),
+        ] + self.ARGS
+        main(args)
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "scheduler profile: 0 executed, 1 cached" in out
+        row = next(
+            line for line in out.splitlines()
+            if "btree" in line and "cached" in line and "profile:" not in line
+        )
+        assert "executed" not in row
+
     def test_sweep_unknown_method_rejected(self, tmp_path):
         with pytest.raises(KeyError):
             main([

@@ -139,15 +139,32 @@ TRAJECTORY_FIELDS = (
 )
 
 
+def sweep_speedup_floor(min_sweep_speedup: float, cpus: int, jobs: int) -> float:
+    """Absolute ``parallel_speedup`` floor, scaled to the recording box.
+
+    The full ``min_sweep_speedup`` bar applies when the entry was
+    recorded with at least as many usable cores as workers.  On a
+    core-starved box (e.g. a 1-CPU container) wall-clock speedup is
+    physically capped at ``min(cpus, jobs)``, so the floor degrades to
+    85% of that ceiling — on one core that means "parallel dispatch may
+    cost at most ~15% over serial", which is exactly the scheduler
+    overhead this gate exists to bound.
+    """
+    ceiling = max(1, min(int(cpus), int(jobs)))
+    return min(min_sweep_speedup, 0.85 * ceiling)
+
+
 def check_trajectory(
     data: dict,
     *,
     min_batched_multiple: float,
     ops_threshold: float,
+    min_sweep_speedup: float = 2.5,
+    sweep_tolerance: float = 0.05,
 ) -> Tuple[List[str], List[str]]:
     """Gate a ``BENCH_hotpath.json`` trajectory; returns (regressions, notes).
 
-    Two checks over the committed per-PR entries (pure arithmetic — the
+    Three checks over the committed per-PR entries (pure arithmetic — the
     numbers were measured when the entry was recorded, so this is
     deterministic wherever the tests run):
 
@@ -155,7 +172,14 @@ def check_trajectory(
       than ``ops_threshold`` relative to the previous entry;
     * the newest entry's batched ``read_many``/``write_many`` throughput
       must hold ``min_batched_multiple`` x the *first* entry's per-op
-      numbers — the bar the batched pipeline was introduced to clear.
+      numbers — the bar the batched pipeline was introduced to clear;
+    * when the newest entry carries a ``sweep`` section, its
+      ``parallel_speedup`` must beat the previous sweep-bearing entry
+      (within ``sweep_tolerance``) and clear the CPU-aware absolute
+      floor from :func:`sweep_speedup_floor` — so a sweep-scheduler
+      regression like the 0.77x that motivated the persistent pool can
+      never land silently again.  Entries without sweep data skip these
+      checks with a note.
     """
     regressions: List[str] = []
     notes: List[str] = []
@@ -213,6 +237,45 @@ def check_trajectory(
                     f"trajectory {label!r}: {batched} {cand:,.0f} is "
                     f"{cand / anchor:.2f}x the first entry's {per_op}"
                 )
+    sweep = latest.get("sweep")
+    if isinstance(sweep, dict) and float(sweep.get("parallel_speedup", 0)) > 0:
+        speedup = float(sweep["parallel_speedup"])
+        jobs = int(sweep.get("jobs", 1))
+        cpus = int(sweep.get("cpus", jobs))
+        if min_sweep_speedup > 0:
+            floor = sweep_speedup_floor(min_sweep_speedup, cpus, jobs)
+            message = (
+                f"trajectory {label!r}: sweep speedup {speedup:.2f}x at "
+                f"jobs={jobs} on {cpus} cpu(s), floor {floor:.2f}x"
+            )
+            if speedup < floor:
+                regressions.append(message)
+            else:
+                notes.append(message)
+        previous_sweeps = [
+            float(entry["sweep"]["parallel_speedup"])
+            for entry in entries[:-1]
+            if isinstance(entry.get("sweep"), dict)
+            and float(entry["sweep"].get("parallel_speedup", 0)) > 0
+        ]
+        if previous_sweeps:
+            base = previous_sweeps[-1]
+            required = base * (1.0 - sweep_tolerance)
+            message = (
+                f"trajectory {label!r}: sweep speedup {speedup:.2f}x vs "
+                f"previous {base:.2f}x"
+            )
+            if speedup < required:
+                regressions.append(
+                    f"{message} (requires {required:.2f}x at "
+                    f"{sweep_tolerance:.0%} tolerance)"
+                )
+            else:
+                notes.append(message)
+    else:
+        notes.append(
+            f"trajectory {label!r}: no sweep section, sweep checks skipped"
+        )
     return regressions, notes
 
 
@@ -250,10 +313,26 @@ def main(argv=None) -> int:
         "(0 disables the check)",
     )
     parser.add_argument(
+        "--min-sweep-speedup",
+        type=float,
+        default=2.5,
+        help="trajectory mode: absolute sweep parallel_speedup floor, "
+        "scaled down automatically on CPU-starved recording boxes "
+        "(0 disables the check)",
+    )
+    parser.add_argument(
+        "--sweep-tolerance",
+        type=float,
+        default=0.05,
+        help="trajectory mode: tolerated relative sweep speedup drop vs "
+        "the previous sweep-bearing entry",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="only print regressions"
     )
     args = parser.parse_args(argv)
-    if args.byte_threshold < 0 or args.ops_threshold < 0:
+    if (args.byte_threshold < 0 or args.ops_threshold < 0
+            or args.min_sweep_speedup < 0 or args.sweep_tolerance < 0):
         parser.error("thresholds must be non-negative")
 
     if args.trajectory:
@@ -268,6 +347,8 @@ def main(argv=None) -> int:
             data,
             min_batched_multiple=args.min_batched_multiple,
             ops_threshold=args.ops_threshold,
+            min_sweep_speedup=args.min_sweep_speedup,
+            sweep_tolerance=args.sweep_tolerance,
         )
         if not args.quiet:
             for note in notes:

@@ -11,7 +11,8 @@ best-of-``--trials``, so machine noise hits them equally and the
 speedup column is meaningful on a busy box.
 
 Also times a small sweep grid through :class:`repro.exec.SweepEngine`
-at ``jobs=1`` vs ``jobs=4`` to record the parallel fan-out win, and the
+serially and across a ``jobs`` sweep (1/2/4 workers, each on a warmed
+persistent pool) to record the parallel fan-out trend, and the
 span system's overhead (``repro.obs.spans``): the disabled ``@spanned``
 path must stay under :data:`SPAN_DISABLED_BUDGET` (3%) of a
 representative workload's per-op cost, and the enabled slowdown is
@@ -28,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import dataclass, replace
@@ -445,8 +447,19 @@ SWEEP_METHODS = (
 SWEEP_SEEDS = (7, 11, 13, 17)
 
 
-def bench_sweep(records: int, operations: int, jobs: int) -> Dict[str, float]:
-    """Wall time of a method grid, serial vs parallel (no cache)."""
+def bench_sweep(records: int, operations: int, jobs: int) -> Dict[str, object]:
+    """Wall time of a method grid: serial vs a jobs sweep (no cache).
+
+    Every parallel measurement uses the persistent-pool session pattern
+    the engine is built for — the pool is spawned and warmed *before*
+    the timed window, because a sweep session pays startup once, not
+    once per grid.  Results are asserted byte-equal to the serial run.
+    The entry records ``cpus`` (the cores actually usable by this
+    process) so the speedup is interpretable: on a single-core
+    container the theoretical ceiling of ``parallel_speedup`` is 1.0
+    and the number measures pure scheduler overhead, while on a
+    multi-core box it measures real fan-out.
+    """
     from dataclasses import replace as spec_replace
 
     from repro.exec import SweepCell, SweepEngine
@@ -470,19 +483,44 @@ def bench_sweep(records: int, operations: int, jobs: int) -> Dict[str, float]:
         for name in SWEEP_METHODS
         for seed in SWEEP_SEEDS
     ]
+    # Untimed warmup pass: forked workers inherit the parent's warm
+    # interpreter state (imported method modules, built registries), so
+    # without this the serial baseline alone would pay first-run costs
+    # and the "speedup" would flatter the pool.
+    SweepEngine(jobs=1).run(cells)
     start = time.perf_counter()
     serial = SweepEngine(jobs=1).run(cells)
     serial_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    parallel = SweepEngine(jobs=jobs).run(cells)
-    parallel_seconds = time.perf_counter() - start
-    assert [str(r) for r in serial.results] == [str(r) for r in parallel.results]
+
+    jobs_sweep: Dict[str, Dict[str, float]] = {}
+    parallel_seconds = serial_seconds
+    for workers in sorted({1, 2, jobs}):
+        with SweepEngine(jobs=workers) as engine:
+            engine.warm()
+            start = time.perf_counter()
+            outcome = engine.run(cells)
+            seconds = time.perf_counter() - start
+        assert [str(r) for r in serial.results] == [
+            str(r) for r in outcome.results
+        ], f"jobs={workers} results diverged from serial"
+        jobs_sweep[str(workers)] = {
+            "seconds": seconds,
+            "speedup": serial_seconds / seconds,
+        }
+        if workers == jobs:
+            parallel_seconds = seconds
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux fallback
+        cpus = os.cpu_count() or 1
     return {
         "cells": len(cells),
         "jobs": jobs,
+        "cpus": cpus,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "parallel_speedup": serial_seconds / parallel_seconds,
+        "jobs_sweep": jobs_sweep,
     }
 
 
@@ -569,9 +607,14 @@ def main(argv=None) -> int:
           f"({device['read_batch_speedup']:.2f}x per-op)")
     print(f"write_many  : {device['write_many_ops_per_sec']:>12,.0f} ops/sec "
           f"({device['write_batch_speedup']:.2f}x per-op)")
-    print(f"sweep {sweep['cells']} cells: serial {sweep['serial_seconds']:.2f}s, "
-          f"jobs={sweep['jobs']} {sweep['parallel_seconds']:.2f}s "
-          f"({sweep['parallel_speedup']:.2f}x)")
+    jobs_sweep = ", ".join(
+        f"jobs={workers} {stats['seconds']:.2f}s ({stats['speedup']:.2f}x)"
+        for workers, stats in sorted(
+            sweep["jobs_sweep"].items(), key=lambda kv: int(kv[0])
+        )
+    )
+    print(f"sweep {sweep['cells']} cells on {sweep['cpus']} cpu(s): "
+          f"serial {sweep['serial_seconds']:.2f}s, {jobs_sweep}")
     for mix_name, mix in workload["mixes"].items():
         print(f"workload {mix_name:11s}: per-op {mix['per_op_seconds']:.3f}s, "
               f"batched {mix['batched_seconds']:.3f}s "
