@@ -1,0 +1,153 @@
+"""Serving-tier benchmark: N concurrent zipfian clients over one method.
+
+The RUM triangle is usually measured with a single-threaded workload
+stream; the serving tier adds the machinery a real system carries —
+snapshot reads, OCC validation, WAL durability — and this bench shows
+what that machinery costs in the same RUM vocabulary.  Logging rides on
+the same simulated device as the structure, so the WAL's writes inflate
+UO and its live blocks inflate MO honestly.
+
+Checks pinned here:
+
+* the bench is bit-deterministic under a fixed seed (scheduler and
+  client scripts are all seeded);
+* it sustains >= 8 concurrent clients with a clean oracle + audit;
+* durability has a visible price: the served run's update overhead
+  strictly exceeds the same write stream applied without the server;
+* commit latency is contention-sensitive (p99 >= p50, conflicts > 0 at
+  8 zipfian clients).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.registry import create_method
+from repro.serve import run_bench
+from repro.storage.device import SimulatedDevice
+
+from benchmarks.harness import BENCH_BLOCK, attach_tracer, emit_report, mark
+
+CLIENTS = 8
+TXNS = 30
+RECORDS = 512
+SEED = 1234
+
+
+def _run(seed=SEED, clients=CLIENTS):
+    device = attach_tracer(SimulatedDevice(block_bytes=BENCH_BLOCK))
+    method = create_method("btree", device=device)
+    return run_bench(
+        method,
+        clients=clients,
+        txns_per_client=TXNS,
+        ops_per_txn=4,
+        records=RECORDS,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    return _run()
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_report(benchmark, report):
+    mark(benchmark)
+    rows = [
+        [
+            stats.client_id,
+            stats.committed,
+            stats.conflicts,
+            stats.abandoned,
+            f"{stats.p50:.1f}",
+            f"{stats.p99:.1f}",
+        ]
+        for stats in report.clients
+    ]
+    rows.append([
+        "all",
+        report.total_commits,
+        report.total_conflicts,
+        sum(s.abandoned for s in report.clients),
+        f"{report.overall_p50:.1f}",
+        f"{report.overall_p99:.1f}",
+    ])
+    table = format_table(
+        ["client", "commits", "conflicts", "abandoned", "p50", "p99"],
+        rows,
+        title=(
+            f"serving tier: {CLIENTS} zipfian clients x {TXNS} txns on "
+            f"btree (seed {SEED})"
+        ),
+    )
+    profile = report.profile
+    footer = (
+        f"RO={profile.read_overhead:.2f} UO={profile.update_overhead:.2f} "
+        f"MO={profile.memory_overhead:.2f} wal_syncs={report.wal_syncs} "
+        f"checkpoints={report.checkpoints}"
+    )
+    emit_report("serve", f"{table}\n{footer}")
+
+
+class TestServeBench:
+    def test_clean_at_eight_concurrent_clients(self, benchmark, report):
+        mark(benchmark)
+        assert len(report.clients) >= 8
+        assert report.clean, (
+            f"divergences={report.oracle_divergences}, "
+            f"violations={report.audit_violations}"
+        )
+        assert report.total_commits > 0
+
+    def test_deterministic_under_fixed_seed(self, benchmark, report):
+        mark(benchmark)
+        again = _run()
+        assert [s.latencies for s in again.clients] == [
+            s.latencies for s in report.clients
+        ]
+        assert again.total_conflicts == report.total_conflicts
+        assert again.simulated_time == report.simulated_time
+        assert (
+            again.profile.update_overhead == report.profile.update_overhead
+        )
+
+    def test_seed_actually_steers_the_run(self, benchmark, report):
+        mark(benchmark)
+        other = _run(seed=SEED + 1)
+        assert [s.latencies for s in other.clients] != [
+            s.latencies for s in report.clients
+        ]
+
+    def test_zipfian_contention_shows_up(self, benchmark, report):
+        mark(benchmark)
+        # Skewed keys + 8 writers: validation must be doing real work.
+        assert report.total_conflicts > 0
+        assert report.overall_p99 >= report.overall_p50 > 0
+
+    def test_durability_inflates_update_overhead(self, benchmark, report):
+        mark(benchmark)
+        # The same committed write stream applied straight to a method
+        # (no WAL, no versioning) prices each update cheaper than the
+        # served run, which pays a log sync per commit.
+        from repro.core.rum import RUMAccumulator
+
+        device = SimulatedDevice(block_bytes=BENCH_BLOCK)
+        method = create_method("btree", device=device)
+        method.bulk_load([(key, key * 1_000 + 1) for key in range(RECORDS)])
+        accumulator = RUMAccumulator()
+        accumulator.sample_space(method)
+        writes = 0
+        before = device.snapshot()
+        for key in range(0, RECORDS, 2):
+            if method.get(key) is None:
+                method.insert(key, key)
+            else:
+                method.update(key, key)
+            writes += 1
+        accumulator.record_update(device.stats_since(before), records_updated=writes)
+        accumulator.sample_space(method)
+        bare = accumulator.finish(method)
+        assert report.profile.update_overhead > bare.update_overhead

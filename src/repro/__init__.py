@@ -41,7 +41,10 @@ from repro.workloads.spec import MIXES, Operation, OpKind, WorkloadSpec
 # 1.2.0: batch-first measurement; serialized WorkloadResult envelopes
 # gained `operations_executed`, so pre-batch cached envelopes are
 # invalidated the same way.
-__version__ = "1.2.0"
+# 1.3.0: the serving tier (repro.serve) — devices now carry "wal"
+# blocks and serve runs emit txn-* trace events, so cached envelopes
+# from mixed-tier sweeps are invalidated the same way.
+__version__ = "1.3.0"
 
 __all__ = [
     "AccessMethod",

@@ -55,6 +55,22 @@ Commands
     bytes replicated — plus the backing-device row.  Runs the
     hierarchy's conservation/coherence audit; non-zero exit on any
     violation.
+``serve``
+    Run the transactional serving tier (sessions, snapshot-isolation
+    OCC transactions, write-ahead log) over one method with a scripted
+    multi-client session, verified against an oracle and the method's
+    structural audit.  ``--crash-write-at N`` injects a crash at the
+    Nth device write (``--torn`` tears the WAL write it lands on), then
+    restarts and recovers from the WAL — the printed recovery report
+    shows what was replayed.
+``bench-serve``
+    Benchmark N concurrent zipfian clients over the serving tier with a
+    deterministic interleaving: per-client p50/p99 commit latency plus
+    the method's RUM triple, all reproducible under a fixed seed.
+
+Exit codes (all subcommands): 0 = clean, 1 = a check failed (audit
+violation, oracle divergence, span-attribution mismatch), 2 = usage
+error (unknown command, method, or malformed arguments).
 
 Examples::
 
@@ -77,6 +93,9 @@ Examples::
     python -m repro audit --methods lsm --fail-write-at 7 --torn
     python -m repro hierarchy --capacities 8,64 --device disk
     python -m repro hierarchy --capacities 4,16,64 --write-policy write-through
+    python -m repro serve --method btree --clients 4 --txns 25
+    python -m repro serve --crash-write-at 12 --torn
+    python -m repro bench-serve --clients 8 --txns 40 --seed 1234
 """
 
 from __future__ import annotations
@@ -108,6 +127,32 @@ _COST_MODELS = {
     "disk": CostModel.disk,
     "shingled-disk": CostModel.shingled_disk,
 }
+
+
+class UsageError(RuntimeError):
+    """Bad usage detected after argparse (unknown method, bad value).
+
+    :func:`main` maps it to exit code 2 — the same code argparse uses —
+    so the CLI's contract is uniform: 0 clean, 1 check failure, 2 usage.
+    """
+
+
+def _checked_method(name: str, **kwargs):
+    """``create_method`` with unknown names mapped to :class:`UsageError`."""
+    try:
+        return create_method(name, **kwargs)
+    except KeyError as error:
+        raise UsageError(error.args[0]) from None
+
+
+def _checked_method_names(raw: str) -> List[str]:
+    """Parse a ``--methods`` list, rejecting unknown names as usage errors."""
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    known = set(available_methods())
+    unknown = sorted(set(names) - known)
+    if unknown:
+        raise UsageError(f"unknown access method(s): {', '.join(unknown)}")
+    return names
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -382,7 +427,77 @@ def _build_parser() -> argparse.ArgumentParser:
             "cost, dispatch order, executed/cached status"
         ),
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the transactional serving tier; optional crash + recovery",
+    )
+    _serve_arguments(serve, default_clients=4, default_txns=25)
+    serve.add_argument(
+        "--crash-write-at",
+        type=int,
+        default=None,
+        help=(
+            "inject a crash at the Nth device write after load, then "
+            "restart and recover from the WAL"
+        ),
+    )
+    serve.add_argument(
+        "--torn",
+        action="store_true",
+        help="the injected crash tears the WAL write it lands on",
+    )
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="benchmark N concurrent zipfian clients: p50/p99 + RUM",
+    )
+    _serve_arguments(bench_serve, default_clients=8, default_txns=40)
+    bench_serve.add_argument(
+        "--device",
+        choices=sorted(_COST_MODELS),
+        default="flash",
+        help="device cost-model preset",
+    )
+    bench_serve.add_argument(
+        "--distribution",
+        default="zipfian",
+        help="client key distribution (zipfian, uniform, latest, ...)",
+    )
     return parser
+
+
+def _serve_arguments(
+    parser: argparse.ArgumentParser, default_clients: int, default_txns: int
+) -> None:
+    parser.add_argument(
+        "--method", default="btree", help="registered method name"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=default_clients,
+        help="concurrent client sessions",
+    )
+    parser.add_argument(
+        "--txns", type=int, default=default_txns,
+        help="transactions per client",
+    )
+    parser.add_argument(
+        "--ops-per-txn", type=int, default=4,
+        help="operations per transaction",
+    )
+    parser.add_argument(
+        "--records", type=int, default=256, help="initial dataset size"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1234, help="scheduler/client RNG seed"
+    )
+    parser.add_argument(
+        "--block-bytes", type=int, default=4096, help="device block size"
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=32,
+        help="commits between WAL checkpoints (0 disables)",
+    )
 
 
 def _workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -413,7 +528,7 @@ def _command_list() -> int:
 
 
 def _command_profile(args) -> int:
-    result = run_workload(create_method(args.method), _spec(args))
+    result = run_workload(_checked_method(args.method), _spec(args))
     profile = result.profile
     print(format_table(
         ["method", "workload", "RO", "UO", "MO", "simulated time"],
@@ -487,7 +602,7 @@ def _command_replay(args) -> int:
     from repro.workloads.trace import load_trace
 
     data, operations = load_trace(args.trace)
-    method = create_method(args.method)
+    method = _checked_method(args.method)
     method.bulk_load(data)
     profile = measure_workload(method, operations)
     print(format_table(
@@ -527,7 +642,7 @@ def _command_trace(args) -> int:
     from repro.obs.sinks import JsonlSink
     from repro.obs.tracer import RecordingTracer
 
-    method = create_method(args.method)
+    method = _checked_method(args.method)
     metrics = WorkloadMetrics()
     failure: Optional[BaseException] = None
     # The sink's lifetime brackets the workload: even when the run dies
@@ -557,7 +672,7 @@ def _command_trace(args) -> int:
 def _command_stats(args) -> int:
     from repro.obs.metrics import WorkloadMetrics
 
-    method = create_method(args.method)
+    method = _checked_method(args.method)
     metrics = WorkloadMetrics()
     result = run_workload(method, _spec(args), metrics=metrics)
     print(_breakdown_table(args, metrics, result.profile))
@@ -587,7 +702,7 @@ def _span_profile_run(args):
         name=args.device,
     )
     device.set_tracer(RecordingTracer(sink))
-    method = create_method(args.method, device=device)
+    method = _checked_method(args.method, device=device)
     accumulator = RUMAccumulator()
     started = time.perf_counter()
     with span_collection():
@@ -721,11 +836,7 @@ def _command_audit(args) -> int:
     from repro.check import FaultPlan, build_audited_method, run_audit_session
 
     if args.methods:
-        names = [name.strip() for name in args.methods.split(",") if name.strip()]
-        known = set(available_methods())
-        unknown = sorted(set(names) - known)
-        if unknown:
-            raise KeyError(f"unknown access method(s): {', '.join(unknown)}")
+        names = _checked_method_names(args.methods)
     else:
         # bitmap speaks the value-predicate query model, not key lookups.
         names = [name for name in available_methods() if name != "bitmap"]
@@ -799,12 +910,12 @@ def _command_hierarchy(args) -> int:
             int(item) for item in args.capacities.split(",") if item.strip()
         ]
     except ValueError:
-        raise SystemExit(
+        raise UsageError(
             f"--capacities must be comma-separated integers, "
             f"got {args.capacities!r}"
         )
     if not capacities:
-        raise SystemExit("--capacities must name at least one level")
+        raise UsageError("--capacities must name at least one level")
     backing = SimulatedDevice(
         block_bytes=args.block_bytes,
         cost_model=_COST_MODELS[args.device](),
@@ -890,11 +1001,7 @@ def _command_sweep(args) -> int:
     from repro.exec import ResultCache, SweepCell, SweepEngine
 
     if args.methods:
-        names = [name.strip() for name in args.methods.split(",") if name.strip()]
-        known = set(available_methods())
-        unknown = sorted(set(names) - known)
-        if unknown:
-            raise KeyError(f"unknown access method(s): {', '.join(unknown)}")
+        names = _checked_method_names(args.methods)
     else:
         # bitmap speaks the value-predicate query model, not key lookups.
         names = [name for name in available_methods() if name != "bitmap"]
@@ -974,9 +1081,227 @@ def _sweep_profile_table(outcome) -> str:
     )
 
 
+def _command_serve(args) -> int:
+    """Run the serving tier; optionally crash it and recover from the WAL.
+
+    Without ``--crash-write-at`` this is a correctness walkthrough: the
+    bench harness drives ``--clients`` concurrent sessions through OCC
+    transactions and the run is checked against the oracle and the
+    structure audit.  With it, the run crashes at the Nth device write
+    (``--torn`` tears the WAL write it lands on), a fresh server
+    recovers over the same device, and the recovered state is verified.
+    """
+    import random
+
+    from repro.check import FaultPlan, build_audited_method
+    from repro.check.faults import DeviceFault, FaultyDevice
+    from repro.serve import Server, ServerCrashed, run_bench
+
+    if args.crash_write_at is None:
+        from repro.storage.device import SimulatedDevice
+
+        device = SimulatedDevice(block_bytes=args.block_bytes)
+        method = _checked_method(args.method, device=device)
+        report = run_bench(
+            method,
+            clients=args.clients,
+            txns_per_client=args.txns,
+            ops_per_txn=args.ops_per_txn,
+            records=args.records,
+            seed=args.seed,
+            checkpoint_every=args.checkpoint_every,
+        )
+        _print_serve_report(args, report)
+        return 0 if report.clean else 1
+
+    # Crash + recovery demo.  Bulk-load cleanly, arm the fault plan,
+    # serve until the injected crash, then recover and verify.
+    kinds = ("wal",) if args.torn else ()
+    plan = FaultPlan(
+        fail_write_at=args.crash_write_at,
+        torn_writes=args.torn,
+        kinds=kinds,
+        max_faults=1,
+    )
+    if args.method not in available_methods():
+        raise UsageError(
+            f"unknown access method {args.method!r}; "
+            f"known: {', '.join(available_methods())}"
+        )
+    method = build_audited_method(args.method, args.block_bytes, plan=plan)
+    device = method.device
+    assert isinstance(device, FaultyDevice)
+    method.bulk_load([(key, key * 1000 + 1) for key in range(args.records)])
+    device.arm(plan)
+    server = Server(method, checkpoint_every=args.checkpoint_every)
+    session = server.connect()
+    rng = random.Random(args.seed)
+    acked = {}
+    inflight = {}
+    crashed_at = None
+    for txn_index in range(args.txns * max(1, args.clients)):
+        try:
+            txn = session.begin()
+            writes = {}
+            for _ in range(args.ops_per_txn):
+                key = rng.randrange(args.records)
+                value = txn_index * 1_000 + key
+                session.put(key, value)
+                writes[key] = value
+            inflight = writes
+            session.commit()
+            acked.update(writes)
+            inflight = {}
+        except (DeviceFault, ServerCrashed) as error:
+            crashed_at = (txn_index, error)
+            break
+    if crashed_at is None:
+        print(
+            f"no crash: the write trigger (#{args.crash_write_at}) never "
+            f"fired in {args.txns * max(1, args.clients)} transactions"
+        )
+        return 1
+    txn_index, error = crashed_at
+    print(f"crashed during transaction {txn_index}: {error}")
+    device.disarm()
+    restarted = Server(method, checkpoint_every=args.checkpoint_every)
+    report = restarted.recover()
+    print(
+        f"recovered: scanned {report.records_scanned} WAL record(s)"
+        f"{' (torn tail truncated)' if report.truncated else ''}, "
+        f"replayed {report.transactions_replayed} committed txn(s) "
+        f"after checkpoint v{report.checkpoint_version}, "
+        f"resumed at version {report.resumed_version}, "
+        f"freed {report.blocks_freed} log block(s)"
+    )
+    failures = method.audit()
+    if failures:
+        for failure in failures:
+            print(f"audit violation: {failure}", file=sys.stderr)
+        return 1
+    # Atomicity + durability: the recovered state must equal the acked
+    # history exactly, either with or without the whole in-flight txn —
+    # a commit can be durable (its WAL commit record synced) yet never
+    # acknowledged when the crash hit the apply or the checkpoint after.
+    session = restarted.connect()
+    session.begin()
+    keys = sorted(set(acked) | set(inflight))
+    state = {key: session.get(key) for key in keys}
+    session.abort()
+    # Keys the crash left untouched keep their bulk-load values.
+    without = {
+        key: acked.get(key, key * 1000 + 1 if key < args.records else None)
+        for key in keys
+    }
+    with_inflight = dict(without)
+    with_inflight.update(inflight)
+    if state not in (without, with_inflight):
+        diff = {
+            key: (state[key], without[key], with_inflight[key])
+            for key in keys
+            if state[key] not in (without[key], with_inflight[key])
+        }
+        print(
+            f"durability violation: recovered state matches neither "
+            f"acked history nor acked+in-flight; diff "
+            f"(actual, without, with): {diff}",
+            file=sys.stderr,
+        )
+        return 1
+    applied = "with" if state == with_inflight and inflight else "without"
+    print(
+        f"all {len(acked)} acknowledged key(s) survived "
+        f"({applied} the in-flight transaction); audit clean"
+    )
+    return 0
+
+
+def _print_serve_report(args, report) -> None:
+    rows = [
+        [
+            stats.client_id,
+            stats.committed,
+            stats.conflicts,
+            stats.abandoned,
+            f"{stats.p50:.2f}",
+            f"{stats.p99:.2f}",
+        ]
+        for stats in report.clients
+    ]
+    print(format_table(
+        ["client", "commits", "conflicts", "abandoned", "p50", "p99"],
+        rows,
+        title=(
+            f"{args.method}: {len(report.clients)} client(s) x "
+            f"{args.txns} txn(s), seed {args.seed}"
+        ),
+    ))
+    profile = report.profile
+    print(
+        f"RO={profile.read_overhead:.2f} UO={profile.update_overhead:.2f} "
+        f"MO={profile.memory_overhead:.2f} "
+        f"simulated_time={report.simulated_time:.2f}"
+    )
+    print(
+        f"overall p50={report.overall_p50:.2f} p99={report.overall_p99:.2f}  "
+        f"commits={report.total_commits} conflicts={report.total_conflicts}  "
+        f"wal_syncs={report.wal_syncs} checkpoints={report.checkpoints}"
+    )
+    if not report.clean:
+        if report.oracle_divergences:
+            print(
+                f"oracle divergences: {report.oracle_divergences} "
+                f"record(s) differ from the commit-order oracle",
+                file=sys.stderr,
+            )
+        for violation in report.audit_violations[:5]:
+            print(f"audit violation: {violation}", file=sys.stderr)
+
+
+def _command_bench_serve(args) -> int:
+    from repro.serve import run_bench
+    from repro.storage.device import SimulatedDevice
+    from repro.workloads.distributions import distribution_names
+
+    if args.distribution not in distribution_names():
+        raise UsageError(
+            f"unknown distribution {args.distribution!r}; "
+            f"known: {', '.join(distribution_names())}"
+        )
+    device = SimulatedDevice(
+        block_bytes=args.block_bytes,
+        cost_model=_COST_MODELS[args.device](),
+        name=args.device,
+    )
+    method = _checked_method(args.method, device=device)
+    report = run_bench(
+        method,
+        clients=args.clients,
+        txns_per_client=args.txns,
+        ops_per_txn=args.ops_per_txn,
+        records=args.records,
+        seed=args.seed,
+        distribution=args.distribution,
+        checkpoint_every=args.checkpoint_every,
+    )
+    _print_serve_report(args, report)
+    return 0 if report.clean else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Parse arguments and dispatch to the chosen subcommand."""
-    args = _build_parser().parse_args(argv)
+    """Parse arguments and dispatch to the chosen subcommand.
+
+    Exit codes: 0 = clean, 1 = a check failed (audit violation, oracle
+    divergence, lost durability), 2 = usage error (argparse rejections
+    and post-parse validation alike).
+    """
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exit_:  # argparse exits; keep the contract: 2
+        code = exit_.code
+        if code in (None, 0):
+            return 0
+        return code if isinstance(code, int) else 2
     try:
         if args.command == "list":
             return _command_list()
@@ -1006,6 +1331,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_hierarchy(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "bench-serve":
+            return _command_bench_serve(args)
+    except UsageError as error:
+        print(f"usage error: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:  # output piped into head & friends
         import os
 

@@ -280,6 +280,28 @@ class AccessMethod(ABC):
     def flush(self) -> None:
         """Force any buffered state down to the device (no-op by default)."""
 
+    #: Key span :meth:`reopen` scans when recounting records; wide enough
+    #: for any workload key while staying within exact-int range.
+    REOPEN_KEY_SPAN: Tuple[int, int] = (-(2 ** 62), 2 ** 62)
+
+    def reopen(self) -> None:
+        """Rebuild memory-resident bookkeeping from durable block state.
+
+        Models re-opening the structure after a process crash: a fault
+        that interrupts a mutation can leave the durable blocks holding
+        the op's effect while derived in-memory bookkeeping (the record
+        count) missed its update.  The default implementation recounts
+        records with a full range scan — charged I/O, because a real
+        restart pays to rediscover its metadata.  Structures with more
+        derived state override and extend this.
+
+        Used by :meth:`repro.serve.server.Server.recover` before WAL
+        replay; only meaningful for ordered methods (the serving tier
+        requires them).
+        """
+        lo, hi = self.REOPEN_KEY_SPAN
+        self._record_count = len(self.range_query(lo, hi))
+
     def maintenance(self) -> None:
         """Run background reorganization (compaction, merging; no-op)."""
 

@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Any, Dict, Optional
 
 import repro
@@ -40,6 +41,14 @@ import repro
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 _META_SUFFIX = ".meta.json"
+_TMP_SUFFIX = ".tmp"
+
+#: Age before an orphaned ``.tmp`` file is swept on open.  A writer that
+#: crashed between ``mkstemp`` and ``os.replace`` leaves its temp file
+#: forever; a *live* writer's temp file exists for milliseconds.  The
+#: guard keeps a worker pool opening the shared cache concurrently from
+#: deleting a sibling's in-flight write.
+ORPHAN_TMP_AGE_SECONDS = 60.0
 
 
 class ResultCache:
@@ -64,6 +73,8 @@ class ResultCache:
         self.salt = repro.__version__ if salt is None else salt
         self.hits = 0
         self.misses = 0
+        #: Stale temp files from crashed writers removed at open time.
+        self.orphans_swept = self.sweep_orphans()
 
     def spec(self) -> "CacheSpec":
         """The picklable ``(root, salt)`` identity of this cache.
@@ -189,6 +200,41 @@ class ResultCache:
         wall = meta.get("wall_seconds")
         return float(wall) if isinstance(wall, (int, float)) else None
 
+    def sweep_orphans(
+        self, max_age_seconds: float = ORPHAN_TMP_AGE_SECONDS
+    ) -> int:
+        """Remove ``.tmp`` orphans left by crashed writers; return count.
+
+        A worker killed between :func:`tempfile.mkstemp` and
+        :func:`os.replace` in :meth:`_write_atomic` leaks a ``.tmp``
+        file that no lookup, :meth:`entry_count`, or (previously)
+        :meth:`clear` would ever touch.  Only files older than
+        ``max_age_seconds`` are removed — pass ``0`` to sweep
+        unconditionally (as :meth:`clear` does; nothing can be in
+        flight for a store being cleared).
+        """
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        cutoff = time.time() - max_age_seconds
+        for prefix in os.listdir(self.root):
+            subdir = os.path.join(self.root, prefix)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if not name.endswith(_TMP_SUFFIX):
+                    continue
+                path = os.path.join(subdir, name)
+                try:
+                    if max_age_seconds <= 0 or os.path.getmtime(path) <= cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    # The writer finished (os.replace) or a concurrent
+                    # sweep won the race; either way the orphan is gone.
+                    pass
+        return removed
+
     def entry_count(self) -> int:
         """Number of cached envelopes currently on disk."""
         count = 0
@@ -207,10 +253,12 @@ class ResultCache:
 
     def clear(self) -> int:
         """Delete every cached envelope (and sidecar); returns how many
-        envelopes were removed."""
+        envelopes were removed.  Also sweeps ``.tmp`` orphans regardless
+        of age, so a cleared cache directory is actually empty."""
         removed = 0
         if not os.path.isdir(self.root):
             return 0
+        self.sweep_orphans(max_age_seconds=0.0)
         for prefix in os.listdir(self.root):
             subdir = os.path.join(self.root, prefix)
             if not os.path.isdir(subdir):

@@ -162,3 +162,21 @@ def emit_fault_event(
     if not tracer.enabled:
         return
     tracer.emit(source=source, op="fault", block_id=block_id, kind=kind)
+
+
+def emit_txn_event(
+    tracer: Tracer, source: str, op: str, txn_id: int, detail: str = ""
+) -> None:
+    """Emit one transaction lifecycle event from the serving tier.
+
+    ``op`` is the lifecycle step (``txn-begin``, ``txn-validate``,
+    ``txn-commit``, ``txn-abort``, ``wal-append``, ``wal-sync``,
+    ``recover``, ``checkpoint``); ``txn_id`` rides in the ``block_id``
+    slot (events are keyed by an integer id either way) and ``detail``
+    in ``kind``.  A sanctioned emission path, like
+    :func:`emit_audit_events`: :mod:`repro.serve` reports through this
+    helper instead of calling ``tracer.emit`` directly.
+    """
+    if not tracer.enabled:
+        return
+    tracer.emit(source=source, op=op, block_id=txn_id, kind=detail)

@@ -1,0 +1,46 @@
+"""The concurrent serving tier (ROADMAP item: "serving tier").
+
+Sessions over one access method, snapshot-isolation transactions with
+OCC validate-at-commit (Kung–Robinson), and an ARIES-style redo-only
+write-ahead log whose recovery replays committed-but-unapplied
+transactions after a crash.  See :mod:`repro.serve.server` for the
+protocol and :mod:`repro.serve.wal` for the log format; the
+deterministic multi-client benchmark harness lives in
+:mod:`repro.serve.bench`.
+"""
+
+from repro.serve.bench import BenchReport, ClientStats, run_bench
+from repro.serve.server import (
+    RecoveryReport,
+    Server,
+    ServerCrashed,
+    Session,
+)
+from repro.serve.txn import (
+    Transaction,
+    TransactionConflict,
+    TransactionStateError,
+    TxnStatus,
+)
+from repro.serve.versions import ABSENT, CommitLog, VersionStore
+from repro.serve.wal import WalRecord, WriteAheadLog, WAL_BLOCK_KIND
+
+__all__ = [
+    "ABSENT",
+    "BenchReport",
+    "ClientStats",
+    "CommitLog",
+    "RecoveryReport",
+    "Server",
+    "ServerCrashed",
+    "Session",
+    "Transaction",
+    "TransactionConflict",
+    "TransactionStateError",
+    "TxnStatus",
+    "VersionStore",
+    "WAL_BLOCK_KIND",
+    "WalRecord",
+    "WriteAheadLog",
+    "run_bench",
+]

@@ -1,0 +1,310 @@
+"""Deterministic multi-client benchmark for the serving tier.
+
+``run_bench`` drives N zipfian clients against one :class:`Server` and
+reports per-client p50/p99 commit latency plus the method's RUM triple.
+Two design decisions keep it bit-reproducible under a fixed seed:
+
+* **Logical interleaving.**  Clients are coroutine-style state machines
+  advanced one step at a time by a seeded scheduler — real threads would
+  make the interleaving (and thus conflicts, latencies, and I/O order)
+  non-deterministic.  Every client's entire transaction script is also
+  pre-generated from its own seeded RNG, so *what* a client does is
+  independent of *when* the scheduler runs it.
+* **Simulated latency.**  Latency is the device's ``simulated_time``
+  delta between a transaction's begin and its successful commit — the
+  cost-model-priced I/O the transaction (and the commits interleaved
+  with it) performed, not wall-clock noise.
+
+Each committed transaction's writes are folded into an in-memory oracle
+in commit order; the report compares the final structure against the
+oracle record-for-record and runs the method's own ``audit()``, so a
+bench run is also a correctness check of the OCC/WAL machinery under
+contention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.interfaces import AccessMethod
+from repro.core.rum import RUMAccumulator, RUMProfile
+from repro.serve.server import Server, Session
+from repro.serve.txn import TransactionConflict
+from repro.serve.versions import ABSENT
+from repro.workloads.distributions import make_distribution
+
+#: Give up on a transaction after this many validation conflicts.
+MAX_RETRIES = 25
+
+#: Transaction script op tags.
+_GET, _RANGE, _PUT, _DELETE = "get", "range", "put", "del"
+
+
+@dataclass
+class ClientStats:
+    """One client's outcome: commits, conflicts, latency percentiles."""
+
+    client_id: int
+    committed: int = 0
+    conflicts: int = 0
+    abandoned: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def p50(self) -> float:
+        return _percentile(self.latencies, 0.50)
+
+    @property
+    def p99(self) -> float:
+        return _percentile(self.latencies, 0.99)
+
+
+@dataclass
+class BenchReport:
+    """Everything ``run_bench`` measured."""
+
+    method: str
+    clients: List[ClientStats]
+    profile: RUMProfile
+    #: Final-state divergences between structure and oracle (0 = clean).
+    oracle_divergences: int
+    #: Structural audit violations after the run ([] = clean).
+    audit_violations: List[str]
+    total_commits: int
+    total_conflicts: int
+    simulated_time: float
+    wal_syncs: int
+    checkpoints: int
+
+    @property
+    def clean(self) -> bool:
+        return self.oracle_divergences == 0 and not self.audit_violations
+
+    @property
+    def overall_p50(self) -> float:
+        return _percentile(self._all_latencies(), 0.50)
+
+    @property
+    def overall_p99(self) -> float:
+        return _percentile(self._all_latencies(), 0.99)
+
+    def _all_latencies(self) -> List[float]:
+        merged: List[float] = []
+        for client in self.clients:
+            merged.extend(client.latencies)
+        return merged
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _build_scripts(
+    clients: int,
+    txns_per_client: int,
+    ops_per_txn: int,
+    key_space: int,
+    seed: int,
+    distribution: str,
+) -> List[List[List[Tuple]]]:
+    """Pre-generate every client's transaction script.
+
+    Keys are drawn zipfian (or per ``distribution``) over ``key_space``
+    consecutive integers; op mix is 50% point reads, 10% short range
+    scans, 30% puts, 10% deletes — enough writes to make OCC validation
+    do real work at 8+ clients.
+    """
+    scripts: List[List[List[Tuple]]] = []
+    for client in range(clients):
+        rng = random.Random(seed * 7919 + client * 104729)
+        dist = make_distribution(distribution, rng)
+        txns: List[List[Tuple]] = []
+        for txn_index in range(txns_per_client):
+            ops: List[Tuple] = []
+            for _ in range(ops_per_txn):
+                key = dist.pick_index(key_space)
+                roll = rng.random()
+                if roll < 0.50:
+                    ops.append((_GET, key))
+                elif roll < 0.60:
+                    lo = max(0, key - rng.randrange(1, 8))
+                    ops.append((_RANGE, lo, key))
+                elif roll < 0.90:
+                    value = client * 1_000_000 + txn_index * 1_000 + key
+                    ops.append((_PUT, key, value))
+                else:
+                    ops.append((_DELETE, key))
+            txns.append(ops)
+        scripts.append(txns)
+    return scripts
+
+
+class _Client:
+    """State machine advanced one operation per scheduler tick."""
+
+    def __init__(
+        self,
+        session: Session,
+        script: List[List[Tuple]],
+        stats: ClientStats,
+        accumulator: RUMAccumulator,
+        oracle: Dict[int, int],
+    ) -> None:
+        self.session = session
+        self.script = script
+        self.stats = stats
+        self.accumulator = accumulator
+        self.oracle = oracle
+        self.txn_index = 0
+        self.op_index = 0
+        self.retries = 0
+        self.begin_time = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.txn_index >= len(self.script)
+
+    def _now(self) -> float:
+        return self.session.server.device.counters.simulated_time
+
+    def step(self) -> None:
+        """Run one step: begin, one operation, or the commit attempt."""
+        server = self.session.server
+        if not self.session.in_txn:
+            self.begin_time = self._now()
+            self.session.begin()
+            self.op_index = 0
+            return
+        ops = self.script[self.txn_index]
+        if self.op_index < len(ops):
+            self._run_op(ops[self.op_index])
+            self.op_index += 1
+            return
+        txn = self.session.txn
+        writes = dict(txn.writes)
+        before = server.device.snapshot()
+        try:
+            self.session.commit()
+        except TransactionConflict:
+            self.stats.conflicts += 1
+            self.retries += 1
+            if self.retries > MAX_RETRIES:
+                self.stats.abandoned += 1
+                self.retries = 0
+                self.txn_index += 1
+            return
+        if writes:
+            self.accumulator.record_update(
+                server.device.stats_since(before), records_updated=len(writes)
+            )
+            for key, value in writes.items():
+                if value is ABSENT:
+                    self.oracle.pop(key, None)
+                else:
+                    self.oracle[key] = value
+            self.accumulator.sample_space(server.method)
+        self.stats.committed += 1
+        self.stats.latencies.append(self._now() - self.begin_time)
+        self.retries = 0
+        self.txn_index += 1
+
+    def _run_op(self, op: Tuple) -> None:
+        device = self.session.server.device
+        if op[0] == _GET:
+            before = device.snapshot()
+            self.session.get(op[1])
+            self.accumulator.record_read(
+                device.stats_since(before), records_retrieved=1
+            )
+        elif op[0] == _RANGE:
+            before = device.snapshot()
+            records = self.session.range(op[1], op[2])
+            self.accumulator.record_read(
+                device.stats_since(before), records_retrieved=len(records)
+            )
+        elif op[0] == _PUT:
+            self.session.put(op[1], op[2])
+        else:
+            self.session.delete(op[1])
+
+
+def run_bench(
+    method: AccessMethod,
+    clients: int = 8,
+    txns_per_client: int = 40,
+    ops_per_txn: int = 4,
+    records: int = 256,
+    seed: int = 1234,
+    distribution: str = "zipfian",
+    checkpoint_every: int = 32,
+    server: Optional[Server] = None,
+) -> BenchReport:
+    """Drive ``clients`` concurrent zipfian clients; measure and verify.
+
+    ``method`` must be empty: the bench bulk-loads ``records`` seed
+    records (dense keys, like the workload generator's preload) before
+    opening the server.  Pass a pre-built ``server`` to override the
+    server configuration.
+    """
+    initial = [(key, key * 1_000 + 1) for key in range(records)]
+    method.bulk_load(initial)
+    oracle: Dict[int, int] = dict(initial)
+    srv = server if server is not None else Server(
+        method, checkpoint_every=checkpoint_every
+    )
+    accumulator = RUMAccumulator()
+    accumulator.sample_space(method)
+    key_space = records + records // 4  # a tail of fresh keys to insert
+    scripts = _build_scripts(
+        clients, txns_per_client, ops_per_txn, key_space, seed, distribution
+    )
+    stats = [ClientStats(client_id=i) for i in range(clients)]
+    machines = [
+        _Client(srv.connect(), scripts[i], stats[i], accumulator, oracle)
+        for i in range(clients)
+    ]
+    scheduler = random.Random(seed)
+    live = list(machines)
+    while live:
+        machine = live[scheduler.randrange(len(live))]
+        machine.step()
+        if machine.done:
+            live.remove(machine)
+
+    divergences = _compare_with_oracle(method, oracle, key_space)
+    violations = method.audit()
+    profile = accumulator.finish(method)
+    return BenchReport(
+        method=method.name,
+        clients=stats,
+        profile=profile,
+        oracle_divergences=divergences,
+        audit_violations=violations,
+        total_commits=sum(s.committed for s in stats),
+        total_conflicts=sum(s.conflicts for s in stats),
+        simulated_time=srv.device.counters.simulated_time,
+        wal_syncs=srv.wal.syncs,
+        checkpoints=srv.checkpoints,
+    )
+
+
+def _compare_with_oracle(
+    method: AccessMethod, oracle: Dict[int, int], key_space: int
+) -> int:
+    """Record-level diff between the structure and the oracle."""
+    expected = sorted(oracle.items())
+    actual = method.range_query(0, key_space + 1)
+    divergences = 0
+    expected_map = dict(expected)
+    actual_map = dict(actual)
+    for key in set(expected_map) | set(actual_map):
+        if expected_map.get(key) != actual_map.get(key):
+            divergences += 1
+    return divergences

@@ -1,0 +1,506 @@
+"""The serving tier: sessions, OCC commits, and WAL recovery.
+
+:class:`Server` multiplexes N client :class:`Session`\\ s over one
+access method.  Transactions follow Kung–Robinson optimistic concurrency
+control on top of snapshot isolation:
+
+* **Read phase** — each transaction reads at the version current when it
+  began.  Point reads consult the transaction's own write buffer, then
+  the :class:`~repro.serve.versions.VersionStore` pre-image overlay,
+  then the live method; range scans rewind the method's live answer
+  through the overlay.  Writes only buffer.
+* **Validate** — at commit, the read set (keys + scanned ranges) is
+  checked against the write sets of every transaction that committed
+  after this one's snapshot (backward validation).  Any intersection
+  aborts with :class:`~repro.serve.txn.TransactionConflict`.
+* **Write phase** — the winner's redo records plus a ``commit`` record
+  are appended to the :class:`~repro.serve.wal.WriteAheadLog` and synced
+  (the modeled fsync) **before** any of them touches the method; then
+  the writes are applied, capturing pre-images into the overlay.
+
+Crash = :class:`~repro.check.faults.DeviceFault` escaping a commit: the
+process state (write buffers, overlay, tail buffer) is gone, the device
+keeps whatever was durably written.  "Restart" is a fresh ``Server``
+over the same method + device, whose :meth:`Server.recover` replays
+committed-but-unapplied transactions from the log — redo-only and
+idempotent, so it is correct whether the crash hit the WAL append, the
+gap between commit record and apply, or the middle of the apply.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.faults import DeviceFault
+from repro.core.interfaces import AccessMethod, Record
+from repro.obs.spans import span
+from repro.obs.tracer import emit_txn_event
+from repro.serve.txn import (
+    Transaction,
+    TransactionConflict,
+    TransactionStateError,
+    TxnStatus,
+)
+from repro.serve.versions import (
+    ABSENT,
+    CURRENT,
+    CommitLog,
+    VersionStore,
+    merge_snapshot_range,
+)
+from repro.serve.wal import COMMIT, DELETE, PUT, WriteAheadLog
+
+#: Source tag on every trace event the serving tier emits.
+TRACE_SOURCE = "serve"
+
+#: Commits between automatic WAL checkpoints (0 disables).
+DEFAULT_CHECKPOINT_EVERY = 32
+
+
+class ServerCrashed(RuntimeError):
+    """The server took a device fault mid-commit and must be restarted.
+
+    The underlying device holds a durable prefix of the crash; build a
+    fresh :class:`Server` over the same method and call
+    :meth:`Server.recover`.
+    """
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`Server.recover` found and did."""
+
+    #: Log records that survived on the device (valid prefix).
+    records_scanned: int = 0
+    #: True when replay hit a torn tail and truncated it.
+    truncated: bool = False
+    #: Checkpoint version the replay started after.
+    checkpoint_version: int = 0
+    #: Commit versions replayed (idempotently re-applied).
+    replayed_versions: List[int] = field(default_factory=list)
+    #: Txn ids of the replayed commits, in version order.
+    replayed_txns: List[int] = field(default_factory=list)
+    #: Version the server resumed at.
+    resumed_version: int = 0
+    #: Old log blocks freed by the post-recovery checkpoint.
+    blocks_freed: int = 0
+
+    @property
+    def transactions_replayed(self) -> int:
+        return len(self.replayed_versions)
+
+
+class Session:
+    """One client's handle on the server: at most one active txn.
+
+    Sessions are thin — all state of consequence lives in the
+    :class:`~repro.serve.txn.Transaction` and the server.  Operations
+    outside a transaction raise
+    :class:`~repro.serve.txn.TransactionStateError`.
+    """
+
+    def __init__(self, server: "Server", client_id: int) -> None:
+        self.server = server
+        self.client_id = client_id
+        self.txn: Optional[Transaction] = None
+        self.commits = 0
+        self.aborts = 0
+
+    def _active(self) -> Transaction:
+        if self.txn is None or self.txn.status is not TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"client {self.client_id} has no active transaction; "
+                f"call begin() first"
+            )
+        return self.txn
+
+    def begin(self) -> Transaction:
+        """Start a transaction; rejects if one is already active."""
+        if self.txn is not None and self.txn.status is TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"client {self.client_id} already has an active "
+                f"transaction (id {self.txn.txn_id})"
+            )
+        self.txn = self.server.begin()
+        return self.txn
+
+    def get(self, key: int) -> Optional[int]:
+        """Snapshot point read (own buffered writes win)."""
+        return self.server.read(self._active(), key)
+
+    def range(self, lo: int, hi: int) -> List[Record]:
+        """Snapshot range scan over ``[lo, hi]``, merged with own writes."""
+        return self.server.range_read(self._active(), lo, hi)
+
+    def put(self, key: int, value: int) -> None:
+        """Buffer an upsert; nothing reaches the method until commit."""
+        self._active().buffer_put(key, value)
+
+    def delete(self, key: int) -> None:
+        """Buffer a delete; nothing reaches the method until commit."""
+        self._active().buffer_delete(key)
+
+    def commit(self) -> int:
+        """Validate and commit; returns the commit version.
+
+        Raises :class:`~repro.serve.txn.TransactionConflict` when
+        backward validation fails.
+        """
+        version = self.server.commit(self._active())
+        self.commits += 1
+        return version
+
+    def abort(self) -> None:
+        """Abandon the active transaction, discarding its buffer."""
+        self.server.abort(self._active())
+        self.aborts += 1
+
+    @property
+    def in_txn(self) -> bool:
+        return self.txn is not None and self.txn.status is TxnStatus.ACTIVE
+
+
+class Server:
+    """Transactional front-end over one access method + its device.
+
+    All shared state is guarded by one re-entrant lock: commits are
+    short critical sections (validate → log → apply), which is the
+    single-writer heart of OCC — concurrency comes from read phases
+    overlapping freely, not from interleaved applies.
+    """
+
+    def __init__(
+        self,
+        method: AccessMethod,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> None:
+        self.method = method
+        self.device = method.device
+        self.wal = WriteAheadLog(self.device)
+        self.versions = VersionStore()
+        self.commit_log = CommitLog()
+        self.checkpoint_every = checkpoint_every
+        self._lock = threading.RLock()
+        self._version = 0
+        self._next_txn_id = 1
+        self._next_client_id = 1
+        self._active: Dict[int, Transaction] = {}
+        self._crashed = False
+        self.commits = 0
+        self.aborts = 0
+        self.checkpoints = 0
+        self._commits_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # Sessions + lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> Session:
+        """Open a new client session with a fresh client id."""
+        with self._lock:
+            client_id = self._next_client_id
+            self._next_client_id += 1
+        return Session(self, client_id)
+
+    @property
+    def version(self) -> int:
+        """The latest committed version."""
+        return self._version
+
+    @property
+    def active_transactions(self) -> int:
+        return len(self._active)
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise ServerCrashed(
+                "this server took a device fault mid-commit; restart with "
+                "a fresh Server over the same method and call recover()"
+            )
+
+    def begin(self) -> Transaction:
+        """Issue a transaction pinned to the current snapshot version."""
+        with self._lock:
+            self._check_alive()
+            txn = Transaction(
+                txn_id=self._next_txn_id, snapshot_version=self._version
+            )
+            self._next_txn_id += 1
+            self._active[txn.txn_id] = txn
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "txn-begin", txn.txn_id,
+                detail=f"snapshot={txn.snapshot_version}",
+            )
+            return txn
+
+    # ------------------------------------------------------------------
+    # Read phase
+    # ------------------------------------------------------------------
+    def read(self, txn: Transaction, key: int) -> Optional[int]:
+        """Point read at ``txn``'s snapshot; grows its read set."""
+        txn.require_active()
+        if key in txn.writes:
+            # Own buffered write wins; it observed no committed state,
+            # so it does not grow the read set.
+            value = txn.writes[key]
+            return None if value is ABSENT else value
+        txn.note_read(key)
+        with self._lock:
+            self._check_alive()
+            overlay = self.versions.read_at(key, txn.snapshot_version)
+            if overlay is not CURRENT:
+                return None if overlay is ABSENT else overlay
+            return self.method.get(key)
+
+    def range_read(self, txn: Transaction, lo: int, hi: int) -> List[Record]:
+        """Range scan at ``txn``'s snapshot; notes the range predicate.
+
+        The live method answer is rewound through the pre-image
+        overlay, then the transaction's own buffered writes are merged
+        on top.
+        """
+        txn.require_active()
+        if lo > hi:
+            raise ValueError(f"empty range: lo {lo} > hi {hi}")
+        txn.note_range(lo, hi)
+        with self._lock:
+            self._check_alive()
+            live = self.method.range_query(lo, hi)
+            records = merge_snapshot_range(
+                live, self.versions, txn.snapshot_version, lo, hi
+            )
+        if txn.writes:
+            merged = dict(records)
+            for key, value in txn.writes.items():
+                if lo <= key <= hi:
+                    if value is ABSENT:
+                        merged.pop(key, None)
+                    else:
+                        merged[key] = value
+            records = sorted(merged.items())
+        return records
+
+    # ------------------------------------------------------------------
+    # Commit: validate -> log -> apply
+    # ------------------------------------------------------------------
+    def commit(self, txn: Transaction) -> int:
+        """Validate → log → apply; returns the new commit version.
+
+        Read-only transactions commit at their snapshot with no
+        validation, logging, or apply.  A :class:`DeviceFault` escaping
+        the log/apply marks the server crashed — restart and
+        :meth:`recover`.
+        """
+        txn.require_active()
+        with self._lock:
+            self._check_alive()
+            if txn.is_read_only:
+                # Nothing to validate, log, or apply: every read came
+                # from the snapshot, which is a consistent prefix of
+                # history by construction — later commits cannot
+                # invalidate it.
+                txn.commit_version = txn.snapshot_version
+                self._finish(txn, TxnStatus.COMMITTED)
+                emit_txn_event(
+                    self.device.tracer, TRACE_SOURCE, "txn-commit",
+                    txn.txn_id, detail="read-only",
+                )
+                return txn.snapshot_version
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "txn-validate", txn.txn_id,
+                detail=f"reads={len(txn.read_keys)} writes={len(txn.writes)}",
+            )
+            conflict = self.commit_log.conflict(
+                txn.snapshot_version, txn.read_keys, txn.read_ranges
+            )
+            if conflict is not None:
+                version, key = conflict
+                self._finish(txn, TxnStatus.ABORTED)
+                emit_txn_event(
+                    self.device.tracer, TRACE_SOURCE, "txn-abort", txn.txn_id,
+                    detail=f"conflict key={key} version={version}",
+                )
+                raise TransactionConflict(txn.txn_id, version, key)
+            version = self._version + 1
+            try:
+                self._log_and_apply(txn, version)
+            except DeviceFault:
+                # The crash: in-memory state is now untrustworthy.
+                self._crashed = True
+                raise
+            txn.commit_version = version
+            self._version = version
+            self.commit_log.record(version, txn.writes)
+            self._finish(txn, TxnStatus.COMMITTED)
+            self.commits += 1
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "txn-commit", txn.txn_id,
+                detail=f"version={version}",
+            )
+            self._prune()
+            self._commits_since_checkpoint += 1
+            if (
+                self.checkpoint_every
+                and self._commits_since_checkpoint >= self.checkpoint_every
+            ):
+                self.checkpoint()
+            return version
+
+    def _log_and_apply(self, txn: Transaction, version: int) -> None:
+        with span("serve.wal"):
+            for key, value in txn.writes.items():
+                if value is ABSENT:
+                    self.wal.append(txn.txn_id, DELETE, key)
+                else:
+                    self.wal.append(txn.txn_id, PUT, key, value)
+                emit_txn_event(
+                    self.device.tracer, TRACE_SOURCE, "wal-append",
+                    txn.txn_id, detail=f"lsn={self.wal.next_lsn - 1}",
+                )
+            self.wal.append(txn.txn_id, COMMIT, version)
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "wal-append", txn.txn_id,
+                detail=f"lsn={self.wal.next_lsn - 1} commit",
+            )
+            # The modeled fsync: the txn is durable when this returns.
+            self.wal.sync()
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "wal-sync", txn.txn_id,
+                detail=f"version={version}",
+            )
+        with span("serve.apply"):
+            for key, value in txn.writes.items():
+                old = self.method.get(key)
+                self.versions.record_preimage(
+                    key, version, ABSENT if old is None else old
+                )
+                if value is ABSENT:
+                    if old is not None:
+                        self.method.delete(key)
+                elif old is None:
+                    self.method.insert(key, value)
+                else:
+                    self.method.update(key, value)
+
+    def abort(self, txn: Transaction) -> None:
+        """Abort ``txn`` at the client's request; its buffer is dropped."""
+        txn.require_active()
+        with self._lock:
+            self._finish(txn, TxnStatus.ABORTED)
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "txn-abort", txn.txn_id,
+                detail="requested",
+            )
+
+    def _finish(self, txn: Transaction, status: TxnStatus) -> None:
+        txn.status = status
+        self._active.pop(txn.txn_id, None)
+
+    def _oldest_snapshot(self) -> int:
+        if not self._active:
+            return self._version
+        return min(txn.snapshot_version for txn in self._active.values())
+
+    def _prune(self) -> None:
+        oldest = self._oldest_snapshot()
+        self.versions.prune(oldest)
+        self.commit_log.prune(oldest)
+
+    # ------------------------------------------------------------------
+    # Checkpoint + recovery
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Checkpoint the WAL; returns blocks freed."""
+        with self._lock:
+            self._check_alive()
+            with span("serve.wal"):
+                try:
+                    freed = self.wal.checkpoint(
+                        self._version, self._next_txn_id - 1
+                    )
+                except DeviceFault:
+                    self._crashed = True
+                    raise
+            self.checkpoints += 1
+            self._commits_since_checkpoint = 0
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "checkpoint", 0,
+                detail=f"version={self._version} freed={freed}",
+            )
+            return freed
+
+    def recover(self) -> RecoveryReport:
+        """Replay the WAL after a crash; returns what was redone.
+
+        Must be called on a *fresh* server (no commits yet) over the
+        crashed device.  Redo is idempotent — a ``put`` upserts and a
+        ``del`` deletes-if-present — so it does not matter how far the
+        crashed process got through its apply.
+        """
+        with self._lock:
+            if self._version or self.commits:
+                raise TransactionStateError(
+                    "recover() must run on a fresh server, before any "
+                    "transactions"
+                )
+            report = RecoveryReport()
+            try:
+                return self._recover_locked(report)
+            except DeviceFault:
+                # A crash during recovery: same rule as a crash during
+                # commit — restart with another fresh server.
+                self._crashed = True
+                raise
+
+    def _recover_locked(self, report: RecoveryReport) -> RecoveryReport:
+            with span("serve.recover"):
+                # A real restart re-opens the structure first: derived
+                # in-memory bookkeeping died with the crashed process.
+                self.method.reopen()
+                records, truncated = self.wal.replay()
+                report.records_scanned = len(records)
+                report.truncated = truncated
+                report.checkpoint_version = WriteAheadLog.last_checkpoint(
+                    records
+                )
+                resumed = report.checkpoint_version
+                max_txn_id = 0
+                for record in records:
+                    if record.txn_id > max_txn_id:
+                        max_txn_id = record.txn_id
+                for version, txn_id, redo in self.wal.iter_committed(
+                    records, after_version=report.checkpoint_version
+                ):
+                    final: Dict[int, object] = {}
+                    for record in redo:
+                        final[record.key] = (
+                            ABSENT if record.kind == DELETE else record.value
+                        )
+                    for key, value in final.items():
+                        old = self.method.get(key)
+                        if value is ABSENT:
+                            if old is not None:
+                                self.method.delete(key)
+                        elif old is None:
+                            self.method.insert(key, value)
+                        else:
+                            self.method.update(key, value)
+                    report.replayed_versions.append(version)
+                    report.replayed_txns.append(txn_id)
+                    resumed = max(resumed, version)
+                self._version = resumed
+                self._next_txn_id = max_txn_id + 1
+                report.resumed_version = resumed
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "recover", 0,
+                detail=(
+                    f"replayed={report.transactions_replayed} "
+                    f"version={resumed} truncated={truncated}"
+                ),
+            )
+            # Bound the next recovery and drop dead log blocks; also
+            # repairs a torn tail (the checkpoint sync rewrites it with
+            # only its valid prefix plus the new record).
+            report.blocks_freed = self.checkpoint()
+            return report

@@ -1,0 +1,111 @@
+"""Transaction state for the serving tier.
+
+A :class:`Transaction` is pure bookkeeping — the Kung–Robinson *read
+phase* made explicit.  It records the snapshot version it reads at, the
+keys and ranges it observed (the read set OCC validates at commit), and
+its buffered writes (nothing touches the access method until the server
+commits it).  All actual I/O, validation, and durability live in
+:class:`repro.serve.server.Server`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.serve.versions import ABSENT
+
+
+class TxnStatus(enum.Enum):
+    """Lifecycle of a transaction: active until committed or aborted."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionConflict(RuntimeError):
+    """Raised at commit when OCC validation fails.
+
+    Carries the conflicting committed version and key so callers (and
+    the bench harness's retry loop) can report *why* the abort happened.
+    """
+
+    def __init__(self, txn_id: int, version: int, key: int) -> None:
+        super().__init__(
+            f"transaction {txn_id} aborted: its read set includes key "
+            f"{key}, written by the transaction committed at version "
+            f"{version} after this snapshot was taken"
+        )
+        self.txn_id = txn_id
+        self.version = version
+        self.key = key
+
+
+class TransactionStateError(RuntimeError):
+    """An operation was attempted on a non-active transaction."""
+
+
+@dataclass
+class Transaction:
+    """One client transaction: snapshot + read set + write buffer."""
+
+    txn_id: int
+    snapshot_version: int
+    status: TxnStatus = TxnStatus.ACTIVE
+    #: Keys read (point reads), validated against later write sets.
+    read_keys: Set[int] = field(default_factory=set)
+    #: Inclusive ``[lo, hi]`` ranges scanned (phantom protection).
+    read_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    #: Buffered writes: key -> new value, or :data:`ABSENT` for delete.
+    #: Insertion order is preserved; the WAL and the apply path replay
+    #: the *final* per-key intent, which is all redo logging needs.
+    writes: Dict[int, object] = field(default_factory=dict)
+    #: Commit version, set by the server when the commit succeeds.
+    commit_version: int = 0
+
+    def require_active(self) -> None:
+        """Raise :class:`TransactionStateError` unless still active."""
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.status.value}; "
+                f"begin a new transaction"
+            )
+
+    # ------------------------------------------------------------------
+    # Read-phase bookkeeping (called by the server)
+    # ------------------------------------------------------------------
+    def note_read(self, key: int) -> None:
+        """Add ``key`` to the read set validated at commit."""
+        self.read_keys.add(key)
+
+    def note_range(self, lo: int, hi: int) -> None:
+        """Add a scanned range predicate (phantom protection)."""
+        self.read_ranges.append((lo, hi))
+
+    def buffer_put(self, key: int, value: int) -> None:
+        """Buffer an upsert intent; applied only if the commit wins."""
+        self.writes[key] = value
+
+    def buffer_delete(self, key: int) -> None:
+        """Buffer a delete intent (the :data:`ABSENT` sentinel)."""
+        self.writes[key] = ABSENT
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes
+
+    @property
+    def write_keys(self) -> Tuple[int, ...]:
+        return tuple(self.writes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction(id={self.txn_id}, snapshot={self.snapshot_version}, "
+            f"status={self.status.value}, reads={len(self.read_keys)}, "
+            f"writes={len(self.writes)})"
+        )

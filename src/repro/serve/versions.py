@@ -1,0 +1,205 @@
+"""Version bookkeeping behind snapshot reads and OCC validation.
+
+Two small in-memory structures the server keeps *beside* the access
+method (which always holds the latest committed state):
+
+* :class:`VersionStore` — a pre-image overlay.  When a commit at
+  version ``V`` overwrites key ``k``, the value ``k`` had *before* is
+  recorded under ``(k, V)``.  A transaction whose snapshot is ``S``
+  then reads ``k`` as: the pre-image of the earliest overwrite with
+  version ``> S`` if one exists (that was ``k``'s value at ``S``),
+  otherwise the method's current value (nobody overwrote it since
+  ``S``).  This is multiversioning by undo images — the Byde–Twigg
+  versioned-dictionary idea restricted to the window that active
+  snapshots can still observe.
+
+* :class:`CommitLog` — recent committed write sets, keyed by commit
+  version.  Kung–Robinson backward validation: a transaction with
+  snapshot ``S`` and read set ``R`` commits only if no transaction with
+  version ``> S`` wrote a key in ``R`` (or inside one of the
+  transaction's scanned ranges — which also closes the phantom window).
+
+Both structures are pruned against the oldest active snapshot, so their
+footprint tracks the number of in-flight transactions, not history.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class _Absent:
+    """Sentinel for "key did not exist" (distinct from any value)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ABSENT"
+
+
+#: The singleton absent marker used across the serving tier.
+ABSENT = _Absent()
+
+#: Sentinel returned by :meth:`VersionStore.read_at` when the overlay has
+#: no opinion and the caller must consult the access method.
+CURRENT = _Absent()
+
+
+class VersionStore:
+    """Pre-image overlay: what each key looked like at older versions."""
+
+    def __init__(self) -> None:
+        # key -> list of (overwrite_version, pre_image), versions ascending.
+        self._preimages: Dict[int, List[Tuple[int, object]]] = {}
+
+    def record_preimage(self, key: int, version: int, old_value: object) -> None:
+        """Record that ``key`` held ``old_value`` before commit ``version``.
+
+        ``old_value`` may be :data:`ABSENT`.  Commits are applied in
+        version order, so appends keep each key's list sorted.
+        """
+        entries = self._preimages.setdefault(key, [])
+        if entries and entries[-1][0] >= version:
+            raise ValueError(
+                f"pre-image versions must be recorded in order: "
+                f"{version} after {entries[-1][0]} for key {key}"
+            )
+        entries.append((version, old_value))
+
+    def read_at(self, key: int, snapshot: int) -> object:
+        """The value of ``key`` at snapshot version ``snapshot``.
+
+        Returns the recorded pre-image (possibly :data:`ABSENT`) when a
+        commit newer than the snapshot overwrote the key, or
+        :data:`CURRENT` when the method's live value is still the value
+        the snapshot saw.
+        """
+        entries = self._preimages.get(key)
+        if not entries:
+            return CURRENT
+        # Earliest overwrite with version > snapshot: its pre-image is
+        # the value as of the snapshot.
+        index = bisect_right([version for version, _ in entries], snapshot)
+        if index == len(entries):
+            return CURRENT
+        return entries[index][1]
+
+    def overlay_keys(self, lo: int, hi: int) -> List[int]:
+        """Overlaid keys in ``[lo, hi]`` (for snapshot range merges)."""
+        return sorted(
+            key for key in self._preimages if lo <= key <= hi
+        )
+
+    def prune(self, oldest_snapshot: int) -> int:
+        """Drop pre-images no active snapshot can still observe.
+
+        A pre-image recorded at overwrite version ``V`` serves snapshots
+        ``S < V`` only; once the oldest active snapshot reaches ``V`` it
+        is garbage.  Returns the number of entries dropped.
+        """
+        dropped = 0
+        dead: List[int] = []
+        for key, entries in self._preimages.items():
+            keep = [
+                (version, value)
+                for version, value in entries
+                if version > oldest_snapshot
+            ]
+            dropped += len(entries) - len(keep)
+            if keep:
+                self._preimages[key] = keep
+            else:
+                dead.append(key)
+        for key in dead:
+            del self._preimages[key]
+        return dropped
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(entries) for entries in self._preimages.values())
+
+
+class CommitLog:
+    """Recent committed write sets, for backward OCC validation."""
+
+    def __init__(self) -> None:
+        # Parallel lists sorted by version (commits arrive in order).
+        self._versions: List[int] = []
+        self._write_sets: List[frozenset] = []
+
+    def record(self, version: int, keys: Iterable[int]) -> None:
+        """Record a committed write set; versions must arrive in order."""
+        if self._versions and version <= self._versions[-1]:
+            raise ValueError(
+                f"commit versions must be recorded in order: "
+                f"{version} after {self._versions[-1]}"
+            )
+        self._versions.append(version)
+        self._write_sets.append(frozenset(keys))
+
+    def conflict(
+        self,
+        snapshot: int,
+        read_keys: Iterable[int],
+        read_ranges: Iterable[Tuple[int, int]] = (),
+    ) -> Optional[Tuple[int, int]]:
+        """First conflicting ``(version, key)`` after ``snapshot``, if any.
+
+        A conflict is a committed transaction with version ``> snapshot``
+        whose write set intersects ``read_keys`` or lands inside one of
+        the inclusive ``read_ranges`` (phantom protection for scans).
+        """
+        start = bisect_right(self._versions, snapshot)
+        if start == len(self._versions):
+            return None
+        reads = set(read_keys)
+        ranges = list(read_ranges)
+        for index in range(start, len(self._versions)):
+            for key in self._write_sets[index]:
+                if key in reads or any(lo <= key <= hi for lo, hi in ranges):
+                    return self._versions[index], key
+        return None
+
+    def prune(self, oldest_snapshot: int) -> int:
+        """Drop write sets no active transaction can conflict with."""
+        keep_from = bisect_right(self._versions, oldest_snapshot)
+        del self._versions[:keep_from]
+        del self._write_sets[:keep_from]
+        return keep_from
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._versions)
+
+
+def merge_snapshot_range(
+    method_records: List[Tuple[int, int]],
+    store: VersionStore,
+    snapshot: int,
+    lo: int,
+    hi: int,
+) -> List[Tuple[int, int]]:
+    """Rewind a live range-query result to ``snapshot``.
+
+    ``method_records`` is the method's current (sorted) answer for
+    ``[lo, hi]``.  Every key the overlay has an opinion about inside the
+    range is corrected: keys overwritten since the snapshot revert to
+    their pre-image, and keys that did not exist at the snapshot drop
+    out; keys deleted since the snapshot re-appear.
+    """
+    overlay = store.overlay_keys(lo, hi)
+    if not overlay:
+        return list(method_records)
+    corrections = {key: store.read_at(key, snapshot) for key in overlay}
+    merged: Dict[int, int] = {}
+    for key, value in method_records:
+        merged[key] = value
+    for key, value in corrections.items():
+        if value is CURRENT:
+            continue
+        if value is ABSENT:
+            merged.pop(key, None)
+        else:
+            merged[key] = value
+    return sorted(merged.items())

@@ -1,0 +1,330 @@
+"""The write-ahead log of the serving tier.
+
+ARIES-style *redo-only* logging: every transaction's writes are appended
+to the log and made durable — one device write per sync, modeling an
+``fsync`` — **before** any of them is applied to the access method.
+Uncommitted data therefore never reaches the structure, so recovery
+never undoes anything: it replays committed-but-possibly-unapplied
+transactions idempotently (see :meth:`WriteAheadLog.replay` and
+:meth:`repro.serve.server.Server.recover`).
+
+The log lives in blocks of kind ``"wal"`` on the *same*
+:class:`~repro.storage.device.SimulatedDevice` as the access method it
+protects, so logging I/O and log space show up honestly in the measured
+UO and MO — exactly the RUM bookkeeping the rest of the library does.
+
+Record format
+-------------
+Each record is a 6-element list ``[lsn, txn_id, kind, key, value, crc]``:
+
+* ``lsn`` — log sequence number, strictly contiguous across the log;
+* ``kind`` — ``"put"`` (redo: upsert), ``"del"`` (redo: delete if
+  present), ``"commit"`` (``key`` carries the commit version) or
+  ``"ckpt"`` (``key`` carries the checkpoint version: every commit with
+  a version ``<=`` it is durably applied, so replay may start after it);
+* ``crc`` — CRC-32 of the canonical JSON of the first five fields.
+
+A block payload is a plain list of records, which meshes with
+:class:`~repro.check.faults.FaultyDevice` torn writes: a torn write
+keeps a *prefix* of the list (or scars the block entirely), and replay
+drops the first block holding a record that fails the CRC, the shape
+check, or LSN contiguity — plus everything after it — the classic
+torn-tail truncation.  Durable blocks are never rewritten (see
+:meth:`WriteAheadLog.sync`) and records are appended in transaction
+order, so a surviving ``commit`` record proves every earlier record of
+its transaction also survived.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.storage.block import BlockId
+from repro.storage.device import SimulatedDevice
+
+#: Block-kind tag of every log block; fault plans and audits key on it.
+WAL_BLOCK_KIND = "wal"
+
+#: Declared size of one serialized log record, for occupancy accounting
+#: (a record is a handful of integers plus a short tag).
+WAL_RECORD_BYTES = 32
+
+#: Record kinds (``WalRecord.kind``).
+PUT = "put"
+DELETE = "del"
+COMMIT = "commit"
+CHECKPOINT = "ckpt"
+
+_KINDS = frozenset({PUT, DELETE, COMMIT, CHECKPOINT})
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record.
+
+    ``key``/``value`` are operation payload for ``put``/``del``; for
+    ``commit`` and ``ckpt`` records ``key`` carries the version number
+    and ``value`` is zero.
+    """
+
+    lsn: int
+    txn_id: int
+    kind: str
+    key: int
+    value: int
+
+    def encoded(self) -> List[int]:
+        """The on-device form: the five fields plus their CRC."""
+        return [self.lsn, self.txn_id, self.kind, self.key, self.value,
+                _crc(self.lsn, self.txn_id, self.kind, self.key, self.value)]
+
+
+def _crc(lsn: int, txn_id: int, kind: str, key: int, value: int) -> int:
+    payload = json.dumps([lsn, txn_id, kind, key, value],
+                         separators=(",", ":")).encode()
+    return zlib.crc32(payload)
+
+
+def decode_record(entry: object) -> Optional[WalRecord]:
+    """Decode one on-device entry; ``None`` if it is damaged.
+
+    Damage is anything a torn write can leave behind: a non-list entry,
+    wrong arity, non-integer fields, an unknown kind, or a CRC mismatch.
+    """
+    if not isinstance(entry, list) or len(entry) != 6:
+        return None
+    lsn, txn_id, kind, key, value, crc = entry
+    if not all(isinstance(field, int) for field in (lsn, txn_id, key, value, crc)):
+        return None
+    if kind not in _KINDS:
+        return None
+    if crc != _crc(lsn, txn_id, kind, key, value):
+        return None
+    return WalRecord(lsn=lsn, txn_id=txn_id, kind=kind, key=key, value=value)
+
+
+class WriteAheadLog:
+    """An append-only redo log in ``"wal"`` blocks of one device.
+
+    Appends buffer in memory; :meth:`sync` makes them durable by writing
+    the tail block (and any overflow blocks) to the device — the
+    modeled ``fsync``.  The commit protocol appends a transaction's
+    redo records plus its ``commit`` record and then syncs *once*, so
+    durability is exactly one (or, across a block boundary, a few)
+    charged device writes per commit.
+
+    The in-memory state (pending buffer, next LSN, known block list) is
+    process state: after a crash a fresh instance rebuilds it from the
+    device via :meth:`replay`, which is also what truncates a torn tail.
+    """
+
+    def __init__(self, device: SimulatedDevice) -> None:
+        self.device = device
+        if device.block_bytes < WAL_RECORD_BYTES:
+            raise ValueError(
+                f"block_bytes {device.block_bytes} cannot hold one "
+                f"{WAL_RECORD_BYTES}-byte WAL record"
+            )
+        self.records_per_block = device.block_bytes // WAL_RECORD_BYTES
+        #: Intact log blocks in append order (block ids are allocated
+        #: monotonically, so id order is append order).
+        self._blocks: List[BlockId] = []
+        #: Appended but not yet synced records.
+        self._pending: List[List[int]] = []
+        self._next_lsn = 0
+        self.syncs = 0
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # Append + sync
+    # ------------------------------------------------------------------
+    def append(self, txn_id: int, kind: str, key: int, value: int = 0) -> WalRecord:
+        """Buffer one record (not durable until :meth:`sync`)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown WAL record kind {kind!r}")
+        record = WalRecord(
+            lsn=self._next_lsn, txn_id=txn_id, kind=kind, key=key, value=value
+        )
+        self._next_lsn += 1
+        self._pending.append(record.encoded())
+        self.appended += 1
+        return record
+
+    def sync(self) -> int:
+        """Flush buffered records to the device; return blocks written.
+
+        Every sync writes *fresh* blocks — a durable block is never
+        rewritten.  This is the simulation's analogue of sector-aligned
+        log appends: a torn write can only damage records that were not
+        yet durable, never an earlier transaction's commit or checkpoint
+        record whose effects may already be applied (rewriting the tail
+        in place would let one torn write silently re-expose old data by
+        pushing replay's starting point back).  The cost is partially
+        filled log blocks between checkpoints — space amplification the
+        MO measurement reports honestly.
+        """
+        if not self._pending:
+            return 0
+        written = 0
+        while self._pending:
+            taking = self._pending[: self.records_per_block]
+            block_id = self.device.allocate(WAL_BLOCK_KIND)
+            # The write is the modeled fsync; through a FaultyDevice it
+            # is also the torn-write injection point.
+            self.device.write(
+                block_id,
+                list(taking),
+                used_bytes=len(taking) * WAL_RECORD_BYTES,
+            )
+            # Only after the write returns are the records durable.
+            self._blocks.append(block_id)
+            written += 1
+            del self._pending[: len(taking)]
+        self.syncs += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # Checkpoint + truncation
+    # ------------------------------------------------------------------
+    def checkpoint(self, applied_version: int, txn_high_water: int = 0) -> int:
+        """Record that all commits ``<= applied_version`` are applied.
+
+        Appends a ``ckpt`` record, syncs, then frees every log block
+        older than the one holding the checkpoint — replay starts at the
+        last checkpoint, so those blocks can never be needed again.
+        Returns the number of blocks freed (their space leaves MO).
+
+        ``txn_high_water`` rides in the record's ``txn_id`` field: the
+        highest transaction id handed out so far.  Freeing old blocks
+        also discards the records that would otherwise witness those
+        ids, and recovery must never reissue an id that may still have
+        redo records in any surviving log tail.
+        """
+        self.append(txn_high_water, CHECKPOINT, applied_version)
+        self.sync()
+        keep_from = self._blocks[-1]
+        freed = 0
+        for block_id in self._blocks[:-1]:
+            self.device.free(block_id)
+            freed += 1
+        self._blocks = [keep_from]
+        return freed
+
+    # ------------------------------------------------------------------
+    # Recovery-side scan
+    # ------------------------------------------------------------------
+    def replay(self) -> Tuple[List[WalRecord], bool]:
+        """Scan the log from the device; return ``(records, truncated)``.
+
+        Rebuilds this instance's in-memory state (block list, tail,
+        next LSN) as a side effect, so a fresh ``WriteAheadLog`` over a
+        crashed device becomes the live log after one replay.  Reads are
+        charged device I/O — recovery cost is honest.
+
+        Blocks validate all-or-nothing: the scan stops at the first
+        block holding a damaged or non-contiguous record
+        (``truncated=True``), and that block plus everything after it is
+        freed.  Syncs never rewrite durable blocks, so a damaged block
+        can only hold records whose transaction was never acknowledged —
+        its commit record is in or after the damage — and dropping the
+        whole block keeps the durable log exactly the intact prefix,
+        with no LSN gaps for a future replay to stumble over.
+        """
+        block_ids = sorted(
+            block_id
+            for block_id in self.device.iter_block_ids()
+            if self.device.kind_of(block_id) == WAL_BLOCK_KIND
+        )
+        records: List[WalRecord] = []
+        truncated = False
+        expected: Optional[int] = None
+        self._blocks = []
+        self._pending = []
+        for position, block_id in enumerate(block_ids):
+            payload = self.device.read(block_id)
+            block_records: List[WalRecord] = []
+            damaged = not isinstance(payload, list) or not payload
+            if not damaged:
+                lsn = expected
+                for entry in payload:
+                    record = decode_record(entry)
+                    if record is None or (
+                        lsn is not None and record.lsn != lsn
+                    ):
+                        damaged = True
+                        break
+                    lsn = record.lsn + 1
+                    block_records.append(record)
+            if damaged:
+                # This block and everything after it is dead log tail;
+                # free it all so its half-written or stale records can
+                # never alias the LSNs the live log writes next.
+                truncated = True
+                for dead_id in block_ids[position:]:
+                    self.device.free(dead_id)
+                break
+            records.extend(block_records)
+            expected = block_records[-1].lsn + 1
+            self._blocks.append(block_id)
+        self._next_lsn = expected if expected is not None else 0
+        return records, truncated
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def blocks(self) -> Tuple[BlockId, ...]:
+        """Log blocks currently known, in append order."""
+        return tuple(self._blocks)
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    @property
+    def pending_records(self) -> int:
+        """Appended records not yet made durable by a sync."""
+        return len(self._pending)
+
+    def iter_committed(
+        self, records: List[WalRecord], after_version: int = 0
+    ) -> Iterator[Tuple[int, int, List[WalRecord]]]:
+        """Group replayed records into committed transactions.
+
+        Yields ``(version, txn_id, redo_records)`` in version order for
+        every transaction whose ``commit`` record survived with a
+        version greater than ``after_version``.  Records of
+        transactions without a commit record are dropped — they were
+        never durable, so their effects never reached the method.
+        """
+        by_txn: dict = {}
+        committed: List[Tuple[int, int]] = []
+        for record in records:
+            if record.kind == CHECKPOINT:
+                continue
+            if record.kind == COMMIT:
+                if record.key > after_version:
+                    committed.append((record.key, record.txn_id))
+            else:
+                by_txn.setdefault(record.txn_id, []).append(record)
+        committed.sort()
+        for version, txn_id in committed:
+            yield version, txn_id, by_txn.get(txn_id, [])
+
+    @staticmethod
+    def last_checkpoint(records: List[WalRecord]) -> int:
+        """The highest checkpointed version in ``records`` (0 if none)."""
+        version = 0
+        for record in records:
+            if record.kind == CHECKPOINT and record.key > version:
+                version = record.key
+        return version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog(blocks={len(self._blocks)}, "
+            f"next_lsn={self._next_lsn}, pending={len(self._pending)})"
+        )

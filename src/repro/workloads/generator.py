@@ -80,6 +80,16 @@ class WorkloadGenerator:
         """
         if size <= 0:
             raise ValueError(f"batch size must be positive, got {size}")
+        if self.consumed:
+            # Reuse would replay over mutated key state and produce a
+            # stream no seed ever specified; same error whether the
+            # prior stream came from operations() or operation_batches(),
+            # and whether or not it was iterated to the end.
+            raise ValueError(
+                "the supplied WorkloadGenerator has already produced its "
+                "operation stream; streams mutate generator state, so build "
+                "a fresh WorkloadGenerator(spec) for each run"
+            )
         if not self._keys and self.spec.initial_records:
             raise RuntimeError("call initial_data() before operations()")
         self.consumed = True

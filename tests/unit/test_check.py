@@ -247,3 +247,82 @@ class TestAuditHook:
         method.flush()
         method._record_count += 1  # simulate a lost update
         assert any("record count" in v for v in method.audit())
+
+
+class TestBatchedFaultParity:
+    """Nth-access triggers fire at the same operation index whether the
+    stream arrives per-op or through ``read_many`` / ``write_many``."""
+
+    def _loaded_device(self, blocks=12):
+        backing, device = _device_pair()
+        ids = []
+        for index in range(blocks):
+            block = device.allocate(kind="data")
+            device.write(block, [index], used_bytes=8)
+            ids.append(block)
+        return device, ids
+
+    @staticmethod
+    def _batched(items, size):
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 5, 12])
+    def test_read_trigger_index_is_batch_invariant(self, batch_size):
+        trigger = 7
+        device, ids = self._loaded_device()
+        device.arm(FaultPlan(fail_read_at=trigger))
+        survived = 0
+        with pytest.raises(DeviceFault):
+            for chunk in self._batched(ids, batch_size):
+                survived += len(device.read_many(chunk))
+        # Reads before the fault were performed (a prefix-committing
+        # batch), and the fault fired at exactly the Nth read overall.
+        assert device.counters.reads == trigger - 1
+        assert device.faults_injected == 1
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 5, 12])
+    def test_write_trigger_index_is_batch_invariant(self, batch_size):
+        trigger = 7
+        device, ids = self._loaded_device()
+        writes_before = device.counters.writes
+        device.arm(FaultPlan(fail_write_at=trigger))
+        payloads = [[i, i] for i in range(len(ids))]
+        used = [16] * len(ids)
+        with pytest.raises(DeviceFault):
+            for chunk_ids, chunk_payloads, chunk_used in zip(
+                self._batched(ids, batch_size),
+                self._batched(payloads, batch_size),
+                self._batched(used, batch_size),
+            ):
+                device.write_many(chunk_ids, chunk_payloads, chunk_used)
+        assert device.counters.writes - writes_before == trigger - 1
+        assert device.faults_injected == 1
+
+    def test_batched_reads_return_backing_payloads(self):
+        # Regression: the armed proxy once served read_many from its own
+        # (empty) block table instead of the backing device's.
+        device, ids = self._loaded_device(blocks=4)
+        device.arm(FaultPlan(fail_read_at=999))  # armed but never fires
+        assert device.read_many(ids) == [[0], [1], [2], [3]]
+
+    def test_batched_writes_reach_backing(self):
+        backing, device = _device_pair()
+        ids = [device.allocate(kind="data") for _ in range(3)]
+        device.arm(FaultPlan(fail_write_at=999))
+        device.write_many(ids, ["a", "b", "c"], [8, 8, 8])
+        assert [backing.read(block) for block in ids] == ["a", "b", "c"]
+
+    def test_write_many_validates_lengths_when_armed(self):
+        device, ids = self._loaded_device(blocks=3)
+        device.arm(FaultPlan(fail_write_at=999))
+        with pytest.raises(ValueError):
+            device.write_many(ids, ["only-one"], [8])
+
+    def test_torn_write_fires_through_write_many(self):
+        device, ids = self._loaded_device(blocks=3)
+        device.arm(FaultPlan(fail_write_at=2, torn_writes=True))
+        with pytest.raises(DeviceFault):
+            device.write_many(ids, [[1, 2], [3, 4], [5, 6]], [16, 16, 16])
+        # The second write was torn: a half payload reached the device.
+        assert device.read(ids[1]) == [3]
+        assert device.read(ids[2]) == [2]  # untouched original

@@ -22,13 +22,13 @@ class TestProfile:
         assert "btree" in out
         assert "RO" in out and "UO" in out and "MO" in out
 
-    def test_unknown_method_raises(self):
-        with pytest.raises(KeyError):
-            main(["profile", "nonexistent", "--records", "100", "--ops", "10"])
+    def test_unknown_method_is_usage_error(self, capsys):
+        code = main(["profile", "nonexistent", "--records", "100", "--ops", "10"])
+        assert code == 2
+        assert "unknown access method" in capsys.readouterr().err
 
-    def test_unknown_workload_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["profile", "btree", "--workload", "nope"])
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["profile", "btree", "--workload", "nope"]) == 2
 
 
 class TestTriangle:
@@ -57,9 +57,8 @@ class TestWizard:
         out = capsys.readouterr().out
         assert "flash" in out
 
-    def test_requires_command(self):
-        with pytest.raises(SystemExit):
-            main([])
+    def test_requires_command(self, capsys):
+        assert main([]) == 2
 
 
 class TestRecordReplay:
@@ -380,12 +379,13 @@ class TestSweep:
         )
         assert "executed" not in row
 
-    def test_sweep_unknown_method_rejected(self, tmp_path):
-        with pytest.raises(KeyError):
-            main([
-                "sweep", "--methods", "btree,nonexistent",
-                "--cache-dir", str(tmp_path / "cache"),
-            ] + self.ARGS)
+    def test_sweep_unknown_method_rejected(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--methods", "btree,nonexistent",
+            "--cache-dir", str(tmp_path / "cache"),
+        ] + self.ARGS)
+        assert code == 2
+        assert "unknown access method(s): nonexistent" in capsys.readouterr().err
 
     def test_sweep_device_preset(self, capsys, tmp_path):
         code = main([
@@ -458,9 +458,10 @@ class TestAudit:
         second = capsys.readouterr().out
         assert first == second
 
-    def test_audit_unknown_method_rejected(self):
-        with pytest.raises(KeyError):
-            main(["audit", "--methods", "btree,nonexistent"] + self.ARGS)
+    def test_audit_unknown_method_rejected(self, capsys):
+        code = main(["audit", "--methods", "btree,nonexistent"] + self.ARGS)
+        assert code == 2
+        assert "unknown access method(s): nonexistent" in capsys.readouterr().err
 
 
 class TestHierarchy:
@@ -505,8 +506,113 @@ class TestHierarchy:
         backing_writes_in = rows[-1][1][3]
         assert backing_writes_in == top_writes_in  # every write flows down
 
-    def test_bad_capacities_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["hierarchy", "--capacities", "eight"])
-        with pytest.raises(SystemExit):
-            main(["hierarchy", "--capacities", ""])
+    def test_bad_capacities_rejected(self, capsys):
+        assert main(["hierarchy", "--capacities", "eight"]) == 2
+        assert main(["hierarchy", "--capacities", ""]) == 2
+        err = capsys.readouterr().err
+        assert "comma-separated integers" in err
+        assert "at least one level" in err
+
+
+class TestServeCommand:
+    ARGS = ["--clients", "2", "--txns", "4", "--records", "48"]
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["serve"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "client" in out and "commits" in out
+        assert "p50" in out and "p99" in out
+        assert "RO=" in out and "UO=" in out and "MO=" in out
+
+    def test_crash_and_recover_exits_zero(self, capsys):
+        code = main([
+            "serve", "--crash-write-at", "9", "--clients", "2",
+            "--txns", "10", "--records", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crashed during transaction" in out
+        assert "recovered:" in out
+        assert "audit clean" in out
+
+    def test_torn_crash_and_recover_exits_zero(self, capsys):
+        code = main([
+            "serve", "--crash-write-at", "12", "--torn", "--clients", "2",
+            "--txns", "10", "--records", "32",
+        ])
+        assert code == 0
+        assert "recovered:" in capsys.readouterr().out
+
+    def test_unknown_method_is_usage_error(self, capsys):
+        assert main(["serve", "--method", "nope"] + self.ARGS) == 2
+        assert "unknown access method" in capsys.readouterr().err
+
+    def test_crash_trigger_never_firing_exits_one(self, capsys):
+        # One client, one tiny txn: the 500th write never happens.
+        code = main([
+            "serve", "--crash-write-at", "500", "--clients", "1",
+            "--txns", "1", "--records", "16",
+        ])
+        assert code == 1
+        assert "no crash" in capsys.readouterr().out
+
+
+class TestBenchServeCommand:
+    ARGS = ["--clients", "8", "--txns", "5", "--records", "64"]
+
+    def test_bench_exits_zero_and_reports(self, capsys):
+        assert main(["bench-serve"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        # One latency row per client plus the RUM footer.
+        assert out.count("\n") > 8
+        assert "wal_syncs=" in out and "checkpoints=" in out
+
+    def test_bench_is_deterministic(self, capsys):
+        assert main(["bench-serve"] + self.ARGS) == 0
+        first = capsys.readouterr().out
+        assert main(["bench-serve"] + self.ARGS) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_distribution_is_usage_error(self, capsys):
+        code = main(["bench-serve", "--distribution", "nope"] + self.ARGS)
+        assert code == 2
+        assert "unknown distribution" in capsys.readouterr().err
+
+
+class TestExitCodeContract:
+    """Every subcommand honors 0 = clean, 1 = check failed, 2 = usage."""
+
+    CLEAN = {
+        "sweep": ["sweep", "--methods", "btree", "--records", "200",
+                  "--ops", "40", "--no-cache"],
+        "audit": ["audit", "--methods", "btree", "--records", "200",
+                  "--ops", "40", "--block-bytes", "512"],
+        "explain": ["explain", "btree", "--records", "200", "--ops", "40"],
+        "hierarchy": ["hierarchy", "--capacities", "8,32", "--blocks", "64",
+                      "--accesses", "400"],
+        "serve": ["serve", "--clients", "2", "--txns", "3",
+                  "--records", "48"],
+        "bench-serve": ["bench-serve", "--clients", "2", "--txns", "3",
+                        "--records", "48"],
+    }
+    USAGE = {
+        "sweep": ["sweep", "--methods", "nope"],
+        "audit": ["audit", "--methods", "nope"],
+        "explain": ["explain", "nope"],
+        "hierarchy": ["hierarchy", "--capacities", "zero"],
+        "serve": ["serve", "--method", "nope"],
+        "bench-serve": ["bench-serve", "--method", "nope"],
+    }
+
+    @pytest.mark.parametrize("command", sorted(CLEAN))
+    def test_clean_run_returns_zero(self, command, capsys):
+        assert main(self.CLEAN[command]) == 0
+
+    @pytest.mark.parametrize("command", sorted(USAGE))
+    def test_usage_error_returns_two(self, command, capsys):
+        assert main(self.USAGE[command]) == 2
+        assert capsys.readouterr().err  # the reason reaches stderr
+
+    @pytest.mark.parametrize("command", sorted(USAGE))
+    def test_unparseable_flag_returns_two(self, command, capsys):
+        assert main([command, "--definitely-not-a-flag"]) == 2

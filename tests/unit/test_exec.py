@@ -497,3 +497,64 @@ class TestWorkerSideCache:
         outcome = SweepEngine(jobs=1, cache=cache).run([cell])
         assert outcome.cached_cells == 1
         assert outcome.executed_cells == 0
+
+
+class TestOrphanTmpSweep:
+    """A writer crashing between mkstemp and os.replace leaks a ``.tmp``
+    file; opening (or clearing) the cache must sweep stale ones."""
+
+    @staticmethod
+    def _plant_orphan(root, age_seconds=3600.0, prefix="ab"):
+        import os
+        import time
+
+        subdir = os.path.join(root, prefix)
+        os.makedirs(subdir, exist_ok=True)
+        path = os.path.join(subdir, "tmpdeadbeef.tmp")
+        with open(path, "w") as handle:
+            handle.write("half-written envelope")
+        stale = time.time() - age_seconds
+        os.utime(path, (stale, stale))
+        return path
+
+    def test_open_sweeps_stale_orphans(self, tmp_path):
+        import os
+
+        root = str(tmp_path / "cache")
+        orphan = self._plant_orphan(root)
+        cache = ResultCache(root=root)
+        assert cache.orphans_swept == 1
+        assert not os.path.exists(orphan)
+
+    def test_open_spares_fresh_tmp_files(self, tmp_path):
+        import os
+
+        root = str(tmp_path / "cache")
+        fresh = self._plant_orphan(root, age_seconds=0.0)
+        cache = ResultCache(root=root)
+        # A sibling worker's in-flight write must not be deleted.
+        assert cache.orphans_swept == 0
+        assert os.path.exists(fresh)
+
+    def test_clear_sweeps_orphans_regardless_of_age(self, tmp_path):
+        import os
+
+        root = str(tmp_path / "cache")
+        fresh = self._plant_orphan(root, age_seconds=0.0)
+        cache = ResultCache(root=root)
+        cache.clear()
+        assert not os.path.exists(fresh)
+        # The prefix directory itself is gone too: clear leaves the
+        # cache directory actually empty.
+        assert not os.path.exists(os.path.dirname(fresh))
+
+    def test_orphans_do_not_count_as_entries(self, tmp_path):
+        root = str(tmp_path / "cache")
+        self._plant_orphan(root, age_seconds=0.0)
+        cache = ResultCache(root=root)
+        assert cache.entry_count() == 0
+
+    def test_sweep_tolerates_missing_root(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path / "never-created"))
+        assert cache.orphans_swept == 0
+        assert cache.sweep_orphans() == 0

