@@ -498,6 +498,29 @@ def _serve_arguments(
         "--checkpoint-every", type=int, default=32,
         help="commits between WAL checkpoints (0 disables)",
     )
+    parser.add_argument(
+        "--group-commit", type=int, default=1, metavar="N",
+        help=(
+            "group commit: park validated commits and sync the WAL once "
+            "per N of them (1 = per-commit sync)"
+        ),
+    )
+    parser.add_argument(
+        "--sync-deadline", type=float, default=None, metavar="T",
+        help=(
+            "also sync when the oldest parked commit has waited T "
+            "simulated-time units (group-commit timer)"
+        ),
+    )
+    parser.add_argument(
+        "--hierarchy", default=None, metavar="CAPS",
+        help=(
+            "mount the method and its WAL behind a chained write-back "
+            "hierarchy with these comma-separated level capacities in "
+            "blocks, top first (e.g. 8,64); the WAL's sync forces its "
+            "blocks through every level"
+        ),
+    )
 
 
 def _workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -1081,6 +1104,63 @@ def _sweep_profile_table(outcome) -> str:
     )
 
 
+def _serve_sync_policy(args):
+    """Validate the group-commit flags into a :class:`SyncPolicy`."""
+    from repro.serve import SyncPolicy
+
+    if args.group_commit < 1:
+        raise UsageError("--group-commit must be >= 1")
+    if args.sync_deadline is not None and args.sync_deadline < 0:
+        raise UsageError("--sync-deadline must be >= 0")
+    return SyncPolicy(
+        group_size=args.group_commit, deadline=args.sync_deadline
+    )
+
+
+def _serve_capacities(text: str) -> List[int]:
+    try:
+        capacities = [int(item) for item in text.split(",") if item.strip()]
+    except ValueError:
+        raise UsageError(
+            f"--hierarchy must be comma-separated level capacities "
+            f"in blocks, got {text!r}"
+        )
+    if not capacities or any(capacity < 1 for capacity in capacities):
+        raise UsageError(
+            "--hierarchy needs at least one positive level capacity"
+        )
+    return capacities
+
+
+def _serve_device(args, backing):
+    """Mount ``backing`` behind the chained write-back stack when asked.
+
+    The facade's kind-aware durability keeps the serving tier's crash
+    contract intact: data pages are forced through on write, and only
+    the WAL's blocks ride write-back until its sync forces them down.
+    """
+    if not args.hierarchy:
+        return backing
+    from repro.storage.hierarchy import (
+        HierarchicalDevice,
+        LevelSpec,
+        MemoryHierarchy,
+    )
+
+    capacities = _serve_capacities(args.hierarchy)
+    specs = [
+        LevelSpec(
+            name=f"L{index}",
+            capacity_blocks=capacity,
+            access_cost=0.01 * (100 ** index) / (100 ** (len(capacities) - 1)),
+            write_policy="write-back",
+            inclusion="inclusive",
+        )
+        for index, capacity in enumerate(capacities)
+    ]
+    return HierarchicalDevice(MemoryHierarchy(backing, specs))
+
+
 def _command_serve(args) -> int:
     """Run the serving tier; optionally crash it and recover from the WAL.
 
@@ -1093,14 +1173,16 @@ def _command_serve(args) -> int:
     """
     import random
 
-    from repro.check import FaultPlan, build_audited_method
+    from repro.check import FaultPlan
     from repro.check.faults import DeviceFault, FaultyDevice
     from repro.serve import Server, ServerCrashed, run_bench
+    from repro.storage.device import SimulatedDevice
 
+    policy = _serve_sync_policy(args)
     if args.crash_write_at is None:
-        from repro.storage.device import SimulatedDevice
-
-        device = SimulatedDevice(block_bytes=args.block_bytes)
+        device = _serve_device(
+            args, SimulatedDevice(block_bytes=args.block_bytes)
+        )
         method = _checked_method(args.method, device=device)
         report = run_bench(
             method,
@@ -1110,12 +1192,17 @@ def _command_serve(args) -> int:
             records=args.records,
             seed=args.seed,
             checkpoint_every=args.checkpoint_every,
+            sync_policy=policy,
         )
         _print_serve_report(args, report)
         return 0 if report.clean else 1
 
     # Crash + recovery demo.  Bulk-load cleanly, arm the fault plan,
-    # serve until the injected crash, then recover and verify.
+    # serve until the injected crash, then recover and verify.  The
+    # fault lives on the *backing* device: under --hierarchy it fires
+    # only when traffic actually reaches durable storage through the
+    # chain, which is exactly the pool-write/write-back gap the WAL's
+    # sync_through contract must survive.
     kinds = ("wal",) if args.torn else ()
     plan = FaultPlan(
         fail_write_at=args.crash_write_at,
@@ -1123,24 +1210,35 @@ def _command_serve(args) -> int:
         kinds=kinds,
         max_faults=1,
     )
-    if args.method not in available_methods():
-        raise UsageError(
-            f"unknown access method {args.method!r}; "
-            f"known: {', '.join(available_methods())}"
-        )
-    method = build_audited_method(args.method, args.block_bytes, plan=plan)
-    device = method.device
-    assert isinstance(device, FaultyDevice)
+    faulty = FaultyDevice(SimulatedDevice(block_bytes=args.block_bytes))
+    method = _checked_method(
+        args.method, device=_serve_device(args, faulty)
+    )
     method.bulk_load([(key, key * 1000 + 1) for key in range(args.records)])
-    device.arm(plan)
-    server = Server(method, checkpoint_every=args.checkpoint_every)
+    if args.hierarchy:
+        # Push the load's dirty frames down so the armed run starts
+        # with the backing device authoritative.
+        method.device.flush()
+    faulty.arm(plan)
+    server = Server(
+        method, checkpoint_every=args.checkpoint_every, sync_policy=policy
+    )
     session = server.connect()
     rng = random.Random(args.seed)
     acked = {}
+    #: Parked (version, writes) not yet acked, in version order.
+    parked: List = []
     inflight = {}
     crashed_at = None
+
+    def fold_acked() -> None:
+        while parked and parked[0][0].acked:
+            acked.update(parked.pop(0)[1])
+
     for txn_index in range(args.txns * max(1, args.clients)):
         try:
+            server.poll_group()  # the group-commit timer tick
+            fold_acked()
             txn = session.begin()
             writes = {}
             for _ in range(args.ops_per_txn):
@@ -1150,11 +1248,24 @@ def _command_serve(args) -> int:
                 writes[key] = value
             inflight = writes
             session.commit()
-            acked.update(writes)
             inflight = {}
+            # Append first, fold after: when this commit triggered the
+            # group sync its whole group acked at once, and the fold
+            # must apply those write sets in version order (this
+            # commit's version is the group's highest).
+            parked.append((session.last_ticket, writes))
+            fold_acked()
         except (DeviceFault, ServerCrashed) as error:
             crashed_at = (txn_index, error)
             break
+    if crashed_at is None:
+        # Drain any still-parked group; the forced sync can be the
+        # very write the plan was waiting for.
+        try:
+            server.poll_group(force=True)
+            fold_acked()
+        except (DeviceFault, ServerCrashed) as error:
+            crashed_at = (txn_index, error)
     if crashed_at is None:
         print(
             f"no crash: the write trigger (#{args.crash_write_at}) never "
@@ -1162,9 +1273,18 @@ def _command_serve(args) -> int:
         )
         return 1
     txn_index, error = crashed_at
+    # Commits the group sync acked before the crash landed are durable
+    # promises even if the crash interrupted the apply that followed.
+    fold_acked()
     print(f"crashed during transaction {txn_index}: {error}")
-    device.disarm()
-    restarted = Server(method, checkpoint_every=args.checkpoint_every)
+    faulty.disarm()
+    if args.hierarchy:
+        # The process (and every cache level with it) died; restart
+        # mounts a fresh, cold hierarchy over the surviving backing.
+        method.device = _serve_device(args, faulty)
+    restarted = Server(
+        method, checkpoint_every=args.checkpoint_every, sync_policy=policy
+    )
     report = restarted.recover()
     print(
         f"recovered: scanned {report.records_scanned} WAL record(s)"
@@ -1179,39 +1299,51 @@ def _command_serve(args) -> int:
         for failure in failures:
             print(f"audit violation: {failure}", file=sys.stderr)
         return 1
-    # Atomicity + durability: the recovered state must equal the acked
-    # history exactly, either with or without the whole in-flight txn —
-    # a commit can be durable (its WAL commit record synced) yet never
-    # acknowledged when the crash hit the apply or the checkpoint after.
+    # Atomicity + durability: every acked commit must survive, each
+    # pending (parked or in-flight) transaction is all-or-nothing, and
+    # the survivors form a version-order prefix — the WAL appends in
+    # version order, so a torn sync can only keep a prefix durable.
+    pending_writes = [writes for _, writes in parked]
+    if inflight:
+        pending_writes.append(inflight)
+    keys = sorted(
+        set(acked) | {key for writes in pending_writes for key in writes}
+    )
     session = restarted.connect()
     session.begin()
-    keys = sorted(set(acked) | set(inflight))
     state = {key: session.get(key) for key in keys}
     session.abort()
     # Keys the crash left untouched keep their bulk-load values.
-    without = {
+    base = {
         key: acked.get(key, key * 1000 + 1 if key < args.records else None)
         for key in keys
     }
-    with_inflight = dict(without)
-    with_inflight.update(inflight)
-    if state not in (without, with_inflight):
+    candidates = [dict(base)]
+    for writes in pending_writes:
+        nxt = dict(candidates[-1])
+        nxt.update(writes)
+        candidates.append(nxt)
+    matched = next(
+        (i for i, cand in enumerate(candidates) if state == cand), None
+    )
+    if matched is None:
         diff = {
-            key: (state[key], without[key], with_inflight[key])
+            key: (state[key], [cand[key] for cand in candidates])
             for key in keys
-            if state[key] not in (without[key], with_inflight[key])
+            if all(state[key] != cand[key] for cand in candidates)
         }
         print(
-            f"durability violation: recovered state matches neither "
-            f"acked history nor acked+in-flight; diff "
-            f"(actual, without, with): {diff}",
+            f"durability violation: recovered state matches neither the "
+            f"acked history nor any version-order prefix of the "
+            f"{len(pending_writes)} pending txn(s); diff "
+            f"(actual, candidates): {diff}",
             file=sys.stderr,
         )
         return 1
-    applied = "with" if state == with_inflight and inflight else "without"
     print(
         f"all {len(acked)} acknowledged key(s) survived "
-        f"({applied} the in-flight transaction); audit clean"
+        f"(plus {matched} of {len(pending_writes)} pending txn(s)); "
+        f"audit clean"
     )
     return 0
 
@@ -1247,6 +1379,11 @@ def _print_serve_report(args, report) -> None:
         f"commits={report.total_commits} conflicts={report.total_conflicts}  "
         f"wal_syncs={report.wal_syncs} checkpoints={report.checkpoints}"
     )
+    print(
+        f"sync_policy={report.sync_policy}  "
+        f"group_syncs={report.group_syncs}  "
+        f"wal_blocks_written={report.wal_blocks_written}"
+    )
     if not report.clean:
         if report.oracle_divergences:
             print(
@@ -1268,11 +1405,12 @@ def _command_bench_serve(args) -> int:
             f"unknown distribution {args.distribution!r}; "
             f"known: {', '.join(distribution_names())}"
         )
-    device = SimulatedDevice(
+    policy = _serve_sync_policy(args)
+    device = _serve_device(args, SimulatedDevice(
         block_bytes=args.block_bytes,
         cost_model=_COST_MODELS[args.device](),
         name=args.device,
-    )
+    ))
     method = _checked_method(args.method, device=device)
     report = run_bench(
         method,
@@ -1283,6 +1421,7 @@ def _command_bench_serve(args) -> int:
         seed=args.seed,
         distribution=args.distribution,
         checkpoint_every=args.checkpoint_every,
+        sync_policy=policy,
     )
     _print_serve_report(args, report)
     return 0 if report.clean else 1

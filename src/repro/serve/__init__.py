@@ -11,10 +11,12 @@ deterministic multi-client benchmark harness lives in
 
 from repro.serve.bench import BenchReport, ClientStats, run_bench
 from repro.serve.server import (
+    CommitTicket,
     RecoveryReport,
     Server,
     ServerCrashed,
     Session,
+    SyncPolicy,
 )
 from repro.serve.txn import (
     Transaction,
@@ -30,10 +32,12 @@ __all__ = [
     "BenchReport",
     "ClientStats",
     "CommitLog",
+    "CommitTicket",
     "RecoveryReport",
     "Server",
     "ServerCrashed",
     "Session",
+    "SyncPolicy",
     "Transaction",
     "TransactionConflict",
     "TransactionStateError",

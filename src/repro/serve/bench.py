@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.interfaces import AccessMethod
 from repro.core.rum import RUMAccumulator, RUMProfile
-from repro.serve.server import Server, Session
+from repro.serve.server import Server, Session, SyncPolicy
 from repro.serve.txn import TransactionConflict
 from repro.serve.versions import ABSENT
 from repro.workloads.distributions import make_distribution
@@ -77,6 +77,13 @@ class BenchReport:
     simulated_time: float
     wal_syncs: int
     checkpoints: int
+    #: Log blocks the WAL wrote — the durability share of the UO
+    #: numerator group commit divides by ~N.
+    wal_blocks_written: int = 0
+    #: Group syncs fired (== total write commits under per-commit).
+    group_syncs: int = 0
+    #: The server's :attr:`SyncPolicy.label` for this run.
+    sync_policy: str = "every-commit"
 
     @property
     def clean(self) -> bool:
@@ -166,17 +173,34 @@ class _Client:
         self.op_index = 0
         self.retries = 0
         self.begin_time = 0.0
+        #: Write count of a parked (unacked) commit, or None.
+        self.parked_writes: Optional[int] = None
 
     @property
     def done(self) -> bool:
-        return self.txn_index >= len(self.script)
+        return self.txn_index >= len(self.script) and not self.waiting
+
+    @property
+    def waiting(self) -> bool:
+        """Parked on an unacked group-commit ticket."""
+        return self.parked_writes is not None
 
     def _now(self) -> float:
         return self.session.server.device.counters.simulated_time
 
-    def step(self) -> None:
-        """Run one step: begin, one operation, or the commit attempt."""
+    def step(self, force_sync: bool = False) -> None:
+        """Run one step: begin, one op, the commit attempt, or a poll.
+
+        A client whose commit parked spends its steps polling the group
+        (modeling the timer thread) until its ticket is acked; the
+        scheduler passes ``force_sync=True`` when every live client is
+        parked and the policy alone would never fire — the stall a real
+        group-commit timer exists to break.
+        """
         server = self.session.server
+        if self.waiting:
+            self._poll(force_sync)
+            return
         if not self.session.in_txn:
             self.begin_time = self._now()
             self.session.begin()
@@ -200,18 +224,54 @@ class _Client:
                 self.retries = 0
                 self.txn_index += 1
             return
+        # Validation is final: the writes will apply (in version order)
+        # even if the ack is still pending, so the oracle folds now —
+        # park order is version order.
+        for key, value in writes.items():
+            if value is ABSENT:
+                self.oracle.pop(key, None)
+            else:
+                self.oracle[key] = value
+        if self.session.commit_pending:
+            # Parked: the append cost nothing durable yet.  This
+            # client's write counts (and latency) are recorded when it
+            # observes the ack, so the aggregate UO stays exact.
+            self.parked_writes = len(writes)
+            return
         if writes:
+            # Acked in-line — under a batching policy this commit
+            # triggered the group sync, so this step's device delta
+            # carries the whole group's sync + apply I/O, attributed
+            # here with this client's own record count (the parked
+            # members add their counts on their ~free ack polls).
             self.accumulator.record_update(
                 server.device.stats_since(before), records_updated=len(writes)
             )
-            for key, value in writes.items():
-                if value is ABSENT:
-                    self.oracle.pop(key, None)
-                else:
-                    self.oracle[key] = value
             self.accumulator.sample_space(server.method)
+        self._finish_commit(self.session.last_ticket.acked_at)
+
+    def _poll(self, force_sync: bool) -> None:
+        """One waiting step: nudge the group, observe the ack if any."""
+        server = self.session.server
+        before = server.device.snapshot()
+        server.poll_group(force=force_sync)
+        ticket = self.session.pending
+        if not self.session.reap():
+            return
+        # Acked: this poll's delta is the group I/O if this very poll
+        # fired the sync, ~zero otherwise; either way the client's own
+        # write count lands in the denominator exactly once.
+        self.accumulator.record_update(
+            server.device.stats_since(before),
+            records_updated=self.parked_writes,
+        )
+        self.accumulator.sample_space(server.method)
+        self.parked_writes = None
+        self._finish_commit(ticket.acked_at)
+
+    def _finish_commit(self, acked_at: float) -> None:
         self.stats.committed += 1
-        self.stats.latencies.append(self._now() - self.begin_time)
+        self.stats.latencies.append(acked_at - self.begin_time)
         self.retries = 0
         self.txn_index += 1
 
@@ -245,19 +305,21 @@ def run_bench(
     distribution: str = "zipfian",
     checkpoint_every: int = 32,
     server: Optional[Server] = None,
+    sync_policy: Optional[SyncPolicy] = None,
 ) -> BenchReport:
     """Drive ``clients`` concurrent zipfian clients; measure and verify.
 
     ``method`` must be empty: the bench bulk-loads ``records`` seed
     records (dense keys, like the workload generator's preload) before
     opening the server.  Pass a pre-built ``server`` to override the
-    server configuration.
+    server configuration, or just ``sync_policy`` to run the same bench
+    under a different group-commit policy.
     """
     initial = [(key, key * 1_000 + 1) for key in range(records)]
     method.bulk_load(initial)
     oracle: Dict[int, int] = dict(initial)
     srv = server if server is not None else Server(
-        method, checkpoint_every=checkpoint_every
+        method, checkpoint_every=checkpoint_every, sync_policy=sync_policy
     )
     accumulator = RUMAccumulator()
     accumulator.sample_space(method)
@@ -273,13 +335,23 @@ def run_bench(
     scheduler = random.Random(seed)
     live = list(machines)
     while live:
+        # When every live client is parked on an unacked ticket nobody
+        # can fill the group further: the scheduled client's poll forces
+        # the sync (the group-commit timer firing), breaking the stall
+        # deterministically.
+        stalled = all(machine.waiting for machine in live)
         machine = live[scheduler.randrange(len(live))]
-        machine.step()
+        machine.step(force_sync=stalled)
         if machine.done:
             live.remove(machine)
 
     divergences = _compare_with_oracle(method, oracle, key_space)
     violations = method.audit()
+    hierarchy = getattr(srv.device, "hierarchy", None)
+    if hierarchy is not None:
+        # A hierarchy-mounted run must also balance the chain's books —
+        # conservation and coherence with the WAL traffic included.
+        violations = list(violations) + hierarchy.audit()
     profile = accumulator.finish(method)
     return BenchReport(
         method=method.name,
@@ -292,6 +364,9 @@ def run_bench(
         simulated_time=srv.device.counters.simulated_time,
         wal_syncs=srv.wal.syncs,
         checkpoints=srv.checkpoints,
+        wal_blocks_written=srv.wal.blocks_written,
+        group_syncs=srv.group_syncs,
+        sync_policy=srv.sync_policy.label,
     )
 
 

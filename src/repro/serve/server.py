@@ -14,9 +14,16 @@ control on top of snapshot isolation:
   after this one's snapshot (backward validation).  Any intersection
   aborts with :class:`~repro.serve.txn.TransactionConflict`.
 * **Write phase** — the winner's redo records plus a ``commit`` record
-  are appended to the :class:`~repro.serve.wal.WriteAheadLog` and synced
-  (the modeled fsync) **before** any of them touches the method; then
-  the writes are applied, capturing pre-images into the overlay.
+  are appended to the :class:`~repro.serve.wal.WriteAheadLog` and the
+  transaction *parks* on a :class:`CommitTicket`.  A :class:`SyncPolicy`
+  decides when the group syncs: per commit (the default, PR 8's
+  behavior), once ``N`` commits are parked, or when the oldest parked
+  commit has waited a simulated-time deadline.  One ``wal.sync()`` (the
+  modeled fsync) then makes the whole group durable, every parked
+  ticket is acked at once, and only then are the group's writes applied
+  in version order, capturing pre-images into the overlay — so log
+  records always hit the store **before** any write touches the method,
+  and durability costs one sync per group instead of one per commit.
 
 Crash = :class:`~repro.check.faults.DeviceFault` escaping a commit: the
 process state (write buffers, overlay, tail buffer) is gone, the device
@@ -57,6 +64,92 @@ TRACE_SOURCE = "serve"
 
 #: Commits between automatic WAL checkpoints (0 disables).
 DEFAULT_CHECKPOINT_EVERY = 32
+
+
+@dataclass(frozen=True)
+class SyncPolicy:
+    """When the server turns parked commits into one modeled fsync.
+
+    ``group_size == 1`` with no ``deadline`` is per-commit sync (every
+    commit pays its own ``wal.sync()`` — PR 8's behavior).
+    ``group_size == N`` syncs as soon as N commits are parked.
+    ``deadline`` syncs when the oldest parked commit has waited that
+    much simulated time; combined with ``group_size > 1`` the first
+    trigger to fire wins.  Callers that would otherwise stall (e.g. the
+    bench when every live client is parked) force a sync with
+    :meth:`Server.poll_group`, which models the group-commit timer
+    thread real servers run.
+    """
+
+    group_size: int = 1
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be >= 0")
+
+    @classmethod
+    def every_commit(cls) -> "SyncPolicy":
+        return cls()
+
+    @classmethod
+    def every_n(cls, group_size: int) -> "SyncPolicy":
+        return cls(group_size=group_size)
+
+    @classmethod
+    def after_deadline(
+        cls, deadline: float, group_size: int = 1
+    ) -> "SyncPolicy":
+        return cls(group_size=group_size, deadline=deadline)
+
+    @property
+    def batches(self) -> bool:
+        """Whether commits can park at all (anything but per-commit)."""
+        return self.group_size > 1 or self.deadline is not None
+
+    def ready(self, parked: int, waited: float) -> bool:
+        """Should a sync fire with ``parked`` commits, oldest waiting
+        ``waited`` simulated-time units?"""
+        if not self.batches:
+            return True
+        if self.group_size > 1 and parked >= self.group_size:
+            return True
+        return self.deadline is not None and waited >= self.deadline
+
+    @property
+    def label(self) -> str:
+        if not self.batches:
+            return "every-commit"
+        parts = []
+        if self.group_size > 1:
+            parts.append(f"group={self.group_size}")
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline:g}")
+        return ",".join(parts)
+
+
+@dataclass
+class CommitTicket:
+    """A validated commit's claim on durability.
+
+    Handed out by :meth:`Server.commit` the moment validation succeeds
+    and the redo + commit records are appended (buffered) in the WAL.
+    ``acked`` flips when the group's sync makes those records durable —
+    under the default per-commit policy that happens before ``commit``
+    returns; under group commit the caller holds the ticket and waits.
+    A ticket that is never acked belonged to a transaction the crash
+    erased (all-or-nothing, but never acknowledged).
+    """
+
+    txn_id: int
+    version: int
+    acked: bool = False
+    #: Simulated time when the commit parked (deadline bookkeeping).
+    parked_at: float = 0.0
+    #: Simulated time when the group sync acked it (latency bookkeeping).
+    acked_at: float = 0.0
 
 
 class ServerCrashed(RuntimeError):
@@ -105,6 +198,11 @@ class Session:
         self.server = server
         self.client_id = client_id
         self.txn: Optional[Transaction] = None
+        #: The unacked group-commit ticket of the last commit, if any.
+        self.pending: Optional[CommitTicket] = None
+        #: The last commit's ticket, acked or not (latency bookkeeping).
+        self.last_ticket: Optional[CommitTicket] = None
+        self.begins = 0
         self.commits = 0
         self.aborts = 0
 
@@ -123,7 +221,9 @@ class Session:
                 f"client {self.client_id} already has an active "
                 f"transaction (id {self.txn.txn_id})"
             )
+        self.reap()
         self.txn = self.server.begin()
+        self.begins += 1
         return self.txn
 
     def get(self, key: int) -> Optional[int]:
@@ -146,11 +246,36 @@ class Session:
         """Validate and commit; returns the commit version.
 
         Raises :class:`~repro.serve.txn.TransactionConflict` when
-        backward validation fails.
+        backward validation fails — a conflict is an abort, and counts
+        as one in this session's statistics (``commits + aborts ==
+        begins`` always holds on a clean run).
+
+        Under a batching :class:`SyncPolicy` the commit may *park*: the
+        returned version is assigned and validation is final, but
+        durability (and the ``commits`` count) waits for the group's
+        sync — the ticket sits in :attr:`pending` until acked, then
+        :meth:`reap` folds it in.
         """
-        version = self.server.commit(self._active())
-        self.commits += 1
-        return version
+        try:
+            ticket = self.server.commit(self._active())
+        except TransactionConflict:
+            self.aborts += 1
+            raise
+        self.last_ticket = ticket
+        if ticket.acked:
+            self.commits += 1
+            self.pending = None
+        else:
+            self.pending = ticket
+        return ticket.version
+
+    def reap(self) -> bool:
+        """Fold an acked pending commit into ``commits``; True when no
+        commit is left pending (acked or none outstanding)."""
+        if self.pending is not None and self.pending.acked:
+            self.commits += 1
+            self.pending = None
+        return self.pending is None
 
     def abort(self) -> None:
         """Abandon the active transaction, discarding its buffer."""
@@ -160,6 +285,11 @@ class Session:
     @property
     def in_txn(self) -> bool:
         return self.txn is not None and self.txn.status is TxnStatus.ACTIVE
+
+    @property
+    def commit_pending(self) -> bool:
+        """Whether the last commit is parked awaiting its group's sync."""
+        return self.pending is not None and not self.pending.acked
 
 
 class Server:
@@ -175,6 +305,7 @@ class Server:
         self,
         method: AccessMethod,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        sync_policy: Optional[SyncPolicy] = None,
     ) -> None:
         self.method = method
         self.device = method.device
@@ -182,15 +313,24 @@ class Server:
         self.versions = VersionStore()
         self.commit_log = CommitLog()
         self.checkpoint_every = checkpoint_every
+        self.sync_policy = sync_policy if sync_policy is not None else SyncPolicy()
         self._lock = threading.RLock()
+        #: Last *applied* (durable + acked) version: what reads snapshot.
         self._version = 0
+        #: Last version assigned to a validated commit (>= _version; the
+        #: gap is the parked group awaiting its sync).
+        self._assigned_version = 0
         self._next_txn_id = 1
         self._next_client_id = 1
         self._active: Dict[int, Transaction] = {}
+        #: Validated + logged commits awaiting the group sync, in
+        #: version order.
+        self._parked: List[Tuple[Transaction, CommitTicket]] = []
         self._crashed = False
         self.commits = 0
         self.aborts = 0
         self.checkpoints = 0
+        self.group_syncs = 0
         self._commits_since_checkpoint = 0
 
     # ------------------------------------------------------------------
@@ -205,12 +345,21 @@ class Server:
 
     @property
     def version(self) -> int:
-        """The latest committed version."""
+        """The latest applied (durable and acknowledged) version."""
         return self._version
 
     @property
     def active_transactions(self) -> int:
         return len(self._active)
+
+    @property
+    def parked_commits(self) -> int:
+        """Validated commits waiting for their group's sync."""
+        return len(self._parked)
+
+    def _clock(self) -> float:
+        """The simulated-time clock deadlines are measured against."""
+        return self.device.counters.simulated_time
 
     def _check_alive(self) -> None:
         if self._crashed:
@@ -282,15 +431,20 @@ class Server:
         return records
 
     # ------------------------------------------------------------------
-    # Commit: validate -> log -> apply
+    # Commit: validate -> log -> park -> (group sync) -> apply
     # ------------------------------------------------------------------
-    def commit(self, txn: Transaction) -> int:
-        """Validate → log → apply; returns the new commit version.
+    def commit(self, txn: Transaction) -> CommitTicket:
+        """Validate → log → park; returns the commit's ticket.
 
         Read-only transactions commit at their snapshot with no
-        validation, logging, or apply.  A :class:`DeviceFault` escaping
-        the log/apply marks the server crashed — restart and
-        :meth:`recover`.
+        validation, logging, or apply, and their ticket is acked
+        immediately.  Writers that win validation are assigned the next
+        version, their redo + commit records are appended (buffered) to
+        the WAL, and they park; if the :class:`SyncPolicy` says the
+        group is ready, the sync fires before this returns (so under
+        the default per-commit policy the ticket always comes back
+        acked).  A :class:`DeviceFault` escaping the sync/apply marks
+        the server crashed — restart and :meth:`recover`.
         """
         txn.require_active()
         with self._lock:
@@ -306,7 +460,11 @@ class Server:
                     self.device.tracer, TRACE_SOURCE, "txn-commit",
                     txn.txn_id, detail="read-only",
                 )
-                return txn.snapshot_version
+                now = self._clock()
+                return CommitTicket(
+                    txn.txn_id, txn.snapshot_version, acked=True,
+                    parked_at=now, acked_at=now,
+                )
             emit_txn_event(
                 self.device.tracer, TRACE_SOURCE, "txn-validate", txn.txn_id,
                 detail=f"reads={len(txn.read_keys)} writes={len(txn.writes)}",
@@ -322,32 +480,31 @@ class Server:
                     detail=f"conflict key={key} version={version}",
                 )
                 raise TransactionConflict(txn.txn_id, version, key)
-            version = self._version + 1
-            try:
-                self._log_and_apply(txn, version)
-            except DeviceFault:
-                # The crash: in-memory state is now untrustworthy.
-                self._crashed = True
-                raise
+            version = self._assigned_version + 1
+            self._log_records(txn, version)
             txn.commit_version = version
-            self._version = version
+            self._assigned_version = version
+            # Recorded at validation time, not apply time: later
+            # transactions must validate against parked write sets too,
+            # or two commits in one group could both win while reading
+            # each other's stale values.
             self.commit_log.record(version, txn.writes)
-            self._finish(txn, TxnStatus.COMMITTED)
-            self.commits += 1
-            emit_txn_event(
-                self.device.tracer, TRACE_SOURCE, "txn-commit", txn.txn_id,
-                detail=f"version={version}",
+            self._finish(txn, TxnStatus.PARKED)
+            ticket = CommitTicket(
+                txn.txn_id, version, parked_at=self._clock()
             )
-            self._prune()
-            self._commits_since_checkpoint += 1
-            if (
-                self.checkpoint_every
-                and self._commits_since_checkpoint >= self.checkpoint_every
-            ):
-                self.checkpoint()
-            return version
+            self._parked.append((txn, ticket))
+            emit_txn_event(
+                self.device.tracer, TRACE_SOURCE, "txn-park", txn.txn_id,
+                detail=f"version={version} parked={len(self._parked)}",
+            )
+            waited = self._clock() - self._parked[0][1].parked_at
+            if self.sync_policy.ready(len(self._parked), waited):
+                self._sync_group()
+            return ticket
 
-    def _log_and_apply(self, txn: Transaction, version: int) -> None:
+    def _log_records(self, txn: Transaction, version: int) -> None:
+        """Append (buffer) the redo + commit records; no device I/O."""
         with span("serve.wal"):
             for key, value in txn.writes.items():
                 if value is ABSENT:
@@ -363,25 +520,98 @@ class Server:
                 self.device.tracer, TRACE_SOURCE, "wal-append", txn.txn_id,
                 detail=f"lsn={self.wal.next_lsn - 1} commit",
             )
-            # The modeled fsync: the txn is durable when this returns.
-            self.wal.sync()
-            emit_txn_event(
-                self.device.tracer, TRACE_SOURCE, "wal-sync", txn.txn_id,
-                detail=f"version={version}",
-            )
-        with span("serve.apply"):
-            for key, value in txn.writes.items():
-                old = self.method.get(key)
-                self.versions.record_preimage(
-                    key, version, ABSENT if old is None else old
-                )
-                if value is ABSENT:
-                    if old is not None:
-                        self.method.delete(key)
-                elif old is None:
-                    self.method.insert(key, value)
-                else:
-                    self.method.update(key, value)
+
+    def poll_group(self, force: bool = False) -> int:
+        """Sync the parked group if the policy says so (or ``force``).
+
+        Models the group-commit timer thread: callers with nothing else
+        to do (the bench when every live client is parked, a deadline
+        tick) poll, and the sync fires when the deadline has elapsed —
+        or unconditionally with ``force=True``.  Returns the number of
+        commits made durable.
+        """
+        with self._lock:
+            self._check_alive()
+            if not self._parked:
+                return 0
+            waited = self._clock() - self._parked[0][1].parked_at
+            if force or self.sync_policy.ready(len(self._parked), waited):
+                return self._sync_group()
+            return 0
+
+    def _sync_group(self, checkpoint_ok: bool = True) -> int:
+        """One modeled fsync for every parked commit, then apply.
+
+        The order is the heart of group commit: **sync → ack → apply**.
+        After the single ``wal.sync()`` every parked transaction is
+        durable, so all tickets are acked at once; only then are the
+        write sets applied to the method in version order (capturing
+        pre-images), exactly as recovery would replay them.  A crash
+        before the sync erases the whole group (none were acked); a
+        crash after it loses nothing (redo replays the applies).
+        """
+        group = self._parked
+        if not group:
+            return 0
+        self._parked = []
+        with span("serve.wal"):
+            try:
+                # The modeled fsync: one sync makes the whole group's
+                # records durable, through every cache level when the
+                # log lives behind a hierarchy.
+                blocks = self.wal.sync()
+            except DeviceFault:
+                # The crash: nothing in this group was acked, and the
+                # in-memory state is now untrustworthy.
+                self._crashed = True
+                raise
+        self.group_syncs += 1
+        emit_txn_event(
+            self.device.tracer, TRACE_SOURCE, "wal-sync", 0,
+            detail=f"group={len(group)} blocks={blocks}",
+        )
+        for _, ticket in group:
+            ticket.acked = True
+        try:
+            with span("serve.apply"):
+                for txn, ticket in group:
+                    for key, value in txn.writes.items():
+                        old = self.method.get(key)
+                        self.versions.record_preimage(
+                            key, ticket.version,
+                            ABSENT if old is None else old,
+                        )
+                        if value is ABSENT:
+                            if old is not None:
+                                self.method.delete(key)
+                        elif old is None:
+                            self.method.insert(key, value)
+                        else:
+                            self.method.update(key, value)
+                    txn.status = TxnStatus.COMMITTED
+                    self._version = ticket.version
+                    self.commits += 1
+                    emit_txn_event(
+                        self.device.tracer, TRACE_SOURCE, "txn-commit",
+                        txn.txn_id, detail=f"version={ticket.version}",
+                    )
+        except DeviceFault:
+            # Durable but not fully applied: recovery's redo finishes
+            # the job.  The acks above stand — the commits are durable.
+            self._crashed = True
+            raise
+        acked_at = self._clock()
+        for _, ticket in group:
+            ticket.acked_at = acked_at
+        self._prune()
+        self._commits_since_checkpoint += len(group)
+        if (
+            checkpoint_ok
+            and self.checkpoint_every
+            and self._commits_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        return len(group)
 
     def abort(self, txn: Transaction) -> None:
         """Abort ``txn`` at the client's request; its buffer is dropped."""
@@ -396,6 +626,11 @@ class Server:
     def _finish(self, txn: Transaction, status: TxnStatus) -> None:
         txn.status = status
         self._active.pop(txn.txn_id, None)
+        if status is TxnStatus.ABORTED:
+            # Every abort — requested or conflict — counts here, so the
+            # server-wide ledger (commits + aborts vs begun txns) always
+            # balances.
+            self.aborts += 1
 
     def _oldest_snapshot(self) -> int:
         if not self._active:
@@ -411,9 +646,16 @@ class Server:
     # Checkpoint + recovery
     # ------------------------------------------------------------------
     def checkpoint(self) -> int:
-        """Checkpoint the WAL; returns blocks freed."""
+        """Checkpoint the WAL; returns blocks freed.
+
+        Drains any parked group first: the checkpoint record claims
+        everything up to ``self._version`` is applied, so parked
+        (durable-pending) commits must be synced and applied before the
+        claim is written.
+        """
         with self._lock:
             self._check_alive()
+            self._sync_group(checkpoint_ok=False)
             with span("serve.wal"):
                 try:
                     freed = self.wal.checkpoint(
@@ -490,6 +732,7 @@ class Server:
                     report.replayed_txns.append(txn_id)
                     resumed = max(resumed, version)
                 self._version = resumed
+                self._assigned_version = resumed
                 self._next_txn_id = max_txn_id + 1
                 report.resumed_version = resumed
             emit_txn_event(

@@ -18,9 +18,19 @@ from repro.serve.versions import ABSENT
 
 
 class TxnStatus(enum.Enum):
-    """Lifecycle of a transaction: active until committed or aborted."""
+    """Lifecycle of a transaction.
+
+    ``PARKED`` is the group-commit limbo between validation and
+    durability: the transaction won validation and its redo + commit
+    records are appended (buffered) in the WAL, but the group's sync has
+    not happened yet.  A parked transaction accepts no further
+    operations; it becomes ``COMMITTED`` when its group syncs, or simply
+    vanishes (with the whole group's unacked tail) if the server crashes
+    first.
+    """
 
     ACTIVE = "active"
+    PARKED = "parked"
     COMMITTED = "committed"
     ABORTED = "aborted"
 

@@ -25,7 +25,7 @@ footprint tracks the number of in-flight transactions, not history.
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
@@ -50,8 +50,13 @@ class VersionStore:
     """Pre-image overlay: what each key looked like at older versions."""
 
     def __init__(self) -> None:
-        # key -> list of (overwrite_version, pre_image), versions ascending.
-        self._preimages: Dict[int, List[Tuple[int, object]]] = {}
+        # key -> parallel lists: ascending overwrite versions and the
+        # pre-images recorded at them.  Kept parallel (rather than one
+        # list of pairs) so read_at — the hottest serve read path — can
+        # bisect the version list directly instead of rebuilding it per
+        # read; see the micro-bench note in EXPERIMENTS.md.
+        self._versions: Dict[int, List[int]] = {}
+        self._values: Dict[int, List[object]] = {}
 
     def record_preimage(self, key: int, version: int, old_value: object) -> None:
         """Record that ``key`` held ``old_value`` before commit ``version``.
@@ -59,13 +64,14 @@ class VersionStore:
         ``old_value`` may be :data:`ABSENT`.  Commits are applied in
         version order, so appends keep each key's list sorted.
         """
-        entries = self._preimages.setdefault(key, [])
-        if entries and entries[-1][0] >= version:
+        versions = self._versions.setdefault(key, [])
+        if versions and versions[-1] >= version:
             raise ValueError(
                 f"pre-image versions must be recorded in order: "
-                f"{version} after {entries[-1][0]} for key {key}"
+                f"{version} after {versions[-1]} for key {key}"
             )
-        entries.append((version, old_value))
+        versions.append(version)
+        self._values.setdefault(key, []).append(old_value)
 
     def read_at(self, key: int, snapshot: int) -> object:
         """The value of ``key`` at snapshot version ``snapshot``.
@@ -75,20 +81,20 @@ class VersionStore:
         :data:`CURRENT` when the method's live value is still the value
         the snapshot saw.
         """
-        entries = self._preimages.get(key)
-        if not entries:
+        versions = self._versions.get(key)
+        if not versions:
             return CURRENT
         # Earliest overwrite with version > snapshot: its pre-image is
         # the value as of the snapshot.
-        index = bisect_right([version for version, _ in entries], snapshot)
-        if index == len(entries):
+        index = bisect_right(versions, snapshot)
+        if index == len(versions):
             return CURRENT
-        return entries[index][1]
+        return self._values[key][index]
 
     def overlay_keys(self, lo: int, hi: int) -> List[int]:
         """Overlaid keys in ``[lo, hi]`` (for snapshot range merges)."""
         return sorted(
-            key for key in self._preimages if lo <= key <= hi
+            key for key in self._versions if lo <= key <= hi
         )
 
     def prune(self, oldest_snapshot: int) -> int:
@@ -100,24 +106,25 @@ class VersionStore:
         """
         dropped = 0
         dead: List[int] = []
-        for key, entries in self._preimages.items():
-            keep = [
-                (version, value)
-                for version, value in entries
-                if version > oldest_snapshot
-            ]
-            dropped += len(entries) - len(keep)
-            if keep:
-                self._preimages[key] = keep
-            else:
+        for key, versions in self._versions.items():
+            # Versions are ascending, so the survivors are a suffix.
+            keep_from = bisect_right(versions, oldest_snapshot)
+            if not keep_from:
+                continue
+            dropped += keep_from
+            if keep_from == len(versions):
                 dead.append(key)
+            else:
+                self._versions[key] = versions[keep_from:]
+                self._values[key] = self._values[key][keep_from:]
         for key in dead:
-            del self._preimages[key]
+            del self._versions[key]
+            del self._values[key]
         return dropped
 
     @property
     def entry_count(self) -> int:
-        return sum(len(entries) for entries in self._preimages.values())
+        return sum(len(versions) for versions in self._versions.values())
 
 
 class CommitLog:

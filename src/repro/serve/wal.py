@@ -8,10 +8,21 @@ never undoes anything: it replays committed-but-possibly-unapplied
 transactions idempotently (see :meth:`WriteAheadLog.replay` and
 :meth:`repro.serve.server.Server.recover`).
 
-The log lives in blocks of kind ``"wal"`` on the *same*
-:class:`~repro.storage.device.SimulatedDevice` as the access method it
-protects, so logging I/O and log space show up honestly in the measured
-UO and MO — exactly the RUM bookkeeping the rest of the library does.
+The log lives in blocks of kind ``"wal"`` on the *same* store as the
+access method it protects, so logging I/O and log space show up
+honestly in the measured UO and MO — exactly the RUM bookkeeping the
+rest of the library does.  That store is any
+:class:`~repro.storage.store.LogStore` — a bare
+:class:`~repro.storage.device.SimulatedDevice`, or a whole chained
+write-back hierarchy behind a
+:class:`~repro.storage.hierarchy.HierarchicalDevice` facade.  In the
+latter case a log write lands in the top level's pool and is **not yet
+durable**; :meth:`WriteAheadLog.sync` finishes with
+``store.sync_through(written_blocks)`` — the modeled fsync — which
+forces those blocks' dirty frames down through every level to the
+backing device.  Only when that returns are the records durable, which
+is the invariant the crash sweep checks: a crash between pool-write and
+write-back must never lose an acked commit.
 
 Record format
 -------------
@@ -43,7 +54,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.storage.block import BlockId
-from repro.storage.device import SimulatedDevice
+from repro.storage.store import LogStore
 
 #: Block-kind tag of every log block; fault plans and audits key on it.
 WAL_BLOCK_KIND = "wal"
@@ -107,28 +118,28 @@ def decode_record(entry: object) -> Optional[WalRecord]:
 
 
 class WriteAheadLog:
-    """An append-only redo log in ``"wal"`` blocks of one device.
+    """An append-only redo log in ``"wal"`` blocks of one block store.
 
     Appends buffer in memory; :meth:`sync` makes them durable by writing
-    the tail block (and any overflow blocks) to the device — the
-    modeled ``fsync``.  The commit protocol appends a transaction's
-    redo records plus its ``commit`` record and then syncs *once*, so
-    durability is exactly one (or, across a block boundary, a few)
-    charged device writes per commit.
+    the tail block (and any overflow blocks) through the store and then
+    forcing them to the backing device with ``sync_through`` — the
+    modeled ``fsync``.  Under group commit several transactions' records
+    ride one sync, so durability costs one (or, across block
+    boundaries, a few) backed block writes per *group*, not per commit.
 
     The in-memory state (pending buffer, next LSN, known block list) is
     process state: after a crash a fresh instance rebuilds it from the
-    device via :meth:`replay`, which is also what truncates a torn tail.
+    store via :meth:`replay`, which is also what truncates a torn tail.
     """
 
-    def __init__(self, device: SimulatedDevice) -> None:
-        self.device = device
-        if device.block_bytes < WAL_RECORD_BYTES:
+    def __init__(self, store: LogStore) -> None:
+        self.store = store
+        if store.block_bytes < WAL_RECORD_BYTES:
             raise ValueError(
-                f"block_bytes {device.block_bytes} cannot hold one "
+                f"block_bytes {store.block_bytes} cannot hold one "
                 f"{WAL_RECORD_BYTES}-byte WAL record"
             )
-        self.records_per_block = device.block_bytes // WAL_RECORD_BYTES
+        self.records_per_block = store.block_bytes // WAL_RECORD_BYTES
         #: Intact log blocks in append order (block ids are allocated
         #: monotonically, so id order is append order).
         self._blocks: List[BlockId] = []
@@ -137,6 +148,14 @@ class WriteAheadLog:
         self._next_lsn = 0
         self.syncs = 0
         self.appended = 0
+        #: Log blocks written by syncs — the WAL's share of the UO
+        #: numerator, the count group commit divides by ~N.
+        self.blocks_written = 0
+
+    @property
+    def device(self) -> LogStore:
+        """Back-compat alias: the store the log lives on."""
+        return self.store
 
     # ------------------------------------------------------------------
     # Append + sync
@@ -168,23 +187,28 @@ class WriteAheadLog:
         """
         if not self._pending:
             return 0
-        written = 0
+        written_ids: List[BlockId] = []
         while self._pending:
             taking = self._pending[: self.records_per_block]
-            block_id = self.device.allocate(WAL_BLOCK_KIND)
-            # The write is the modeled fsync; through a FaultyDevice it
-            # is also the torn-write injection point.
-            self.device.write(
+            block_id = self.store.allocate(WAL_BLOCK_KIND)
+            # On a bare device this write is the durability point (and,
+            # through a FaultyDevice, the torn-write injection point);
+            # behind a hierarchy it only lands in the top level's pool.
+            self.store.write(
                 block_id,
                 list(taking),
                 used_bytes=len(taking) * WAL_RECORD_BYTES,
             )
-            # Only after the write returns are the records durable.
             self._blocks.append(block_id)
-            written += 1
+            written_ids.append(block_id)
             del self._pending[: len(taking)]
+        # The modeled fsync: force the written blocks' dirty frames
+        # through every cache level to the backing device.  Only after
+        # this returns are the records durable.
+        self.store.sync_through(tuple(written_ids))
         self.syncs += 1
-        return written
+        self.blocks_written += len(written_ids)
+        return len(written_ids)
 
     # ------------------------------------------------------------------
     # Checkpoint + truncation
@@ -208,7 +232,7 @@ class WriteAheadLog:
         keep_from = self._blocks[-1]
         freed = 0
         for block_id in self._blocks[:-1]:
-            self.device.free(block_id)
+            self.store.free(block_id)
             freed += 1
         self._blocks = [keep_from]
         return freed
@@ -235,8 +259,8 @@ class WriteAheadLog:
         """
         block_ids = sorted(
             block_id
-            for block_id in self.device.iter_block_ids()
-            if self.device.kind_of(block_id) == WAL_BLOCK_KIND
+            for block_id in self.store.iter_block_ids()
+            if self.store.kind_of(block_id) == WAL_BLOCK_KIND
         )
         records: List[WalRecord] = []
         truncated = False
@@ -244,7 +268,7 @@ class WriteAheadLog:
         self._blocks = []
         self._pending = []
         for position, block_id in enumerate(block_ids):
-            payload = self.device.read(block_id)
+            payload = self.store.read(block_id)
             block_records: List[WalRecord] = []
             damaged = not isinstance(payload, list) or not payload
             if not damaged:
@@ -264,7 +288,7 @@ class WriteAheadLog:
                 # never alias the LSNs the live log writes next.
                 truncated = True
                 for dead_id in block_ids[position:]:
-                    self.device.free(dead_id)
+                    self.store.free(dead_id)
                 break
             records.extend(block_records)
             expected = block_records[-1].lsn + 1

@@ -13,7 +13,7 @@ the difference.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.obs.tracer import Tracer
 from repro.storage.block import BlockId
@@ -165,6 +165,10 @@ class CachedDevice(SimulatedDevice):
     def flush(self) -> None:
         """Write every dirty cached frame down to the backing device."""
         self.pool.flush()
+
+    def sync_through(self, block_ids: Iterable[BlockId]) -> int:
+        """Force the named blocks through the pool to the backing device."""
+        return self.pool.sync_through(block_ids)
 
     # ------------------------------------------------------------------
     # Space accounting delegates to the backing store.

@@ -623,6 +623,10 @@ class SimulatedDevice:
             raise KeyError(f"used_bytes_of unallocated block {block_id}")
         return block.used_bytes
 
+    def sync_through(self, block_ids: Iterable[BlockId]) -> int:
+        """No-op on a bare device: every completed write is durable."""
+        return 0
+
     # ------------------------------------------------------------------
     # Space accounting
     # ------------------------------------------------------------------

@@ -35,11 +35,11 @@ whose read/write prices aggregate into one hierarchy-wide
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.tracer import Tracer
 from repro.storage.block import BlockId
-from repro.storage.device import CostModel, SimulatedDevice
+from repro.storage.device import CostModel, DeviceCounters, SimulatedDevice
 from repro.storage.pager import BufferPool, EvictionPolicy, LRUPolicy
 from repro.storage.store import BlockStore
 
@@ -203,6 +203,10 @@ class _BackingMeter:
     def used_bytes_of(self, block_id: BlockId) -> int:
         return self.backing.used_bytes_of(block_id)
 
+    def sync_through(self, block_ids: Iterable[BlockId]) -> int:
+        """End of the chain: the backing device's writes are durable."""
+        return self.backing.sync_through(block_ids)
+
 
 class HierarchyLevel:
     """One cache level: a buffer pool over the level below, plus counters.
@@ -264,6 +268,16 @@ class HierarchyLevel:
     def used_bytes_of(self, block_id: BlockId) -> int:
         """Declared occupancy at or below this level, without charging I/O."""
         return self.pool.used_bytes_of(block_id)
+
+    def sync_through(self, block_ids: Iterable[BlockId]) -> int:
+        """Push the named blocks' dirty frames down through this level.
+
+        The pool writes back its own dirty frames for those blocks (its
+        write-backs arrive at the level below as ordinary writes, so
+        conservation holds) and then cascades, so the push reaches the
+        backing device no matter which level held the newest copy.
+        """
+        return self.pool.sync_through(block_ids)
 
     def accept_victim(
         self, block_id: BlockId, payload: object, used_bytes: int
@@ -376,6 +390,28 @@ class MemoryHierarchy:
         for level in self.levels:
             level.pool.flush()
 
+    def used_bytes_of(self, block_id: BlockId) -> int:
+        """Declared occupancy of a block's newest copy, without I/O."""
+        top: BlockStore = self.levels[0] if self.levels else self.meter
+        return top.used_bytes_of(block_id)
+
+    def sync_through(self, block_ids: Iterable[BlockId]) -> int:
+        """Force the named blocks through every level to the backing
+        device — the modeled fsync (see :class:`BlockStore`).  Starts at
+        the top so each level's newest copy lands below before that
+        level below is in turn forced."""
+        top: BlockStore = self.levels[0] if self.levels else self.meter
+        return top.sync_through(block_ids)
+
+    def invalidate(self, block_id: BlockId) -> None:
+        """Drop every level's cached frame for a block (it was freed).
+
+        Without this, a freed block could leave a stale frame whose
+        coherence check would ``peek`` an unallocated backing block.
+        """
+        for level in self.levels:
+            level.pool.invalidate(block_id)
+
     # ------------------------------------------------------------------
     def level(self, name: str) -> HierarchyLevel:
         """Look a level up by its configured name."""
@@ -476,3 +512,211 @@ class MemoryHierarchy:
                         f"level below says {below_used}"
                     )
         return violations
+
+
+class HierarchicalDevice(SimulatedDevice):
+    """The whole chained hierarchy masquerading as one device.
+
+    The mount point of the serving tier's hierarchy mode: an access
+    method (and its :class:`~repro.serve.wal.WriteAheadLog`) is built
+    over this facade unchanged, and every read and write flows through
+    the chain — level hits, cascaded misses, write-back absorption —
+    while allocation and the block catalog stay on the backing device.
+    The pattern mirrors :class:`~repro.storage.cached.CachedDevice`,
+    with a :class:`MemoryHierarchy` in place of the single pool.
+
+    Durability is kind-aware.  Writes to blocks whose kind is in
+    ``write_back_kinds`` (by default the WAL's ``"wal"`` blocks — the
+    one stream whose protocol already separates *written* from
+    *synced*) are absorbed by the top level's pool and reach the
+    backing device only when :meth:`sync_through` forces them down, the
+    modeled fsync.  Every other write is forced through immediately
+    after landing in the caches: the serving tier's redo log is
+    *logical*, so recovery needs the structure's durable image to be
+    consistent — this is a force-policy buffer manager for data pages,
+    while the log rides write-back and pays one ``sync_through`` per
+    group commit.  Reads of both kinds are cached normally.
+
+    ``counters`` on this facade tally the logical traffic the method
+    issued, but price it with the hierarchy's own clock (per-level AMAT
+    plus the backing meter) rather than a flat facade cost model — the
+    latency a serve bench measures through this device is the chain's.
+    """
+
+    __slots__ = ("hierarchy", "backing", "write_back_kinds")
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        write_back_kinds: Tuple[str, ...] = ("wal",),
+    ) -> None:
+        backing = hierarchy.backing
+        super().__init__(
+            block_bytes=backing.block_bytes,
+            cost_model=CostModel.dram(),
+            name=f"hier({backing.name})",
+        )
+        self.hierarchy = hierarchy
+        self.backing = backing
+        self.write_back_kinds = frozenset(write_back_kinds)
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        """One tracer for the facade, every level's pool, and backing."""
+        super().set_tracer(tracer)
+        self.hierarchy.set_tracer(tracer)
+
+    # ------------------------------------------------------------------
+    # Allocation delegates to the backing device.
+    # ------------------------------------------------------------------
+    def allocate(self, kind: str = "data") -> BlockId:
+        self._allocations += 1
+        return self.backing.allocate(kind)
+
+    def free(self, block_id: BlockId) -> None:
+        self._frees += 1
+        self.hierarchy.invalidate(block_id)
+        self.backing.free(block_id)
+
+    def is_allocated(self, block_id: BlockId) -> bool:
+        """Whether ``block_id`` is live on the backing device."""
+        return self.backing.is_allocated(block_id)
+
+    # ------------------------------------------------------------------
+    # I/O goes through the chain.
+    # ------------------------------------------------------------------
+    def read(self, block_id: BlockId) -> object:
+        sequential = block_id == self._seq_read_id
+        if sequential:
+            self._seq_reads += 1
+        else:
+            self._rand_reads += 1
+        self._seq_read_id = block_id + 1
+        payload = self.hierarchy.read(block_id)
+        if self._trace_enabled:
+            self.tracer.emit(
+                source=self.name,
+                op="read",
+                block_id=block_id,
+                kind=self.backing.kind_of(block_id),
+                sequential=sequential,
+                nbytes=self.block_bytes,
+            )
+        return payload
+
+    def write(self, block_id: BlockId, payload: object, used_bytes: int = 0) -> None:
+        if not 0 <= used_bytes <= self.block_bytes:
+            raise ValueError(
+                f"used_bytes {used_bytes} outside block capacity {self.block_bytes}"
+            )
+        sequential = block_id == self._seq_write_id
+        if sequential:
+            self._seq_writes += 1
+        else:
+            self._rand_writes += 1
+        self._seq_write_id = block_id + 1
+        kind = self.backing.kind_of(block_id)
+        self.hierarchy.write(block_id, payload, used_bytes)
+        if kind not in self.write_back_kinds:
+            # Force policy for data pages: the write stays cached at
+            # every level but is pushed through to backing immediately,
+            # so the durable structure is never a torn-in-time mix the
+            # logical redo log could not replay over.
+            self.hierarchy.sync_through((block_id,))
+        if self._trace_enabled:
+            self.tracer.emit(
+                source=self.name,
+                op="write",
+                block_id=block_id,
+                kind=kind,
+                sequential=sequential,
+                nbytes=self.block_bytes,
+            )
+
+    def sync_through(self, block_ids: Iterable[BlockId]) -> int:
+        """The modeled fsync: force the named blocks through the chain."""
+        return self.hierarchy.sync_through(block_ids)
+
+    def flush(self) -> None:
+        """Flush every level's dirty frames down to the backing device."""
+        self.hierarchy.flush()
+
+    def peek(self, block_id: BlockId) -> object:
+        """Newest copy anywhere in the chain, without charging I/O."""
+        return self.hierarchy.peek(block_id)
+
+    def kind_of(self, block_id: BlockId) -> str:
+        return self.backing.kind_of(block_id)
+
+    def used_bytes_of(self, block_id: BlockId) -> int:
+        """Declared occupancy, preferring the newest unflushed frame's."""
+        return self.hierarchy.used_bytes_of(block_id)
+
+    # ------------------------------------------------------------------
+    # Space accounting delegates to the backing store (dirty-aware).
+    # ------------------------------------------------------------------
+    @property
+    def allocated_blocks(self) -> int:
+        return self.backing.allocated_blocks
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.backing.allocated_bytes
+
+    def used_bytes(self) -> int:
+        """Logical occupancy including unflushed dirty frames.
+
+        Each block's correction uses its *topmost* dirty frame — the
+        newest copy; a block dirty at two levels must not be corrected
+        twice.
+        """
+        total = self.backing.used_bytes()
+        corrected = set()
+        for level in self.hierarchy.levels:
+            for block_id, frame_used in level.pool.iter_dirty():
+                if block_id in corrected:
+                    continue
+                corrected.add(block_id)
+                total += frame_used - self.backing.used_bytes_of(block_id)
+        return total
+
+    def fill_factor(self) -> float:
+        allocated = self.backing.allocated_bytes
+        if not allocated:
+            return 0.0
+        return self.used_bytes() / allocated
+
+    def blocks_by_kind(self):
+        return self.backing.blocks_by_kind()
+
+    def iter_block_ids(self):
+        return self.backing.iter_block_ids()
+
+    def cache_bytes(self) -> int:
+        """Total footprint of every level's pool (the chain's MO)."""
+        return sum(level.space_bytes for level in self.hierarchy.levels)
+
+    @property
+    def counters(self) -> DeviceCounters:
+        """Logical traffic tallies, priced with the hierarchy's clock.
+
+        ``simulated_time`` is :attr:`MemoryHierarchy.simulated_time` —
+        per-level AMAT plus the backing meter's priced traffic — so
+        latency measured through this facade reflects where accesses
+        were actually served, not a flat per-access cost.
+        """
+        seq_reads = self._seq_reads
+        rand_reads = self._rand_reads
+        seq_writes = self._seq_writes
+        rand_writes = self._rand_writes
+        reads = seq_reads + rand_reads
+        writes = seq_writes + rand_writes
+        block_bytes = self.block_bytes
+        return DeviceCounters(
+            reads,
+            writes,
+            reads * block_bytes,
+            writes * block_bytes,
+            self._allocations,
+            self._frees,
+            self.hierarchy.simulated_time,
+        )

@@ -44,7 +44,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.obs.spans import span, spanned
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -297,6 +297,40 @@ class BufferPool:
                             block_id=block_id,
                             nbytes=self.device.block_bytes,
                         )
+
+    def sync_through(self, block_ids: Iterable[BlockId]) -> int:
+        """Force the named blocks down through every level (modeled fsync).
+
+        Writes back this pool's dirty frames for ``block_ids`` (frames
+        stay cached, now clean — flush-by-id) and then recurses into the
+        store below, so a block dirty at *any* depth reaches the backing
+        device.  Unlike :meth:`flush` this targets only the named
+        blocks: the WAL's fsync must not pay for (or force) unrelated
+        dirty data pages.  Returns the number of frames written back
+        across all levels.
+        """
+        ids = list(block_ids)
+        written = 0
+        with span("pool.write_back"):
+            for block_id in ids:
+                frame = self._frames.get(block_id)
+                if frame is None or not frame.dirty:
+                    continue
+                self.stats.downstream_writes += 1
+                self.device.write(block_id, frame.payload, frame.used_bytes)
+                self.stats.write_backs += 1
+                frame.dirty = False
+                written += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        source=self.name,
+                        op="write_back",
+                        block_id=block_id,
+                        nbytes=self.device.block_bytes,
+                    )
+        # Cascade unconditionally: a block may be clean (or absent)
+        # here yet dirty in a pool further down.
+        return written + self.device.sync_through(ids)
 
     def peek(self, block_id: BlockId) -> object:
         """A block's current payload without I/O, stats or policy updates.

@@ -21,6 +21,13 @@ A :class:`BlockStore` is the read/write surface of one storage layer:
 ``used_bytes_of(block_id)``
     The block's declared logical occupancy, without charging I/O,
     preferring an unflushed dirty frame's value where one exists.
+``sync_through(block_ids)``
+    Force the named blocks' dirty frames down *through every level* to
+    the ultimate backing device — the modeled ``fsync``.  Each layer
+    writes back its own dirty frames for those blocks (charging the
+    level below normally) and then recurses into the store it sits on,
+    so the push can never skip an intermediate level.  On a device,
+    writes are already durable and this is a no-op.
 ``block_bytes`` / ``name``
     The block granularity and a label for traces and reports.
 
@@ -33,7 +40,7 @@ so a hierarchy level can sit on any of them interchangeably.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Iterable, Protocol, runtime_checkable
 
 from repro.storage.block import BlockId
 
@@ -66,4 +73,42 @@ class BlockStore(Protocol):
 
     def used_bytes_of(self, block_id: BlockId) -> int:
         """Declared logical occupancy of a block, without charging I/O."""
+        ...  # pragma: no cover - protocol
+
+    def sync_through(self, block_ids: Iterable[BlockId]) -> int:
+        """Force the named blocks through every level to durable storage.
+
+        Returns the number of dirty frames written back along the way
+        (0 on a bare device, where every write is already durable).
+        """
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class LogStore(BlockStore, Protocol):
+    """A :class:`BlockStore` that also owns block allocation.
+
+    The surface :class:`~repro.serve.wal.WriteAheadLog` needs: the data
+    path of ``BlockStore`` plus the allocator/catalog calls a log uses
+    to create, retire and rediscover its blocks.  Satisfied by
+    :class:`~repro.storage.device.SimulatedDevice` and its wrappers
+    (:class:`~repro.storage.cached.CachedDevice`,
+    :class:`~repro.storage.hierarchy.HierarchicalDevice`,
+    :class:`~repro.check.faults.FaultyDevice`).
+    """
+
+    def allocate(self, kind: str = "data") -> BlockId:
+        """Allocate a fresh block tagged ``kind``."""
+        ...  # pragma: no cover - protocol
+
+    def free(self, block_id: BlockId) -> None:
+        """Release a block (and drop any cached frames for it)."""
+        ...  # pragma: no cover - protocol
+
+    def kind_of(self, block_id: BlockId) -> str:
+        """A block's allocation ``kind`` tag, without charging I/O."""
+        ...  # pragma: no cover - protocol
+
+    def iter_block_ids(self) -> Iterable[BlockId]:
+        """Iterate over currently allocated block ids (no I/O)."""
         ...  # pragma: no cover - protocol

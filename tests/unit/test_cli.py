@@ -556,6 +556,39 @@ class TestServeCommand:
         assert code == 1
         assert "no crash" in capsys.readouterr().out
 
+    def test_group_commit_crash_and_recover(self, capsys):
+        code = main([
+            "serve", "--crash-write-at", "6", "--group-commit", "4",
+            "--clients", "2", "--txns", "10", "--records", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crashed during transaction" in out
+        assert "acknowledged key(s) survived" in out
+        assert "audit clean" in out
+
+    def test_hierarchy_mounted_crash_and_recover(self, capsys):
+        code = main([
+            "serve", "--crash-write-at", "9", "--hierarchy", "8,32",
+            "--clients", "2", "--txns", "10", "--records", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered:" in out
+        assert "audit clean" in out
+
+    def test_torn_group_commit_crash_behind_hierarchy(self, capsys):
+        # The tentpole invariant end to end: a torn WAL write behind the
+        # chained write-back stack must never lose an acked commit.
+        code = main([
+            "serve", "--crash-write-at", "4", "--torn",
+            "--group-commit", "4", "--hierarchy", "8,32",
+            "--clients", "2", "--txns", "10", "--records", "32",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "audit clean" in out
+
 
 class TestBenchServeCommand:
     ARGS = ["--clients", "8", "--txns", "5", "--records", "64"]
@@ -578,6 +611,34 @@ class TestBenchServeCommand:
         assert code == 2
         assert "unknown distribution" in capsys.readouterr().err
 
+    def test_group_commit_reports_policy_and_fewer_wal_blocks(self, capsys):
+        assert main(["bench-serve"] + self.ARGS) == 0
+        per_commit = capsys.readouterr().out
+        args = ["bench-serve", "--group-commit", "8"] + self.ARGS
+        assert main(args) == 0
+        grouped = capsys.readouterr().out
+        assert "sync_policy=every-commit" in per_commit
+        assert "sync_policy=group=8" in grouped
+
+        def wal_blocks(out):
+            for token in out.split():
+                if token.startswith("wal_blocks_written="):
+                    return int(token.split("=")[1])
+            raise AssertionError(f"no wal_blocks_written in:\n{out}")
+
+        assert wal_blocks(grouped) < wal_blocks(per_commit)
+
+    def test_sync_deadline_accepted(self, capsys):
+        args = ["bench-serve", "--sync-deadline", "20"] + self.ARGS
+        assert main(args) == 0
+        assert "sync_policy=deadline=20" in capsys.readouterr().out
+
+    def test_hierarchy_mounted_bench(self, capsys):
+        args = ["bench-serve", "--hierarchy", "8,32",
+                "--group-commit", "4"] + self.ARGS
+        assert main(args) == 0
+        assert "sync_policy=group=4" in capsys.readouterr().out
+
 
 class TestExitCodeContract:
     """Every subcommand honors 0 = clean, 1 = check failed, 2 = usage."""
@@ -594,6 +655,13 @@ class TestExitCodeContract:
                   "--records", "48"],
         "bench-serve": ["bench-serve", "--clients", "2", "--txns", "3",
                         "--records", "48"],
+        "serve-grouped": ["serve", "--group-commit", "4", "--clients", "2",
+                          "--txns", "3", "--records", "48"],
+        "serve-hier": ["serve", "--hierarchy", "8,64", "--clients", "2",
+                       "--txns", "3", "--records", "48"],
+        "bench-serve-grouped": ["bench-serve", "--group-commit", "4",
+                                "--sync-deadline", "50", "--clients", "2",
+                                "--txns", "3", "--records", "48"],
     }
     USAGE = {
         "sweep": ["sweep", "--methods", "nope"],
@@ -602,6 +670,10 @@ class TestExitCodeContract:
         "hierarchy": ["hierarchy", "--capacities", "zero"],
         "serve": ["serve", "--method", "nope"],
         "bench-serve": ["bench-serve", "--method", "nope"],
+        "serve-grouped": ["serve", "--group-commit", "0"],
+        "serve-deadline": ["serve", "--sync-deadline", "-1"],
+        "serve-hier": ["serve", "--hierarchy", "zero"],
+        "bench-serve-grouped": ["bench-serve", "--group-commit", "0"],
     }
 
     @pytest.mark.parametrize("command", sorted(CLEAN))
@@ -615,4 +687,5 @@ class TestExitCodeContract:
 
     @pytest.mark.parametrize("command", sorted(USAGE))
     def test_unparseable_flag_returns_two(self, command, capsys):
-        assert main([command, "--definitely-not-a-flag"]) == 2
+        subcommand = self.USAGE[command][0]
+        assert main([subcommand, "--definitely-not-a-flag"]) == 2

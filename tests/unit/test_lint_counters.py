@@ -270,3 +270,74 @@ def test_lint_tree_applies_serve_rule_outside_wal_only():
         if v[2].startswith("serve-write ")
     ]
     assert violations == []
+
+
+def test_lint_serve_rule_covers_store_and_hierarchy_owners():
+    # The serve tier mounts methods on BlockStore seams (``store``,
+    # ``hierarchy`` owners), and mutating those directly bypasses the
+    # same bookkeeping as a raw device write.
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        class Server:
+            def sneak(self, payload):
+                self.store.write(1, payload, used_bytes=8)
+                self.hierarchy.write(2, payload, 8)
+                block = self.store.allocate("data")
+        """
+    )
+    violations = lint_counters.violations_in_source(
+        bad, "server.py", check_serve_writes=True
+    )
+    assert len(violations) == 3
+    assert all(target.startswith("serve-write ") for _, _, target in violations)
+
+
+def test_lint_wal_rule_forbids_raw_device_writes():
+    # wal.py's sanctioned surface is its LogStore seam (``self.store``);
+    # going around it to a bare device or the hierarchy's backing would
+    # dodge the cache levels the modeled fsync must flow through.
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        class WriteAheadLog:
+            def sync(self):
+                block = self.device.allocate("wal")
+                self.device.write(block, [], used_bytes=0)
+                self.backing.write(block, [], used_bytes=0)
+        """
+    )
+    violations = lint_counters.violations_in_source(
+        bad, "wal.py", check_serve_wal=True
+    )
+    assert len(violations) == 3
+    assert all(
+        target.startswith("wal-raw-write ") for _, _, target in violations
+    )
+
+
+def test_lint_wal_rule_allows_the_store_seam():
+    lint_counters = _lint_counters()
+    fine = textwrap.dedent(
+        """
+        class WriteAheadLog:
+            def sync(self):
+                block = self.store.allocate("wal")
+                self.store.write(block, [], used_bytes=0)
+                self.store.sync_through((block,))
+                self.store.free(block)
+        """
+    )
+    assert lint_counters.violations_in_source(
+        fine, "wal.py", check_serve_wal=True
+    ) == []
+
+
+def test_lint_tree_applies_wal_rule_to_wal_module():
+    lint_counters = _lint_counters()
+    violations = [
+        v
+        for v in lint_counters.check_tree(SRC_PATH)
+        if v[2].startswith("wal-raw-write ")
+    ]
+    assert violations == []

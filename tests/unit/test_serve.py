@@ -14,6 +14,7 @@ from repro.serve import (
     ABSENT,
     CommitLog,
     Server,
+    SyncPolicy,
     Transaction,
     TransactionConflict,
     TransactionStateError,
@@ -184,6 +185,195 @@ class TestTransactions:
         # No active snapshots: nothing older is observable.
         assert server.versions.entry_count == 0
         assert server.commit_log.entry_count == 0
+
+
+class TestAbortAccounting:
+    def test_requested_abort_counts_on_server(self):
+        server = make_server()
+        session = server.connect()
+        session.begin()
+        session.put(2, 999)
+        session.abort()
+        assert server.aborts == 1
+        assert session.aborts == 1
+
+    def test_conflict_abort_counts_on_server_and_session(self):
+        server = make_server()
+        reader, writer = server.connect(), server.connect()
+        reader.begin()
+        reader.get(2)
+        writer.begin()
+        writer.put(2, 999)
+        writer.commit()
+        reader.put(6, 1)
+        with pytest.raises(TransactionConflict):
+            reader.commit()
+        # A conflict is an abort on both ledgers, not a silent retry.
+        assert server.aborts == 1
+        assert reader.aborts == 1
+        assert reader.commits == 0
+
+    def test_ledger_balances_across_mixed_outcomes(self):
+        server = make_server()
+        a, b = server.connect(), server.connect()
+        b.begin()
+        b.get(0)
+        a.begin()
+        a.put(0, 1)
+        a.commit()  # a: commit
+        b.put(2, 2)
+        with pytest.raises(TransactionConflict):
+            b.commit()  # b: conflict abort
+        b.begin()
+        b.put(4, 4)
+        b.commit()  # b: commit
+        a.begin()
+        a.put(6, 6)
+        a.abort()  # a: requested abort
+        for session in (a, b):
+            assert session.commits + session.aborts == session.begins
+        assert server.commits == 2
+        assert server.aborts == 2
+
+
+class TestSyncPolicy:
+    def test_per_commit_is_always_ready(self):
+        policy = SyncPolicy.every_commit()
+        assert not policy.batches
+        assert policy.ready(1, 0.0)
+        assert policy.label == "every-commit"
+
+    def test_group_size_threshold(self):
+        policy = SyncPolicy.every_n(4)
+        assert policy.batches
+        assert not policy.ready(3, 1e9)  # no deadline: count is all
+        assert policy.ready(4, 0.0)
+        assert policy.label == "group=4"
+
+    def test_deadline_threshold(self):
+        policy = SyncPolicy.after_deadline(5.0, group_size=8)
+        assert not policy.ready(7, 4.9)
+        assert policy.ready(7, 5.0)  # oldest waited long enough
+        assert policy.ready(8, 0.0)  # group filled first
+        assert policy.label == "group=8,deadline=5"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SyncPolicy(group_size=0)
+        with pytest.raises(ValueError):
+            SyncPolicy(deadline=-1.0)
+
+
+class TestGroupCommit:
+    def test_commits_park_until_group_is_full(self):
+        server = make_server(sync_policy=SyncPolicy.every_n(3))
+        sessions = [server.connect() for _ in range(3)]
+        for index, session in enumerate(sessions[:2]):
+            session.begin()
+            session.put(index * 2, 1000 + index)
+            session.commit()
+        # Two parked: unacked tickets, method untouched, version pinned.
+        assert server.parked_commits == 2
+        assert all(s.commit_pending for s in sessions[:2])
+        assert server.method.get(0) == 0
+        assert server.version == 0
+        sessions[2].begin()
+        sessions[2].put(4, 1002)
+        sessions[2].commit()
+        # The third commit fills the group: one sync, all applied.
+        assert server.parked_commits == 0
+        assert server.group_syncs == 1
+        assert server.version == 3
+        assert server.method.get(0) == 1000
+        assert server.method.get(2) == 1001
+        assert server.method.get(4) == 1002
+        for session in sessions:
+            assert session.reap()
+        assert sum(s.commits for s in sessions) == 3
+        assert server.commits == 3
+
+    def test_one_wal_sync_covers_the_whole_group(self):
+        server = make_server(sync_policy=SyncPolicy.every_n(4))
+        before = server.wal.syncs
+        for index in range(4):
+            session = server.connect()
+            session.begin()
+            session.put(100 + index, index)
+            session.commit()
+        assert server.wal.syncs == before + 1
+
+    def test_parked_writes_participate_in_validation(self):
+        server = make_server(sync_policy=SyncPolicy.every_n(4))
+        writer, reader = server.connect(), server.connect()
+        reader.begin()
+        reader.get(2)
+        writer.begin()
+        writer.put(2, 999)
+        writer.commit()  # parks: durable later, but validation-visible now
+        reader.put(6, 1)
+        with pytest.raises(TransactionConflict):
+            reader.commit()
+
+    def test_poll_group_respects_policy_unless_forced(self):
+        server = make_server(sync_policy=SyncPolicy.every_n(8))
+        session = server.connect()
+        session.begin()
+        session.put(0, 1)
+        session.commit()
+        assert session.commit_pending
+        assert server.poll_group() == 0  # group of 1 is not ready
+        assert server.poll_group(force=True) == 1
+        assert session.reap()
+        assert server.method.get(0) == 1
+
+    def test_snapshots_pin_to_applied_not_assigned_version(self):
+        server = make_server(sync_policy=SyncPolicy.every_n(2))
+        writer, reader = server.connect(), server.connect()
+        writer.begin()
+        writer.put(2, 999)
+        writer.commit()  # parked, unapplied
+        reader.begin()
+        assert reader.get(2) == 20  # snapshot at applied version 0
+        server.poll_group(force=True)
+        # The group applied, but the open snapshot still rewinds it.
+        assert reader.get(2) == 20
+        assert server.method.get(2) == 999
+
+    def test_checkpoint_drains_parked_group_first(self):
+        server = make_server(sync_policy=SyncPolicy.every_n(8))
+        session = server.connect()
+        session.begin()
+        session.put(0, 1)
+        session.commit()
+        server.checkpoint()
+        assert server.parked_commits == 0
+        assert server.method.get(0) == 1
+        assert session.reap()
+
+    def test_read_only_commit_acks_immediately_under_batching(self):
+        server = make_server(sync_policy=SyncPolicy.every_n(4))
+        session = server.connect()
+        session.begin()
+        assert session.get(2) == 20
+        session.commit()
+        assert not session.commit_pending
+        assert session.commits == 1
+        assert server.parked_commits == 0
+
+    def test_begin_reaps_the_previous_parked_commit(self):
+        server = make_server(sync_policy=SyncPolicy.every_n(2))
+        session = server.connect()
+        session.begin()
+        session.put(0, 1)
+        session.commit()
+        assert session.commit_pending and session.commits == 0
+        other = server.connect()
+        other.begin()
+        other.put(2, 2)
+        other.commit()  # fills the group; both tickets ack
+        session.begin()  # folds the acked ticket before reuse
+        assert session.commits == 1
+        session.abort()
 
 
 class TestVersionStore:

@@ -19,8 +19,15 @@ from __future__ import annotations
 import pytest
 
 from repro.check import FaultPlan, build_audited_method
-from repro.check.faults import DeviceFault
-from repro.serve import ABSENT, Server, ServerCrashed
+from repro.check.faults import DeviceFault, FaultyDevice
+from repro.core.registry import create_method
+from repro.serve import ABSENT, Server, ServerCrashed, SyncPolicy
+from repro.storage.device import SimulatedDevice
+from repro.storage.hierarchy import (
+    HierarchicalDevice,
+    LevelSpec,
+    MemoryHierarchy,
+)
 
 #: Five transactions of mixed puts and deletes over the preloaded keys.
 SCRIPT = [
@@ -240,3 +247,208 @@ class TestRecoverGuards:
         txn = restarted.begin()
         assert txn.txn_id > highest_durable
         assert txn.txn_id > 3  # ids 1-3 committed before the crash
+
+
+# ----------------------------------------------------------------------
+# The configuration sweep: {raw device, 2-level hierarchy} x
+# {per-commit sync, group commit N=4}.
+#
+# Under group commit the all-or-nothing property is *per acked ticket*:
+# a crash may erase parked (validated + logged but never synced)
+# transactions wholesale, and may durably keep any version-order prefix
+# of them — but every transaction whose ticket was acked before the
+# crash must survive byte-identically, and each pending transaction is
+# individually atomic.  Behind the hierarchy the same property must
+# hold even though WAL writes park in the top level's pool until the
+# group's ``sync_through`` — a crash between pool-write and write-back
+# must never lose an acked commit.
+# ----------------------------------------------------------------------
+
+#: Two small write-back levels; tiny capacities force real evictions
+#: and write-backs inside the five-transaction script.
+HIER_SPECS = (
+    dict(name="L0", capacity_blocks=4, access_cost=0.0001),
+    dict(name="L1", capacity_blocks=16, access_cost=0.01),
+)
+
+CONFIGS = {
+    "raw-percommit": (False, SyncPolicy.every_commit()),
+    "raw-group4": (False, SyncPolicy.every_n(4)),
+    "hier-percommit": (True, SyncPolicy.every_commit()),
+    "hier-group4": (True, SyncPolicy.every_n(4)),
+}
+
+
+def mount_hierarchy(backing):
+    """A fresh (cold) 2-level write-back chain over ``backing``."""
+    specs = [LevelSpec(**spec) for spec in HIER_SPECS]
+    return HierarchicalDevice(MemoryHierarchy(backing, specs))
+
+
+def build_config_method(hierarchy):
+    """A loaded btree with a FaultyDevice at the durability boundary.
+
+    Raw: the method sits directly on the faulty device.  Hierarchy: the
+    faulty device is the *backing* of the chain, so fault triggers
+    count physical (backed) writes — exactly the writes that decide
+    what survives a crash.
+    """
+    if not hierarchy:
+        method = build_method()
+        return method, method.device
+    faulty = FaultyDevice(SimulatedDevice(block_bytes=4096))
+    method = create_method("btree", device=mount_hierarchy(faulty))
+    method.bulk_load(list(PRELOAD))
+    method.device.flush()
+    return method, faulty
+
+
+def run_script_grouped(server):
+    """Run SCRIPT under any sync policy; classify txns at crash time.
+
+    Returns ``(acked, pending)``: the write sets whose commit tickets
+    were acked, and — in version order — those that were submitted or
+    in flight but never acknowledged.
+    """
+    session = server.connect()
+    submitted = []
+    inflight = None
+    try:
+        for writes in SCRIPT:
+            inflight = writes
+            session.begin()
+            for key, value in writes.items():
+                if value is ABSENT:
+                    session.delete(key)
+                else:
+                    session.put(key, value)
+            session.commit()
+            submitted.append((session.last_ticket, writes))
+            inflight = None
+        server.poll_group(force=True)
+    except (DeviceFault, ServerCrashed):
+        pass
+    # Tickets are acked in place by the group sync, so inspecting them
+    # now reflects exactly what the crashed server acknowledged.
+    acked = [writes for ticket, writes in submitted if ticket.acked]
+    pending = [writes for ticket, writes in submitted if not ticket.acked]
+    if inflight is not None:
+        pending.append(inflight)
+    return acked, pending
+
+
+def admissible_states(acked, pending):
+    """Every legal post-recovery state: acked history plus any
+    version-order prefix of the pending transactions."""
+    state = dict(PRELOAD)
+    for writes in acked:
+        apply_writes(state, writes)
+    candidates = [dict(state)]
+    for writes in pending:
+        apply_writes(state, writes)
+        candidates.append(dict(state))
+    return candidates
+
+
+def config_clean_writes(config):
+    """Backed writes a fault-free run of ``config`` performs."""
+    hierarchy, policy = CONFIGS[config]
+    method, faulty = build_config_method(hierarchy)
+    server = Server(
+        method, checkpoint_every=CHECKPOINT_EVERY, sync_policy=policy
+    )
+    before = faulty.snapshot()
+    acked, pending = run_script_grouped(server)
+    assert pending == [] and len(acked) == len(SCRIPT)
+    return faulty.stats_since(before).writes
+
+
+CONFIG_WRITES = {name: config_clean_writes(name) for name in CONFIGS}
+
+
+def crash_and_recover_config(config, plan):
+    """Crash ``config`` under ``plan``, restart cold, verify the state."""
+    hierarchy, policy = CONFIGS[config]
+    method, faulty = build_config_method(hierarchy)
+    faulty.arm(plan)
+    server = Server(
+        method, checkpoint_every=CHECKPOINT_EVERY, sync_policy=policy
+    )
+    acked, pending = run_script_grouped(server)
+    if faulty.faults_injected == 0:
+        return False  # trigger never fired
+
+    faulty.disarm()
+    if hierarchy:
+        # A restart loses every cache level: remount a cold chain over
+        # the surviving backing device.  Anything that only ever lived
+        # in a pool is gone — which is the point of the sweep.
+        method.device = mount_hierarchy(faulty)
+    restarted = Server(
+        method, checkpoint_every=CHECKPOINT_EVERY, sync_policy=policy
+    )
+    restarted.recover()
+    assert method.audit() == []
+
+    candidates = admissible_states(acked, pending)
+    keys = set()
+    for candidate in candidates:
+        keys |= set(candidate)
+    session = restarted.connect()
+    session.begin()
+    state = {
+        key: value
+        for key in sorted(keys)
+        if (value := session.get(key)) is not None
+    }
+    session.abort()
+    assert state in candidates, (
+        f"recovered state is not the acked history plus a version-order "
+        f"prefix of pending txns:\n  state={state}\n  acked={acked}\n"
+        f"  pending={pending}"
+    )
+
+    # The recovered server serves new transactions.
+    session.begin()
+    session.put(99, 9999)
+    session.commit()
+    restarted.poll_group(force=True)
+    assert method.get(99) == 9999
+    return True
+
+
+class TestCrashSweepConfigs:
+    @pytest.mark.parametrize(
+        "config,index",
+        [
+            (name, index)
+            for name in CONFIGS
+            for index in range(1, CONFIG_WRITES[name] + 1)
+        ],
+    )
+    def test_acked_commits_survive_every_write_crash(self, config, index):
+        fired = crash_and_recover_config(
+            config, FaultPlan(fail_write_at=index, max_faults=1)
+        )
+        assert fired, f"write trigger #{index} never fired for {config}"
+
+    @pytest.mark.parametrize(
+        "config,index",
+        [
+            (name, index)
+            for name in ("raw-group4", "hier-group4")
+            for index in range(1, CONFIG_WRITES[name] + 1)
+        ],
+    )
+    def test_torn_wal_crash_grouped(self, config, index):
+        fired = crash_and_recover_config(
+            config,
+            FaultPlan(
+                fail_write_at=index,
+                torn_writes=True,
+                kinds=("wal",),
+                max_faults=1,
+            ),
+        )
+        if not fired:
+            pytest.skip(f"write #{index} is not a WAL write for {config}")

@@ -37,7 +37,15 @@ substrate.  This checker walks the AST of every module under
   tier's durability story depends on every durable byte flowing through
   the write-ahead log or the access method's own apply path; a server
   module scribbling on the device directly would bypass both the redo
-  log and the RUM accounting the method layer owns.
+  log and the RUM accounting the method layer owns.  The rule also
+  covers the log's ``store`` / ``hierarchy`` seam names, so a serve
+  module cannot dodge it by renaming its handle;
+* any mutation through a ``device`` / ``backing`` owner inside
+  ``wal.py`` itself — the log's one sanctioned mutation surface is the
+  :class:`~repro.storage.store.LogStore` seam (``self.store``), which
+  is what lets the same WAL run over a bare device or a whole chained
+  hierarchy; reaching around the seam to a raw device would write log
+  blocks that ``sync_through`` (the modeled fsync) never forces down.
 
 Run from the repository root::
 
@@ -124,6 +132,11 @@ EMIT_ALLOWED_SUBPACKAGES = (
 #: apply path, never straight onto the device.
 SERVE_DEVICE_WRITE_CALLS = {"write", "write_many", "allocate", "free"}
 
+#: Owner names of the log's sanctioned block-store seam.  Outside
+#: ``wal.py`` these are just as off-limits for mutation as a raw
+#: device; inside ``wal.py``, ``store`` is the one allowed owner.
+STORE_OWNER_NAMES = {"store", "hierarchy"}
+
 #: The serving-tier subtree the rule above applies to, and the one
 #: module inside it that owns the log blocks and may mutate the device.
 SERVE_SUBPACKAGE = os.path.join("repro", "serve")
@@ -177,12 +190,15 @@ def _is_tracer_emit_call(node: ast.expr) -> bool:
     return False
 
 
-def _is_device_write_call(node: ast.expr) -> bool:
+def _is_device_write_call(node: ast.expr, owner_names=None) -> bool:
     """True for ``<device-ish>.write(...)``-style mutation calls.
 
-    A device-ish owner is a name or attribute called ``device`` or
-    ``backing`` — ``self.device.allocate(...)``, ``device.write(...)``.
+    A device-ish owner is a name or attribute in ``owner_names``
+    (default: ``device`` / ``backing``) — ``self.device.allocate(...)``,
+    ``device.write(...)``, ``self.store.free(...)``.
     """
+    if owner_names is None:
+        owner_names = DEVICE_OWNER_NAMES
     if not isinstance(node, ast.Call):
         return False
     func = node.func
@@ -192,15 +208,16 @@ def _is_device_write_call(node: ast.expr) -> bool:
         return False
     owner = func.value
     if isinstance(owner, ast.Attribute):
-        return owner.attr in DEVICE_OWNER_NAMES
+        return owner.attr in owner_names
     if isinstance(owner, ast.Name):
-        return owner.id in DEVICE_OWNER_NAMES
+        return owner.id in owner_names
     return False
 
 
 def violations_in_source(
     source: str, path: str, *, frames_only: bool = False,
     check_emit: bool = False, check_serve_writes: bool = False,
+    check_serve_wal: bool = False,
 ) -> List[Violation]:
     """All counter-mutation and private-access sites in one module.
 
@@ -209,17 +226,26 @@ def violations_in_source(
     but still may not reach into ``BufferPool._frames``).  ``check_emit``
     additionally flags direct ``Tracer.emit`` calls — enabled for
     modules outside :data:`EMIT_ALLOWED_SUBPACKAGES`.
-    ``check_serve_writes`` flags direct device mutation calls — enabled
-    for ``repro/serve`` modules other than ``wal.py``.
+    ``check_serve_writes`` flags direct device *and* store-seam mutation
+    calls — enabled for ``repro/serve`` modules other than ``wal.py``.
+    ``check_serve_wal`` flags raw ``device``/``backing`` mutation only —
+    enabled for ``wal.py`` itself, whose sanctioned surface is the
+    ``store`` seam.
     """
     found: List[Violation] = []
     tree = ast.parse(source, filename=path)
     for node in ast.walk(tree):
         if check_emit and _is_tracer_emit_call(node):
             found.append((path, node.lineno, ast.unparse(node.func)))
-        if check_serve_writes and _is_device_write_call(node):
+        if check_serve_writes and _is_device_write_call(
+            node, DEVICE_OWNER_NAMES | STORE_OWNER_NAMES
+        ):
             found.append(
                 (path, node.lineno, f"serve-write {ast.unparse(node.func)}")
+            )
+        if check_serve_wal and _is_device_write_call(node):
+            found.append(
+                (path, node.lineno, f"wal-raw-write {ast.unparse(node.func)}")
             )
         if not frames_only:
             targets: List[ast.expr] = []
@@ -307,15 +333,14 @@ def check_tree(src_root: str) -> List[Violation]:
             normalized_path = os.path.normpath(path)
             if normalized_path.endswith(POOL_MODULE):
                 continue
-            serve_writes = in_serve and not normalized_path.endswith(
-                SERVE_WAL_MODULE
-            )
+            is_wal = normalized_path.endswith(SERVE_WAL_MODULE)
             with open(path) as handle:
                 found.extend(
                     violations_in_source(
                         handle.read(), path, frames_only=in_storage,
                         check_emit=not emit_allowed,
-                        check_serve_writes=serve_writes,
+                        check_serve_writes=in_serve and not is_wal,
+                        check_serve_wal=in_serve and is_wal,
                     )
                 )
     return found
@@ -334,8 +359,14 @@ def main() -> int:
             )
         elif target.startswith("serve-write "):
             message = (
-                "direct device mutation in repro/serve outside wal.py "
-                "(durable state flows through the WAL or the method)"
+                "direct device/store mutation in repro/serve outside "
+                "wal.py (durable state flows through the WAL or the "
+                "method)"
+            )
+        elif target.startswith("wal-raw-write "):
+            message = (
+                "raw device mutation inside wal.py (the log's sanctioned "
+                "surface is the LogStore seam, self.store)"
             )
         elif field == "emit":
             message = (
@@ -355,7 +386,8 @@ def main() -> int:
         "ok: device internals only touched inside repro/storage, "
         "frame table only inside pager.py, Tracer.emit only inside "
         "repro/obs and repro/storage, no per-op bookkeeping in "
-        "batched loops, serve-tier device mutation only inside wal.py"
+        "batched loops, serve-tier device/store mutation only inside "
+        "wal.py, and wal.py only through its LogStore seam"
     )
     return 0
 
