@@ -55,6 +55,14 @@ Commands
     bytes replicated — plus the backing-device row.  Runs the
     hierarchy's conservation/coherence audit; non-zero exit on any
     violation.
+``top``
+    Stream one workload through the live observability substrate and
+    render each simulated-time window as a frame: op mix, per-window
+    RO/UO/MO, top I/O phases, and the drift detector's state.  Windowed
+    integers sum *exactly* to the whole-run totals (the conservation
+    contract; non-zero exit on violation), and ``--json`` output is
+    byte-identical at any ``--jobs`` because the frames come out of the
+    sweep engine's deterministic cell runner.
 ``serve``
     Run the transactional serving tier (sessions, snapshot-isolation
     OCC transactions, write-ahead log) over one method with a scripted
@@ -67,6 +75,11 @@ Commands
     Benchmark N concurrent zipfian clients over the serving tier with a
     deterministic interleaving: per-client p50/p99 commit latency plus
     the method's RUM triple, all reproducible under a fixed seed.
+
+``serve`` and ``bench-serve`` accept ``--live-window T`` to stream the
+tier's own per-window metrics (commit latency p50/p99, abort counts,
+group-commit occupancy, WAL bytes) over simulated-time windows of
+width ``T``.
 
 Exit codes (all subcommands): 0 = clean, 1 = a check failed (audit
 violation, oracle divergence, span-attribution mismatch), 2 = usage
@@ -93,7 +106,10 @@ Examples::
     python -m repro audit --methods lsm --fail-write-at 7 --torn
     python -m repro hierarchy --capacities 8,64 --device disk
     python -m repro hierarchy --capacities 4,16,64 --write-policy write-through
+    python -m repro top --method lsm --workload write-heavy --window 100
+    python -m repro top --method btree --json --jobs 4 --output frames.json
     python -m repro serve --method btree --clients 4 --txns 25
+    python -m repro serve --live-window 50
     python -m repro serve --crash-write-at 12 --torn
     python -m repro bench-serve --clients 8 --txns 40 --seed 1234
 """
@@ -110,6 +126,7 @@ from repro.core.registry import available_methods, create_method
 from repro.core.space import project_field
 from repro.core.wizard import HardwarePriorities, recommend, recommend_analytic
 from repro.exec.cache import DEFAULT_CACHE_DIR
+from repro.obs.live import DEFAULT_RUM_RING_SIZE
 from repro.storage.device import CostModel
 from repro.workloads.runner import run_workload
 from repro.workloads.spec import MIXES
@@ -428,6 +445,60 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    top = sub.add_parser(
+        "top",
+        help="stream per-window RO/UO/MO frames: op mix, phases, drift",
+    )
+    top.add_argument("--method", default="btree", help="method to watch")
+    _workload_arguments(top)
+    top.add_argument(
+        "--window",
+        type=float,
+        default=50.0,
+        help="window width in simulated-time units",
+    )
+    top.add_argument(
+        "--ring",
+        type=int,
+        default=DEFAULT_RUM_RING_SIZE,
+        help=(
+            "closed windows retained before the oldest folds into the "
+            "evicted totals (conservation still holds exactly)"
+        ),
+    )
+    top.add_argument(
+        "--hysteresis",
+        type=int,
+        default=2,
+        help="consecutive windows before the drift detector switches state",
+    )
+    top.add_argument(
+        "--block-bytes", type=int, default=4096, help="device block size"
+    )
+    top.add_argument(
+        "--device",
+        choices=sorted(_COST_MODELS),
+        default="flash",
+        help="device cost-model preset",
+    )
+    top.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="sweep-engine worker processes (same frames at any count)",
+    )
+    top.add_argument(
+        "--phases", type=int, default=2, help="top I/O phases shown per window"
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable frame stream (canonical, sorted keys)",
+    )
+    top.add_argument(
+        "--output", default=None, help="also write the output to this file"
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the transactional serving tier; optional crash + recovery",
@@ -510,6 +581,14 @@ def _serve_arguments(
         help=(
             "also sync when the oldest parked commit has waited T "
             "simulated-time units (group-commit timer)"
+        ),
+    )
+    parser.add_argument(
+        "--live-window", type=float, default=None, metavar="T",
+        help=(
+            "stream the tier's per-window metrics (commit latency, "
+            "aborts, group occupancy, WAL bytes) over simulated-time "
+            "windows of width T"
         ),
     )
     parser.add_argument(
@@ -1104,6 +1183,107 @@ def _sweep_profile_table(outcome) -> str:
     )
 
 
+def _command_top(args) -> int:
+    """Render the live frame stream of one workload run.
+
+    The run goes through the sweep engine with the
+    ``repro.obs.live:run_live_cell`` runner: the engine seeds the cell
+    deterministically and ships the runner's JSON-pure dict back
+    unmodified, so ``--jobs 1`` and ``--jobs N`` produce byte-identical
+    ``--json`` output.  Exit is non-zero when the conservation contract
+    is violated (window sums diverging from the whole-run totals).
+    """
+    import json
+
+    from repro.exec import SweepCell, SweepEngine
+
+    if args.window <= 0:
+        raise UsageError("--window must be > 0")
+    if args.ring < 1:
+        raise UsageError("--ring must be >= 1")
+    if args.hysteresis < 1:
+        raise UsageError("--hysteresis must be >= 1")
+    if args.method not in available_methods():
+        raise UsageError(f"unknown access method: {args.method!r}")
+    cell = SweepCell.make(
+        args.method,
+        _spec(args),
+        block_bytes=args.block_bytes,
+        cost_model=_COST_MODELS[args.device](),
+        params={
+            "window": args.window,
+            "ring": args.ring,
+            "hysteresis": args.hysteresis,
+        },
+        runner="repro.obs.live:run_live_cell",
+    )
+    # No result cache: the frame stream is the product of this run, not
+    # an intermediate worth persisting under .repro-cache/.
+    with SweepEngine(jobs=args.jobs) as engine:
+        outcome = engine.run([cell])
+    result = outcome.results[0]
+    if args.json:
+        text = json.dumps(result, indent=2, sort_keys=True)
+    else:
+        text = _top_frames_table(args, result)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    return 0 if result["conserved"] else 1
+
+
+def _top_frames_table(args, result) -> str:
+    """One row per window: op mix, RO/UO/MO, drift state, top phases."""
+    rows = []
+    for frame in result["frames"]:
+        phases = sorted(
+            frame["phases"].items(), key=lambda item: (-item[1], item[0])
+        )[: max(args.phases, 0)]
+        rows.append([
+            frame["window"],
+            f"{frame['start']:.0f}",
+            frame["read_ops"],
+            frame["update_ops"],
+            f"{frame['ro']:.2f}",
+            f"{frame['uo']:.2f}",
+            f"{frame['mo']:.2f}",
+            frame["drift"],
+            " ".join(f"{path}:{nbytes}" for path, nbytes in phases),
+        ])
+    table = format_table(
+        ["win", "start", "reads", "updates", "RO", "UO", "MO", "drift",
+         "top phases (bytes)"],
+        rows,
+        title=(
+            f"{args.method} under {args.workload!r}: "
+            f"{len(result['frames'])} window(s) of width {args.window:g}"
+        ),
+    )
+    profile = result["profile"]
+    footer = (
+        f"whole-run RO={profile['ro']:.2f} UO={profile['uo']:.2f} "
+        f"MO={profile['mo']:.2f} simulated_time={profile['simulated_time']:.2f}"
+    )
+    transitions = "; ".join(
+        f"window {item['window']}: {item['from']} -> {item['to']}"
+        for item in result["drift_transitions"]
+    ) or "none"
+    status = (
+        "conservation: window sums match the whole-run totals exactly"
+        if result["conserved"]
+        else (
+            f"CONSERVATION VIOLATION: window sums {result['totals']} != "
+            f"whole-run totals {result['run_totals']}"
+        )
+    )
+    return (
+        f"{table}\n{footer}\n"
+        f"drift transitions: {transitions}\n"
+        f"evicted windows: {result['evicted_windows']}\n{status}"
+    )
+
+
 def _serve_sync_policy(args):
     """Validate the group-commit flags into a :class:`SyncPolicy`."""
     from repro.serve import SyncPolicy
@@ -1115,6 +1295,13 @@ def _serve_sync_policy(args):
     return SyncPolicy(
         group_size=args.group_commit, deadline=args.sync_deadline
     )
+
+
+def _serve_live_window(args) -> Optional[float]:
+    """Validate ``--live-window`` (None = live metrics off)."""
+    if args.live_window is not None and args.live_window <= 0:
+        raise UsageError("--live-window must be > 0")
+    return args.live_window
 
 
 def _serve_capacities(text: str) -> List[int]:
@@ -1193,6 +1380,7 @@ def _command_serve(args) -> int:
             seed=args.seed,
             checkpoint_every=args.checkpoint_every,
             sync_policy=policy,
+            live_window=_serve_live_window(args),
         )
         _print_serve_report(args, report)
         return 0 if report.clean else 1
@@ -1384,6 +1572,9 @@ def _print_serve_report(args, report) -> None:
         f"group_syncs={report.group_syncs}  "
         f"wal_blocks_written={report.wal_blocks_written}"
     )
+    if report.live_frames is not None:
+        print()
+        print(_serve_live_table(args, report.live_frames))
     if not report.clean:
         if report.oracle_divergences:
             print(
@@ -1393,6 +1584,35 @@ def _print_serve_report(args, report) -> None:
             )
         for violation in report.audit_violations[:5]:
             print(f"audit violation: {violation}", file=sys.stderr)
+
+
+def _serve_live_table(args, frames) -> str:
+    """Per-window serving-tier metrics, one row per simulated-time window."""
+    rows = []
+    for frame in frames:
+        counters = frame["counters"]
+        latency = frame["histograms"].get("txn-latency", {})
+        occupancy = frame["histograms"].get("group-occupancy", {})
+        rows.append([
+            frame["window"],
+            counters.get("txn-begin", 0),
+            counters.get("txn-commit", 0),
+            counters.get("txn-abort", 0),
+            counters.get("wal-sync", 0),
+            counters.get("wal-bytes", 0),
+            f"{latency.get('p50', 0.0):.2f}",
+            f"{latency.get('p99', 0.0):.2f}",
+            occupancy.get("max", 0),
+        ])
+    return format_table(
+        ["win", "begins", "commits", "aborts", "syncs", "WAL B",
+         "lat p50", "lat p99", "grp max"],
+        rows,
+        title=(
+            f"live serving-tier windows (width {args.live_window:g} "
+            f"simulated-time units)"
+        ),
+    )
 
 
 def _command_bench_serve(args) -> int:
@@ -1422,6 +1642,7 @@ def _command_bench_serve(args) -> int:
         distribution=args.distribution,
         checkpoint_every=args.checkpoint_every,
         sync_policy=policy,
+        live_window=_serve_live_window(args),
     )
     _print_serve_report(args, report)
     return 0 if report.clean else 1
@@ -1470,6 +1691,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_hierarchy(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "top":
+            return _command_top(args)
         if args.command == "serve":
             return _command_serve(args)
         if args.command == "bench-serve":

@@ -25,6 +25,7 @@ from repro.storage.layout import RECORD_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.interfaces import AccessMethod
+    from repro.obs.live import WindowedRUM
     from repro.obs.metrics import WorkloadMetrics
     from repro.workloads.spec import Operation
 
@@ -181,6 +182,7 @@ def measure_workload(
     metrics: Optional["WorkloadMetrics"] = None,
     audit_every: int = 0,
     accumulator: Optional[RUMAccumulator] = None,
+    live: Optional["WindowedRUM"] = None,
 ) -> RUMProfile:
     """Run ``operations`` against ``method`` and measure its RUM profile.
 
@@ -204,6 +206,13 @@ def measure_workload(
     A caller-owned (fresh) ``accumulator`` can be supplied to read the
     integer numerators/denominators behind the final ratios afterwards —
     ``repro explain`` audits span attribution against them.
+
+    A :class:`~repro.obs.live.WindowedRUM` passed as ``live`` receives
+    every operation's integer deltas (at the operation's simulated
+    completion time), the terminal flush and the space samples — the
+    streaming per-window view whose sums conserve the accumulator's
+    totals exactly.  Disabled (``live=None``, the default), the tap
+    costs one ``is not None`` check per operation.
 
     When span collection is active (:func:`repro.obs.spans.span_collection`),
     every operation runs inside an ``op.<kind>`` root span and the
@@ -230,6 +239,8 @@ def measure_workload(
         operation_index += 1
         if operation_index % 16 == 0:
             accumulator.sample_space(method)
+            if live is not None:
+                live.observe_space(method)
         kind = operation.kind
         before = device.snapshot()
         op_span = span("op." + kind.value) if use_spans else None
@@ -263,8 +274,18 @@ def measure_workload(
         io = device.stats_since(before)
         if kind.is_read:
             accumulator.record_read(io, retrieved)
+            if live is not None:
+                live.observe_op(
+                    kind.value, True, io, max(retrieved, 1),
+                    before.simulated_time + io.simulated_time,
+                )
         else:
             accumulator.record_update(io)
+            if live is not None:
+                live.observe_op(
+                    kind.value, False, io, 1,
+                    before.simulated_time + io.simulated_time,
+                )
         if metrics is not None:
             metrics.record(kind.value, io.reads + io.writes, io.simulated_time)
         if audit_every and operation_index % audit_every == 0:
@@ -286,6 +307,10 @@ def measure_workload(
         accumulator.write_bytes += flush_io.write_bytes
         accumulator.flush_read_bytes += flush_io.read_bytes
         accumulator.simulated_time += flush_io.simulated_time
+        if live is not None:
+            live.observe_flush(
+                flush_io, before.simulated_time + flush_io.simulated_time
+            )
         if metrics is not None:
             metrics.record(
                 "flush", flush_io.reads + flush_io.writes, flush_io.simulated_time
@@ -307,6 +332,7 @@ def measure_workload_batched(
     metrics: Optional["WorkloadMetrics"] = None,
     audit_every: int = 0,
     accumulator: Optional[RUMAccumulator] = None,
+    live: Optional["WindowedRUM"] = None,
 ) -> RUMProfile:
     """Batch-first :func:`measure_workload`: same profile, less dispatch.
 
@@ -321,10 +347,12 @@ def measure_workload_batched(
     asserts this across methods and batch sizes.
 
     Per-op instrumentation cannot be amortized without changing what it
-    observes, so when ``metrics`` is supplied, ``audit_every`` is set, or
-    span collection is active, this function flattens the batches and
-    delegates to :func:`measure_workload` — identity with the per-op
-    path then holds by construction.  (Device *tracing* needs no
+    observes, so when ``metrics`` is supplied, ``audit_every`` is set,
+    a ``live`` window consumer is attached, or span collection is
+    active, this function flattens the batches and delegates to
+    :func:`measure_workload` — identity with the per-op path (and the
+    live windows' conservation contract, whatever the batch size) then
+    holds by construction.  (Device *tracing* needs no
     fallback: trace events are emitted by the device itself, in access
     order, identically on both paths.)
 
@@ -337,7 +365,7 @@ def measure_workload_batched(
     """
     from repro.workloads.spec import OpKind  # local import to avoid a cycle
 
-    if metrics is not None or audit_every or spans_active():
+    if metrics is not None or audit_every or live is not None or spans_active():
         from itertools import chain
 
         return measure_workload(
@@ -346,6 +374,7 @@ def measure_workload_batched(
             metrics=metrics,
             audit_every=audit_every,
             accumulator=accumulator,
+            live=live,
         )
     if accumulator is None:
         accumulator = RUMAccumulator()

@@ -17,6 +17,13 @@ be explained, not just reported:
     the per-op-type cost breakdown that window deltas cannot show.
 ``sinks``
     Destinations for trace events: an in-memory list and a JSONL file.
+``live``
+    Streaming windows over *simulated* time: :class:`~repro.obs.live.LiveRegistry`
+    counters/gauges/histograms, :class:`~repro.obs.live.WindowedRUM`
+    per-window RO/UO/MO with an exact conservation contract against the
+    whole-run accumulator, and the :class:`~repro.obs.live.DriftDetector`
+    that classifies workload drift with hysteresis — the sensors behind
+    ``repro top`` and the serve tier's ``--live-window``.
 ``spans``
     Hierarchical phase attribution.  Instrumented code opens named spans
     (``with span("lsm.compaction"): ...`` or the :func:`~repro.obs.spans.spanned`
@@ -32,6 +39,13 @@ by passing a :class:`~repro.obs.metrics.WorkloadMetrics` to
 ``repro stats`` CLI subcommands package both for one-shot use.
 """
 
+from repro.obs.live import (
+    DriftDetector,
+    LiveRegistry,
+    LiveSink,
+    WindowedRUM,
+    run_live_workload,
+)
 from repro.obs.metrics import Histogram, WorkloadMetrics
 from repro.obs.sinks import JsonlSink, ListSink, TraceSink
 from repro.obs.spans import (
@@ -47,16 +61,21 @@ from repro.obs.tracer import NULL_TRACER, RecordingTracer, TraceEvent, Tracer
 
 __all__ = [
     "Attribution",
+    "DriftDetector",
     "Histogram",
     "JsonlSink",
     "ListSink",
+    "LiveRegistry",
+    "LiveSink",
     "NULL_TRACER",
     "RecordingTracer",
     "SpanProfile",
     "TraceEvent",
     "TraceSink",
     "Tracer",
+    "WindowedRUM",
     "WorkloadMetrics",
+    "run_live_workload",
     "rum_attribution",
     "span",
     "span_collection",

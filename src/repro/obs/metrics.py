@@ -11,7 +11,8 @@ renders it as a table.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import math
+from typing import Dict, Iterable, List
 
 
 class Histogram:
@@ -50,13 +51,27 @@ class Histogram:
         """Largest sample (0.0 when empty)."""
         return max(self._counts) if self._counts else 0.0
 
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Histogram":
+        """A histogram pre-filled with ``samples`` (order irrelevant)."""
+        histogram = cls()
+        for value in samples:
+            histogram.record(value)
+        return histogram
+
     def percentile(self, fraction: float) -> float:
-        """Exact sample at the given fraction (nearest-rank, 0..1)."""
+        """Exact sample at the given fraction (nearest-rank, 0..1).
+
+        Nearest-rank: the smallest sample whose cumulative count reaches
+        ``ceil(fraction * count)`` — so p50 of five samples is the 3rd
+        smallest, p100 the max.  (``round()`` would banker's-round the
+        rank down on exact halves and pick the 2nd.)
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         if not self.count:
             return 0.0
-        rank = max(1, round(fraction * self.count))
+        rank = max(1, math.ceil(fraction * self.count))
         seen = 0
         for value in sorted(self._counts):
             seen += self._counts[value]
@@ -80,8 +95,12 @@ class Histogram:
 
 
 #: Canonical op-type presentation order for breakdown tables: reads
-#: first, then mutations in lifecycle order, then the terminal flush.
-#: Labels outside this list sort after it, alphabetically.
+#: first, then mutations in lifecycle order, then the terminal flush,
+#: then the serving tier's transaction lifecycle (begin → validate →
+#: park → commit/abort), its WAL (append → sync) and the recovery pair
+#: — so a serve trace's breakdown reads in protocol order instead of
+#: lumping ``txn-*``/``wal-*`` into alphabetical unknowns.  Labels
+#: outside this list sort after it, alphabetically.
 CANONICAL_OP_ORDER = (
     "point_query",
     "range_query",
@@ -89,6 +108,15 @@ CANONICAL_OP_ORDER = (
     "update",
     "delete",
     "flush",
+    "txn-begin",
+    "txn-validate",
+    "txn-park",
+    "txn-commit",
+    "txn-abort",
+    "wal-append",
+    "wal-sync",
+    "checkpoint",
+    "recover",
 )
 
 

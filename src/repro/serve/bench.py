@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.interfaces import AccessMethod
 from repro.core.rum import RUMAccumulator, RUMProfile
+from repro.obs.live import LiveRegistry
+from repro.obs.metrics import Histogram
 from repro.serve.server import Server, Session, SyncPolicy
 from repro.serve.txn import TransactionConflict
 from repro.serve.versions import ABSENT
@@ -84,6 +86,9 @@ class BenchReport:
     group_syncs: int = 0
     #: The server's :attr:`SyncPolicy.label` for this run.
     sync_policy: str = "every-commit"
+    #: Per-window live frames (:meth:`LiveRegistry.snapshot`) when the
+    #: bench ran with ``live_window``; ``None`` otherwise.
+    live_frames: Optional[List[dict]] = None
 
     @property
     def clean(self) -> bool:
@@ -105,12 +110,16 @@ class BenchReport:
 
 
 def _percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile; 0.0 for an empty sample."""
+    """Nearest-rank percentile; 0.0 for an empty sample.
+
+    Routed through the shared :class:`~repro.obs.metrics.Histogram` so
+    the serve bench and ``repro stats`` cannot diverge on what a
+    percentile means (it used to hand-roll a zero-based ``round``
+    variant that disagreed with the tables on small samples).
+    """
     if not values:
         return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[rank]
+    return Histogram.from_samples(values).percentile(q)
 
 
 def _build_scripts(
@@ -306,6 +315,7 @@ def run_bench(
     checkpoint_every: int = 32,
     server: Optional[Server] = None,
     sync_policy: Optional[SyncPolicy] = None,
+    live_window: Optional[float] = None,
 ) -> BenchReport:
     """Drive ``clients`` concurrent zipfian clients; measure and verify.
 
@@ -313,13 +323,21 @@ def run_bench(
     records (dense keys, like the workload generator's preload) before
     opening the server.  Pass a pre-built ``server`` to override the
     server configuration, or just ``sync_policy`` to run the same bench
-    under a different group-commit policy.
+    under a different group-commit policy.  ``live_window`` (a
+    simulated-time width) attaches a
+    :class:`~repro.obs.live.LiveRegistry` to the server — per-window
+    begin→ack latency histograms, abort counts, group-commit occupancy
+    and WAL bytes land in :attr:`BenchReport.live_frames`.
     """
     initial = [(key, key * 1_000 + 1) for key in range(records)]
     method.bulk_load(initial)
     oracle: Dict[int, int] = dict(initial)
+    live = LiveRegistry(live_window) if live_window else None
     srv = server if server is not None else Server(
-        method, checkpoint_every=checkpoint_every, sync_policy=sync_policy
+        method,
+        checkpoint_every=checkpoint_every,
+        sync_policy=sync_policy,
+        live=live,
     )
     accumulator = RUMAccumulator()
     accumulator.sample_space(method)
@@ -367,6 +385,7 @@ def run_bench(
         wal_blocks_written=srv.wal.blocks_written,
         group_syncs=srv.group_syncs,
         sync_policy=srv.sync_policy.label,
+        live_frames=srv.live.snapshot() if srv.live is not None else None,
     )
 
 

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.check.faults import DeviceFault
 from repro.core.interfaces import AccessMethod, Record
+from repro.obs.live import LiveRegistry
 from repro.obs.spans import span
 from repro.obs.tracer import emit_txn_event
 from repro.serve.txn import (
@@ -306,6 +307,7 @@ class Server:
         method: AccessMethod,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         sync_policy: Optional[SyncPolicy] = None,
+        live: Optional[LiveRegistry] = None,
     ) -> None:
         self.method = method
         self.device = method.device
@@ -314,6 +316,17 @@ class Server:
         self.commit_log = CommitLog()
         self.checkpoint_every = checkpoint_every
         self.sync_policy = sync_policy if sync_policy is not None else SyncPolicy()
+        #: Optional per-window telemetry (:mod:`repro.obs.live`): commit
+        #: and abort counters, begin→ack latency histograms, group-commit
+        #: occupancy and WAL bytes, all keyed on simulated time.  Every
+        #: tap is guarded by ``live is not None`` so the disabled path
+        #: costs one check per site, like tracing.
+        self.live = live
+        #: txn_id -> begin simulated time, for begin→ack latency (only
+        #: populated while ``live`` is attached).
+        self._live_begin: Dict[int, float] = {}
+        #: WAL blocks already charged to a live window.
+        self._live_wal_blocks = 0
         self._lock = threading.RLock()
         #: Last *applied* (durable + acked) version: what reads snapshot.
         self._version = 0
@@ -381,6 +394,10 @@ class Server:
                 self.device.tracer, TRACE_SOURCE, "txn-begin", txn.txn_id,
                 detail=f"snapshot={txn.snapshot_version}",
             )
+            if self.live is not None:
+                now = self._clock()
+                self._live_begin[txn.txn_id] = now
+                self.live.count("txn-begin", now=now)
             return txn
 
     # ------------------------------------------------------------------
@@ -461,6 +478,13 @@ class Server:
                     txn.txn_id, detail="read-only",
                 )
                 now = self._clock()
+                if self.live is not None:
+                    self.live.count("txn-commit", now=now)
+                    self.live.observe(
+                        "txn-latency",
+                        now - self._live_begin.pop(txn.txn_id, now),
+                        now=now,
+                    )
                 return CommitTicket(
                     txn.txn_id, txn.snapshot_version, acked=True,
                     parked_at=now, acked_at=now,
@@ -603,6 +627,19 @@ class Server:
         acked_at = self._clock()
         for _, ticket in group:
             ticket.acked_at = acked_at
+        if self.live is not None:
+            self.live.count("wal-sync", now=acked_at)
+            self.live.observe("group-occupancy", len(group), now=acked_at)
+            self.live.count(
+                "wal-bytes", self._live_wal_delta(), now=acked_at
+            )
+            for txn, ticket in group:
+                self.live.count("txn-commit", now=acked_at)
+                begin = self._live_begin.pop(txn.txn_id, None)
+                if begin is not None:
+                    self.live.observe(
+                        "txn-latency", acked_at - begin, now=acked_at
+                    )
         self._prune()
         self._commits_since_checkpoint += len(group)
         if (
@@ -629,8 +666,18 @@ class Server:
         if status is TxnStatus.ABORTED:
             # Every abort — requested or conflict — counts here, so the
             # server-wide ledger (commits + aborts vs begun txns) always
-            # balances.
+            # balances (and the live abort-rate counter matches it).
             self.aborts += 1
+            if self.live is not None:
+                self._live_begin.pop(txn.txn_id, None)
+                self.live.count("txn-abort", now=self._clock())
+
+    def _live_wal_delta(self) -> int:
+        """WAL bytes written since the last live charge (tap helper)."""
+        blocks = self.wal.blocks_written
+        delta = (blocks - self._live_wal_blocks) * self.device.block_bytes
+        self._live_wal_blocks = blocks
+        return delta
 
     def _oldest_snapshot(self) -> int:
         if not self._active:
@@ -670,6 +717,10 @@ class Server:
                 self.device.tracer, TRACE_SOURCE, "checkpoint", 0,
                 detail=f"version={self._version} freed={freed}",
             )
+            if self.live is not None:
+                now = self._clock()
+                self.live.count("checkpoint", now=now)
+                self.live.count("wal-bytes", self._live_wal_delta(), now=now)
             return freed
 
     def recover(self) -> RecoveryReport:

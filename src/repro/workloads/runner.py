@@ -9,7 +9,7 @@ cost and raw I/O totals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.interfaces import AccessMethod
 from repro.core.rum import (
@@ -23,6 +23,9 @@ from repro.obs.spans import span, spans_active
 from repro.storage.device import IOStats
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.obs.live import WindowedRUM
 
 #: Operations handed to the measurement loop per batch when the caller
 #: does not choose.  A multiple of the space-sampling cadence (16), big
@@ -60,6 +63,7 @@ def run_workload(
     metrics: Optional[WorkloadMetrics] = None,
     accumulator: Optional[RUMAccumulator] = None,
     batch_size: Optional[int] = None,
+    live: Optional["WindowedRUM"] = None,
 ) -> WorkloadResult:
     """Bulk-load ``method`` and run the spec's operation stream against it.
 
@@ -83,6 +87,11 @@ def run_workload(
     When span collection is active the bulk load runs inside an
     ``op.bulk_load`` span, so load-phase I/O and allocations are
     attributed separately from the measured operations.
+
+    A :class:`~repro.obs.live.WindowedRUM` passed as ``live`` streams
+    per-window RO/UO/MO while the workload runs (see
+    :mod:`repro.obs.live`); like metrics, it routes measurement through
+    the per-op loop so every operation's completion time is observable.
     """
     if generator is not None and generator.consumed:
         raise ValueError(
@@ -113,6 +122,7 @@ def run_workload(
             generator.operation_batches(batch_size),
             metrics=metrics,
             accumulator=accumulator,
+            live=live,
         )
     else:
         profile = measure_workload(
@@ -120,6 +130,7 @@ def run_workload(
             generator.operations(),
             metrics=metrics,
             accumulator=accumulator,
+            live=live,
         )
     stats = method.stats()
     return WorkloadResult(

@@ -1,0 +1,115 @@
+"""Property: windowed live telemetry conserves the whole-run totals.
+
+``WindowedRUM`` promises that every integer the device-delta pipeline
+measures lands in *exactly one* window: summing the per-window frames
+(plus anything folded out by ring eviction) reproduces the whole-run
+``RUMAccumulator`` fields byte-for-byte — no tolerances, for any
+workload mix, window width, ring size, or batch size.  A second
+property pins the sweep-engine contract behind ``repro top``: the
+``run_live_cell`` runner returns the same JSON-pure dict whether the
+engine runs serially or across worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.registry import create_method
+from repro.core.rum import RUMAccumulator
+from repro.obs.live import WindowedRUM, run_live_workload
+from repro.storage.device import SimulatedDevice
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import MIXES
+
+from tests.conftest import SMALL_BLOCK
+
+_MIX_NAMES = ["balanced", "read-mostly", "write-heavy", "scan-heavy"]
+_METHODS = ["btree", "lsm", "hash-index"]
+
+
+def _make_spec(mix: str, seed: int):
+    return replace(
+        MIXES[mix], initial_records=120, operations=150, seed=seed
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    method=st.sampled_from(_METHODS),
+    mix=st.sampled_from(_MIX_NAMES),
+    seed=st.integers(min_value=0, max_value=2**16),
+    width=st.floats(min_value=0.5, max_value=500.0,
+                    allow_nan=False, allow_infinity=False),
+    ring_size=st.integers(min_value=1, max_value=16),
+    batch_size=st.sampled_from([1, 7, 256]),
+)
+def test_window_sums_equal_accumulator_exactly(
+    method, mix, seed, width, ring_size, batch_size
+):
+    structure = create_method(
+        method, device=SimulatedDevice(block_bytes=SMALL_BLOCK)
+    )
+    live = WindowedRUM(width, ring_size=ring_size)
+    accumulator = RUMAccumulator()
+    run_workload(
+        structure,
+        _make_spec(mix, seed),
+        accumulator=accumulator,
+        batch_size=batch_size,
+        live=live,
+    )
+    totals = live.totals()
+    for name in WindowedRUM.INT_FIELDS:
+        assert totals[name] == getattr(accumulator, name), (
+            f"{name} diverged: width={width} ring={ring_size} "
+            f"batch={batch_size}"
+        )
+    # The retained frames plus the eviction fold re-sum to the same
+    # totals — eviction loses resolution, never mass.
+    evicted = live.evicted_totals
+    for name in WindowedRUM.INT_FIELDS:
+        frame_sum = sum(f[name] for f in live.frames())
+        assert frame_sum + evicted[name] == totals[name]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    mix=st.sampled_from(_MIX_NAMES),
+    seed=st.integers(min_value=0, max_value=2**16),
+    width=st.floats(min_value=10.0, max_value=200.0,
+                    allow_nan=False, allow_infinity=False),
+)
+def test_run_live_workload_is_conserved_and_self_consistent(
+    mix, seed, width
+):
+    method = create_method(
+        "btree", device=SimulatedDevice(block_bytes=SMALL_BLOCK)
+    )
+    result = run_live_workload(method, _make_spec(mix, seed), width=width)
+    assert result["conserved"] is True
+    assert result["totals"] == result["run_totals"]
+    # The payload must survive a JSON round-trip unchanged — the sweep
+    # engine ships it between processes as JSON, and ``repro top`` bets
+    # byte-identity on that.
+    assert json.loads(json.dumps(result)) == result
+
+
+def test_engine_results_identical_serial_vs_parallel():
+    """`repro top --jobs N` byte-identity, pinned at the engine layer."""
+    from repro.exec import SweepCell, SweepEngine
+
+    def run(jobs):
+        cell = SweepCell.make(
+            "btree",
+            _make_spec("balanced", seed=7),
+            params={"window": 40.0, "ring": 8, "hysteresis": 2},
+            runner="repro.obs.live:run_live_cell",
+        )
+        with SweepEngine(jobs=jobs) as engine:
+            outcome = engine.run([cell])
+        return json.dumps(outcome.results[0], indent=2, sort_keys=True)
+
+    assert run(1) == run(2)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -662,6 +664,10 @@ class TestExitCodeContract:
         "bench-serve-grouped": ["bench-serve", "--group-commit", "4",
                                 "--sync-deadline", "50", "--clients", "2",
                                 "--txns", "3", "--records", "48"],
+        "top": ["top", "--method", "btree", "--records", "200",
+                "--ops", "40"],
+        "serve-live": ["serve", "--live-window", "50", "--clients", "2",
+                       "--txns", "3", "--records", "48"],
     }
     USAGE = {
         "sweep": ["sweep", "--methods", "nope"],
@@ -674,6 +680,8 @@ class TestExitCodeContract:
         "serve-deadline": ["serve", "--sync-deadline", "-1"],
         "serve-hier": ["serve", "--hierarchy", "zero"],
         "bench-serve-grouped": ["bench-serve", "--group-commit", "0"],
+        "top": ["top", "--method", "nope"],
+        "serve-live": ["serve", "--live-window", "0"],
     }
 
     @pytest.mark.parametrize("command", sorted(CLEAN))
@@ -689,3 +697,75 @@ class TestExitCodeContract:
     def test_unparseable_flag_returns_two(self, command, capsys):
         subcommand = self.USAGE[command][0]
         assert main([subcommand, "--definitely-not-a-flag"]) == 2
+
+
+class TestTopCommand:
+    ARGS = ["--method", "btree", "--records", "300", "--ops", "240"]
+
+    def test_clean_run_renders_frames_and_conservation(self, capsys):
+        assert main(["top"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "win" in out and "drift" in out
+        assert "conservation: window sums match the whole-run totals" in out
+
+    def test_json_export_parses_and_conserves(self, capsys):
+        assert main(["top", "--json"] + self.ARGS) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["conserved"] is True
+        assert result["totals"] == result["run_totals"]
+        assert result["frames"]
+
+    def test_json_is_byte_identical_across_jobs(self, capsys):
+        assert main(["top", "--json", "--jobs", "1"] + self.ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(["top", "--json", "--jobs", "2"] + self.ARGS) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_output_flag_writes_the_json(self, capsys, tmp_path):
+        target = tmp_path / "frames.json"
+        args = ["top", "--json", "--output", str(target)] + self.ARGS
+        assert main(args) == 0
+        on_disk = json.loads(target.read_text())
+        assert on_disk["conserved"] is True
+
+    def test_window_must_be_positive(self, capsys):
+        assert main(["top", "--window", "0"] + self.ARGS[2:]) == 2
+        assert "window" in capsys.readouterr().err
+
+    def test_unknown_method_is_usage_error(self, capsys):
+        assert main(["top", "--method", "nope"]) == 2
+        assert "unknown access method" in capsys.readouterr().err
+
+    def test_drifting_workload_reports_a_transition(self, capsys):
+        args = [
+            "top", "--method", "lsm", "--workload", "write-heavy",
+            "--records", "400", "--ops", "400", "--window", "100",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "drift transitions:" in out
+
+
+class TestServeLiveWindow:
+    ARGS = ["--clients", "2", "--txns", "4", "--records", "48"]
+
+    def test_serve_renders_live_table(self, capsys):
+        assert main(["serve", "--live-window", "50"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "live serving-tier windows" in out
+        assert "commits" in out
+
+    def test_bench_serve_renders_live_table(self, capsys):
+        args = ["bench-serve", "--live-window", "30",
+                "--group-commit", "4"] + self.ARGS
+        assert main(args) == 0
+        assert "live serving-tier windows" in capsys.readouterr().out
+
+    def test_live_window_must_be_positive(self, capsys):
+        code = main(["serve", "--live-window", "-5"] + self.ARGS)
+        assert code == 2
+        assert "live-window" in capsys.readouterr().err
+
+    def test_without_the_flag_no_live_table(self, capsys):
+        assert main(["serve"] + self.ARGS) == 0
+        assert "live serving-tier windows" not in capsys.readouterr().out

@@ -333,6 +333,60 @@ def test_lint_wal_rule_allows_the_store_seam():
     ) == []
 
 
+def test_lint_flags_live_registry_mutation_when_enabled():
+    lint_counters = _lint_counters()
+    bad = textwrap.dedent(
+        """
+        def sneaky(self, live, registry, io):
+            live.count("txn-begin", now=0.0)
+            self.live.observe("latency", 3.0, now=0.0)
+            registry.gauge("depth", 4, now=0.0)
+            self.windowed.observe_op("insert", False, io, 1, 0.0)
+        """
+    )
+    violations = lint_counters.violations_in_source(
+        bad, "bad.py", check_live=True
+    )
+    assert len(violations) == 4
+    assert all(
+        target.startswith("live-mutate ") for _, _, target in violations
+    )
+
+
+def test_lint_live_rule_allows_reads_and_non_live_owners():
+    lint_counters = _lint_counters()
+    fine = textwrap.dedent(
+        """
+        def fine(self, live, metrics):
+            frames = live.snapshot()         # reads stay fine anywhere
+            totals = live.totals()
+            metrics.observe("x", 1)          # not a live-ish owner
+            return frames, totals
+        """
+    )
+    assert lint_counters.violations_in_source(
+        fine, "fine.py", check_live=True
+    ) == []
+
+
+def test_lint_live_rule_off_by_default():
+    # Sanctioned modules (repro/obs, the rum/runner/serve taps) are
+    # linted with check_live off, mirroring the tree walk.
+    lint_counters = _lint_counters()
+    source = "def f(live):\n    live.count('x', now=0.0)\n"
+    assert lint_counters.violations_in_source(source, "live.py") == []
+
+
+def test_lint_tree_applies_live_rule_outside_sanctioned_taps():
+    lint_counters = _lint_counters()
+    violations = [
+        v
+        for v in lint_counters.check_tree(SRC_PATH)
+        if v[2].startswith("live-mutate ")
+    ]
+    assert violations == []
+
+
 def test_lint_tree_applies_wal_rule_to_wal_module():
     lint_counters = _lint_counters()
     violations = [

@@ -1,0 +1,307 @@
+"""The live observability substrate: windows, conservation, drift."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import create_method
+from repro.core.rum import RUMAccumulator
+from repro.obs.live import (
+    DriftDetector,
+    LiveRegistry,
+    LiveSink,
+    WindowedRUM,
+    emit_drift_event,
+    run_live_cell,
+    run_live_workload,
+)
+from repro.obs.sinks import ListSink
+from repro.obs.tracer import NULL_TRACER, RecordingTracer
+from repro.storage.device import IOStats, SimulatedDevice
+from repro.storage.layout import RECORD_BYTES
+from repro.workloads.runner import run_workload
+from repro.workloads.spec import MIXES
+
+
+# ----------------------------------------------------------------------
+# Windowing core (exercised through LiveRegistry)
+# ----------------------------------------------------------------------
+def test_window_ring_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        LiveRegistry(0.0)
+    with pytest.raises(ValueError):
+        LiveRegistry(-5.0)
+    with pytest.raises(ValueError):
+        LiveRegistry(10.0, ring_size=0)
+
+
+def test_samples_land_in_floor_of_time_over_width():
+    registry = LiveRegistry(10.0)
+    registry.count("ops", now=0.0)
+    registry.count("ops", now=9.9)
+    registry.count("ops", now=10.0)  # boundary opens window 1
+    registry.count("ops", now=25.0)
+    frames = registry.snapshot()
+    assert [frame["window"] for frame in frames] == [0, 1, 2]
+    assert [frame["counters"]["ops"] for frame in frames] == [2, 1, 1]
+    assert [frame["start"] for frame in frames] == [0.0, 10.0, 20.0]
+
+
+def test_equal_or_earlier_time_stays_in_the_open_window():
+    # Simulated time is monotone over a run; the ring clamps the rare
+    # boundary case (an index at or before the open window's) into the
+    # open window rather than rolling backwards.
+    registry = LiveRegistry(10.0)
+    registry.count("ops", now=25.0)
+    registry.count("ops", now=3.0)
+    frames = registry.snapshot()
+    assert len(frames) == 1
+    assert frames[0]["window"] == 2
+    assert frames[0]["counters"]["ops"] == 2
+
+
+def test_registry_eviction_folds_counters_exactly():
+    registry = LiveRegistry(1.0, ring_size=2)
+    for step in range(10):
+        registry.count("ops", delta=step, now=float(step))
+    # Ring holds 2 closed + 1 open; 7 windows folded out.
+    assert registry.evicted_windows == 7
+    assert len(registry.snapshot()) == 3
+    assert registry.counter_total("ops") == sum(range(10))
+    assert registry.counter_total("never-seen") == 0
+
+
+def test_registry_gauges_keep_last_and_max():
+    registry = LiveRegistry(100.0)
+    registry.gauge("depth", 3.0, now=1.0)
+    registry.gauge("depth", 9.0, now=2.0)
+    registry.gauge("depth", 4.0, now=3.0)
+    frame = registry.snapshot()[0]
+    assert frame["gauges"]["depth"] == {"last": 4.0, "max": 9.0}
+
+
+def test_registry_histograms_use_nearest_rank_percentiles():
+    registry = LiveRegistry(100.0)
+    for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+        registry.observe("latency", value, now=1.0)
+    stats = registry.snapshot()[0]["histograms"]["latency"]
+    assert stats["count"] == 5
+    assert stats["p50"] == 3.0  # 3rd smallest of five — the ceil fix
+    assert stats["p99"] == 5.0
+    assert stats["max"] == 5.0
+
+
+def test_registry_advance_rolls_without_recording():
+    registry = LiveRegistry(10.0)
+    registry.count("ops", now=1.0)
+    registry.advance(35.0)
+    frames = registry.snapshot()
+    assert [frame["window"] for frame in frames] == [0, 3]
+    assert frames[1]["counters"] == {}
+
+
+# ----------------------------------------------------------------------
+# WindowedRUM
+# ----------------------------------------------------------------------
+def test_observe_op_buckets_reads_and_updates():
+    live = WindowedRUM(10.0)
+    live.observe_op(
+        "point_query", True, IOStats(read_bytes=4096, simulated_time=5.0),
+        units=1, now=5.0,
+    )
+    live.observe_op(
+        "insert", False, IOStats(write_bytes=8192, simulated_time=7.0),
+        units=1, now=12.0,
+    )
+    frames = live.frames()
+    assert [frame["window"] for frame in frames] == [0, 1]
+    read_frame, write_frame = frames
+    assert read_frame["read_ops"] == 1
+    assert read_frame["read_bytes"] == 4096
+    assert read_frame["retrieved_bytes"] == RECORD_BYTES
+    assert read_frame["ro"] == 4096 / RECORD_BYTES
+    assert read_frame["uo"] == 1.0  # no updates in the window
+    assert write_frame["update_ops"] == 1
+    assert write_frame["write_bytes"] == 8192
+    assert write_frame["uo"] == 8192 / RECORD_BYTES
+    assert write_frame["ops"] == {"insert": 1}
+
+
+def test_flush_charges_write_and_flush_read_bytes():
+    live = WindowedRUM(10.0)
+    live.observe_op(
+        "update", False, IOStats(write_bytes=4096, simulated_time=1.0),
+        units=1, now=1.0,
+    )
+    live.observe_flush(
+        IOStats(read_bytes=4096, write_bytes=8192, simulated_time=2.0),
+        now=3.0,
+    )
+    frame = live.frames()[0]
+    assert frame["write_bytes"] == 4096 + 8192
+    assert frame["flush_read_bytes"] == 4096
+    assert frame["ops"]["flush"] == 1
+    # Flush bytes charge UO's numerator but add no updated records.
+    assert frame["uo"] == (4096 + 8192 + 4096) / RECORD_BYTES
+
+
+def test_windowed_totals_survive_ring_eviction():
+    live = WindowedRUM(1.0, ring_size=1)
+    for step in range(20):
+        live.observe_op(
+            "insert", False,
+            IOStats(write_bytes=100, simulated_time=1.0),
+            units=1, now=float(step),
+        )
+    assert live.evicted_windows == 18
+    totals = live.totals()
+    assert totals["write_bytes"] == 2000
+    assert totals["updated_bytes"] == 20 * RECORD_BYTES
+    assert totals["update_ops"] == 20
+
+
+def test_windowed_rum_conserves_against_the_accumulator():
+    """The contract: window sums == whole-run accumulator, exactly."""
+    for batch_size in (1, 7, 256):
+        method = create_method(
+            "btree", device=SimulatedDevice(block_bytes=4096)
+        )
+        live = WindowedRUM(25.0)
+        accumulator = RUMAccumulator()
+        run_workload(
+            method,
+            MIXES["balanced"].scaled(300, 240),
+            accumulator=accumulator,
+            batch_size=batch_size,
+            live=live,
+        )
+        totals = live.totals()
+        for name in WindowedRUM.INT_FIELDS:
+            assert totals[name] == getattr(accumulator, name), (
+                f"{name} diverged at batch_size={batch_size}"
+            )
+        assert len(live.frames()) > 1  # actually windowed, not one bucket
+
+
+def test_consume_event_attributes_phase_bytes_by_event_clock():
+    live = WindowedRUM(10.0)
+    sink = LiveSink(live)
+    tracer = RecordingTracer(sink)
+    # Two events: costs 6 then 6 — the second crosses into window 1.
+    tracer.emit(source="d", op="read", block_id=1, cost=6.0, nbytes=256)
+    tracer.emit(source="d", op="read", block_id=2, cost=6.0, nbytes=512)
+    frames = live.frames()
+    assert [frame["window"] for frame in frames] == [0, 1]
+    assert sum(frames[0]["phases"].values()) == 256
+    assert sum(frames[1]["phases"].values()) == 512
+
+
+def test_live_sink_chains_to_another_sink():
+    live = WindowedRUM(10.0)
+    downstream = ListSink()
+    tracer = RecordingTracer(LiveSink(live, chain=downstream))
+    tracer.emit(source="d", op="read", block_id=1, cost=1.0, nbytes=64)
+    assert len(downstream.events) == 1
+    assert sum(live.frames()[0]["phases"].values()) == 64
+
+
+# ----------------------------------------------------------------------
+# DriftDetector
+# ----------------------------------------------------------------------
+def test_drift_detector_classifies_mixes():
+    detector = DriftDetector()
+    assert detector.classify({"point_query": 9, "insert": 1}) == "read-heavy"
+    assert detector.classify({"insert": 6, "point_query": 4}) == "update-heavy"
+    assert detector.classify({"range_query": 3, "insert": 7}) == "scan-heavy"
+    assert detector.classify({"point_query": 5, "insert": 4,
+                              "update": 0}) == "mixed"
+    # No measured ops: hold the current state rather than guessing.
+    assert detector.classify({"flush": 1}) == "mixed"
+
+
+def test_drift_detector_requires_consecutive_windows():
+    detector = DriftDetector(hysteresis=2)
+    update_heavy = {"insert": 10}
+    read_heavy = {"point_query": 10}
+    assert detector.observe(update_heavy, 0) is None  # streak 1
+    assert detector.observe(read_heavy, 1) is None    # streak broken
+    assert detector.observe(update_heavy, 2) is None  # streak 1 again
+    assert detector.observe(update_heavy, 3) == "update-heavy"
+    assert detector.state == "update-heavy"
+    assert detector.transitions == [(3, "mixed", "update-heavy")]
+    # Matching the committed state resets any pending streak.
+    assert detector.observe(update_heavy, 4) is None
+    assert detector.transitions == [(3, "mixed", "update-heavy")]
+
+
+def test_drift_detector_emits_trace_events():
+    sink = ListSink()
+    detector = DriftDetector(hysteresis=1, tracer=RecordingTracer(sink))
+    detector.observe({"insert": 10}, 7)
+    assert len(sink.events) == 1
+    event = sink.events[0]
+    assert event.op == "drift"
+    assert event.source == "drift"
+    assert event.block_id == 7
+    assert event.kind == "mixed->update-heavy"
+
+
+def test_drift_detector_validates_parameters():
+    with pytest.raises(ValueError):
+        DriftDetector(hysteresis=0)
+    with pytest.raises(ValueError):
+        DriftDetector(initial_state="bursty")
+
+
+def test_emit_drift_event_respects_disabled_tracer():
+    # NULL_TRACER.enabled is False; the helper must not call emit.
+    emit_drift_event(NULL_TRACER, 0, "mixed", "read-heavy")
+
+
+# ----------------------------------------------------------------------
+# run_live_workload / run_live_cell
+# ----------------------------------------------------------------------
+def test_run_live_workload_reports_conserved_frames():
+    method = create_method("btree", device=SimulatedDevice(block_bytes=4096))
+    result = run_live_workload(
+        method, MIXES["balanced"].scaled(300, 240), width=100.0
+    )
+    assert result["conserved"] is True
+    assert result["totals"] == result["run_totals"]
+    assert result["method"] == "btree"
+    assert len(result["frames"]) >= 1
+    for frame in result["frames"]:
+        assert frame["drift"] in (
+            "read-heavy", "update-heavy", "scan-heavy", "mixed"
+        )
+    # Frame integers re-sum to the reported totals (frames are the
+    # same windows totals() folded).
+    for name in WindowedRUM.INT_FIELDS:
+        assert sum(f[name] for f in result["frames"]) == result["totals"][name]
+
+
+def test_run_live_cell_refuses_engine_tracing():
+    from repro.exec.cells import SweepCell
+
+    cell = SweepCell.make(
+        "btree", MIXES["balanced"].scaled(100, 50),
+        runner="repro.obs.live:run_live_cell",
+    )
+    with pytest.raises(ValueError):
+        run_live_cell(cell, tracer=RecordingTracer(ListSink()))
+
+
+def test_run_live_cell_honours_window_params():
+    from repro.exec.cells import SweepCell
+
+    cell = SweepCell.make(
+        "btree",
+        MIXES["balanced"].scaled(200, 100),
+        params={"window": 40.0, "ring": 4, "hysteresis": 1},
+        runner="repro.obs.live:run_live_cell",
+    )
+    result = run_live_cell(cell)
+    assert result["window"] == 40.0
+    assert result["conserved"] is True
+    # ring=4 closed + 1 open bounds the retained frames.
+    assert len(result["frames"]) <= 5

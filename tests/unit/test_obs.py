@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
@@ -194,6 +195,33 @@ class TestHistogram:
         with pytest.raises(ValueError):
             histogram.percentile(1.5)
 
+    def test_percentile_uses_ceil_rank_not_bankers_rounding(self):
+        # Nearest-rank: p50 of five samples is the ceil(0.5*5)=3rd
+        # smallest.  The old round() banker's-rounded 2.5 down to rank
+        # 2 and reported the 2nd smallest.
+        histogram = Histogram.from_samples([1, 2, 3, 4, 5])
+        assert histogram.percentile(0.5) == 3
+        assert histogram.percentile(0.25) == 2  # ceil(1.25) = rank 2
+        assert histogram.percentile(0.95) == 5
+        assert histogram.percentile(0.0) == 1   # rank clamps up to 1
+
+    def test_percentile_exact_ranks_across_sizes(self):
+        for count in range(1, 12):
+            histogram = Histogram.from_samples(range(1, count + 1))
+            for numerator in range(0, 101):
+                fraction = numerator / 100
+                expected = max(1, math.ceil(fraction * count))
+                assert histogram.percentile(fraction) == expected
+
+    def test_from_samples_matches_record(self):
+        recorded = Histogram()
+        for value in (3, 1, 2, 2):
+            recorded.record(value)
+        built = Histogram.from_samples([3, 1, 2, 2])
+        assert built.to_dict() == recorded.to_dict()
+        assert built.count == recorded.count
+        assert built.total == recorded.total
+
     def test_merge_folds_counts(self):
         left, right = Histogram(), Histogram()
         left.record(1)
@@ -224,6 +252,22 @@ class TestWorkloadMetrics:
         assert metrics.labels() == [
             "point_query", "range_query", "insert", "update", "delete",
             "flush", "aa_custom", "zz_custom",
+        ]
+
+    def test_serve_labels_render_in_lifecycle_order(self):
+        # The serving tier's txn-*/wal-* kinds are canonical now:
+        # protocol order (begin -> validate -> park -> commit/abort,
+        # append -> sync, checkpoint, recover), not alphabetical
+        # unknowns after the storage ops.
+        metrics = WorkloadMetrics()
+        for label in ("wal-sync", "txn-commit", "recover", "txn-begin",
+                      "point_query", "wal-append", "txn-abort",
+                      "checkpoint", "txn-validate", "txn-park", "flush"):
+            metrics.record(label, 1, 1.0)
+        assert metrics.labels() == [
+            "point_query", "flush", "txn-begin", "txn-validate",
+            "txn-park", "txn-commit", "txn-abort", "wal-append",
+            "wal-sync", "checkpoint", "recover",
         ]
 
     def test_rows_match_headers(self):

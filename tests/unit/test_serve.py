@@ -569,3 +569,113 @@ class TestTransactionDataclass:
         assert txn.writes[1] is ABSENT
         assert txn.write_keys == (1, 2)
         assert not txn.is_read_only
+
+
+class TestLiveTaps:
+    """The serving tier's repro.obs.live wiring: counters balance the
+    server ledger and run_bench surfaces the frames."""
+
+    def make_live_server(self, width=50.0, **kwargs):
+        from repro.obs.live import LiveRegistry
+
+        live = LiveRegistry(width)
+        return make_server(live=live, **kwargs), live
+
+    def test_begin_commit_latency_land_in_windows(self):
+        server, live = self.make_live_server()
+        session = server.connect()
+        session.begin()
+        session.put(2, 999)
+        session.commit()
+        assert live.counter_total("txn-begin") == 1
+        assert live.counter_total("txn-commit") == 1
+        frames = live.snapshot()
+        latency = frames[-1]["histograms"]["txn-latency"]
+        assert latency["count"] == 1
+        assert latency["p50"] >= 0.0
+
+    def test_aborts_count_for_both_paths(self):
+        server, live = self.make_live_server()
+        requested = server.connect()
+        requested.begin()
+        requested.put(2, 1)
+        requested.abort()
+        reader, writer = server.connect(), server.connect()
+        reader.begin()
+        reader.get(2)
+        writer.begin()
+        writer.put(2, 5)
+        writer.commit()
+        reader.put(6, 1)
+        with pytest.raises(TransactionConflict):
+            reader.commit()
+        # Requested + conflict aborts both reach the live counter, so it
+        # always matches the server's own ledger.
+        assert live.counter_total("txn-abort") == server.aborts == 2
+
+    def test_group_commit_records_occupancy_and_wal_bytes(self):
+        server, live = self.make_live_server(
+            sync_policy=SyncPolicy(group_size=2)
+        )
+        a, b = server.connect(), server.connect()
+        a.begin()
+        a.put(1, 10)
+        a.commit()  # parks: group of 1
+        b.begin()
+        b.put(3, 30)
+        b.commit()  # fills the group; the sync fires
+        frames = live.snapshot()
+        merged_hist = [
+            frame["histograms"]["group-occupancy"]
+            for frame in frames
+            if "group-occupancy" in frame["histograms"]
+        ]
+        assert merged_hist and merged_hist[-1]["max"] == 2.0
+        assert live.counter_total("wal-sync") == 1
+        assert live.counter_total("wal-bytes") > 0
+        assert live.counter_total("txn-commit") == 2
+
+    def test_run_bench_without_live_window_reports_none(self):
+        from repro.serve.bench import run_bench
+
+        report = run_bench(
+            create_method("btree"), clients=2, txns_per_client=3, records=48
+        )
+        assert report.live_frames is None
+
+    def test_run_bench_live_frames_balance_the_report(self):
+        from repro.serve.bench import run_bench
+
+        report = run_bench(
+            create_method("btree"),
+            clients=4,
+            txns_per_client=5,
+            records=64,
+            live_window=50.0,
+        )
+        frames = report.live_frames
+        assert frames  # at least one window formed
+
+        def total(name):
+            return sum(f["counters"].get(name, 0) for f in frames)
+
+        # Snapshot only shows retained windows; the bench's default ring
+        # is wide enough that nothing evicts at this scale.
+        assert total("txn-commit") == report.total_commits
+        assert total("txn-begin") == report.total_commits + report.total_conflicts
+        latency_count = sum(
+            f["histograms"]["txn-latency"]["count"]
+            for f in frames
+            if "txn-latency" in f["histograms"]
+        )
+        assert latency_count == report.total_commits
+
+
+class TestBenchPercentile:
+    def test_percentile_matches_histogram_nearest_rank(self):
+        from repro.serve.bench import _percentile
+
+        assert _percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.50) == 3.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 2.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.99) == 5.0
+        assert _percentile([], 0.99) == 0.0

@@ -179,7 +179,13 @@ def check_trajectory(
       floor from :func:`sweep_speedup_floor` — so a sweep-scheduler
       regression like the 0.77x that motivated the persistent pool can
       never land silently again.  Entries without sweep data skip these
-      checks with a note.
+      checks with a note;
+    * when the newest entry carries a ``live`` section (recorded since
+      ``repro.obs.live`` landed), its disabled-path overhead must be
+      within the budget the entry was recorded against
+      (``within_budget`` — the ``if live is not None`` guards in the
+      measurement loop staying near-free).  Older entries skip the
+      check with a note.
     """
     regressions: List[str] = []
     notes: List[str] = []
@@ -275,6 +281,23 @@ def check_trajectory(
     else:
         notes.append(
             f"trajectory {label!r}: no sweep section, sweep checks skipped"
+        )
+    live = latest.get("live")
+    if isinstance(live, dict):
+        fraction = float(live.get("disabled_overhead_fraction", 0.0))
+        budget = float(live.get("disabled_budget", 0.0))
+        message = (
+            f"trajectory {label!r}: disabled live-observability path costs "
+            f"{fraction:.3%} of the hot loop (budget {budget:.0%})"
+        )
+        if not live.get("within_budget", False):
+            regressions.append(message)
+        else:
+            notes.append(message)
+    else:
+        notes.append(
+            f"trajectory {label!r}: no live section, live-budget check "
+            f"skipped (entry predates repro.obs.live)"
         )
     return regressions, notes
 

@@ -16,7 +16,10 @@ persistent pool) to record the parallel fan-out trend, and the
 span system's overhead (``repro.obs.spans``): the disabled ``@spanned``
 path must stay under :data:`SPAN_DISABLED_BUDGET` (3%) of a
 representative workload's per-op cost, and the enabled slowdown is
-recorded alongside.
+recorded alongside.  The live observability substrate
+(``repro.obs.live``) gets the same treatment: its disabled path — the
+``if live is not None`` guards in the measurement loop — must stay
+under :data:`LIVE_DISABLED_BUDGET` (2%) per op.
 
 Usage::
 
@@ -434,6 +437,102 @@ def bench_spans(ops: int, trials: int, records: int, operations: int) -> Dict[st
     }
 
 
+#: Hot-loop budget for the *disabled* live-observability path: the
+#: ``if live is not None`` guards the measurement loop carries (one per
+#: operation, one per space-sampling cadence hit, one per terminal
+#: flush) may add at most this fraction to a representative workload's
+#: per-op cost when no live window is attached.
+LIVE_DISABLED_BUDGET = 0.02
+
+#: Space-sampling cadence of the measurement loop (one extra live guard
+#: every this many operations) — mirrors ``repro.core.rum``.
+LIVE_SAMPLE_CADENCE = 16
+
+
+def bench_live(ops: int, trials: int, records: int, operations: int) -> Dict[str, float]:
+    """Live-observability overhead, disabled vs enabled.
+
+    Like :func:`bench_spans`, the disabled path is measured analytically:
+    the per-site cost of an ``is not None`` guard (measured in isolation,
+    where it is stable) times the guard sites per workload op (one per
+    operation, one per space-sampling cadence hit, one flush per run —
+    known by construction of the measurement loop), divided by the
+    measured per-op time.  A wall-clock diff would drown the ~10ns guard
+    in run-to-run noise.  The enabled slowdown — a real
+    :class:`~repro.obs.live.WindowedRUM` consuming every op — is a plain
+    wall-clock ratio.
+    """
+    from repro.core.registry import create_method
+    from repro.obs.live import WindowedRUM
+    from repro.workloads.runner import run_workload
+    from repro.workloads.spec import WorkloadSpec
+
+    def plain(x, live=None):
+        return x
+
+    def guarded(x, live=None):
+        if live is not None:
+            live.observe_op(x)  # pragma: no cover - never taken
+        return x
+
+    def best_per_call(func) -> float:
+        best = float("inf")
+        for _ in range(trials):
+            start = time.perf_counter()
+            for i in range(ops):
+                func(i)
+            best = min(best, time.perf_counter() - start)
+        return best / ops
+
+    plain_s = best_per_call(plain)
+    guarded_s = best_per_call(guarded)
+    per_site_disabled_ns = max(0.0, guarded_s - plain_s) * 1e9
+
+    spec = WorkloadSpec(
+        point_queries=0.4,
+        range_queries=0.1,
+        inserts=0.3,
+        updates=0.15,
+        deletes=0.05,
+        operations=operations,
+        initial_records=records,
+    )
+
+    def run(live_factory) -> float:
+        # batch_size=1 on both sides: an attached live window forces the
+        # per-op loop anyway, and the batched pipeline's disabled cost
+        # is one guard per *batch* — only the per-op loop exercises the
+        # per-op guard sites this budget constrains.
+        best = float("inf")
+        for _ in range(max(1, trials - 1)):
+            method = create_method(
+                "btree", device=SimulatedDevice(block_bytes=BLOCK_BYTES)
+            )
+            live = live_factory()
+            start = time.perf_counter()
+            run_workload(method, spec, batch_size=1, live=live)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    disabled_run_s = run(lambda: None)
+    enabled_run_s = run(lambda: WindowedRUM(50.0))
+    per_op_ns = disabled_run_s / operations * 1e9
+
+    sites_per_op = 1.0 + 1.0 / LIVE_SAMPLE_CADENCE + 1.0 / operations
+    disabled_fraction = (
+        per_site_disabled_ns * sites_per_op / per_op_ns if per_op_ns else 0.0
+    )
+    return {
+        "per_site_disabled_ns": per_site_disabled_ns,
+        "live_sites_per_op": sites_per_op,
+        "per_op_ns": per_op_ns,
+        "disabled_overhead_fraction": disabled_fraction,
+        "disabled_budget": LIVE_DISABLED_BUDGET,
+        "within_budget": disabled_fraction < LIVE_DISABLED_BUDGET,
+        "enabled_slowdown": enabled_run_s / disabled_run_s if disabled_run_s else 0.0,
+    }
+
+
 SWEEP_METHODS = (
     "btree", "lsm", "hash-index", "sorted-column",
     "zonemap", "masm", "indexed-log", "skiplist",
@@ -585,6 +684,7 @@ def main(argv=None) -> int:
     device = bench_device(args.ops, args.trials)
     sweep = bench_sweep(sweep_records, sweep_operations, args.jobs)
     spans = bench_spans(args.ops, args.trials, sweep_records, sweep_operations)
+    live = bench_live(args.ops, args.trials, sweep_records, sweep_operations)
     workload = bench_workload(sweep_records, sweep_operations, args.trials)
     entry = {
         "label": args.label,
@@ -594,6 +694,7 @@ def main(argv=None) -> int:
         "device": device,
         "sweep": sweep,
         "spans": spans,
+        "live": live,
         "workload": workload,
     }
 
@@ -625,6 +726,12 @@ def main(argv=None) -> int:
           f"{spans['disabled_overhead_fraction']:.3%} of the hot loop "
           f"(budget {SPAN_DISABLED_BUDGET:.0%}); "
           f"enabled slowdown {spans['enabled_slowdown']:.2f}x")
+    print(f"live disabled : {live['per_site_disabled_ns']:.0f}ns/site x "
+          f"{live['live_sites_per_op']:.2f} sites/op / "
+          f"{live['per_op_ns']:,.0f}ns/op = "
+          f"{live['disabled_overhead_fraction']:.3%} of the hot loop "
+          f"(budget {LIVE_DISABLED_BUDGET:.0%}); "
+          f"enabled slowdown {live['enabled_slowdown']:.2f}x")
     if not args.smoke:
         # Smoke runs are too short for stable timing; the committed
         # BENCH_hotpath.json comes from a full run, where this holds.
@@ -632,6 +739,11 @@ def main(argv=None) -> int:
             f"disabled span path costs "
             f"{spans['disabled_overhead_fraction']:.3%} of the hot loop, "
             f"budget is {SPAN_DISABLED_BUDGET:.0%}"
+        )
+        assert live["within_budget"], (
+            f"disabled live path costs "
+            f"{live['disabled_overhead_fraction']:.3%} of the hot loop, "
+            f"budget is {LIVE_DISABLED_BUDGET:.0%}"
         )
 
     if args.output:

@@ -45,7 +45,17 @@ substrate.  This checker walks the AST of every module under
   :class:`~repro.storage.store.LogStore` seam (``self.store``), which
   is what lets the same WAL run over a bare device or a whole chained
   hierarchy; reaching around the seam to a raw device would write log
-  blocks that ``sync_through`` (the modeled fsync) never forces down.
+  blocks that ``sync_through`` (the modeled fsync) never forces down;
+* any mutation of the live observability substrate
+  (:class:`~repro.obs.live.LiveRegistry` /
+  :class:`~repro.obs.live.WindowedRUM` — ``count``, ``gauge``,
+  ``observe``, ``observe_op``, ...) outside ``repro/obs`` and the
+  sanctioned taps (the measurement loop in ``core/rum.py``, the
+  workload runner, and the serving tier's ``server.py``/``bench.py``).
+  The per-window conservation contract only holds if every sample
+  flows through those few audited emit sites; a stray
+  ``live.count(...)`` elsewhere would silently skew window sums away
+  from the whole-run totals.
 
 Run from the repository root::
 
@@ -142,6 +152,37 @@ STORE_OWNER_NAMES = {"store", "hierarchy"}
 SERVE_SUBPACKAGE = os.path.join("repro", "serve")
 SERVE_WAL_MODULE = os.path.join("repro", "serve", "wal.py")
 
+#: Mutation surface of the live observability substrate
+#: (repro.obs.live.LiveRegistry / WindowedRUM).  Reads — ``snapshot``,
+#: ``frames``, ``totals``, ``counter_total`` — are fine anywhere.
+LIVE_MUTATION_METHODS = {
+    "count",
+    "gauge",
+    "observe",
+    "observe_op",
+    "observe_flush",
+    "observe_space",
+    "consume_event",
+    "advance",
+}
+
+#: Owner-name markers that make a call receiver live-registry-ish in
+#: this codebase: ``live``, ``self.live``, ``registry``, ``windowed``.
+LIVE_OWNER_MARKERS = ("live", "registry", "windowed")
+
+#: The live substrate's home, where mutation is always sanctioned.
+LIVE_ALLOWED_SUBPACKAGE = os.path.join("repro", "obs")
+
+#: The audited tap sites outside repro/obs: the measurement loop, the
+#: workload runner that threads ``live`` through, and the serving
+#: tier's emit sites.
+LIVE_TAP_MODULES = (
+    os.path.join("repro", "core", "rum.py"),
+    os.path.join("repro", "workloads", "runner.py"),
+    os.path.join("repro", "serve", "server.py"),
+    os.path.join("repro", "serve", "bench.py"),
+)
+
 Violation = Tuple[str, int, str]
 
 
@@ -214,10 +255,35 @@ def _is_device_write_call(node: ast.expr, owner_names=None) -> bool:
     return False
 
 
+def _is_live_mutation_call(node: ast.expr) -> bool:
+    """True for ``<live-ish>.count(...)``-style mutation calls.
+
+    A live-ish owner is a name or attribute whose (lowercased) last
+    component mentions a :data:`LIVE_OWNER_MARKERS` word —
+    ``live.observe_op``, ``self.live.count``, ``registry.gauge``, ...
+    """
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr not in LIVE_MUTATION_METHODS:
+        return False
+    owner = func.value
+    if isinstance(owner, ast.Attribute):
+        name = owner.attr
+    elif isinstance(owner, ast.Name):
+        name = owner.id
+    else:
+        return False
+    lowered = name.lower()
+    return any(marker in lowered for marker in LIVE_OWNER_MARKERS)
+
+
 def violations_in_source(
     source: str, path: str, *, frames_only: bool = False,
     check_emit: bool = False, check_serve_writes: bool = False,
-    check_serve_wal: bool = False,
+    check_serve_wal: bool = False, check_live: bool = False,
 ) -> List[Violation]:
     """All counter-mutation and private-access sites in one module.
 
@@ -230,13 +296,18 @@ def violations_in_source(
     calls — enabled for ``repro/serve`` modules other than ``wal.py``.
     ``check_serve_wal`` flags raw ``device``/``backing`` mutation only —
     enabled for ``wal.py`` itself, whose sanctioned surface is the
-    ``store`` seam.
+    ``store`` seam.  ``check_live`` flags live-registry mutation calls —
+    enabled outside ``repro/obs`` and the :data:`LIVE_TAP_MODULES`.
     """
     found: List[Violation] = []
     tree = ast.parse(source, filename=path)
     for node in ast.walk(tree):
         if check_emit and _is_tracer_emit_call(node):
             found.append((path, node.lineno, ast.unparse(node.func)))
+        if check_live and _is_live_mutation_call(node):
+            found.append(
+                (path, node.lineno, f"live-mutate {ast.unparse(node.func)}")
+            )
         if check_serve_writes and _is_device_write_call(
             node, DEVICE_OWNER_NAMES | STORE_OWNER_NAMES
         ):
@@ -334,6 +405,13 @@ def check_tree(src_root: str) -> List[Violation]:
             if normalized_path.endswith(POOL_MODULE):
                 continue
             is_wal = normalized_path.endswith(SERVE_WAL_MODULE)
+            live_sanctioned = (
+                LIVE_ALLOWED_SUBPACKAGE in normalized
+                or any(
+                    normalized_path.endswith(tap)
+                    for tap in LIVE_TAP_MODULES
+                )
+            )
             with open(path) as handle:
                 found.extend(
                     violations_in_source(
@@ -341,6 +419,7 @@ def check_tree(src_root: str) -> List[Violation]:
                         check_emit=not emit_allowed,
                         check_serve_writes=in_serve and not is_wal,
                         check_serve_wal=in_serve and is_wal,
+                        check_live=not live_sanctioned,
                     )
                 )
     return found
@@ -368,6 +447,13 @@ def main() -> int:
                 "raw device mutation inside wal.py (the log's sanctioned "
                 "surface is the LogStore seam, self.store)"
             )
+        elif target.startswith("live-mutate "):
+            message = (
+                "live-registry mutation outside repro/obs and the "
+                "sanctioned taps (core/rum.py, workloads/runner.py, "
+                "serve/server.py, serve/bench.py) — a stray sample "
+                "breaks the per-window conservation contract"
+            )
         elif field == "emit":
             message = (
                 "direct Tracer.emit outside repro/obs and repro/storage "
@@ -387,7 +473,8 @@ def main() -> int:
         "frame table only inside pager.py, Tracer.emit only inside "
         "repro/obs and repro/storage, no per-op bookkeeping in "
         "batched loops, serve-tier device/store mutation only inside "
-        "wal.py, and wal.py only through its LogStore seam"
+        "wal.py, wal.py only through its LogStore seam, and live "
+        "registries mutated only at the sanctioned emit sites"
     )
     return 0
 
